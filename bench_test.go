@@ -1,0 +1,377 @@
+package yourandvalue
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (DESIGN.md maps each benchmark to its experiment) and
+// measures the hot paths of the library. Each figure benchmark logs the
+// produced rows once, so `go test -bench . -benchmem` doubles as the
+// experiment reproduction run recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/core"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/priceenc"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/weblog"
+)
+
+// benchTable runs a table generator under the benchmark clock and logs the
+// result once.
+func benchTable(b *testing.B, gen func() *Table) {
+	b.Helper()
+	var tbl *Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl = gen()
+	}
+	b.StopTimer()
+	if tbl != nil {
+		b.Logf("\n%s", tbl.String())
+	}
+}
+
+func BenchmarkTable1NURLParsing(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Table1)
+}
+
+func BenchmarkFigure2EncryptedPairsOverTime(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure2)
+}
+
+func BenchmarkFigure3CleartextVsRTBShare(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure3)
+}
+
+func BenchmarkTable3DatasetSummary(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Table3)
+}
+
+func BenchmarkFigure5PricePerCity(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure5)
+}
+
+func BenchmarkFigure6PriceByTimeOfDay(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure6)
+}
+
+func BenchmarkFigure7PriceByDayOfWeek(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure7)
+}
+
+func BenchmarkFigure8RTBShareByOS(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure8)
+}
+
+func BenchmarkFigure9NormalizedRTBShare(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure9)
+}
+
+func BenchmarkFigure10PricePerOS(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure10)
+}
+
+func BenchmarkFigure11CostPerIAB(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure11)
+}
+
+func BenchmarkFigure12SlotPopularity(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure12)
+}
+
+func BenchmarkFigure13PricePerSlot(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure13)
+}
+
+func BenchmarkFigure14RevenuePerSlot(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure14)
+}
+
+func BenchmarkSection44AppVsWeb(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Section44)
+}
+
+func BenchmarkSection51DimensionalityReduction(b *testing.B) {
+	s := quickStudy(b)
+	var tbl *Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := s.Section51(1200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl = t
+	}
+	b.StopTimer()
+	b.Logf("\n%s", tbl.String())
+}
+
+func BenchmarkTable5CampaignPlanning(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Table5Section52)
+}
+
+func BenchmarkFigure15CampaignVsDataset(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure15)
+}
+
+func BenchmarkSection54ClassifierAccuracy(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Section54)
+}
+
+func BenchmarkFigure16EncVsClrDistributions(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure16)
+}
+
+func BenchmarkFigure17CumulativeUserCost(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure17)
+}
+
+func BenchmarkFigure18TotalClrVsEnc(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure18)
+}
+
+func BenchmarkFigure19AvgPricePerImpression(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Figure19)
+}
+
+func BenchmarkSection63Validation(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.Section63)
+}
+
+func BenchmarkBaselineVsYourAdValue(b *testing.B) {
+	s := quickStudy(b)
+	benchTable(b, s.BaselineComparison)
+}
+
+// --- Ablation benchmarks (DESIGN.md "Ablations") ---
+
+func BenchmarkAblationClasses(b *testing.B) {
+	s := quickStudy(b)
+	var tbl *Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := s.AblationClasses([]int{2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl = t
+	}
+	b.StopTimer()
+	b.Logf("\n%s", tbl.String())
+}
+
+func BenchmarkAblationModelFamily(b *testing.B) {
+	s := quickStudy(b)
+	var tbl *Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := s.AblationModelFamily()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl = t
+	}
+	b.StopTimer()
+	b.Logf("\n%s", tbl.String())
+}
+
+func BenchmarkAblationPublisherOverfit(b *testing.B) {
+	s := quickStudy(b)
+	var tbl *Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := s.AblationPublisher()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl = t
+	}
+	b.StopTimer()
+	b.Logf("\n%s", tbl.String())
+}
+
+// --- Hot-path micro-benchmarks ---
+
+func BenchmarkNURLParse(b *testing.B) {
+	reg := nurl.Default()
+	raw := "http://cpp.imp.mpx.mopub.com/imp?ad_domain=amazon.es&ads_creative_id=ID&" +
+		"bid_price=0.99&bidder_name=dsp&charge_price=0.95&currency=USD&mopub_id=ID&pub_name=p"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := reg.Parse(raw); !ok {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+func BenchmarkNURLParseMiss(b *testing.B) {
+	reg := nurl.Default()
+	raw := "http://elpais.es/politica/articulo-largo.html?utm_source=x&utm_medium=y"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := reg.Parse(raw); ok {
+			b.Fatal("false positive")
+		}
+	}
+}
+
+func BenchmarkPriceEncrypt(b *testing.B) {
+	s := priceenc.MustNew([]byte("bench-enc-key-0123456789abcdef00"),
+		[]byte("bench-sig-key-0123456789abcdef00"))
+	iv := make([]byte, priceenc.IVSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Encrypt(1.84, iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPriceDecrypt(b *testing.B) {
+	s := priceenc.MustNew([]byte("bench-enc-key-0123456789abcdef00"),
+		[]byte("bench-sig-key-0123456789abcdef00"))
+	iv := make([]byte, priceenc.IVSize)
+	tok, err := s.Encrypt(1.84, iv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Decrypt(tok); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuction(b *testing.B) {
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: 9})
+	ctx := rtb.Context{
+		City: 1, OS: 1, Device: 1, Origin: 1,
+		Publisher: "bench.example", Category: 12,
+		Slot: rtb.Slot300x250, UserValue: 1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eco.Serve(ctx, 6)
+	}
+}
+
+func BenchmarkModelEstimate(b *testing.B) {
+	s := quickStudy(b)
+	imp := s.Analysis.Impressions[0]
+	x := s.Model.Features.FromImpression(imp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Model.EstimateCPM(x)
+	}
+}
+
+func BenchmarkFeatureVector(b *testing.B) {
+	s := quickStudy(b)
+	imp := s.Analysis.Impressions[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Model.Features.FromImpression(imp)
+	}
+}
+
+func BenchmarkClientProcess(b *testing.B) {
+	s := quickStudy(b)
+	client := core.NewClient(s.Model, s.Trace.Catalog.Directory())
+	reqs := s.Trace.Requests
+	if len(reqs) > 10000 {
+		reqs = reqs[:10000]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.Process(reqs[i%len(reqs)])
+	}
+}
+
+func BenchmarkAnalyzerFull(b *testing.B) {
+	cfg := weblog.DefaultConfig().Scaled(0.01)
+	cfg.Seed = 3
+	trace := weblog.Generate(cfg)
+	an := analyzer.New(trace.Catalog.Directory())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an.Analyze(trace.Requests)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(trace.Requests)), "requests/op")
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := weblog.DefaultConfig().Scaled(0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		weblog.Generate(cfg)
+	}
+}
+
+func BenchmarkCampaignRun(b *testing.B) {
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: 21})
+	cat := weblog.NewCatalog(100, 50)
+	eng := campaign.NewEngine(eco)
+	setups := campaign.Grid(campaign.EncryptedADXs)[:12]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(campaign.Config{
+			Setups: setups, ImpressionsPerSetup: 20,
+			MaxBidCPM: 25, Catalog: cat, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPMETrain(b *testing.B) {
+	s := quickStudy(b)
+	records := s.A1.Records
+	if len(records) > 2000 {
+		records = records[:2000]
+	}
+	pme := core.NewPME(5)
+	pme.ForestSize = 10
+	pme.CVFolds, pme.CVRuns = 5, 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pme.Train(records, core.TrainConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section from a fresh end-to-end study, printing the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [-scale 0.05] [-seed 1] [-per-setup 60] [-ablations]
+//
+// At -scale 1.0 the run matches the paper's dataset size (1,594 users,
+// ~78,560 RTB impressions) and takes a few minutes; the default runs a
+// faithful 10% study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"yourandvalue"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.10, "fraction of paper-scale dataset (0,1]")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	perSetup := flag.Int("per-setup", 60, "campaign impressions per experimental setup")
+	forest := flag.Int("forest", 40, "random-forest ensemble size")
+	ablations := flag.Bool("ablations", false, "also run the ablation studies")
+	flag.Parse()
+
+	cfg := yourandvalue.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.CampaignImpressionsPerSetup = *perSetup
+	cfg.ForestSize = *forest
+	cfg.CVRuns = 1
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running study at scale %.2f (seed %d)...\n", *scale, *seed)
+	study, err := yourandvalue.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "study complete in %s: %d requests, %d RTB impressions, %d+%d campaign records\n",
+		time.Since(start).Round(time.Millisecond),
+		len(study.Trace.Requests), study.Trace.RTBCount(),
+		len(study.A1.Records), len(study.A2.Records))
+
+	tables, err := study.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+
+	if *ablations {
+		if t, err := study.AblationClasses([]int{2, 4, 5, 8, 10}); err == nil {
+			fmt.Println(t.String())
+		} else {
+			fmt.Fprintln(os.Stderr, "ablation classes:", err)
+		}
+		if t, err := study.AblationPublisher(); err == nil {
+			fmt.Println(t.String())
+		} else {
+			fmt.Fprintln(os.Stderr, "ablation publisher:", err)
+		}
+		if t, err := study.AblationModelFamily(); err == nil {
+			fmt.Println(t.String())
+		} else {
+			fmt.Fprintln(os.Stderr, "ablation family:", err)
+		}
+	}
+}

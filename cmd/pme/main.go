@@ -1,0 +1,86 @@
+// Command pme bootstraps the Price Modeling Engine — runs the probing
+// ad-campaigns, trains the encrypted-price model, and serves it over HTTP
+// for YourAdValue clients (paper §3.2).
+//
+// Usage:
+//
+//	pme [-listen :8700] [-per-setup 60] [-seed 1] [-once]
+//
+// With -once the trained model's metrics are printed and the process
+// exits without serving (useful in scripts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/core"
+	"yourandvalue/internal/pmeserver"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/weblog"
+)
+
+func main() {
+	listen := flag.String("listen", ":8700", "HTTP listen address")
+	perSetup := flag.Int("per-setup", 60, "campaign impressions per setup")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	once := flag.Bool("once", false, "train, print metrics, and exit")
+	flag.Parse()
+
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: *seed + 1})
+	catalog := weblog.NewCatalog(300, 150)
+
+	fmt.Fprintln(os.Stderr, "running probing ad-campaigns (A1 encrypted, A2 cleartext)...")
+	eng := campaign.NewEngine(eco)
+	a1, err := eng.Run(campaign.A1Config(catalog, *perSetup, *seed+2))
+	exitOn(err)
+	a2, err := eng.Run(campaign.A2Config(catalog, *perSetup, *seed+3))
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "A1: %d records ($%.2f); A2: %d records ($%.2f)\n",
+		len(a1.Records), a1.SpentUSD, len(a2.Records), a2.SpentUSD)
+
+	// A small weblog supplies the 2015 cleartext reference for the
+	// time-shift coefficient.
+	wcfg := weblog.DefaultConfig().Scaled(0.05)
+	wcfg.Seed = *seed
+	wcfg.Ecosystem = eco
+	trace := weblog.Generate(wcfg)
+	res := analyzer.New(trace.Catalog.Directory()).Analyze(trace.Requests)
+
+	pme := core.NewPME(*seed + 4)
+	pme.CVRuns = 1
+	model, err := pme.Train(a1.Records, core.TrainConfig{
+		CleartextReference2015: res.CleartextPrices(func(i analyzer.Impression) bool {
+			return i.Notification.ADX == campaign.CleartextADX
+		}),
+		CleartextCampaign: a2.Records,
+	})
+	exitOn(err)
+
+	m := model.Metrics
+	fmt.Printf("model trained: %d classes, %d records\n", m.Classes, m.TrainSize)
+	fmt.Printf("  accuracy  %.1f%%   (paper 82.9%%)\n", 100*m.Accuracy)
+	fmt.Printf("  FP rate   %.1f%%   (paper 6.8%%)\n", 100*m.FPRate)
+	fmt.Printf("  precision %.1f%%   (paper 83.5%%)\n", 100*m.Precision)
+	fmt.Printf("  AUC-ROC   %.3f   (paper 0.964)\n", m.AUCROC)
+	fmt.Printf("  time-shift coefficient %.3f\n", model.TimeShift)
+	if *once {
+		return
+	}
+
+	srv, err := pmeserver.New(model)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "serving model on %s (GET /v1/model, POST /v1/contribute)\n", *listen)
+	exitOn(http.ListenAndServe(*listen, srv.Handler()))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

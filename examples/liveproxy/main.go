@@ -1,0 +1,117 @@
+// Liveproxy example: the full distributed deployment of the paper's §3 —
+// a PME server distributing models over HTTP, and a YourAdValue client
+// that fetches the model, watches a user's live traffic, estimates
+// encrypted prices locally, and contributes anonymous observations back.
+//
+//	go run ./examples/liveproxy
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/core"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/pmeserver"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/weblog"
+)
+
+func main() {
+	// --- Server side: bootstrap the PME and expose it over HTTP. ---
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: 11})
+	cfg := weblog.DefaultConfig().Scaled(0.03)
+	cfg.Seed = 11
+	cfg.Ecosystem = eco
+	trace := weblog.Generate(cfg)
+
+	eng := campaign.NewEngine(eco)
+	a1, err := eng.Run(campaign.A1Config(trace.Catalog, 40, 12))
+	check(err)
+	pme := core.NewPME(13)
+	pme.CVFolds, pme.CVRuns = 5, 1
+	model, err := pme.Train(a1.Records, core.TrainConfig{})
+	check(err)
+
+	srv, err := pmeserver.New(model)
+	check(err)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("PME serving at %s (model version %d)\n", ts.URL, model.Version)
+
+	// --- Client side: fetch the model, stream the user's traffic. ---
+	pmeClient := pmeserver.NewClient(ts.URL)
+	fetched, err := pmeClient.FetchModel()
+	check(err)
+	fmt.Printf("client fetched model: %d features, %d classes\n\n",
+		fetched.Features.Dim(), fetched.Binner.Classes())
+
+	// Follow the busiest user.
+	res := analyzer.New(trace.Catalog.Directory()).Analyze(trace.Requests)
+	user, best := 0, -1
+	for id, u := range res.Users {
+		if u.Impressions > best {
+			user, best = id, u.Impressions
+		}
+	}
+	client := core.NewClient(fetched, trace.Catalog.Directory())
+	var contributions []pmeserver.Contribution
+	shown := 0
+	for _, r := range trace.Requests {
+		if r.UserID != user {
+			continue
+		}
+		ev, ok := client.Process(r)
+		if !ok {
+			continue
+		}
+		if shown < 8 {
+			kind := "cleartext"
+			if ev.Encrypted {
+				kind = "encrypted→est"
+			}
+			fmt.Printf("  %s  %-12s %-13s %.4f CPM\n",
+				ev.Time.Format("Jan 02 15:04"), ev.ADX, kind, ev.CPM)
+			shown++
+		}
+		// Anonymous contribution: context and price, never identity.
+		c := pmeserver.Contribution{
+			Observed: ev.Time, ADX: ev.ADX, Encrypted: ev.Encrypted,
+		}
+		if !ev.Encrypted {
+			c.PriceCPM = ev.CPM
+		}
+		contributions = append(contributions, c)
+	}
+
+	tot := client.Totals()
+	fmt.Printf("\nuser %d over the year: %d cleartext + %d encrypted notifications\n",
+		user, tot.CleartextCount, tot.EncryptedCount)
+	fmt.Printf("advertisers paid ≈ %.2f CPM (%.2f time-corrected)\n",
+		tot.TotalCPM(), tot.TotalCorrectedCPM())
+
+	accepted, err := pmeClient.Contribute(contributions)
+	check(err)
+	fmt.Printf("contributed %d anonymous observations to the PME (pool now %d)\n",
+		accepted, len(srv.Contributions()))
+
+	// The pooled cleartext observations let the PME monitor price drift
+	// and decide when to re-run probing campaigns.
+	drift := 0
+	for _, c := range srv.Contributions() {
+		if !c.Encrypted && c.PriceCPM > 0 {
+			drift++
+		}
+	}
+	fmt.Printf("PME now holds %d cleartext observations for drift detection\n", drift)
+	_ = nurl.Default() // package linked for registry parity with the client
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

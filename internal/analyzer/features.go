@@ -1,0 +1,291 @@
+package analyzer
+
+import (
+	"sort"
+
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/rtb"
+)
+
+// FeatureSet defines a stable, named feature space over detected
+// impressions — the programmatic form of Table 4. Categorical features are
+// one-hot encoded, which is how "there exist hundreds of data points per
+// individual price" (§3.2): with the top publishers included the space
+// reaches the paper's ~288 dimensions.
+//
+// Feature names are prefixed by semantic group — time:, geo:, user:, ad:,
+// dsp:, pub: — so the §5.1 dimensionality reduction can select per group.
+type FeatureSet struct {
+	Names []string
+	index map[string]int
+
+	adxNames []string
+	dspNames []string
+	topPubs  []string
+	pubIndex map[string]int
+}
+
+// NewFeatureSet derives the feature space from an analysis result,
+// including one-hot slots for the topPublishers most frequent attributed
+// publishers (pass 0 to exclude publisher identity, the paper's final
+// model choice; §5.4 shows including it overfits).
+func NewFeatureSet(res *Result, topPublishers int) *FeatureSet {
+	fs := &FeatureSet{index: make(map[string]int), pubIndex: make(map[string]int)}
+
+	for _, a := range rtbADXNames {
+		fs.adxNames = append(fs.adxNames, a)
+	}
+	dsps := make([]string, 0, len(res.Advertisers))
+	for name := range res.Advertisers {
+		dsps = append(dsps, name)
+	}
+	sort.Strings(dsps)
+	fs.dspNames = dsps
+
+	if topPublishers > 0 {
+		type pc struct {
+			p string
+			n int
+		}
+		pubs := make([]pc, 0, len(res.Publishers))
+		for p, n := range res.Publishers {
+			pubs = append(pubs, pc{p, n})
+		}
+		sort.Slice(pubs, func(i, j int) bool {
+			if pubs[i].n != pubs[j].n {
+				return pubs[i].n > pubs[j].n
+			}
+			return pubs[i].p < pubs[j].p
+		})
+		if len(pubs) > topPublishers {
+			pubs = pubs[:topPublishers]
+		}
+		for _, p := range pubs {
+			fs.topPubs = append(fs.topPubs, p.p)
+		}
+	}
+
+	add := func(name string) {
+		fs.index[name] = len(fs.Names)
+		fs.Names = append(fs.Names, name)
+	}
+
+	// Geo-temporal group (Table 4 rows 1-2).
+	for b := 0; b < 6; b++ {
+		add("time:hourbin=" + rtb.HourBinLabel(b))
+	}
+	for d := 0; d < 7; d++ {
+		add("time:dow=" + weekdayName(d))
+	}
+	for m := 1; m <= 12; m++ {
+		add("time:month=" + itoa2(m))
+	}
+	add("time:hour")
+	add("time:weekend")
+	for _, c := range geoip.AllCities() {
+		add("geo:city=" + c.String())
+	}
+	add("geo:unique_locations")
+
+	// User group.
+	add("user:http_reqs")
+	add("user:total_bytes")
+	add("user:avg_bytes_per_req")
+	add("user:total_duration_ms")
+	add("user:avg_duration_per_req")
+	add("user:publishers_visited")
+	add("user:web_beacons")
+	add("user:cookie_syncs")
+	add("user:impressions")
+	for _, c := range iab.All() {
+		add("user:interest=" + c.String())
+	}
+	for _, os := range []string{"Android", "iOS", "Windows Mob", "Other"} {
+		add("user:os=" + os)
+	}
+	for _, d := range []string{"Smartphone", "Tablet", "PC"} {
+		add("user:device=" + d)
+	}
+
+	// Ad group.
+	add("ad:width")
+	add("ad:height")
+	add("ad:area")
+	for _, s := range knownSlots {
+		add("ad:slot=" + s.String())
+	}
+	for _, a := range fs.adxNames {
+		add("ad:adx=" + a)
+	}
+	for _, d := range fs.dspNames {
+		add("ad:dsp=" + d)
+	}
+	for _, c := range iab.All() {
+		add("ad:iab=" + c.String())
+	}
+	for _, o := range []string{"Mobile web", "Mobile in-app", "Desktop web"} {
+		add("ad:origin=" + o)
+	}
+	add("ad:url_params")
+
+	// DSP/advertiser statistics group.
+	add("dsp:avg_reqs_per_user")
+	add("dsp:total_reqs")
+	add("dsp:total_bytes")
+	add("dsp:avg_duration")
+
+	// Publisher identity group (optional; overfits per §5.4).
+	for _, p := range fs.topPubs {
+		fs.pubIndex[p] = len(fs.Names)
+		add("pub:" + p)
+	}
+	return fs
+}
+
+// rtbADXNames matches the default ecosystem roster.
+var rtbADXNames = []string{
+	"MoPub", "AppNexus", "DoubleClick", "OpenX", "Rubicon",
+	"PulsePoint", "MediaMath", "myThings", "Turn",
+}
+
+// knownSlots is the one-hot slot vocabulary (Figure 12's 17 + tablet
+// formats).
+var knownSlots = append(append([]rtb.Slot(nil), rtb.FigureSlots...),
+	rtb.Slot768x1024, rtb.Slot1024x768)
+
+// Dim returns the dimensionality of the feature space.
+func (fs *FeatureSet) Dim() int { return len(fs.Names) }
+
+// Index returns the position of a named feature, or -1.
+func (fs *FeatureSet) Index(name string) int {
+	if i, ok := fs.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Vector encodes one impression (with its user and advertiser context)
+// into the feature space. Missing context (unknown user/advertiser)
+// yields zeros in the corresponding groups.
+func (fs *FeatureSet) Vector(imp Impression, u *UserSummary, adv *AdvertiserSummary) []float64 {
+	v := make([]float64, len(fs.Names))
+	set := func(name string, val float64) {
+		if i, ok := fs.index[name]; ok {
+			v[i] = val
+		}
+	}
+
+	hour := imp.Time.Hour()
+	set("time:hourbin="+rtb.HourBinLabel(rtb.HourBin(hour)), 1)
+	set("time:dow="+weekdayName(int(imp.Time.Weekday())), 1)
+	set("time:month="+itoa2(imp.Month), 1)
+	set("time:hour", float64(hour))
+	if wd := imp.Time.Weekday(); wd == 0 || wd == 6 {
+		set("time:weekend", 1)
+	}
+	set("geo:city="+imp.City.String(), 1)
+
+	if u != nil {
+		set("geo:unique_locations", float64(len(u.Cities)))
+		set("user:http_reqs", float64(u.Requests))
+		set("user:total_bytes", float64(u.Bytes))
+		set("user:avg_bytes_per_req", u.AvgBytesPerRequest())
+		set("user:total_duration_ms", u.TotalDurationMS)
+		set("user:avg_duration_per_req", u.AvgDurationPerRequest())
+		set("user:publishers_visited", float64(len(u.Publishers)))
+		set("user:web_beacons", float64(u.Beacons))
+		set("user:cookie_syncs", float64(u.Syncs))
+		set("user:impressions", float64(u.Impressions))
+		for _, c := range u.Interests.Categories() {
+			set("user:interest="+c.String(), u.Interests.Weight(c))
+		}
+	}
+	set("user:os="+imp.Device.OS.String(), 1)
+	set("user:device="+imp.Device.Type.String(), 1)
+
+	n := imp.Notification
+	set("ad:width", float64(n.Width))
+	set("ad:height", float64(n.Height))
+	set("ad:area", float64(n.Width*n.Height))
+	if n.Width > 0 {
+		set("ad:slot="+rtb.Slot{W: n.Width, H: n.Height}.String(), 1)
+	}
+	set("ad:adx="+n.ADX, 1)
+	if n.DSP != "" {
+		set("ad:dsp="+n.DSP, 1)
+	}
+	set("ad:iab="+imp.Category.String(), 1)
+	set("ad:origin="+imp.Device.Origin.String(), 1)
+	set("ad:url_params", float64(n.Params))
+
+	if adv != nil {
+		set("dsp:avg_reqs_per_user", adv.AvgRequestsPerUser())
+		set("dsp:total_reqs", float64(adv.Requests))
+		set("dsp:total_bytes", float64(adv.Bytes))
+		if adv.Requests > 0 {
+			set("dsp:avg_duration", adv.TotalDurationMS/float64(adv.Requests))
+		}
+	}
+
+	if len(fs.pubIndex) > 0 {
+		if i, ok := fs.pubIndex[imp.Publisher]; ok {
+			v[i] = 1
+		}
+	}
+	return v
+}
+
+// VectorFor is a convenience that resolves the user and advertiser
+// summaries from the result before encoding.
+func (fs *FeatureSet) VectorFor(res *Result, imp Impression) []float64 {
+	return fs.Vector(imp, res.Users[imp.UserID], res.Advertisers[imp.Notification.DSP])
+}
+
+// Matrix encodes every impression in the result, returning the design
+// matrix alongside the impressions' cleartext prices (NaN-free: only
+// cleartext impressions are included when cleartextOnly is true).
+func (fs *FeatureSet) Matrix(res *Result, cleartextOnly bool) (X [][]float64, y []float64, imps []Impression) {
+	for _, imp := range res.Impressions {
+		clr := imp.Notification.Kind == nurl.Cleartext
+		if cleartextOnly && !clr {
+			continue
+		}
+		X = append(X, fs.VectorFor(res, imp))
+		if clr {
+			y = append(y, imp.Notification.PriceCPM)
+		} else {
+			y = append(y, 0)
+		}
+		imps = append(imps, imp)
+	}
+	return X, y, imps
+}
+
+// GroupOf returns the semantic group prefix of a feature name ("time",
+// "geo", "user", "ad", "dsp", "pub").
+func GroupOf(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == ':' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func weekdayName(d int) string {
+	names := [7]string{"Sunday", "Monday", "Tuesday", "Wednesday",
+		"Thursday", "Friday", "Saturday"}
+	if d < 0 || d >= len(names) {
+		return "?"
+	}
+	return names[d]
+}
+
+func itoa2(v int) string {
+	if v < 10 {
+		return string([]byte{'0', byte('0' + v)})
+	}
+	return string([]byte{byte('0' + v/10), byte('0' + v%10)})
+}

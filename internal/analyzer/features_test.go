@@ -1,0 +1,170 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"yourandvalue/internal/nurl"
+)
+
+func TestFeatureSetDimensions(t *testing.T) {
+	tr := smallTrace(31)
+	res := analyze(t, tr)
+
+	lean := NewFeatureSet(res, 0)
+	if lean.Dim() < 120 {
+		t.Errorf("lean feature space has %d dims, want >120", lean.Dim())
+	}
+	full := NewFeatureSet(res, 150)
+	if full.Dim() < lean.Dim()+50 {
+		t.Errorf("publisher one-hots missing: %d vs %d", full.Dim(), lean.Dim())
+	}
+	// The paper's ~288 raw features: full space should be in that region.
+	if full.Dim() < 250 || full.Dim() > 340 {
+		t.Logf("full dim = %d (paper ≈288); acceptable if catalog smaller", full.Dim())
+	}
+	// Names unique.
+	seen := map[string]bool{}
+	for _, n := range full.Names {
+		if seen[n] {
+			t.Fatalf("duplicate feature %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestFeatureGroups(t *testing.T) {
+	tr := smallTrace(32)
+	res := analyze(t, tr)
+	fs := NewFeatureSet(res, 10)
+	groups := map[string]int{}
+	for _, n := range fs.Names {
+		groups[GroupOf(n)]++
+	}
+	for _, g := range []string{"time", "geo", "user", "ad", "dsp", "pub"} {
+		if groups[g] == 0 {
+			t.Errorf("group %q empty", g)
+		}
+	}
+	if GroupOf("nocolon") != "nocolon" {
+		t.Error("GroupOf without separator")
+	}
+}
+
+func TestVectorEncoding(t *testing.T) {
+	tr := smallTrace(33)
+	res := analyze(t, tr)
+	fs := NewFeatureSet(res, 20)
+	if len(res.Impressions) == 0 {
+		t.Fatal("no impressions")
+	}
+	imp := res.Impressions[0]
+	v := fs.VectorFor(res, imp)
+	if len(v) != fs.Dim() {
+		t.Fatalf("vector length %d != dim %d", len(v), fs.Dim())
+	}
+	// Exactly one hour bin, one dow, one month flag set.
+	count := func(prefix string) (n int, sum float64) {
+		for i, name := range fs.Names {
+			if strings.HasPrefix(name, prefix) && v[i] != 0 {
+				n++
+				sum += v[i]
+			}
+		}
+		return
+	}
+	if n, _ := count("time:hourbin="); n != 1 {
+		t.Errorf("hourbin one-hot count = %d", n)
+	}
+	if n, _ := count("time:dow="); n != 1 {
+		t.Errorf("dow one-hot count = %d", n)
+	}
+	if n, _ := count("time:month="); n != 1 {
+		t.Errorf("month one-hot count = %d", n)
+	}
+	if n, _ := count("geo:city="); n != 1 {
+		t.Errorf("city one-hot count = %d", n)
+	}
+	if n, _ := count("ad:adx="); n != 1 {
+		t.Errorf("adx one-hot count = %d", n)
+	}
+	// Interest weights sum to ≈1 for active users.
+	if _, sum := count("user:interest="); sum < 0.99 || sum > 1.01 {
+		t.Errorf("interest weights sum = %v", sum)
+	}
+	// Width/height/area coherent.
+	w := v[fs.Index("ad:width")]
+	h := v[fs.Index("ad:height")]
+	area := v[fs.Index("ad:area")]
+	if w*h != area {
+		t.Errorf("area %v != %v×%v", area, w, h)
+	}
+}
+
+func TestVectorNilContext(t *testing.T) {
+	tr := smallTrace(34)
+	res := analyze(t, tr)
+	fs := NewFeatureSet(res, 0)
+	imp := res.Impressions[0]
+	v := fs.Vector(imp, nil, nil)
+	if len(v) != fs.Dim() {
+		t.Fatal("vector length")
+	}
+	if v[fs.Index("user:http_reqs")] != 0 || v[fs.Index("dsp:total_reqs")] != 0 {
+		t.Error("nil context should leave user/dsp groups zero")
+	}
+	// Ad-side features still populate.
+	if v[fs.Index("ad:url_params")] == 0 {
+		t.Error("ad features should encode without context")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	tr := smallTrace(35)
+	res := analyze(t, tr)
+	fs := NewFeatureSet(res, 0)
+
+	Xc, yc, impsC := fs.Matrix(res, true)
+	if len(Xc) != len(yc) || len(Xc) != len(impsC) {
+		t.Fatal("matrix shape")
+	}
+	for i := range Xc {
+		if impsC[i].Notification.Kind != nurl.Cleartext {
+			t.Fatal("cleartextOnly leaked an encrypted row")
+		}
+		if yc[i] <= 0 {
+			t.Fatal("cleartext target must be positive")
+		}
+	}
+	Xa, _, impsA := fs.Matrix(res, false)
+	if len(Xa) != len(res.Impressions) {
+		t.Fatalf("full matrix rows %d != impressions %d", len(Xa), len(res.Impressions))
+	}
+	enc := 0
+	for _, imp := range impsA {
+		if imp.Notification.Kind == nurl.Encrypted {
+			enc++
+		}
+	}
+	if enc == 0 {
+		t.Error("full matrix should include encrypted rows")
+	}
+}
+
+func TestIndexMiss(t *testing.T) {
+	tr := smallTrace(36)
+	res := analyze(t, tr)
+	fs := NewFeatureSet(res, 0)
+	if fs.Index("no:such-feature") != -1 {
+		t.Error("missing feature should index -1")
+	}
+}
+
+func TestWeekdayName(t *testing.T) {
+	if weekdayName(0) != "Sunday" || weekdayName(6) != "Saturday" || weekdayName(9) != "?" {
+		t.Error("weekday names")
+	}
+	if itoa2(3) != "03" || itoa2(11) != "11" {
+		t.Error("itoa2")
+	}
+}

@@ -1,0 +1,359 @@
+// Package campaign implements the probing ad-campaign engine of paper §5:
+// small, budget-capped advertising buys whose performance reports expose
+// ground-truth charge prices — including for ADXs that encrypt their
+// notification URLs. The Table 5 filter grid yields 144 experimental
+// setups; §5.2's sample-size arithmetic sizes the buys.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/stats"
+	"yourandvalue/internal/useragent"
+	"yourandvalue/internal/weblog"
+)
+
+// TimeBin is Table 5's three-way time-of-day filter.
+type TimeBin int
+
+// Table 5 time-of-day ranges.
+const (
+	Night   TimeBin = iota // 12am-9am
+	Daytime                // 9am-6pm
+	Evening                // 6pm-12am
+)
+
+// String returns the Table 5 label.
+func (b TimeBin) String() string {
+	switch b {
+	case Night:
+		return "12am-9am"
+	case Daytime:
+		return "9am-6pm"
+	default:
+		return "6pm-12am"
+	}
+}
+
+// SampleHour draws an hour within the bin.
+func (b TimeBin) SampleHour(rng *stats.Rand) int {
+	switch b {
+	case Night:
+		return rng.Intn(9)
+	case Daytime:
+		return 9 + rng.Intn(9)
+	default:
+		return 18 + rng.Intn(6)
+	}
+}
+
+// BinOf maps an hour to its TimeBin.
+func BinOf(hour int) TimeBin {
+	switch {
+	case hour < 9:
+		return Night
+	case hour < 18:
+		return Daytime
+	default:
+		return Evening
+	}
+}
+
+// Setup is one experimental configuration of Table 5: the control
+// variables <user location, web-interaction type, time of day, day of
+// week, device type, OS, ad-size, ADX>.
+type Setup struct {
+	City    geoip.City
+	Origin  useragent.Origin // MobileApp or MobileWeb
+	Time    TimeBin
+	Weekend bool
+	Device  useragent.DeviceType
+	OS      useragent.OS
+	Slot    rtb.Slot
+	ADX     string
+}
+
+// String renders the setup like the paper's example
+// "<Madrid, app, 12am-9am, weekday, smartphone, iOS, 320x50, MoPub>".
+func (s Setup) String() string {
+	day := "weekday"
+	if s.Weekend {
+		day = "weekend"
+	}
+	return fmt.Sprintf("<%s, %s, %s, %s, %s, %s, %s, %s>",
+		s.City, originShort(s.Origin), s.Time, day,
+		s.Device, s.OS, s.Slot, s.ADX)
+}
+
+func originShort(o useragent.Origin) string {
+	if o == useragent.MobileApp {
+		return "app"
+	}
+	return "web"
+}
+
+// CampaignCities are Table 5's four target cities.
+var CampaignCities = []geoip.City{
+	geoip.Madrid, geoip.Barcelona, geoip.Valencia, geoip.Seville,
+}
+
+// EncryptedADXs are the §5 round-A1 exchanges delivering encrypted prices.
+var EncryptedADXs = []string{"DoubleClick", "OpenX", "Rubicon", "PulsePoint"}
+
+// CleartextADX is the §5 round-A2 exchange (MoPub, the top mobile ADX).
+const CleartextADX = "MoPub"
+
+// Grid enumerates the 144 experimental setups of Table 5: the full cross
+// of 4 cities × 2 interaction types × 3 time bins × 2 day types × 3
+// ad-formats, with device type, OS and exchange rotated deterministically
+// across the grid (running the full cross of every filter would cost
+// thousands of setups; §5.1's point is precisely that this subset
+// suffices).
+func Grid(adxs []string) []Setup {
+	if len(adxs) == 0 {
+		adxs = append(append([]string(nil), EncryptedADXs...), CleartextADX)
+	}
+	var out []Setup
+	i := 0
+	for _, city := range CampaignCities {
+		for _, origin := range []useragent.Origin{useragent.MobileApp, useragent.MobileWeb} {
+			for _, tb := range []TimeBin{Night, Daytime, Evening} {
+				for _, weekend := range []bool{false, true} {
+					for fi := 0; fi < 3; fi++ {
+						dev := useragent.Smartphone
+						if i%2 == 1 {
+							dev = useragent.Tablet
+						}
+						os := useragent.Android
+						if i%4 >= 2 {
+							os = useragent.IOS
+						}
+						var slot rtb.Slot
+						if dev == useragent.Smartphone {
+							slot = rtb.SmartphoneSlots[fi]
+						} else {
+							slot = rtb.TabletSlots[fi]
+						}
+						out = append(out, Setup{
+							City: city, Origin: origin, Time: tb,
+							Weekend: weekend, Device: dev, OS: os,
+							Slot: slot, ADX: adxs[i%len(adxs)],
+						})
+						i++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Record is one delivered probe impression: the setup that bought it, the
+// context it rendered in, and the charge price from the DSP performance
+// report (known even when the user-side notification was encrypted).
+type Record struct {
+	Setup     Setup
+	Time      time.Time
+	Publisher string
+	Category  iab.Category
+	ChargeCPM float64
+	Encrypted bool
+	NURL      string
+}
+
+// Report is a completed campaign's outcome.
+type Report struct {
+	Records   []Record
+	SpentUSD  float64
+	Attempted int // auctions entered
+	Won       int // impressions delivered
+	Setups    int // setups attempted
+}
+
+// WinRate returns delivered / attempted.
+func (r *Report) WinRate() float64 {
+	if r.Attempted == 0 {
+		return 0
+	}
+	return float64(r.Won) / float64(r.Attempted)
+}
+
+// Prices extracts the charge prices of all records.
+func (r *Report) Prices() []float64 {
+	out := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = rec.ChargeCPM
+	}
+	return out
+}
+
+// Config controls a campaign run.
+type Config struct {
+	// Setups to execute (e.g. Grid(...)).
+	Setups []Setup
+	// ImpressionsPerSetup is the delivery target per setup; §5.2 derives
+	// a 185-impression minimum for ±0.1 CPM at 95% confidence.
+	ImpressionsPerSetup int
+	// BudgetUSD caps total spend ("a small budget of a few hundred
+	// dollars"); 0 means unlimited.
+	BudgetUSD float64
+	// MaxBidCPM is the bid ceiling the DSP is given "to safeguard that
+	// the allocated budget will not be consumed quickly".
+	MaxBidCPM float64
+	// Start and Days place the campaign in time (A1: 13 days May 2016;
+	// A2: 8 days June 2016).
+	Start time.Time
+	Days  int
+	// Catalog supplies publishers to target; categories span "all IABs
+	// possible".
+	Catalog *weblog.Catalog
+	// Seed drives the run.
+	Seed int64
+}
+
+// Engine executes campaigns against a simulated ecosystem.
+type Engine struct {
+	Eco *rtb.Ecosystem
+}
+
+// NewEngine returns an Engine over the ecosystem.
+func NewEngine(eco *rtb.Ecosystem) *Engine { return &Engine{Eco: eco} }
+
+// ErrBadConfig reports invalid campaign parameters.
+var ErrBadConfig = errors.New("campaign: invalid configuration")
+
+// Run executes the campaign: for every setup it enters auctions with a
+// dynamically adjusted bid ("bid in a dynamic manner, as low or high as
+// needed to get the minimum of impressions delivered") until the setup's
+// impression target, the auction cap, or the budget is exhausted.
+func (e *Engine) Run(cfg Config) (*Report, error) {
+	if len(cfg.Setups) == 0 || cfg.ImpressionsPerSetup <= 0 || cfg.Catalog == nil {
+		return nil, ErrBadConfig
+	}
+	if cfg.MaxBidCPM <= 0 {
+		cfg.MaxBidCPM = 20
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 13
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2016, 5, 2, 0, 0, 0, 0, time.UTC)
+	}
+	rng := stats.NewRand(cfg.Seed)
+	rep := &Report{Setups: len(cfg.Setups)}
+
+	for _, setup := range cfg.Setups {
+		adx, ok := e.Eco.FindADX(setup.ADX)
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown exchange %q", setup.ADX)
+		}
+		bid := cfg.MaxBidCPM / 4 // opening bid level
+		delivered := 0
+		attempts := 0
+		maxAttempts := cfg.ImpressionsPerSetup * 6
+		for delivered < cfg.ImpressionsPerSetup && attempts < maxAttempts {
+			if cfg.BudgetUSD > 0 && rep.SpentUSD >= cfg.BudgetUSD {
+				return rep, nil // budget exhausted mid-campaign
+			}
+			attempts++
+			rep.Attempted++
+			ts := sampleTime(rng, cfg.Start, cfg.Days, setup)
+			prop := sampleProperty(rng, cfg.Catalog, setup.Origin)
+			ctx := rtb.Context{
+				Time:      ts,
+				City:      setup.City,
+				OS:        setup.OS,
+				Device:    setup.Device,
+				Origin:    setup.Origin,
+				Publisher: prop.Domain,
+				Category:  prop.Category,
+				Slot:      setup.Slot,
+				UserValue: rng.LogNormal(-0.045, 0.30),
+				Year2016:  cfg.Start.Year() >= 2016,
+			}
+			month := (cfg.Start.Year()-2015)*12 + int(ts.Month())
+			out := e.Eco.RunProbeAuction(adx, ctx, month, bid)
+			if !out.Won {
+				// Raise the bid toward the ceiling when losing.
+				bid *= 1.15
+				if bid > cfg.MaxBidCPM {
+					bid = cfg.MaxBidCPM
+				}
+				continue
+			}
+			// Winning comfortably: ease the bid down to save budget.
+			bid *= 0.97
+			delivered++
+			rep.Won++
+			rep.SpentUSD += out.ChargeCPM / 1000
+			rep.Records = append(rep.Records, Record{
+				Setup: setup, Time: ts,
+				Publisher: prop.Domain, Category: prop.Category,
+				ChargeCPM: out.ChargeCPM, Encrypted: out.Encrypted,
+				NURL: out.NURL,
+			})
+		}
+	}
+	return rep, nil
+}
+
+func sampleTime(rng *stats.Rand, start time.Time, days int, s Setup) time.Time {
+	for tries := 0; ; tries++ {
+		day := rng.Intn(days)
+		ts := start.AddDate(0, 0, day)
+		wd := ts.Weekday()
+		isWeekend := wd == time.Saturday || wd == time.Sunday
+		if isWeekend == s.Weekend || tries > 20 {
+			hour := s.Time.SampleHour(rng)
+			return time.Date(ts.Year(), ts.Month(), ts.Day(), hour,
+				rng.Intn(60), rng.Intn(60), 0, time.UTC)
+		}
+	}
+}
+
+func sampleProperty(rng *stats.Rand, cat *weblog.Catalog, origin useragent.Origin) weblog.Property {
+	if origin == useragent.MobileApp && len(cat.Apps) > 0 {
+		return cat.Apps[rng.Intn(len(cat.Apps))]
+	}
+	return cat.Sites[rng.Intn(len(cat.Sites))]
+}
+
+// PlanImpressions applies §5.2's sample-size rule: the minimum impressions
+// per campaign so the mean charge price is within margin CPM at the given
+// confidence, assuming the observed within-campaign spread.
+func PlanImpressions(std, margin, confidence float64) (int, error) {
+	return stats.SampleSizeForMean(std, margin, confidence)
+}
+
+// A1Config returns the §5.3 first-round configuration: the Table 5 grid
+// over the four encrypting exchanges, 13 days starting May 2016.
+func A1Config(catalog *weblog.Catalog, perSetup int, seed int64) Config {
+	return Config{
+		Setups:              Grid(EncryptedADXs),
+		ImpressionsPerSetup: perSetup,
+		MaxBidCPM:           25,
+		Start:               time.Date(2016, 5, 2, 0, 0, 0, 0, time.UTC),
+		Days:                13,
+		Catalog:             catalog,
+		Seed:                seed,
+	}
+}
+
+// A2Config returns the §5.3 second-round configuration: the same grid
+// but exclusively on MoPub (cleartext), 8 days in June 2016.
+func A2Config(catalog *weblog.Catalog, perSetup int, seed int64) Config {
+	return Config{
+		Setups:              Grid([]string{CleartextADX}),
+		ImpressionsPerSetup: perSetup,
+		MaxBidCPM:           25,
+		Start:               time.Date(2016, 6, 6, 0, 0, 0, 0, time.UTC),
+		Days:                8,
+		Catalog:             catalog,
+		Seed:                seed + 1,
+	}
+}

@@ -1,0 +1,265 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/stats"
+	"yourandvalue/internal/useragent"
+	"yourandvalue/internal/weblog"
+)
+
+func testEngine() (*Engine, *weblog.Catalog) {
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: 99})
+	return NewEngine(eco), weblog.NewCatalog(60, 30)
+}
+
+func TestGridSize(t *testing.T) {
+	g := Grid(nil)
+	if len(g) != 144 {
+		t.Fatalf("Table 5 grid has %d setups, want 144", len(g))
+	}
+	// All filters must be exercised.
+	cities := map[string]bool{}
+	origins := map[useragent.Origin]bool{}
+	times := map[TimeBin]bool{}
+	days := map[bool]bool{}
+	devices := map[useragent.DeviceType]bool{}
+	oses := map[useragent.OS]bool{}
+	adxs := map[string]bool{}
+	slots := map[rtb.Slot]bool{}
+	for _, s := range g {
+		cities[s.City.String()] = true
+		origins[s.Origin] = true
+		times[s.Time] = true
+		days[s.Weekend] = true
+		devices[s.Device] = true
+		oses[s.OS] = true
+		adxs[s.ADX] = true
+		slots[s.Slot] = true
+		// Device-format coherence: tablet setups use tablet formats.
+		if s.Device == useragent.Tablet {
+			found := false
+			for _, ts := range rtb.TabletSlots {
+				if s.Slot == ts {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("tablet setup with phone format: %v", s)
+			}
+		}
+	}
+	if len(cities) != 4 || len(origins) != 2 || len(times) != 3 ||
+		len(days) != 2 || len(devices) != 2 || len(oses) != 2 {
+		t.Errorf("filter coverage: %d cities %d origins %d times %d days %d devices %d oses",
+			len(cities), len(origins), len(times), len(days), len(devices), len(oses))
+	}
+	if len(adxs) != 5 {
+		t.Errorf("exchange coverage: %v", adxs)
+	}
+	// Table 5 lists three formats per device class, with the interstitial
+	// orientations (320x480/480x320, 768x1024/1024x768) counted as one
+	// format each: five distinct sizes across both classes.
+	if len(slots) != 5 {
+		t.Errorf("format coverage: %v", slots)
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	a, b := Grid(nil), Grid(nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("grid not deterministic")
+		}
+	}
+}
+
+func TestSetupString(t *testing.T) {
+	s := Setup{
+		City: CampaignCities[0], Origin: useragent.MobileApp,
+		Time: Night, Weekend: false, Device: useragent.Smartphone,
+		OS: useragent.IOS, Slot: rtb.Slot320x50, ADX: "MoPub",
+	}
+	want := "<Madrid, app, 12am-9am, weekday, Smartphone, iOS, 320x50, MoPub>"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTimeBins(t *testing.T) {
+	rng := stats.NewRand(1)
+	for _, b := range []TimeBin{Night, Daytime, Evening} {
+		for i := 0; i < 200; i++ {
+			h := b.SampleHour(rng)
+			if BinOf(h) != b {
+				t.Fatalf("hour %d escaped bin %v", h, b)
+			}
+		}
+	}
+	if Night.String() != "12am-9am" || Daytime.String() != "9am-6pm" || Evening.String() != "6pm-12am" {
+		t.Error("bin labels")
+	}
+}
+
+func TestRunSmallCampaign(t *testing.T) {
+	eng, cat := testEngine()
+	cfg := Config{
+		Setups:              Grid(EncryptedADXs)[:12],
+		ImpressionsPerSetup: 30,
+		MaxBidCPM:           25,
+		Catalog:             cat,
+		Seed:                5,
+	}
+	rep, err := eng.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Won < 12*20 {
+		t.Errorf("delivered only %d impressions", rep.Won)
+	}
+	if rep.WinRate() <= 0 || rep.WinRate() > 1 {
+		t.Errorf("win rate %v", rep.WinRate())
+	}
+	if rep.SpentUSD <= 0 {
+		t.Error("no spend recorded")
+	}
+	reg := nurl.Default()
+	for _, rec := range rep.Records {
+		if rec.ChargeCPM <= 0 {
+			t.Fatal("non-positive charge")
+		}
+		if !rec.Encrypted {
+			t.Fatal("A1 exchanges must deliver encrypted notifications")
+		}
+		n, ok := reg.Parse(rec.NURL)
+		if !ok || n.Kind != nurl.Encrypted {
+			t.Fatalf("A1 nURL not encrypted: %s", rec.NURL)
+		}
+		// The user-side token must hide the price, but the exchange's own
+		// key must recover exactly what the report says.
+		adx, _ := eng.Eco.FindADX(rec.Setup.ADX)
+		got, err := adx.Scheme.Decrypt(n.Token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := got - rec.ChargeCPM; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("report %v != token %v", rec.ChargeCPM, got)
+		}
+		// Record context coherent with its setup.
+		if BinOf(rec.Time.Hour()) != rec.Setup.Time {
+			t.Fatalf("record hour %d outside setup bin %v", rec.Time.Hour(), rec.Setup.Time)
+		}
+		wd := rec.Time.Weekday()
+		if (wd == time.Saturday || wd == time.Sunday) != rec.Setup.Weekend {
+			t.Fatalf("record day type mismatches setup %v", rec.Setup)
+		}
+	}
+}
+
+func TestA2Cleartext(t *testing.T) {
+	eng, cat := testEngine()
+	cfg := A2Config(cat, 20, 7)
+	cfg.Setups = cfg.Setups[:8]
+	rep, err := eng.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := nurl.Default()
+	for _, rec := range rep.Records {
+		if rec.Encrypted {
+			t.Fatal("A2 (MoPub) should deliver cleartext")
+		}
+		n, ok := reg.Parse(rec.NURL)
+		if !ok || n.Kind != nurl.Cleartext {
+			t.Fatalf("A2 nURL kind: %v", n.Kind)
+		}
+		if diff := n.PriceCPM - rec.ChargeCPM; diff > 1e-9 || diff < -1e-9 {
+			t.Fatal("cleartext nURL price differs from report")
+		}
+	}
+}
+
+func TestBudgetCap(t *testing.T) {
+	eng, cat := testEngine()
+	cfg := Config{
+		Setups:              Grid(EncryptedADXs),
+		ImpressionsPerSetup: 500,
+		BudgetUSD:           0.25, // tiny budget: must stop early
+		MaxBidCPM:           25,
+		Catalog:             cat,
+		Seed:                9,
+	}
+	rep, err := eng.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget overshoot bounded by one impression's cost.
+	if rep.SpentUSD > 0.25+0.05 {
+		t.Errorf("spent %v past the %v budget", rep.SpentUSD, 0.25)
+	}
+	if rep.Won >= 144*500 {
+		t.Error("budget did not stop the campaign")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	eng, cat := testEngine()
+	if _, err := eng.Run(Config{Catalog: cat}); err != ErrBadConfig {
+		t.Error("empty setups accepted")
+	}
+	if _, err := eng.Run(Config{Setups: Grid(nil), ImpressionsPerSetup: 1}); err != ErrBadConfig {
+		t.Error("nil catalog accepted")
+	}
+	bad := Config{
+		Setups:              []Setup{{ADX: "NoSuchADX", City: CampaignCities[0], Slot: rtb.Slot320x50}},
+		ImpressionsPerSetup: 1,
+		Catalog:             cat,
+	}
+	if _, err := eng.Run(bad); err == nil {
+		t.Error("unknown exchange accepted")
+	}
+}
+
+// TestEncryptedCampaignPricesHigher reproduces the Figure 15/16 shape at
+// campaign scale: A1 (encrypted exchanges) medians exceed A2 (MoPub
+// cleartext) medians.
+func TestEncryptedCampaignPricesHigher(t *testing.T) {
+	eng, cat := testEngine()
+	a1, err := eng.Run(Config{
+		Setups: Grid(EncryptedADXs)[:24], ImpressionsPerSetup: 40,
+		MaxBidCPM: 25, Catalog: cat, Seed: 11,
+		Start: time.Date(2016, 5, 2, 0, 0, 0, 0, time.UTC), Days: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := eng.Run(Config{
+		Setups: Grid([]string{CleartextADX})[:24], ImpressionsPerSetup: 40,
+		MaxBidCPM: 25, Catalog: cat, Seed: 12,
+		Start: time.Date(2016, 6, 6, 0, 0, 0, 0, time.UTC), Days: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := stats.Median(a1.Prices())
+	m2, _ := stats.Median(a2.Prices())
+	if ratio := m1 / m2; ratio < 1.2 {
+		t.Errorf("A1/A2 median ratio = %v, want >1.2 (paper ≈1.7)", ratio)
+	}
+}
+
+func TestPlanImpressions(t *testing.T) {
+	// §5.2: error 0.1 CPM at 95% with the within-campaign spread implies a
+	// minimum of ~185 impressions; verify the formula's inverse with the
+	// paper's largest-campaign spread (back-solved std ≈ 0.694).
+	n, err := PlanImpressions(0.694, 0.1, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 180 || n < 1 || n > 195 {
+		t.Errorf("planned %d impressions, want ≈185", n)
+	}
+}

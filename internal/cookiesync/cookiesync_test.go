@@ -1,0 +1,135 @@
+package cookiesync
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if CookieSync.String() != "cookie-sync" || WebBeacon.String() != "web-beacon" ||
+		None.String() != "none" || Kind(9).String() != "none" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestSyncParamDetection(t *testing.T) {
+	d := NewDetector(nil)
+	ev := d.Inspect("http://ads.example.com/sync2?user_id=abcdef1234567890")
+	if ev.Kind != CookieSync || ev.Param != "user_id" || ev.UserID != "abcdef1234567890" {
+		t.Fatalf("ev = %+v", ev)
+	}
+	if d.Syncs() != 1 {
+		t.Errorf("syncs = %d", d.Syncs())
+	}
+}
+
+func TestShortIDIgnored(t *testing.T) {
+	d := NewDetector(nil)
+	// Values shorter than 8 chars are too ambiguous to be identifiers.
+	if ev := d.Inspect("http://ads.example.com/a?uid=123"); ev.Kind != None {
+		t.Errorf("short uid detected: %+v", ev)
+	}
+}
+
+func TestSyncEndpointDetection(t *testing.T) {
+	d := NewDetector(nil)
+	for _, u := range []string{
+		"http://adx.example/getuid?cb=1",
+		"http://adx.example/usersync",
+		"http://adx.example/pixel/sync",
+	} {
+		if ev := d.Inspect(u); ev.Kind != CookieSync {
+			t.Errorf("Inspect(%q) = %v", u, ev.Kind)
+		}
+	}
+	if d.Syncs() != 3 {
+		t.Errorf("syncs = %d", d.Syncs())
+	}
+}
+
+func TestBeaconDetection(t *testing.T) {
+	d := NewDetector(nil)
+	for _, u := range []string{
+		"http://tracker.example/beacon?site=x",
+		"http://tracker.example/px.gif",
+		"http://tracker.example/collect?v=1",
+	} {
+		if ev := d.Inspect(u); ev.Kind != WebBeacon {
+			t.Errorf("Inspect(%q) = %v", u, ev.Kind)
+		}
+	}
+	if d.Beacons() != 3 {
+		t.Errorf("beacons = %d", d.Beacons())
+	}
+}
+
+func TestPartnerExtraction(t *testing.T) {
+	d := NewDetector(nil)
+	// Table 1(B)-style: 3pck carries the partner's beacon URL.
+	raw := "http://tags.mathtag.com/notify/js?uid=ce48666c6eb446db&3pck=" +
+		"http%3A%2F%2Fbeacon-eu2.rubiconproject.com%2Fbeacon%2Ft%2Fce48666c"
+	ev := d.Inspect(raw)
+	if ev.Kind != CookieSync {
+		t.Fatalf("kind = %v", ev.Kind)
+	}
+	if ev.Partner != "beacon-eu2.rubiconproject.com" {
+		t.Errorf("partner = %q", ev.Partner)
+	}
+}
+
+func TestAdHostFilter(t *testing.T) {
+	d := NewDetector(func(h string) bool { return strings.HasSuffix(h, "adnet.example") })
+	if ev := d.Inspect("http://news.example/page?user_id=abcdef1234567890"); ev.Kind != None {
+		t.Errorf("first-party flagged: %+v", ev)
+	}
+	if ev := d.Inspect("http://x.adnet.example/s?user_id=abcdef1234567890"); ev.Kind != CookieSync {
+		t.Errorf("ad host missed: %+v", ev)
+	}
+}
+
+func TestConfirmedPairs(t *testing.T) {
+	d := NewDetector(nil)
+	const id = "sameid-0123456789"
+	d.Inspect("http://a.example/s?uid=" + id)
+	if d.ConfirmedPairs() != 0 {
+		t.Fatal("single host should not confirm a pair")
+	}
+	d.Inspect("http://b.example/s?uid=" + id)
+	if d.ConfirmedPairs() != 1 {
+		t.Errorf("pairs = %d, want 1", d.ConfirmedPairs())
+	}
+	d.Inspect("http://b.example/s?uid=" + id) // same host again: no new pair
+	if d.ConfirmedPairs() != 1 {
+		t.Errorf("pairs = %d after repeat, want 1", d.ConfirmedPairs())
+	}
+	d.Inspect("http://c.example/s?uid=" + id) // third host joins
+	if d.ConfirmedPairs() != 2 {
+		t.Errorf("pairs = %d, want 2", d.ConfirmedPairs())
+	}
+	if d.DistinctIDs() != 1 {
+		t.Errorf("distinct ids = %d", d.DistinctIDs())
+	}
+}
+
+func TestManyDistinctIDs(t *testing.T) {
+	d := NewDetector(nil)
+	for i := 0; i < 50; i++ {
+		d.Inspect(fmt.Sprintf("http://h%d.example/s?uid=longidvalue%08d", i, i))
+	}
+	if d.DistinctIDs() != 50 {
+		t.Errorf("distinct ids = %d", d.DistinctIDs())
+	}
+	if d.ConfirmedPairs() != 0 {
+		t.Errorf("pairs = %d, want 0 (all IDs single-host)", d.ConfirmedPairs())
+	}
+}
+
+func TestMalformedURLs(t *testing.T) {
+	d := NewDetector(nil)
+	for _, u := range []string{"", ":??", "not a url", "/relative/path?uid=abcdefgh1234"} {
+		if ev := d.Inspect(u); ev.Kind != None {
+			t.Errorf("Inspect(%q) = %+v", u, ev)
+		}
+	}
+}

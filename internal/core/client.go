@@ -1,0 +1,211 @@
+package core
+
+import (
+	"time"
+
+	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/trafficclass"
+	"yourandvalue/internal/useragent"
+	"yourandvalue/internal/weblog"
+)
+
+// ClientContext is the ambient state the YourAdValue extension knows about
+// its own user when a notification arrives: location, device fingerprint,
+// local time, and the page being browsed.
+type ClientContext struct {
+	City      geoip.City
+	Device    useragent.Device
+	Hour      int
+	Weekday   int
+	Category  iab.Category
+	Publisher string
+}
+
+// PriceEvent is one detected charge price, observed or estimated — what
+// the extension surfaces in its toolbar notifications (§3.3).
+type PriceEvent struct {
+	Time      time.Time
+	ADX       string
+	DSP       string
+	CPM       float64
+	Encrypted bool // true means CPM is a model estimate
+}
+
+// Totals is the running Vu(T) = Cu(T) + Eu(T) decomposition of §3.1.
+type Totals struct {
+	CleartextCPM float64 // Cu(T)
+	EncryptedCPM float64 // Eu(T), model-estimated
+	// CleartextCorrectedCPM applies the model's time-shift coefficient to
+	// Cu so 2015 observations compare against campaign-era estimates
+	// (§6.2's "time corr." series in Figure 17).
+	CleartextCorrectedCPM float64
+	CleartextCount        int
+	EncryptedCount        int
+}
+
+// TotalCPM returns Vu(T) without time correction.
+func (t Totals) TotalCPM() float64 { return t.CleartextCPM + t.EncryptedCPM }
+
+// TotalCorrectedCPM returns Vu(T) with the cleartext time correction.
+func (t Totals) TotalCorrectedCPM() float64 {
+	return t.CleartextCorrectedCPM + t.EncryptedCPM
+}
+
+// Client is the YourAdValue user-side engine: it watches a single user's
+// request stream, filters nURLs, tallies cleartext prices directly, and
+// estimates encrypted ones locally with the PME model — no browsing data
+// leaves the device (§3.3).
+type Client struct {
+	Registry   *nurl.Registry
+	Classifier *trafficclass.Classifier
+	GeoDB      *geoip.DB
+	Directory  *iab.Directory
+	Model      *Model
+
+	totals   Totals
+	events   []PriceEvent
+	lastPage string
+}
+
+// NewClient builds a client around a trained model. dir may be nil.
+func NewClient(model *Model, dir *iab.Directory) *Client {
+	if dir == nil {
+		dir = iab.NewDirectory(nil)
+	}
+	return &Client{
+		Registry:   nurl.Default(),
+		Classifier: trafficclass.DefaultClassifier(),
+		GeoDB:      geoip.Default(),
+		Directory:  dir,
+		Model:      model,
+	}
+}
+
+// Process inspects one request from the user's own traffic. It returns
+// the resulting price event when the request was a price notification.
+func (c *Client) Process(r weblog.Request) (PriceEvent, bool) {
+	class := c.Classifier.Classify(r.Host)
+	if class == trafficclass.Rest {
+		c.lastPage = r.Host
+		return PriceEvent{}, false
+	}
+	if class != trafficclass.Advertising {
+		return PriceEvent{}, false
+	}
+	n, ok := c.Registry.Parse(r.URL)
+	if !ok {
+		return PriceEvent{}, false
+	}
+	ev := PriceEvent{Time: r.Time, ADX: n.ADX, DSP: n.DSP}
+	switch n.Kind {
+	case nurl.Cleartext:
+		ev.CPM = n.PriceCPM
+		c.totals.CleartextCPM += n.PriceCPM
+		c.totals.CleartextCorrectedCPM += n.PriceCPM * c.timeShift()
+		c.totals.CleartextCount++
+	case nurl.Encrypted:
+		ev.Encrypted = true
+		if c.Model != nil {
+			ctx := ClientContext{
+				City:      c.GeoDB.LookupString(r.ClientIP),
+				Device:    useragent.Parse(r.UserAgent),
+				Hour:      r.Time.Hour(),
+				Weekday:   int(r.Time.Weekday()),
+				Publisher: c.lastPage,
+				Category:  c.Directory.Lookup(c.lastPage),
+			}
+			ev.CPM = c.Model.EstimateCPM(c.Model.Features.FromNotification(n, ctx))
+		}
+		c.totals.EncryptedCPM += ev.CPM
+		c.totals.EncryptedCount++
+	default:
+		return PriceEvent{}, false
+	}
+	c.events = append(c.events, ev)
+	return ev, true
+}
+
+func (c *Client) timeShift() float64 {
+	if c.Model == nil || c.Model.TimeShift <= 0 {
+		return 1
+	}
+	return c.Model.TimeShift
+}
+
+// Totals returns the running cost decomposition.
+func (c *Client) Totals() Totals { return c.totals }
+
+// Events returns the individual charge-price history the extension shows
+// "upon request" (§3.3).
+func (c *Client) Events() []PriceEvent { return c.events }
+
+// UserCost is the batch per-user decomposition used to regenerate the
+// §6.2 figures over a whole analyzed dataset.
+type UserCost struct {
+	UserID         int
+	CleartextCPM   float64
+	EncryptedCPM   float64
+	CleartextCount int
+	EncryptedCount int
+}
+
+// TotalCPM returns the user's Vu.
+func (u UserCost) TotalCPM() float64 { return u.CleartextCPM + u.EncryptedCPM }
+
+// AvgCleartextCPM returns the user's mean cleartext price per impression.
+func (u UserCost) AvgCleartextCPM() float64 {
+	if u.CleartextCount == 0 {
+		return 0
+	}
+	return u.CleartextCPM / float64(u.CleartextCount)
+}
+
+// AvgEncryptedCPM returns the user's mean estimated encrypted price.
+func (u UserCost) AvgEncryptedCPM() float64 {
+	if u.EncryptedCount == 0 {
+		return 0
+	}
+	return u.EncryptedCPM / float64(u.EncryptedCount)
+}
+
+// BatchEstimate applies the model across an analyzed weblog, producing
+// every user's cost decomposition (the input to Figures 17, 18 and 19).
+func BatchEstimate(res *analyzer.Result, model *Model) map[int]*UserCost {
+	out := make(map[int]*UserCost, len(res.Users))
+	for id := range res.Users {
+		out[id] = &UserCost{UserID: id}
+	}
+	for _, imp := range res.Impressions {
+		uc := out[imp.UserID]
+		if uc == nil {
+			uc = &UserCost{UserID: imp.UserID}
+			out[imp.UserID] = uc
+		}
+		switch imp.Notification.Kind {
+		case nurl.Cleartext:
+			uc.CleartextCPM += imp.Notification.PriceCPM
+			uc.CleartextCount++
+		case nurl.Encrypted:
+			if model != nil {
+				uc.EncryptedCPM += model.EstimateCPM(model.Features.FromImpression(imp))
+			}
+			uc.EncryptedCount++
+		}
+	}
+	return out
+}
+
+// EstimateImpression returns the model's estimate for a single analyzed
+// impression (cleartext pass through unchanged).
+func EstimateImpression(model *Model, imp analyzer.Impression) float64 {
+	if imp.Notification.Kind == nurl.Cleartext {
+		return imp.Notification.PriceCPM
+	}
+	if model == nil {
+		return 0
+	}
+	return model.EstimateCPM(model.Features.FromImpression(imp))
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/mlkit"
+	"yourandvalue/internal/stats"
+)
+
+// Model is the portable encrypted-price estimator the PME distributes to
+// clients (§3.2): the S feature definition, the price discretization, and
+// the classifier — serialized as JSON so the browser extension can fetch
+// and apply it locally. Both the full forest and its most representative
+// single tree travel with the model; clients on constrained devices may
+// apply just the tree ("the model M (in the form of a decision tree)").
+type Model struct {
+	Version   int           `json:"version"`
+	TrainedAt time.Time     `json:"trained_at"`
+	Features  *SFeatures    `json:"features"`
+	Binner    *mlkit.Binner `json:"binner"`
+	Forest    *mlkit.Forest `json:"forest"`
+	Tree      *mlkit.Tree   `json:"tree"`
+	// TimeShift is the multiplicative 2015→campaign-time price correction
+	// estimated from cleartext campaigns (§6.2): median(A2)/median(D).
+	TimeShift float64 `json:"time_shift"`
+	// Metrics records the cross-validated §5.4 evaluation of the model.
+	Metrics ModelMetrics `json:"metrics"`
+}
+
+// ModelMetrics is the §5.4 metric bundle in serializable form.
+type ModelMetrics struct {
+	Accuracy  float64 `json:"accuracy"`
+	FPRate    float64 `json:"fp_rate"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	AUCROC    float64 `json:"auc_roc"`
+	Classes   int     `json:"classes"`
+	TrainSize int     `json:"train_size"`
+}
+
+// EstimateCPM estimates an encrypted charge price from its S vector using
+// the forest's predicted class representative.
+func (m *Model) EstimateCPM(x []float64) float64 {
+	return m.Binner.Representative(m.Forest.Predict(x))
+}
+
+// EstimateCPMTree is the single-tree variant clients can run when the
+// forest is too heavy.
+func (m *Model) EstimateCPMTree(x []float64) float64 {
+	return m.Binner.Representative(m.Tree.Predict(x))
+}
+
+// MarshalJSON-compatible round trip: Decode restores internal indices.
+func DecodeModel(blob []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, err
+	}
+	if m.Features == nil || m.Binner == nil || m.Forest == nil {
+		return nil, errors.New("core: incomplete model")
+	}
+	m.Features.rebuild()
+	return &m, nil
+}
+
+// Encode serializes the model for distribution.
+func (m *Model) Encode() ([]byte, error) { return json.Marshal(m) }
+
+// PME is the Price Modeling Engine: it bootstraps feature selection from
+// weblogs, plans and consumes probing campaigns, and trains the model.
+type PME struct {
+	// Classes is the price-class count; the paper found 4 optimal (§5.4).
+	Classes int
+	// ForestSize is the RF ensemble size.
+	ForestSize int
+	// CVFolds and CVRuns control the §5.4 evaluation protocol (paper:
+	// 10-fold, averaged over 10 runs; defaults here are 10 and 2).
+	CVFolds int
+	CVRuns  int
+	// Seed drives training determinism.
+	Seed int64
+}
+
+// NewPME returns a PME with the paper's defaults.
+func NewPME(seed int64) *PME {
+	return &PME{Classes: 4, ForestSize: 40, CVFolds: 10, CVRuns: 2, Seed: seed}
+}
+
+// ErrNoTrainingData is returned when no campaign records are available.
+var ErrNoTrainingData = errors.New("core: no campaign records to train on")
+
+// TrainConfig bundles optional training inputs.
+type TrainConfig struct {
+	// WithPublishers appends publisher-identity features (the §5.4
+	// overfitting ablation).
+	WithPublishers bool
+	// CleartextReference2015 supplies dataset-D cleartext prices (same
+	// ADX as the cleartext campaign) for time-shift estimation; leave nil
+	// to skip the correction (TimeShift = 1).
+	CleartextReference2015 []float64
+	// CleartextCampaign supplies the A2 round's cleartext records.
+	CleartextCampaign []campaign.Record
+}
+
+// Train fits the full §5.4 pipeline on A1 (encrypted-exchange) campaign
+// records: log-normalize prices, discretize into balanced classes, train
+// a random forest on S vectors, cross-validate, and package the portable
+// model.
+func (p *PME) Train(records []campaign.Record, cfg TrainConfig) (*Model, error) {
+	if len(records) < p.Classes*10 {
+		return nil, ErrNoTrainingData
+	}
+	var pubs []string
+	if cfg.WithPublishers {
+		seen := map[string]bool{}
+		for _, r := range records {
+			if !seen[r.Publisher] {
+				seen[r.Publisher] = true
+				pubs = append(pubs, r.Publisher)
+			}
+		}
+	}
+	feats := NewSFeatures(pubs)
+
+	prices := make([]float64, len(records))
+	X := make([][]float64, len(records))
+	for i, r := range records {
+		prices[i] = r.ChargeCPM
+		X[i] = feats.FromRecord(r)
+	}
+	binner, err := mlkit.NewBinner(prices, p.Classes)
+	if err != nil {
+		return nil, fmt.Errorf("core: discretizing prices: %w", err)
+	}
+	y := binner.Labels(prices)
+
+	// Deep trees with single-sample leaves, matching the Weka defaults the
+	// paper's pipeline used; depth is what lets publisher-identity splits
+	// express themselves in the §5.4 ablation.
+	fcfg := mlkit.ForestConfig{Trees: p.ForestSize, Seed: p.Seed, MaxDepth: 24, MinLeaf: 1}
+	if cfg.WithPublishers {
+		// Rare one-hot identity features need a larger per-split candidate
+		// set to be discovered.
+		fcfg.MaxFeatures = feats.Dim() / 4
+	}
+	folds, runs := p.CVFolds, p.CVRuns
+	if folds < 2 {
+		folds = 10
+	}
+	if runs < 1 {
+		runs = 2
+	}
+	rep, err := mlkit.CrossValidateForest(X, y, binner.Classes(), folds, runs, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	forest, err := mlkit.TrainForest(X, y, binner.Classes(), fcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	shift := 1.0
+	if len(cfg.CleartextReference2015) > 0 && len(cfg.CleartextCampaign) > 0 {
+		var a2 []float64
+		for _, r := range cfg.CleartextCampaign {
+			a2 = append(a2, r.ChargeCPM)
+		}
+		mNow, _ := stats.Median(a2)
+		mThen, _ := stats.Median(cfg.CleartextReference2015)
+		if mThen > 0 && mNow > 0 {
+			shift = mNow / mThen
+		}
+	}
+
+	return &Model{
+		Version:   1,
+		TrainedAt: time.Date(2016, 6, 15, 0, 0, 0, 0, time.UTC),
+		Features:  feats,
+		Binner:    binner,
+		Forest:    forest,
+		Tree:      forest.RepresentativeTree(X),
+		TimeShift: shift,
+		Metrics: ModelMetrics{
+			Accuracy:  rep.Accuracy,
+			FPRate:    rep.FPRate,
+			Precision: rep.Precision,
+			Recall:    rep.Recall,
+			AUCROC:    rep.AUCROC,
+			Classes:   binner.Classes(),
+			TrainSize: len(records),
+		},
+	}, nil
+}
+
+// ReductionResult reports the §5.1 dimensionality reduction: model quality
+// on the full 288-feature space F versus the reduced space S, plus the
+// per-group importance mass that drove the selection.
+type ReductionResult struct {
+	FullDim          int
+	ReducedDim       int
+	FullReport       mlkit.Report
+	ReducedReport    mlkit.Report
+	GroupImportance  map[string]float64
+	SelectedFeatures []string
+	PrecisionLoss    float64 // full − reduced (positive = reduced worse)
+	RecallLoss       float64
+}
+
+// ReduceDimensions runs the §5.1 bootstrap on an analyzed weblog: train an
+// RF over the full Table 4 feature space with 4-class cleartext-price
+// targets, measure per-group importance, then re-train on the S groups and
+// quantify the precision/recall loss (the paper reports <2% and <6%).
+func (p *PME) ReduceDimensions(res *analyzer.Result, sampleCap int) (*ReductionResult, error) {
+	full := analyzer.NewFeatureSet(res, 100)
+	X, prices, _ := full.Matrix(res, true)
+	if len(X) < p.Classes*10 {
+		return nil, ErrNoTrainingData
+	}
+	if sampleCap > 0 && len(X) > sampleCap {
+		// Deterministic subsample to bound bootstrap cost.
+		step := len(X) / sampleCap
+		var sx [][]float64
+		var sp []float64
+		for i := 0; i < len(X); i += step {
+			sx = append(sx, X[i])
+			sp = append(sp, prices[i])
+		}
+		X, prices = sx, sp
+	}
+	// §5.1 preprocessing: variance filter over the raw features.
+	keep := mlkit.VarianceFilter(X, 0.99)
+	Xf := mlkit.SelectColumns(X, keep)
+
+	binner, err := mlkit.NewBinner(prices, p.Classes)
+	if err != nil {
+		return nil, err
+	}
+	y := binner.Labels(prices)
+	cfg := mlkit.ForestConfig{Trees: p.ForestSize, Seed: p.Seed}
+
+	forest, err := mlkit.TrainForest(Xf, y, binner.Classes(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	fullRep, err := mlkit.CrossValidateForest(Xf, y, binner.Classes(), 5, 1, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate importance per semantic group.
+	imp := forest.Importance()
+	groups := make(map[string]float64)
+	for i, f := range keep {
+		groups[analyzer.GroupOf(full.Names[f])] += imp[i]
+	}
+
+	// The S groups of §5.1 (time, geo, and the ad-side features) — select
+	// the concrete features matching them.
+	var sIdx []int
+	var sNames []string
+	for i, f := range keep {
+		name := full.Names[f]
+		if isSFeature(name) {
+			sIdx = append(sIdx, i)
+			sNames = append(sNames, name)
+		}
+	}
+	Xs := mlkit.SelectColumns(Xf, sIdx)
+	redRep, err := mlkit.CrossValidateForest(Xs, y, binner.Classes(), 5, 1, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	return &ReductionResult{
+		FullDim:          len(keep),
+		ReducedDim:       len(sIdx),
+		FullReport:       fullRep,
+		ReducedReport:    redRep,
+		GroupImportance:  groups,
+		SelectedFeatures: sNames,
+		PrecisionLoss:    fullRep.Precision - redRep.Precision,
+		RecallLoss:       fullRep.Recall - redRep.Recall,
+	}, nil
+}
+
+// isSFeature reports whether a Table 4 feature name belongs to the
+// selected subset S (app/web, device type, location, time of day, day of
+// week, ad format, website IAB, ad-exchange).
+func isSFeature(name string) bool {
+	prefixes := []string{
+		"ad:origin=", "user:device=", "user:os=", "geo:city=",
+		"time:hourbin=", "time:dow=", "time:weekend",
+		"ad:slot=", "ad:width", "ad:height", "ad:area",
+		"ad:iab=", "ad:adx=",
+	}
+	for _, p := range prefixes {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}

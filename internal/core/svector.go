@@ -1,0 +1,210 @@
+// Package core is the paper's primary contribution: the Price Modeling
+// Engine (PME, §3.2) that turns probing-campaign ground truth into a
+// portable encrypted-price model, and the YourAdValue client engine (§3.3)
+// that applies it on-device to tally a user's total advertiser cost
+// Vu(T) = Cu(T) + Eu(T).
+package core
+
+import (
+	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/useragent"
+)
+
+// SFeatures is the reduced feature space S ⊆ F selected in §5.1:
+//
+//	S = {application/web-browsing, device type, user location, time of
+//	     day, day of week, ad format (size), type of website, ad-exchange}
+//
+// one-hot encoded so both campaign records (training) and analyzer
+// impressions (inference) map into the same vector. Optionally the exact
+// publisher identity can be appended — the §5.4 ablation shows that
+// variant overfits and the production model excludes it.
+type SFeatures struct {
+	Names []string `json:"names"`
+	index map[string]int
+	pubs  map[string]int
+}
+
+// NewSFeatures builds the standard S space. Pass publishers to append
+// identity features for the overfitting ablation (nil for the production
+// model).
+func NewSFeatures(publishers []string) *SFeatures {
+	s := &SFeatures{index: make(map[string]int), pubs: make(map[string]int)}
+	add := func(name string) {
+		s.index[name] = len(s.Names)
+		s.Names = append(s.Names, name)
+	}
+	for _, c := range geoip.AllCities() {
+		add("city=" + c.String())
+	}
+	add("origin=app")
+	add("origin=web")
+	add("device=Smartphone")
+	add("device=Tablet")
+	add("device=PC")
+	add("os=Android")
+	add("os=iOS")
+	add("os=Windows Mob")
+	for b := 0; b < 6; b++ {
+		add("hourbin=" + rtb.HourBinLabel(b))
+	}
+	for d := 0; d < 7; d++ {
+		add("dow=" + dowName(d))
+	}
+	add("weekend")
+	for _, sl := range slotVocabulary {
+		add("slot=" + sl.String())
+	}
+	add("slot_width")
+	add("slot_height")
+	add("slot_area")
+	for _, c := range iab.All() {
+		add("iab=" + c.String())
+	}
+	for _, a := range adxVocabulary {
+		add("adx=" + a)
+	}
+	for _, p := range publishers {
+		s.pubs[p] = len(s.Names)
+		add("pub=" + p)
+	}
+	return s
+}
+
+var slotVocabulary = append(append([]rtb.Slot(nil), rtb.FigureSlots...),
+	rtb.Slot768x1024, rtb.Slot1024x768)
+
+var adxVocabulary = []string{
+	"MoPub", "AppNexus", "DoubleClick", "OpenX", "Rubicon",
+	"PulsePoint", "MediaMath", "myThings", "Turn",
+}
+
+// Dim returns the feature-space dimensionality.
+func (s *SFeatures) Dim() int { return len(s.Names) }
+
+// HasPublishers reports whether identity features are included.
+func (s *SFeatures) HasPublishers() bool { return len(s.pubs) > 0 }
+
+// rebuild restores the lookup maps after JSON decoding.
+func (s *SFeatures) rebuild() {
+	s.index = make(map[string]int, len(s.Names))
+	s.pubs = make(map[string]int)
+	for i, n := range s.Names {
+		s.index[n] = i
+		if len(n) > 4 && n[:4] == "pub=" {
+			s.pubs[n[4:]] = i
+		}
+	}
+}
+
+type sParts struct {
+	city      geoip.City
+	origin    useragent.Origin
+	device    useragent.DeviceType
+	os        useragent.OS
+	hour      int
+	dow       int
+	slot      rtb.Slot
+	category  iab.Category
+	adx       string
+	publisher string
+}
+
+func (s *SFeatures) encode(p sParts) []float64 {
+	v := make([]float64, len(s.Names))
+	set := func(name string, val float64) {
+		if i, ok := s.index[name]; ok {
+			v[i] = val
+		}
+	}
+	set("city="+p.city.String(), 1)
+	if p.origin == useragent.MobileApp {
+		set("origin=app", 1)
+	} else {
+		set("origin=web", 1)
+	}
+	set("device="+p.device.String(), 1)
+	set("os="+p.os.String(), 1)
+	set("hourbin="+rtb.HourBinLabel(rtb.HourBin(p.hour)), 1)
+	set("dow="+dowName(p.dow), 1)
+	if p.dow == 0 || p.dow == 6 {
+		set("weekend", 1)
+	}
+	if p.slot.W > 0 {
+		set("slot="+p.slot.String(), 1)
+		set("slot_width", float64(p.slot.W))
+		set("slot_height", float64(p.slot.H))
+		set("slot_area", float64(p.slot.Area()))
+	}
+	set("iab="+p.category.String(), 1)
+	set("adx="+p.adx, 1)
+	if i, ok := s.pubs[p.publisher]; ok {
+		v[i] = 1
+	}
+	return v
+}
+
+// FromRecord encodes a campaign training record.
+func (s *SFeatures) FromRecord(rec campaign.Record) []float64 {
+	return s.encode(sParts{
+		city:      rec.Setup.City,
+		origin:    rec.Setup.Origin,
+		device:    rec.Setup.Device,
+		os:        rec.Setup.OS,
+		hour:      rec.Time.Hour(),
+		dow:       int(rec.Time.Weekday()),
+		slot:      rec.Setup.Slot,
+		category:  rec.Category,
+		adx:       rec.Setup.ADX,
+		publisher: rec.Publisher,
+	})
+}
+
+// FromImpression encodes a detected weblog impression.
+func (s *SFeatures) FromImpression(imp analyzer.Impression) []float64 {
+	n := imp.Notification
+	return s.encode(sParts{
+		city:      imp.City,
+		origin:    imp.Device.Origin,
+		device:    imp.Device.Type,
+		os:        imp.Device.OS,
+		hour:      imp.Time.Hour(),
+		dow:       int(imp.Time.Weekday()),
+		slot:      rtb.Slot{W: n.Width, H: n.Height},
+		category:  imp.Category,
+		adx:       n.ADX,
+		publisher: imp.Publisher,
+	})
+}
+
+// FromNotification encodes directly from a parsed nURL plus the ambient
+// client context — the path the YourAdValue extension uses in real time,
+// where no analyzer result exists.
+func (s *SFeatures) FromNotification(n nurl.Notification, ctx ClientContext) []float64 {
+	return s.encode(sParts{
+		city:      ctx.City,
+		origin:    ctx.Device.Origin,
+		device:    ctx.Device.Type,
+		os:        ctx.Device.OS,
+		hour:      ctx.Hour,
+		dow:       ctx.Weekday,
+		slot:      rtb.Slot{W: n.Width, H: n.Height},
+		category:  ctx.Category,
+		adx:       n.ADX,
+		publisher: ctx.Publisher,
+	})
+}
+
+func dowName(d int) string {
+	names := [7]string{"Sunday", "Monday", "Tuesday", "Wednesday",
+		"Thursday", "Friday", "Saturday"}
+	if d < 0 || d >= len(names) {
+		return "?"
+	}
+	return names[d]
+}

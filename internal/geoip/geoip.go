@@ -1,0 +1,165 @@
+// Package geoip provides the reverse IP-to-city geocoding the Weblog Ads
+// Analyzer performs (paper §4.1, operation i), standing in for the MaxMind
+// GeoIP city database [54]. Lookups are binary searches over sorted,
+// non-overlapping IPv4 ranges; the built-in table allocates synthetic
+// address space to the ten Spanish cities of the paper's Figure 5.
+package geoip
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+)
+
+// City identifies a city in the database. The zero value is CityUnknown.
+type City int
+
+// Cities of the paper's Figure 5, ordered by population (largest first),
+// exactly as the figure sorts its x-axis.
+const (
+	CityUnknown City = iota
+	Madrid
+	Barcelona
+	Seville
+	Valencia
+	Malaga
+	Zaragoza
+	VillaviciosaDeOdon
+	PriegoDeCordoba
+	DosHermanas
+	Torello
+)
+
+// NumCities is the number of known cities (excluding CityUnknown).
+const NumCities = 10
+
+var cityNames = [...]string{
+	"Unknown", "Madrid", "Barcelona", "Seville", "Valencia", "Malaga",
+	"Zaragoza", "Villaviciosa de Odon", "Priego de Cordoba",
+	"Dos Hermanas", "Torello",
+}
+
+// Relative population weight of each city, used by the trace generator to
+// place users. Large metros dominate, mirroring Spanish demographics.
+var cityWeights = [...]float64{
+	0, 3.2, 1.6, 0.69, 0.79, 0.57, 0.67, 0.027, 0.023, 0.13, 0.014,
+}
+
+// String returns the city name.
+func (c City) String() string {
+	if c < 0 || int(c) >= len(cityNames) {
+		return "Unknown"
+	}
+	return cityNames[c]
+}
+
+// Valid reports whether c is a known city (not CityUnknown).
+func (c City) Valid() bool { return c >= Madrid && c <= Torello }
+
+// Weight returns the relative population weight for sampling users.
+func (c City) Weight() float64 {
+	if c < 0 || int(c) >= len(cityWeights) {
+		return 0
+	}
+	return cityWeights[c]
+}
+
+// AllCities returns the ten cities in Figure 5 order (largest first).
+func AllCities() []City {
+	out := make([]City, NumCities)
+	for i := range out {
+		out[i] = City(i + 1)
+	}
+	return out
+}
+
+// Range is a half-open IPv4 range [Lo, Hi) mapped to a city.
+type Range struct {
+	Lo, Hi uint32
+	City   City
+}
+
+// DB is an immutable IP→city database.
+type DB struct {
+	ranges []Range // sorted by Lo, non-overlapping
+}
+
+// ErrOverlap is returned by NewDB when ranges overlap.
+var ErrOverlap = errors.New("geoip: overlapping ranges")
+
+// NewDB builds a database from the given ranges, validating order and
+// non-overlap after sorting.
+func NewDB(ranges []Range) (*DB, error) {
+	rs := make([]Range, len(ranges))
+	copy(rs, ranges)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	for i, r := range rs {
+		if r.Hi <= r.Lo {
+			return nil, fmt.Errorf("geoip: empty range %08x-%08x", r.Lo, r.Hi)
+		}
+		if i > 0 && r.Lo < rs[i-1].Hi {
+			return nil, ErrOverlap
+		}
+	}
+	return &DB{ranges: rs}, nil
+}
+
+// Default returns the built-in synthetic allocation: each city owns one /16
+// inside 10.0.0.0/8, Madrid at 10.1.0.0/16 through Torello at 10.10.0.0/16.
+// The trace generator assigns user IPs from these blocks so the analyzer's
+// reverse geocoding recovers the intended city.
+func Default() *DB {
+	ranges := make([]Range, 0, NumCities)
+	for i := 1; i <= NumCities; i++ {
+		lo := uint32(10)<<24 | uint32(i)<<16
+		ranges = append(ranges, Range{Lo: lo, Hi: lo + 1<<16, City: City(i)})
+	}
+	db, err := NewDB(ranges)
+	if err != nil {
+		panic("geoip: invalid built-in table: " + err.Error())
+	}
+	return db
+}
+
+// Lookup returns the city owning the IPv4 address, or CityUnknown.
+func (db *DB) Lookup(ip net.IP) City {
+	v4 := ip.To4()
+	if v4 == nil {
+		return CityUnknown
+	}
+	return db.LookupUint32(uint32(v4[0])<<24 | uint32(v4[1])<<16 | uint32(v4[2])<<8 | uint32(v4[3]))
+}
+
+// LookupString parses and looks up a dotted-quad address.
+func (db *DB) LookupString(s string) City {
+	ip := net.ParseIP(s)
+	if ip == nil {
+		return CityUnknown
+	}
+	return db.Lookup(ip)
+}
+
+// LookupUint32 looks up a big-endian IPv4 address value.
+func (db *DB) LookupUint32(v uint32) City {
+	// First range with Hi > v; check it contains v.
+	i := sort.Search(len(db.ranges), func(i int) bool { return db.ranges[i].Hi > v })
+	if i < len(db.ranges) && db.ranges[i].Lo <= v {
+		return db.ranges[i].City
+	}
+	return CityUnknown
+}
+
+// Len returns the number of ranges in the database.
+func (db *DB) Len() int { return len(db.ranges) }
+
+// AddrFor synthesizes an IPv4 address inside the city's default block using
+// host as the low bits; it is the inverse the trace generator uses. It
+// returns the dotted-quad string form.
+func AddrFor(city City, host uint16) string {
+	if !city.Valid() {
+		return "0.0.0.0"
+	}
+	v := uint32(10)<<24 | uint32(city)<<16 | uint32(host)
+	return fmt.Sprintf("%d.%d.%d.%d", v>>24, v>>16&0xFF, v>>8&0xFF, v&0xFF)
+}

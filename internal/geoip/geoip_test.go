@@ -1,0 +1,141 @@
+package geoip
+
+import (
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestCityString(t *testing.T) {
+	if Madrid.String() != "Madrid" || Torello.String() != "Torello" {
+		t.Error("city names wrong")
+	}
+	if CityUnknown.String() != "Unknown" || City(99).String() != "Unknown" {
+		t.Error("unknown city name wrong")
+	}
+}
+
+func TestAllCitiesOrder(t *testing.T) {
+	cities := AllCities()
+	if len(cities) != NumCities {
+		t.Fatalf("got %d cities", len(cities))
+	}
+	if cities[0] != Madrid || cities[1] != Barcelona || cities[9] != Torello {
+		t.Errorf("Figure 5 order violated: %v", cities)
+	}
+	for _, c := range cities {
+		if !c.Valid() {
+			t.Errorf("%v invalid", c)
+		}
+		if c.Weight() <= 0 {
+			t.Errorf("%v has non-positive weight", c)
+		}
+	}
+	if CityUnknown.Valid() {
+		t.Error("CityUnknown must be invalid")
+	}
+}
+
+func TestWeightsOrdering(t *testing.T) {
+	// Madrid is the largest metro; Torello the smallest.
+	if Madrid.Weight() <= Barcelona.Weight() {
+		t.Error("Madrid should outweigh Barcelona")
+	}
+	if Torello.Weight() >= Zaragoza.Weight() {
+		t.Error("Torello should be the smallest")
+	}
+}
+
+func TestDefaultLookup(t *testing.T) {
+	db := Default()
+	cases := map[string]City{
+		"10.1.0.1":     Madrid,
+		"10.1.255.255": Madrid,
+		"10.2.7.9":     Barcelona,
+		"10.10.3.4":    Torello,
+		"10.11.0.1":    CityUnknown, // beyond allocated blocks
+		"10.0.5.5":     CityUnknown, // before first block
+		"192.168.1.1":  CityUnknown,
+	}
+	for addr, want := range cases {
+		if got := db.LookupString(addr); got != want {
+			t.Errorf("Lookup(%s) = %v, want %v", addr, got, want)
+		}
+	}
+}
+
+func TestLookupNonIPv4(t *testing.T) {
+	db := Default()
+	if db.Lookup(net.ParseIP("::1")) != CityUnknown {
+		t.Error("IPv6 should be unknown")
+	}
+	if db.LookupString("not-an-ip") != CityUnknown {
+		t.Error("garbage should be unknown")
+	}
+	if db.Lookup(nil) != CityUnknown {
+		t.Error("nil IP should be unknown")
+	}
+}
+
+func TestAddrForRoundTrip(t *testing.T) {
+	db := Default()
+	f := func(cityIdx uint8, host uint16) bool {
+		city := City(int(cityIdx)%NumCities + 1)
+		addr := AddrFor(city, host)
+		return db.LookupString(addr) == city
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrForInvalidCity(t *testing.T) {
+	if AddrFor(CityUnknown, 1) != "0.0.0.0" {
+		t.Error("invalid city should produce 0.0.0.0")
+	}
+}
+
+func TestNewDBValidation(t *testing.T) {
+	if _, err := NewDB([]Range{{Lo: 10, Hi: 10, City: Madrid}}); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewDB([]Range{
+		{Lo: 0, Hi: 100, City: Madrid},
+		{Lo: 50, Hi: 150, City: Barcelona},
+	}); err != ErrOverlap {
+		t.Error("overlap not detected")
+	}
+	// Unsorted input must be accepted and sorted.
+	db, err := NewDB([]Range{
+		{Lo: 200, Hi: 300, City: Barcelona},
+		{Lo: 0, Hi: 100, City: Madrid},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.LookupUint32(50) != Madrid || db.LookupUint32(250) != Barcelona {
+		t.Error("sorted lookup broken")
+	}
+	if db.LookupUint32(150) != CityUnknown {
+		t.Error("gap should be unknown")
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestLookupBoundaries(t *testing.T) {
+	db, _ := NewDB([]Range{{Lo: 100, Hi: 200, City: Seville}})
+	if db.LookupUint32(99) != CityUnknown {
+		t.Error("below range")
+	}
+	if db.LookupUint32(100) != Seville {
+		t.Error("inclusive lower bound")
+	}
+	if db.LookupUint32(199) != Seville {
+		t.Error("last address in range")
+	}
+	if db.LookupUint32(200) != CityUnknown {
+		t.Error("exclusive upper bound")
+	}
+}

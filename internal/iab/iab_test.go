@@ -1,0 +1,196 @@
+package iab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCategoryString(t *testing.T) {
+	cases := []struct {
+		c    Category
+		code string
+		name string
+	}{
+		{Business, "IAB3", "Business"},
+		{Science, "IAB15", "Science"},
+		{Sports, "IAB17", "Sports"},
+		{News, "IAB12", "News"},
+		{Shopping, "IAB22", "Shopping"},
+	}
+	for _, c := range cases {
+		if c.c.String() != c.code {
+			t.Errorf("%v.String() = %q, want %q", int(c.c), c.c.String(), c.code)
+		}
+		if c.c.Name() != c.name {
+			t.Errorf("%v.Name() = %q, want %q", c.code, c.c.Name(), c.name)
+		}
+	}
+	if Unknown.String() != "IAB?" || Category(99).String() != "IAB?" {
+		t.Error("invalid categories should print IAB?")
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, s := range []string{"IAB3", "iab3", "IAB-3", " IAB3 "} {
+		c, err := Parse(s)
+		if err != nil || c != Business {
+			t.Errorf("Parse(%q) = %v, %v", s, c, err)
+		}
+	}
+	for _, s := range []string{"", "IAB", "IAB0", "IAB27", "banana"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		c := Category(int(n)%NumCategories + 1)
+		got, err := Parse(c.String())
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAll(t *testing.T) {
+	all := All()
+	if len(all) != NumCategories {
+		t.Fatalf("All() returned %d categories", len(all))
+	}
+	for i, c := range all {
+		if int(c) != i+1 || !c.Valid() {
+			t.Fatalf("All()[%d] = %v", i, c)
+		}
+	}
+}
+
+func TestDirectoryExact(t *testing.T) {
+	d := NewDirectory(map[string]Category{"cnn.com": News})
+	if got := d.Lookup("cnn.com"); got != News {
+		t.Errorf("exact lookup = %v", got)
+	}
+	// Normalization: www prefix, case, path, port.
+	for _, v := range []string{"WWW.CNN.COM", "cnn.com/politics", "cnn.com:443"} {
+		if got := d.Lookup(v); got != News {
+			t.Errorf("Lookup(%q) = %v, want News", v, got)
+		}
+	}
+}
+
+func TestDirectoryKeyword(t *testing.T) {
+	d := NewDirectory(nil)
+	cases := map[string]Category{
+		"supernews24.es":  News,
+		"mundosport.es":   Sports,
+		"tienda-shop.es":  Shopping,
+		"traveldeals.com": Travel,
+		"techworld.io":    TechnologyComputing,
+		"mibanco.es":      PersonalFinance,
+	}
+	for dom, want := range cases {
+		if got := d.Lookup(dom); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", dom, got, want)
+		}
+	}
+}
+
+func TestDirectoryFallbackDeterministicAndValid(t *testing.T) {
+	d := NewDirectory(nil)
+	for _, dom := range []string{"xqzzy.example", "foo123.example", "aaa.example"} {
+		a, b := d.Lookup(dom), d.Lookup(dom)
+		if a != b {
+			t.Errorf("Lookup(%q) nondeterministic: %v vs %v", dom, a, b)
+		}
+		if !a.Valid() || a > Shopping {
+			t.Errorf("fallback category %v outside IAB1..IAB22", a)
+		}
+	}
+}
+
+func TestDirectoryAdd(t *testing.T) {
+	d := NewDirectory(nil)
+	d.Add("Example.COM", Science)
+	if d.Lookup("example.com") != Science {
+		t.Error("Add mapping not honored")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	d.Add("example.com", Travel) // override
+	if d.Lookup("example.com") != Travel {
+		t.Error("override not honored")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p := NewProfile()
+	if p.Weight(News) != 0 {
+		t.Error("empty profile weight must be 0")
+	}
+	p.Observe(News, 3)
+	p.Observe(Sports, 1)
+	p.Observe(Unknown, 5) // invalid: ignored
+	p.Observe(News, -2)   // non-positive: ignored
+	if w := p.Weight(News); w != 0.75 {
+		t.Errorf("Weight(News) = %v, want 0.75", w)
+	}
+	if w := p.Weight(Sports); w != 0.25 {
+		t.Errorf("Weight(Sports) = %v, want 0.25", w)
+	}
+	if p.Observations() != 4 {
+		t.Errorf("Observations = %v", p.Observations())
+	}
+}
+
+func TestProfileTop(t *testing.T) {
+	p := NewProfile()
+	p.Observe(News, 5)
+	p.Observe(Sports, 2)
+	p.Observe(Travel, 2)
+	p.Observe(Science, 1)
+	top := p.Top(3)
+	if len(top) != 3 || top[0] != News {
+		t.Fatalf("Top(3) = %v", top)
+	}
+	// Sports(17) and Travel(20) tie at 2; lower category number wins.
+	if top[1] != Sports || top[2] != Travel {
+		t.Errorf("tie-break order = %v", top)
+	}
+	if got := p.Top(100); len(got) != 4 {
+		t.Errorf("Top(100) = %v", got)
+	}
+}
+
+func TestProfileCategoriesSorted(t *testing.T) {
+	p := NewProfile()
+	p.Observe(Travel, 1)
+	p.Observe(ArtsEntertainment, 1)
+	p.Observe(News, 1)
+	cs := p.Categories()
+	if len(cs) != 3 || cs[0] != ArtsEntertainment || cs[1] != News || cs[2] != Travel {
+		t.Errorf("Categories() = %v", cs)
+	}
+}
+
+func TestProfileWeightsSumToOne(t *testing.T) {
+	f := func(ws []uint8) bool {
+		p := NewProfile()
+		for i, w := range ws {
+			p.Observe(Category(i%NumCategories+1), float64(w)+1)
+		}
+		if len(ws) == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, c := range p.Categories() {
+			sum += p.Weight(c)
+		}
+		return sum > 0.999999 && sum < 1.000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package mlkit
+
+import (
+	"yourandvalue/internal/stats"
+)
+
+// Fold is one train/test split of a cross-validation run.
+type Fold struct {
+	TrainIdx []int
+	TestIdx  []int
+}
+
+// KFold produces k shuffled folds over n rows. Every row appears in
+// exactly one test set.
+func KFold(n, k int, seed int64) []Fold {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	rng := stats.NewRand(seed)
+	perm := rng.Perm(n)
+	folds := make([]Fold, k)
+	for i, p := range perm {
+		folds[i%k].TestIdx = append(folds[i%k].TestIdx, p)
+	}
+	for fi := range folds {
+		inTest := make(map[int]bool, len(folds[fi].TestIdx))
+		for _, i := range folds[fi].TestIdx {
+			inTest[i] = true
+		}
+		for _, p := range perm {
+			if !inTest[p] {
+				folds[fi].TrainIdx = append(folds[fi].TrainIdx, p)
+			}
+		}
+	}
+	return folds
+}
+
+// CrossValidateForest runs k-fold cross-validation of a random forest,
+// repeated `runs` times with distinct shuffles, and returns the mean
+// metric report — the paper's protocol: "we applied 10-fold cross
+// validation, and averaged results over 10 runs" (§5.4).
+func CrossValidateForest(X [][]float64, y []int, classes, k, runs int,
+	cfg ForestConfig) (Report, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return Report{}, ErrBadTrainingData
+	}
+	if runs <= 0 {
+		runs = 1
+	}
+	agg := Report{Confusion: NewConfusion(classes)}
+	count := 0
+	for run := 0; run < runs; run++ {
+		folds := KFold(len(X), k, cfg.Seed+int64(run)*7919)
+		for fi, fold := range folds {
+			trX := gather(X, fold.TrainIdx)
+			trY := gatherInt(y, fold.TrainIdx)
+			teX := gather(X, fold.TestIdx)
+			teY := gatherInt(y, fold.TestIdx)
+			fcfg := cfg
+			fcfg.Seed = cfg.Seed + int64(run*1000+fi)
+			forest, err := TrainForest(trX, trY, classes, fcfg)
+			if err != nil {
+				return Report{}, err
+			}
+			rep := Evaluate(teX, teY, classes, forest.Predict, forest.PredictProba)
+			agg.Accuracy += rep.Accuracy
+			agg.FPRate += rep.FPRate
+			agg.Precision += rep.Precision
+			agg.Recall += rep.Recall
+			agg.AUCROC += rep.AUCROC
+			for a := 0; a < classes; a++ {
+				for p := 0; p < classes; p++ {
+					agg.Confusion.Cells[a][p] += rep.Confusion.Cells[a][p]
+				}
+			}
+			count++
+		}
+	}
+	f := float64(count)
+	agg.Accuracy /= f
+	agg.FPRate /= f
+	agg.Precision /= f
+	agg.Recall /= f
+	agg.AUCROC /= f
+	return agg, nil
+}
+
+func gather(X [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = X[j]
+	}
+	return out
+}
+
+func gatherInt(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}

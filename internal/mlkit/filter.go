@@ -1,0 +1,118 @@
+package mlkit
+
+import (
+	"math"
+
+	"yourandvalue/internal/stats"
+)
+
+// VarianceFilter returns the indices of features whose sample variance is
+// strictly positive and below the q-quantile of all positive variances
+// (q in (0,1]; pass 0.99 to drop the top-1% noisiest features, the §5.1
+// preprocessing: "filtered out features that did not vary at all (i.e.,
+// constants) or had very high variance (99%) (i.e., likely to be noise)").
+func VarianceFilter(X [][]float64, q float64) []int {
+	if len(X) == 0 {
+		return nil
+	}
+	d := len(X[0])
+	variances := make([]float64, d)
+	col := make([]float64, len(X))
+	for f := 0; f < d; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		v, _ := stats.StdDev(col)
+		variances[f] = v * v
+	}
+	var positive []float64
+	for _, v := range variances {
+		if v > 0 {
+			positive = append(positive, v)
+		}
+	}
+	if len(positive) == 0 {
+		return nil
+	}
+	cut := math.Inf(1)
+	if q > 0 && q < 1 {
+		cut, _ = stats.Quantile(positive, q)
+	}
+	var keep []int
+	for f, v := range variances {
+		if v > 0 && v <= cut {
+			keep = append(keep, f)
+		}
+	}
+	return keep
+}
+
+// CorrelationFilter greedily drops the later feature of every pair with
+// |Pearson r| above threshold, returning surviving indices. This is the
+// §5.1 fallback "high correlation filters that do not require a target
+// variable, to eliminate features carrying similar information".
+func CorrelationFilter(X [][]float64, features []int, threshold float64) []int {
+	if len(X) == 0 || len(features) == 0 {
+		return nil
+	}
+	cols := make(map[int][]float64, len(features))
+	for _, f := range features {
+		col := make([]float64, len(X))
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		cols[f] = col
+	}
+	var keep []int
+	for _, f := range features {
+		redundant := false
+		for _, g := range keep {
+			if math.Abs(pearson(cols[f], cols[g])) > threshold {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			keep = append(keep, f)
+		}
+	}
+	return keep
+}
+
+// pearson computes the correlation coefficient; constant columns yield 0.
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	if n == 0 || len(a) != len(b) {
+		return 0
+	}
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// SelectColumns projects X onto the given feature indices.
+func SelectColumns(X [][]float64, features []int) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		proj := make([]float64, len(features))
+		for j, f := range features {
+			proj[j] = row[f]
+		}
+		out[i] = proj
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package mlkit
+
+import (
+	"yourandvalue/internal/stats"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size (default 50).
+	Trees int
+	// MaxDepth per tree (default 12).
+	MaxDepth int
+	// MinLeaf per tree (default 2).
+	MinLeaf int
+	// MaxFeatures per split; 0 means √d, the RF convention.
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c ForestConfig) withDefaults(d int) ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 50
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.MaxFeatures <= 0 {
+		c.MaxFeatures = isqrt(d)
+	}
+	return c
+}
+
+func isqrt(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// Forest is a trained random-forest classifier — the model family the
+// paper selects because "it takes into account the target variable, can
+// be trained quickly on large datasets, maintains interpretability of
+// features and generally does not overfit" (§5.1).
+type Forest struct {
+	Trees   []*Tree `json:"trees"`
+	Classes int     `json:"classes"`
+
+	oobError   float64
+	importance []float64
+}
+
+// TrainForest trains a random forest on X with labels y in [0, classes).
+func TrainForest(X [][]float64, y []int, classes int, cfg ForestConfig) (*Forest, error) {
+	if len(X) == 0 || len(X) != len(y) || classes < 2 {
+		return nil, ErrBadTrainingData
+	}
+	d := len(X[0])
+	cfg = cfg.withDefaults(d)
+	rng := stats.NewRand(cfg.Seed)
+
+	f := &Forest{Classes: classes, importance: make([]float64, d)}
+	oobVotes := make([][]int, len(X))
+	for i := range oobVotes {
+		oobVotes[i] = make([]int, classes)
+	}
+
+	n := len(X)
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		sampleX := make([][]float64, n)
+		sampleY := make([]int, n)
+		inBag := make([]bool, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			sampleX[i] = X[j]
+			sampleY[i] = y[j]
+			inBag[j] = true
+		}
+		tree, err := TrainTree(sampleX, sampleY, classes, TreeConfig{
+			MaxDepth:    cfg.MaxDepth,
+			MinLeaf:     cfg.MinLeaf,
+			MaxFeatures: cfg.MaxFeatures,
+			Seed:        rng.Int63(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Trees = append(f.Trees, tree)
+		for i, v := range tree.importance {
+			f.importance[i] += v
+		}
+		// Out-of-bag votes.
+		for i := 0; i < n; i++ {
+			if !inBag[i] {
+				oobVotes[i][tree.Predict(X[i])]++
+			}
+		}
+	}
+
+	// OOB error: fraction of rows (with ≥1 OOB vote) misclassified by the
+	// OOB majority.
+	wrong, counted := 0, 0
+	for i, votes := range oobVotes {
+		total := 0
+		best, bestN := 0, -1
+		for c, v := range votes {
+			total += v
+			if v > bestN {
+				best, bestN = c, v
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		counted++
+		if best != y[i] {
+			wrong++
+		}
+	}
+	if counted > 0 {
+		f.oobError = float64(wrong) / float64(counted)
+	}
+	return f, nil
+}
+
+// Predict returns the majority-vote class for x.
+func (f *Forest) Predict(x []float64) int {
+	votes := make([]int, f.Classes)
+	for _, t := range f.Trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestN := 0, -1
+	for c, v := range votes {
+		if v > bestN {
+			best, bestN = c, v
+		}
+	}
+	return best
+}
+
+// PredictProba returns the vote-share class distribution for x.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	p := make([]float64, f.Classes)
+	if len(f.Trees) == 0 {
+		return p
+	}
+	for _, t := range f.Trees {
+		p[t.Predict(x)]++
+	}
+	for c := range p {
+		p[c] /= float64(len(f.Trees))
+	}
+	return p
+}
+
+// OOBError returns the out-of-bag misclassification estimate, one of the
+// §5.1 model-selection metrics.
+func (f *Forest) OOBError() float64 { return f.oobError }
+
+// Importance returns mean-decrease-in-impurity feature importances,
+// normalized to sum to 1 — the §5.1 dimensionality-reduction signal.
+func (f *Forest) Importance() []float64 {
+	return normalizeImportance(f.importance)
+}
+
+// TopFeatures returns the indices of the k most important features,
+// descending (ties break on index for determinism).
+func (f *Forest) TopFeatures(k int) []int {
+	return topIndices(f.Importance(), k)
+}
+
+func topIndices(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	// selection of top k by partial sort
+	for i := 0; i < len(idx) && i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			si, sj := scores[idx[j]], scores[idx[best]]
+			if si > sj || (si == sj && idx[j] < idx[best]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// RepresentativeTree returns the single ensemble member whose training
+// behaviour best matches the forest (highest agreement with forest votes
+// on the provided sample) — the portable decision tree the PME distributes
+// to clients.
+func (f *Forest) RepresentativeTree(X [][]float64) *Tree {
+	if len(f.Trees) == 0 {
+		return nil
+	}
+	if len(X) == 0 {
+		return f.Trees[0]
+	}
+	forestPred := make([]int, len(X))
+	for i, x := range X {
+		forestPred[i] = f.Predict(x)
+	}
+	best, bestAgree := f.Trees[0], -1
+	for _, t := range f.Trees {
+		agree := 0
+		for i, x := range X {
+			if t.Predict(x) == forestPred[i] {
+				agree++
+			}
+		}
+		if agree > bestAgree {
+			best, bestAgree = t, agree
+		}
+	}
+	return best
+}

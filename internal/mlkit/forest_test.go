@@ -1,0 +1,168 @@
+package mlkit
+
+import (
+	"math"
+	"testing"
+
+	"yourandvalue/internal/stats"
+)
+
+// noisyData: class depends on x0 and x1; x2..x9 are pure noise.
+func noisyData(n int, seed int64) ([][]float64, []int) {
+	rng := stats.NewRand(seed)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, 10)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		X[i] = row
+		score := 2*row[0] + row[1] + rng.Normal(0, 0.15)
+		switch {
+		case score < 1.0:
+			y[i] = 0
+		case score < 1.8:
+			y[i] = 1
+		default:
+			y[i] = 2
+		}
+	}
+	return X, y
+}
+
+func TestForestAccuracy(t *testing.T) {
+	X, y := noisyData(1200, 1)
+	f, err := TrainForest(X, y, 3, ForestConfig{Trees: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := noisyData(400, 3)
+	correct := 0
+	for i, x := range Xt {
+		if f.Predict(x) == yt[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(Xt))
+	if acc < 0.80 {
+		t.Errorf("forest test accuracy %.3f", acc)
+	}
+	if f.OOBError() > 0.25 || f.OOBError() <= 0 {
+		t.Errorf("OOB error = %v", f.OOBError())
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	X, y := noisyData(300, 5)
+	a, _ := TrainForest(X, y, 3, ForestConfig{Trees: 10, Seed: 9})
+	b, _ := TrainForest(X, y, 3, ForestConfig{Trees: 10, Seed: 9})
+	for _, x := range X[:50] {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed, different predictions")
+		}
+	}
+	if a.OOBError() != b.OOBError() {
+		t.Fatal("same seed, different OOB")
+	}
+}
+
+func TestForestImportanceRanksSignal(t *testing.T) {
+	X, y := noisyData(1500, 11)
+	f, err := TrainForest(X, y, 3, ForestConfig{Trees: 40, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importance()
+	top := f.TopFeatures(2)
+	// x0 (weight 2) must rank first; x1 second.
+	if top[0] != 0 {
+		t.Errorf("top feature = %d (importances %v)", top[0], imp)
+	}
+	if top[1] != 1 {
+		t.Errorf("second feature = %d", top[1])
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sum %v", sum)
+	}
+}
+
+func TestForestProba(t *testing.T) {
+	X, y := noisyData(500, 13)
+	f, _ := TrainForest(X, y, 3, ForestConfig{Trees: 20, Seed: 14})
+	for _, x := range X[:100] {
+		p := f.PredictProba(x)
+		sum := 0.0
+		maxC, maxP := 0, -1.0
+		for c, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", p)
+			}
+			sum += v
+			if v > maxP {
+				maxC, maxP = c, v
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("proba sum %v", sum)
+		}
+		if maxC != f.Predict(x) {
+			t.Fatal("argmax proba disagrees with Predict")
+		}
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	if _, err := TrainForest(nil, nil, 3, ForestConfig{}); err != ErrBadTrainingData {
+		t.Error("empty forest data accepted")
+	}
+}
+
+func TestRepresentativeTree(t *testing.T) {
+	X, y := noisyData(600, 15)
+	f, _ := TrainForest(X, y, 3, ForestConfig{Trees: 15, Seed: 16})
+	rep := f.RepresentativeTree(X)
+	if rep == nil {
+		t.Fatal("nil representative")
+	}
+	agree := 0
+	for _, x := range X {
+		if rep.Predict(x) == f.Predict(x) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(X)); frac < 0.7 {
+		t.Errorf("representative agreement %.3f", frac)
+	}
+	if f.RepresentativeTree(nil) == nil {
+		t.Error("empty-sample representative should fall back to first tree")
+	}
+	empty := &Forest{Classes: 2}
+	if empty.RepresentativeTree(X) != nil {
+		t.Error("empty forest should return nil")
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 4: 2, 10: 4, 100: 10, 150: 13}
+	for n, want := range cases {
+		if got := isqrt(n); got != want {
+			t.Errorf("isqrt(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTopIndices(t *testing.T) {
+	got := topIndices([]float64{0.1, 0.5, 0.3, 0.5}, 3)
+	// Ties (indices 1,3 at 0.5) break to lower index.
+	if got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Errorf("topIndices = %v", got)
+	}
+	if n := len(topIndices([]float64{1, 2}, 10)); n != 2 {
+		t.Errorf("over-long k returned %d", n)
+	}
+}

@@ -1,0 +1,168 @@
+package mlkit
+
+import "math"
+
+// PCA computes the top-k principal components of a data matrix by power
+// iteration with deflation — the unsupervised alternative the paper
+// mentions for §5.1 ("dimensionality reduction (or feature selection)
+// techniques such as PCA or Random Forests can be used") and rejects in
+// favour of RF importance because PCA ignores the target variable and
+// destroys feature interpretability. It is included as a comparable
+// baseline.
+type PCA struct {
+	Components [][]float64 // k × d, unit-norm principal axes
+	Variances  []float64   // explained variance per component
+	Means      []float64   // column means used for centering
+}
+
+// FitPCA extracts k components from X (n × d). k is clamped to d.
+func FitPCA(X [][]float64, k int) (*PCA, error) {
+	if len(X) == 0 {
+		return nil, ErrBadTrainingData
+	}
+	d := len(X[0])
+	if k <= 0 {
+		k = 1
+	}
+	if k > d {
+		k = d
+	}
+	n := float64(len(X))
+
+	means := make([]float64, d)
+	for _, row := range X {
+		if len(row) != d {
+			return nil, ErrBadTrainingData
+		}
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= n
+	}
+	// Centered copy.
+	C := make([][]float64, len(X))
+	for i, row := range X {
+		c := make([]float64, d)
+		for j, v := range row {
+			c[j] = v - means[j]
+		}
+		C[i] = c
+	}
+
+	p := &PCA{Means: means}
+	for c := 0; c < k; c++ {
+		v := powerIteration(C, d)
+		if v == nil {
+			break
+		}
+		// Explained variance = mean squared projection.
+		ev := 0.0
+		for _, row := range C {
+			ev += sq(dot(row, v))
+		}
+		ev /= n
+		if ev < 1e-12 {
+			break
+		}
+		p.Components = append(p.Components, v)
+		p.Variances = append(p.Variances, ev)
+		// Deflate: remove the component from every row.
+		for _, row := range C {
+			proj := dot(row, v)
+			for j := range row {
+				row[j] -= proj * v[j]
+			}
+		}
+	}
+	if len(p.Components) == 0 {
+		return nil, ErrBadTrainingData
+	}
+	return p, nil
+}
+
+// powerIteration finds the dominant eigenvector of Cᵀ C without forming
+// the covariance matrix.
+func powerIteration(C [][]float64, d int) []float64 {
+	// Deterministic start vector.
+	v := make([]float64, d)
+	for j := range v {
+		v[j] = 1 / math.Sqrt(float64(d))
+	}
+	tmp := make([]float64, d)
+	for iter := 0; iter < 100; iter++ {
+		for j := range tmp {
+			tmp[j] = 0
+		}
+		// tmp = Cᵀ (C v)
+		for _, row := range C {
+			p := dot(row, v)
+			for j, rv := range row {
+				tmp[j] += p * rv
+			}
+		}
+		norm := 0.0
+		for _, x := range tmp {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-15 {
+			return nil
+		}
+		delta := 0.0
+		for j := range v {
+			nv := tmp[j] / norm
+			delta += math.Abs(nv - v[j])
+			v[j] = nv
+		}
+		if delta < 1e-10 {
+			break
+		}
+	}
+	return v
+}
+
+// Transform projects rows of X onto the fitted components.
+func (p *PCA) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		proj := make([]float64, len(p.Components))
+		for c, comp := range p.Components {
+			s := 0.0
+			for j, v := range row {
+				s += (v - p.Means[j]) * comp[j]
+			}
+			proj[c] = s
+		}
+		out[i] = proj
+	}
+	return out
+}
+
+// ExplainedVarianceRatio returns each component's share of the total
+// variance captured by the fitted components.
+func (p *PCA) ExplainedVarianceRatio() []float64 {
+	total := 0.0
+	for _, v := range p.Variances {
+		total += v
+	}
+	out := make([]float64, len(p.Variances))
+	if total == 0 {
+		return out
+	}
+	for i, v := range p.Variances {
+		out[i] = v / total
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sq(x float64) float64 { return x * x }

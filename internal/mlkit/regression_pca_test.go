@@ -1,0 +1,154 @@
+package mlkit
+
+import (
+	"math"
+	"testing"
+
+	"yourandvalue/internal/stats"
+)
+
+func TestRegressionTreeLearnsStep(t *testing.T) {
+	rng := stats.NewRand(1)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 600; i++ {
+		a := rng.Float64()
+		X = append(X, []float64{a, rng.Float64()})
+		v := 1.0
+		if a > 0.5 {
+			v = 5.0
+		}
+		y = append(y, v+rng.Normal(0, 0.1))
+	}
+	tree, err := TrainRegressionTree(X, y, TreeConfig{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := tree.RMSE(X, y); rmse > 0.2 {
+		t.Errorf("step-function RMSE %.3f", rmse)
+	}
+	if v := tree.Predict([]float64{0.9, 0.5}); v < 4 || v > 6 {
+		t.Errorf("Predict(high) = %v", v)
+	}
+	if v := tree.Predict([]float64{0.1, 0.5}); v < 0.5 || v > 1.5 {
+		t.Errorf("Predict(low) = %v", v)
+	}
+}
+
+func TestRegressionTreeValidation(t *testing.T) {
+	if _, err := TrainRegressionTree(nil, nil, TreeConfig{}); err != ErrBadTrainingData {
+		t.Error("empty accepted")
+	}
+	if _, err := TrainRegressionTree([][]float64{{1}, {2, 3}}, []float64{1, 2}, TreeConfig{}); err != ErrBadTrainingData {
+		t.Error("ragged accepted")
+	}
+}
+
+func TestRegressionTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	tree, err := TrainRegressionTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]float64{99}) != 7 {
+		t.Error("constant target should yield a single leaf")
+	}
+}
+
+// TestRegressionHighErrorOnHeavyTail reproduces the §5.4 observation: on
+// heavy-tailed (log-normal) prices with limited features, regression
+// yields high error relative to the class-then-representative approach.
+func TestRegressionHighErrorOnHeavyTail(t *testing.T) {
+	rng := stats.NewRand(3)
+	var X [][]float64
+	var prices []float64
+	for i := 0; i < 2000; i++ {
+		f := float64(rng.Intn(3)) // weak categorical feature
+		X = append(X, []float64{f})
+		// price = structural × heavy noise
+		prices = append(prices, (0.5+f)*rng.LogNormal(0, 1.0))
+	}
+	tree, err := TrainRegressionTree(X, prices, TreeConfig{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, _ := stats.Median(prices)
+	// RMSE of the regression should be large relative to the median price
+	// — the "high variability → low performance" effect.
+	if rmse := tree.RMSE(X, prices); rmse < med {
+		t.Errorf("expected high regression error on heavy tail: RMSE %.3f vs median %.3f", rmse, med)
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	rng := stats.NewRand(5)
+	// Data stretched along (1,1,0)/√2 with small isotropic noise.
+	var X [][]float64
+	for i := 0; i < 800; i++ {
+		s := rng.Normal(0, 3)
+		X = append(X, []float64{
+			s/math.Sqrt2 + rng.Normal(0, 0.1),
+			s/math.Sqrt2 + rng.Normal(0, 0.1),
+			rng.Normal(0, 0.1),
+		})
+	}
+	p, err := FitPCA(X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := p.Components[0]
+	// |cos| with (1,1,0)/√2 close to 1.
+	align := math.Abs(c0[0]/math.Sqrt2 + c0[1]/math.Sqrt2)
+	if align < 0.99 {
+		t.Errorf("first component misaligned: %v (align %.4f)", c0, align)
+	}
+	ratios := p.ExplainedVarianceRatio()
+	if ratios[0] < 0.95 {
+		t.Errorf("dominant component explains only %.3f", ratios[0])
+	}
+	// Components are orthonormal.
+	if len(p.Components) > 1 {
+		if d := math.Abs(dot(p.Components[0], p.Components[1])); d > 1e-6 {
+			t.Errorf("components not orthogonal: %v", d)
+		}
+	}
+}
+
+func TestPCATransformShape(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 9}}
+	p, err := FitPCA(X, 5) // k clamps to d=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components) > 2 {
+		t.Fatalf("components: %d", len(p.Components))
+	}
+	out := p.Transform(X)
+	if len(out) != 4 || len(out[0]) != len(p.Components) {
+		t.Fatal("transform shape")
+	}
+	// Projections are centered: column means ≈ 0.
+	for c := range p.Components {
+		sum := 0.0
+		for _, row := range out {
+			sum += row[c]
+		}
+		if math.Abs(sum/4) > 1e-9 {
+			t.Errorf("component %d projections not centered", c)
+		}
+	}
+}
+
+func TestPCAValidation(t *testing.T) {
+	if _, err := FitPCA(nil, 2); err != ErrBadTrainingData {
+		t.Error("empty accepted")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {3}}, 1); err != ErrBadTrainingData {
+		t.Error("ragged accepted")
+	}
+	// Constant data has no variance to explain.
+	if _, err := FitPCA([][]float64{{5, 5}, {5, 5}}, 1); err == nil {
+		t.Error("zero-variance data accepted")
+	}
+}

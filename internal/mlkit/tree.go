@@ -1,0 +1,342 @@
+// Package mlkit is the machine-learning substrate of the Price Modeling
+// Engine: CART decision trees, random forests with out-of-bag error and
+// impurity-based feature importance (the §5.1 dimensionality-reduction
+// tool and the §5.4 encrypted-price classifier), entropy-balanced price
+// discretization, variance/correlation feature filters, k-fold cross
+// validation, and the evaluation metrics the paper reports (TP/FP rate,
+// precision, recall, weighted one-vs-rest AUC-ROC).
+//
+// Everything is stdlib-only and deterministic under explicit seeds.
+package mlkit
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"yourandvalue/internal/stats"
+)
+
+// TreeConfig controls CART induction.
+type TreeConfig struct {
+	// MaxDepth limits tree height; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// MaxFeatures is the number of features examined per split; 0 means
+	// all (single trees) — forests pass √F.
+	MaxFeatures int
+	// MaxThresholds caps candidate thresholds per feature via quantile
+	// subsampling (default 32), bounding induction cost on large data.
+	MaxThresholds int
+	// Seed drives feature subsampling.
+	Seed int64
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.MaxThresholds <= 0 {
+		c.MaxThresholds = 32
+	}
+	return c
+}
+
+// Node is one decision-tree node. Leaves carry the class-vote histogram
+// so probability estimates and forest vote aggregation work; internal
+// nodes split on Feature ≤ Threshold (left) vs > (right). The structure
+// is JSON-serializable — it is the model format the PME ships to
+// YourAdValue clients (§3.2: "apply the model M (in the form of a
+// decision tree) locally on their device").
+type Node struct {
+	Feature   int     `json:"f,omitempty"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      *Node   `json:"l,omitempty"`
+	Right     *Node   `json:"r,omitempty"`
+	Leaf      bool    `json:"leaf,omitempty"`
+	Counts    []int   `json:"c,omitempty"` // per-class sample counts at leaf
+}
+
+// Tree is a trained CART classifier.
+type Tree struct {
+	Root    *Node `json:"root"`
+	Classes int   `json:"classes"`
+	// importance accumulates per-feature impurity decrease during
+	// induction (unnormalized).
+	importance []float64
+}
+
+// ErrBadTrainingData reports shape problems.
+var ErrBadTrainingData = errors.New("mlkit: invalid training data")
+
+// TrainTree induces a CART classifier on X (n×d) with integer class
+// labels y in [0, classes).
+func TrainTree(X [][]float64, y []int, classes int, cfg TreeConfig) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(y) || classes < 2 {
+		return nil, ErrBadTrainingData
+	}
+	d := len(X[0])
+	for _, row := range X {
+		if len(row) != d {
+			return nil, ErrBadTrainingData
+		}
+	}
+	for _, c := range y {
+		if c < 0 || c >= classes {
+			return nil, ErrBadTrainingData
+		}
+	}
+	cfg = cfg.withDefaults()
+	b := &treeBuilder{
+		X: X, y: y, classes: classes, cfg: cfg,
+		rng:        stats.NewRand(cfg.Seed),
+		importance: make([]float64, d),
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	root := b.build(idx, 0)
+	return &Tree{Root: root, Classes: classes, importance: b.importance}, nil
+}
+
+type treeBuilder struct {
+	X          [][]float64
+	y          []int
+	classes    int
+	cfg        TreeConfig
+	rng        *stats.Rand
+	importance []float64
+}
+
+func (b *treeBuilder) counts(idx []int) []int {
+	c := make([]int, b.classes)
+	for _, i := range idx {
+		c[b.y[i]]++
+	}
+	return c
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func pure(counts []int) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+func (b *treeBuilder) build(idx []int, depth int) *Node {
+	counts := b.counts(idx)
+	if pure(counts) || len(idx) < 2*b.cfg.MinLeaf ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		return &Node{Leaf: true, Counts: counts}
+	}
+	feat, thr, gain, ok := b.bestSplit(idx, counts)
+	if !ok {
+		return &Node{Leaf: true, Counts: counts}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return &Node{Leaf: true, Counts: counts}
+	}
+	b.importance[feat] += gain * float64(len(idx))
+	return &Node{
+		Feature:   feat,
+		Threshold: thr,
+		Left:      b.build(left, depth+1),
+		Right:     b.build(right, depth+1),
+	}
+}
+
+// bestSplit searches a random feature subset for the threshold maximizing
+// Gini gain.
+func (b *treeBuilder) bestSplit(idx []int, parentCounts []int) (feat int, thr float64, gain float64, ok bool) {
+	d := len(b.X[0])
+	nFeat := b.cfg.MaxFeatures
+	if nFeat <= 0 || nFeat > d {
+		nFeat = d
+	}
+	featOrder := b.rng.Perm(d)[:nFeat]
+
+	parentGini := gini(parentCounts, len(idx))
+	bestGain := 1e-12
+	found := false
+
+	vals := make([]float64, 0, len(idx))
+	for _, f := range featOrder {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, b.X[i][f])
+		}
+		sort.Float64s(vals)
+		if vals[0] == vals[len(vals)-1] {
+			continue // constant feature on this node
+		}
+		thresholds := candidateThresholds(vals, b.cfg.MaxThresholds)
+		for _, t := range thresholds {
+			leftCounts := make([]int, b.classes)
+			nLeft := 0
+			for _, i := range idx {
+				if b.X[i][f] <= t {
+					leftCounts[b.y[i]]++
+					nLeft++
+				}
+			}
+			nRight := len(idx) - nLeft
+			if nLeft == 0 || nRight == 0 {
+				continue
+			}
+			rightCounts := make([]int, b.classes)
+			for c := range rightCounts {
+				rightCounts[c] = parentCounts[c] - leftCounts[c]
+			}
+			g := parentGini -
+				(float64(nLeft)*gini(leftCounts, nLeft)+
+					float64(nRight)*gini(rightCounts, nRight))/float64(len(idx))
+			if g > bestGain {
+				bestGain, feat, thr, found = g, f, t, true
+			}
+		}
+	}
+	return feat, thr, bestGain, found
+}
+
+// candidateThresholds returns midpoints between distinct sorted values,
+// subsampled to at most k via quantiles.
+func candidateThresholds(sorted []float64, k int) []float64 {
+	var mids []float64
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			mids = append(mids, (sorted[i]+sorted[i-1])/2)
+		}
+	}
+	if len(mids) <= k {
+		return mids
+	}
+	out := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, mids[i*(len(mids)-1)/(k-1)])
+	}
+	return out
+}
+
+// PredictCounts returns the training-sample class histogram at the leaf x
+// falls into.
+func (t *Tree) PredictCounts(x []float64) []int {
+	n := t.Root
+	for n != nil && !n.Leaf {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	if n == nil {
+		return make([]int, t.Classes)
+	}
+	return n.Counts
+}
+
+// Predict returns the majority class for x (ties break to the lower
+// class index).
+func (t *Tree) Predict(x []float64) int {
+	counts := t.PredictCounts(x)
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// PredictProba returns leaf-frequency class probabilities for x.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	counts := t.PredictCounts(x)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	p := make([]float64, len(counts))
+	if total == 0 {
+		return p
+	}
+	for c, n := range counts {
+		p[c] = float64(n) / float64(total)
+	}
+	return p
+}
+
+// Depth returns the tree height (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.Root) }
+
+func depthOf(n *Node) int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	return 1 + max(depthOf(n.Left), depthOf(n.Right))
+}
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+// Importance returns the tree's per-feature impurity-decrease scores,
+// normalized to sum to 1 (all-zero if no splits).
+func (t *Tree) Importance() []float64 {
+	return normalizeImportance(t.importance)
+}
+
+func normalizeImportance(raw []float64) []float64 {
+	out := make([]float64, len(raw))
+	total := 0.0
+	for _, v := range raw {
+		total += v
+	}
+	if total <= 0 {
+		return out
+	}
+	for i, v := range raw {
+		out[i] = v / total
+	}
+	return out
+}
+
+// LogTransform returns ln(1+x) per element, the §5.1 normalization applied
+// to charge prices before clustering ("we applied a log transformation on
+// the extracted cleartext prices").
+func LogTransform(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Log1p(x)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package nurl
+
+import (
+	"net/url"
+	"strconv"
+)
+
+// BuildSpec carries the fields an ADX embeds when issuing a notification.
+// The RTB simulator renders these through the same Exchange descriptors
+// the parser consumes, so generation and detection cannot drift apart.
+type BuildSpec struct {
+	PriceCPM  float64 // cleartext charge price
+	Token     string  // encrypted charge price token (used when Exchange.Encrypts)
+	BidCPM    float64 // losing/submitted bid price, emitted in BidParams[0] if set
+	DSP       string
+	ADXAlias  string // value for ADXParam on DSP-hosted callbacks
+	Width     int
+	Height    int
+	ImpID     string
+	AuctionID string
+	Campaign  string
+	Publisher string
+	Currency  string
+	Extra     url.Values // any additional logistics parameters
+}
+
+// Build renders a notification URL for the exchange. The scheme is http,
+// matching the 2015-era mobile traffic of dataset D.
+func Build(ex Exchange, spec BuildSpec) string {
+	q := url.Values{}
+	// Format follows the pair's channel, not the exchange's default: a
+	// token renders encrypted, otherwise the numeric CPM is emitted.
+	if spec.Token != "" {
+		q.Set(ex.PriceParam, spec.Token)
+	} else {
+		q.Set(ex.PriceParam, strconv.FormatFloat(spec.PriceCPM, 'f', -1, 64))
+	}
+	if spec.BidCPM > 0 && len(ex.BidParams) > 0 {
+		q.Set(ex.BidParams[0], strconv.FormatFloat(spec.BidCPM, 'f', -1, 64))
+	}
+	if ex.DSPParam != "" && spec.DSP != "" {
+		q.Set(ex.DSPParam, spec.DSP)
+	}
+	if ex.ADXParam != "" && spec.ADXAlias != "" {
+		q.Set(ex.ADXParam, spec.ADXAlias)
+	}
+	switch {
+	case ex.WidthParam != "" && spec.Width > 0:
+		q.Set(ex.WidthParam, strconv.Itoa(spec.Width))
+		if ex.HeightParam != "" {
+			q.Set(ex.HeightParam, strconv.Itoa(spec.Height))
+		}
+	case ex.SizeParam != "" && spec.Width > 0:
+		q.Set(ex.SizeParam, SlotSize(spec.Width, spec.Height))
+	}
+	if ex.ImpParam != "" && spec.ImpID != "" {
+		q.Set(ex.ImpParam, spec.ImpID)
+	}
+	if ex.AuctionParam != "" && spec.AuctionID != "" {
+		q.Set(ex.AuctionParam, spec.AuctionID)
+	}
+	if ex.CampaignParam != "" && spec.Campaign != "" {
+		q.Set(ex.CampaignParam, spec.Campaign)
+	}
+	if ex.PublisherParam != "" && spec.Publisher != "" {
+		q.Set(ex.PublisherParam, spec.Publisher)
+	}
+	if spec.Currency != "" {
+		q.Set("currency", spec.Currency)
+	}
+	for k, vs := range spec.Extra {
+		for _, v := range vs {
+			q.Add(k, v)
+		}
+	}
+	u := url.URL{
+		Scheme:   "http",
+		Host:     notificationHost(ex),
+		Path:     notificationPath(ex),
+		RawQuery: q.Encode(),
+	}
+	return u.String()
+}
+
+// notificationHost returns the concrete callback host for an exchange,
+// prepending the conventional subdomain used by each entity.
+func notificationHost(ex Exchange) string {
+	switch ex.Name {
+	case "MoPub":
+		return "cpp.imp.mpx." + ex.HostSuffix
+	case "AppNexus":
+		return "ib." + ex.HostSuffix
+	case "Turn":
+		return "ad." + ex.HostSuffix
+	case "DoubleClick":
+		return "ad." + ex.HostSuffix
+	case "OpenX":
+		return "us-ads." + ex.HostSuffix
+	case "Rubicon":
+		return "beacon-eu2." + ex.HostSuffix
+	case "PulsePoint":
+		return "tag." + ex.HostSuffix
+	case "MediaMath":
+		return "tags." + ex.HostSuffix
+	case "myThings":
+		return "adserver-ir-p." + ex.HostSuffix
+	default:
+		return ex.HostSuffix
+	}
+}
+
+func notificationPath(ex Exchange) string {
+	switch ex.Name {
+	case "MoPub":
+		return "/imp"
+	case "AppNexus":
+		return "/ab"
+	case "Turn":
+		return "/r/beacon"
+	case "DoubleClick":
+		return "/pagead/adview"
+	case "OpenX":
+		return "/w/1.0/rc"
+	case "Rubicon":
+		return "/beacon/t"
+	case "PulsePoint":
+		return "/bid/notify"
+	case "MediaMath":
+		return "/notify/js"
+	case "myThings":
+		return "/ads/admainrtb.aspx"
+	default:
+		if ex.PathHint != "" {
+			return ex.PathHint
+		}
+		return "/notify"
+	}
+}
+
+// FindByName returns the registry descriptor with the given name.
+func (r *Registry) FindByName(name string) (Exchange, bool) {
+	for _, ex := range r.exchanges {
+		if ex.Name == name {
+			return ex, true
+		}
+	}
+	return Exchange{}, false
+}

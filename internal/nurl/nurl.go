@@ -1,0 +1,356 @@
+// Package nurl detects and parses RTB winning-price notification URLs
+// (nURLs), the paper's primary measurement instrument (§2.2): when an ADX
+// closes an auction it piggybacks a callback URL through the user's
+// browser that carries the winning DSP's identity, the charge price
+// (cleartext or encrypted), and auction logistics.
+//
+// Detection follows §4.1: pattern matching against a list of macros
+// collected from the RTB APIs of the dominant advertising companies
+// (MoPub, DoubleClick, OpenX, Rubicon, PulsePoint, MediaMath/MathTag,
+// myThings, Turn, AppNexus), with bid prices that may co-exist in an nURL
+// filtered out so only charge prices are tallied.
+package nurl
+
+import (
+	"net/url"
+	"strconv"
+	"strings"
+
+	"yourandvalue/internal/priceenc"
+)
+
+// PriceKind states how the charge price travels in the nURL.
+type PriceKind int
+
+// Price kinds.
+const (
+	NoPrice PriceKind = iota
+	Cleartext
+	Encrypted
+)
+
+// String returns the kind label.
+func (k PriceKind) String() string {
+	switch k {
+	case Cleartext:
+		return "cleartext"
+	case Encrypted:
+		return "encrypted"
+	default:
+		return "none"
+	}
+}
+
+// Notification is one parsed price notification.
+type Notification struct {
+	ADX       string // ad-exchange name, e.g. "MoPub"
+	DSP       string // winning bidder (DSP) name or domain, if carried
+	Kind      PriceKind
+	PriceCPM  float64 // cleartext charge price, CPM; 0 when encrypted
+	Token     string  // opaque encrypted token when Kind == Encrypted
+	Width     int     // ad-slot width, if carried
+	Height    int     // ad-slot height, if carried
+	ImpID     string  // impression identifier, if carried
+	AuctionID string  // auction identifier, if carried
+	Campaign  string  // ad-campaign identifier, if carried
+	Publisher string  // publisher name/domain, if carried
+	Currency  string  // currency code, defaults to USD per §4.1
+	Host      string  // notification host
+	Params    int     // total URL query parameter count (a Table 4 feature)
+}
+
+// Exchange describes one ad entity's nURL macro set: which host serves the
+// callback, where the charge price lives, and which co-existing parameters
+// are bid prices to ignore.
+type Exchange struct {
+	Name           string
+	HostSuffix     string   // suffix-matched notification host
+	PathHint       string   // optional path fragment that must be present
+	PriceParam     string   // the charge-price parameter
+	BidParams      []string // bid-price parameters to filter out
+	Encrypts       bool     // whether this entity encrypts charge prices
+	DSPParam       string   // parameter naming the winning DSP, if any
+	ADXParam       string   // parameter naming the ADX (DSP-hosted callbacks)
+	WidthParam     string
+	HeightParam    string
+	SizeParam      string // combined "300x250"-style parameter
+	ImpParam       string
+	AuctionParam   string
+	CampaignParam  string
+	PublisherParam string
+}
+
+// Registry is an ordered list of exchange macro descriptors; first match
+// wins. It is the programmatic form of the paper's "list of macros we
+// collected after manual inspection and studying the existing RTB APIs".
+type Registry struct {
+	exchanges []Exchange
+}
+
+// NewRegistry builds a registry over the given descriptors.
+func NewRegistry(exchanges ...Exchange) *Registry {
+	return &Registry{exchanges: append([]Exchange(nil), exchanges...)}
+}
+
+// Add appends a descriptor at lowest precedence.
+func (r *Registry) Add(e Exchange) { r.exchanges = append(r.exchanges, e) }
+
+// Len returns the number of descriptors.
+func (r *Registry) Len() int { return len(r.exchanges) }
+
+// Exchanges returns a copy of the descriptor list.
+func (r *Registry) Exchanges() []Exchange {
+	return append([]Exchange(nil), r.exchanges...)
+}
+
+// Default returns the built-in registry covering the ad entities of the
+// paper's Table 1 and §5 campaigns. MoPub, AppNexus and Turn deliver
+// cleartext prices; DoubleClick, OpenX, Rubicon, PulsePoint, MathTag and
+// myThings deliver encrypted ones.
+func Default() *Registry {
+	return NewRegistry(
+		Exchange{
+			Name: "MoPub", HostSuffix: "mopub.com", PathHint: "/imp",
+			PriceParam: "charge_price", BidParams: []string{"bid_price"},
+			DSPParam: "bidder_name", ImpParam: "mopub_id",
+			PublisherParam: "pub_name", CampaignParam: "ads_creative_id",
+		},
+		Exchange{
+			Name: "AppNexus", HostSuffix: "adnxs.com", PathHint: "/ab",
+			PriceParam: "cpm", BidParams: []string{"bp"},
+			DSPParam: "member", ImpParam: "imp_id", AuctionParam: "auction_id",
+		},
+		Exchange{
+			Name: "Turn", HostSuffix: "turn.com", PathHint: "/r/beacon",
+			PriceParam: "price", BidParams: []string{"bid"},
+			WidthParam: "width", HeightParam: "height",
+			ImpParam: "imp", CampaignParam: "cmpid",
+		},
+		Exchange{
+			Name: "DoubleClick", HostSuffix: "doubleclick.net", PathHint: "/adview",
+			PriceParam: "price", Encrypts: true,
+			DSPParam: "bidder", SizeParam: "sz", ImpParam: "iid",
+		},
+		Exchange{
+			Name: "OpenX", HostSuffix: "openx.net", PathHint: "/w/1.0/rc",
+			PriceParam: "wp", Encrypts: true,
+			DSPParam: "dsp", SizeParam: "size", AuctionParam: "auid",
+		},
+		Exchange{
+			Name: "Rubicon", HostSuffix: "rubiconproject.com", PathHint: "/beacon",
+			PriceParam: "p", Encrypts: true,
+			DSPParam: "bidder", SizeParam: "size",
+		},
+		Exchange{
+			Name: "PulsePoint", HostSuffix: "contextweb.com", PathHint: "/bid/notify",
+			PriceParam: "wp", Encrypts: true,
+			DSPParam: "bidder", WidthParam: "w", HeightParam: "h",
+		},
+		// DSP-hosted callbacks: the host is the DSP; the ADX is a parameter.
+		Exchange{
+			Name: "MediaMath", HostSuffix: "mathtag.com", PathHint: "/notify",
+			PriceParam: "price", Encrypts: true, ADXParam: "exch",
+		},
+		Exchange{
+			Name: "myThings", HostSuffix: "mythings.com", PathHint: "/admainrtb",
+			PriceParam: "rtbwinprice", BidParams: []string{"mcpm"}, Encrypts: true,
+			WidthParam: "width", HeightParam: "height",
+			CampaignParam: "cmpid", ADXParam: "googid",
+		},
+	)
+}
+
+// exchangeNameByHost lets DSP-hosted callbacks resolve the ADX parameter
+// value to a canonical exchange name.
+var adxAliases = map[string]string{
+	"ruc": "Rubicon", "rubicon": "Rubicon",
+	"goog": "DoubleClick", "adx": "DoubleClick", "doubleclick": "DoubleClick",
+	"mopub": "MoPub", "openx": "OpenX", "pulsepoint": "PulsePoint",
+	"appnexus": "AppNexus", "adnxs": "AppNexus",
+}
+
+// Parse attempts to interpret rawURL as a price notification. ok is false
+// when the URL does not match any registered macro or carries no usable
+// charge price.
+func (r *Registry) Parse(rawURL string) (Notification, bool) {
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		return Notification{}, false
+	}
+	host := strings.ToLower(u.Hostname())
+	for _, ex := range r.exchanges {
+		if !hostMatches(host, ex.HostSuffix) {
+			continue
+		}
+		if ex.PathHint != "" && !strings.Contains(strings.ToLower(u.Path), ex.PathHint) {
+			continue
+		}
+		n, ok := parseWith(ex, host, u)
+		if ok {
+			return n, true
+		}
+	}
+	return Notification{}, false
+}
+
+// IsNotification reports whether rawURL matches a registered macro with a
+// usable price.
+func (r *Registry) IsNotification(rawURL string) bool {
+	_, ok := r.Parse(rawURL)
+	return ok
+}
+
+func parseWith(ex Exchange, host string, u *url.URL) (Notification, bool) {
+	q := u.Query()
+	raw := q.Get(ex.PriceParam)
+	if raw == "" {
+		return Notification{}, false
+	}
+	n := Notification{
+		ADX:      ex.Name,
+		Host:     host,
+		Currency: "USD",
+		Params:   len(q),
+	}
+	if cur := q.Get("currency"); cur != "" {
+		n.Currency = strings.ToUpper(cur)
+	}
+	// Classify the price value by shape, the way an external observer
+	// must: CPM floats are cleartext charge prices; opaque tokens
+	// (28-byte scheme or long hex) are encrypted ones. The same exchange
+	// can emit both because encryption adoption is per ADX-DSP pair
+	// (paper §2.4, Figure 2).
+	if v, err := strconv.ParseFloat(raw, 64); err == nil {
+		if v < 0 {
+			return Notification{}, false
+		}
+		n.Kind = Cleartext
+		n.PriceCPM = v
+	} else if looksEncrypted(raw) {
+		n.Kind = Encrypted
+		n.Token = raw
+	} else {
+		return Notification{}, false
+	}
+	if ex.DSPParam != "" {
+		n.DSP = q.Get(ex.DSPParam)
+	}
+	if n.DSP == "" {
+		// DSP-hosted callback: the host itself is the DSP domain.
+		if ex.ADXParam != "" {
+			n.DSP = registrableName(host)
+		}
+	}
+	if ex.ADXParam != "" {
+		if v := q.Get(ex.ADXParam); v != "" {
+			if canonical, ok := adxAliases[strings.ToLower(v)]; ok {
+				n.ADX = canonical
+			}
+		}
+	}
+	if ex.WidthParam != "" {
+		n.Width, _ = strconv.Atoi(q.Get(ex.WidthParam))
+	}
+	if ex.HeightParam != "" {
+		n.Height, _ = strconv.Atoi(q.Get(ex.HeightParam))
+	}
+	if ex.SizeParam != "" && n.Width == 0 {
+		n.Width, n.Height = parseSize(q.Get(ex.SizeParam))
+	}
+	if ex.ImpParam != "" {
+		n.ImpID = q.Get(ex.ImpParam)
+	}
+	if ex.AuctionParam != "" {
+		n.AuctionID = q.Get(ex.AuctionParam)
+	}
+	if ex.CampaignParam != "" {
+		n.Campaign = q.Get(ex.CampaignParam)
+	}
+	if ex.PublisherParam != "" {
+		n.Publisher = q.Get(ex.PublisherParam)
+	} else if v := q.Get("ad_domain"); v != "" {
+		n.Publisher = v
+	}
+	return n, true
+}
+
+// looksEncrypted accepts the 28-byte websafe-base64 tokens of the
+// DoubleClick scheme plus the long-hex style of Table 1(B)
+// ("price=B6A3F3C19F50C7FD").
+func looksEncrypted(v string) bool {
+	if priceenc.IsToken(v) {
+		return true
+	}
+	if len(v) >= 16 && isHex(v) {
+		return true
+	}
+	// Long base64-ish opaque values (e.g. Table 1(C) rtbwinprice).
+	if len(v) >= 22 && isBase64ish(v) {
+		// Reject pure numbers, which would be cleartext.
+		if _, err := strconv.ParseFloat(v, 64); err == nil {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return len(s)%2 == 0
+}
+
+func isBase64ish(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '+', c == '/', c == '=':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func hostMatches(host, suffix string) bool {
+	if host == suffix {
+		return true
+	}
+	return strings.HasSuffix(host, "."+suffix)
+}
+
+// registrableName extracts the second-level name from a host, e.g.
+// "tags.mathtag.com" → "mathtag".
+func registrableName(host string) string {
+	parts := strings.Split(host, ".")
+	if len(parts) < 2 {
+		return host
+	}
+	return parts[len(parts)-2]
+}
+
+// parseSize parses "300x250"-style values.
+func parseSize(s string) (w, h int) {
+	i := strings.IndexByte(strings.ToLower(s), 'x')
+	if i <= 0 {
+		return 0, 0
+	}
+	w, err1 := strconv.Atoi(s[:i])
+	h, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || w < 0 || h < 0 {
+		return 0, 0
+	}
+	return w, h
+}
+
+// SlotSize formats a slot dimension as the conventional "WxH" label used
+// in the paper's Figures 12–14.
+func SlotSize(w, h int) string {
+	return strconv.Itoa(w) + "x" + strconv.Itoa(h)
+}

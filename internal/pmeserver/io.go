@@ -1,0 +1,23 @@
+package pmeserver
+
+import (
+	"bytes"
+	"errors"
+	"io"
+)
+
+// readAll reads the body with a hard cap, protecting the client from a
+// misbehaving server.
+func readAll(r io.Reader, limit int64) ([]byte, error) {
+	var buf bytes.Buffer
+	n, err := io.Copy(&buf, io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if n > limit {
+		return nil, errors.New("pmeserver: response exceeds limit")
+	}
+	return buf.Bytes(), nil
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

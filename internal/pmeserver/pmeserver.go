@@ -1,0 +1,254 @@
+// Package pmeserver exposes the Price Modeling Engine over HTTP: clients
+// periodically fetch fresh models ("the extension periodically issues
+// requests to PME to check for new versions of the model", §3.3) and may
+// anonymously contribute the charge prices and metadata they observe
+// ("contribute anonymously their impression charge prices to a
+// centralized platform for further research", §1).
+//
+// The server is deliberately privacy-preserving: contributions carry no
+// user identifier, and the model endpoint requires none.
+package pmeserver
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"yourandvalue/internal/core"
+)
+
+// Contribution is one anonymous price observation a client donates. It
+// mirrors the S feature context plus the price (cleartext) or the price
+// class estimate (encrypted) — never a user identity.
+type Contribution struct {
+	Observed  time.Time `json:"observed"`
+	ADX       string    `json:"adx"`
+	Encrypted bool      `json:"encrypted"`
+	PriceCPM  float64   `json:"price_cpm,omitempty"` // cleartext only
+	City      string    `json:"city,omitempty"`
+	OS        string    `json:"os,omitempty"`
+	Origin    string    `json:"origin,omitempty"`
+	Slot      string    `json:"slot,omitempty"`
+	IAB       string    `json:"iab,omitempty"`
+}
+
+// Validate rejects structurally broken contributions.
+func (c *Contribution) Validate() error {
+	if c.ADX == "" {
+		return errors.New("pmeserver: contribution missing adx")
+	}
+	if !c.Encrypted && c.PriceCPM <= 0 {
+		return errors.New("pmeserver: cleartext contribution missing price")
+	}
+	if c.PriceCPM < 0 || c.PriceCPM > 10000 {
+		return errors.New("pmeserver: implausible price")
+	}
+	return nil
+}
+
+// Server holds the currently distributed model and the contribution pool.
+// All methods are safe for concurrent use.
+type Server struct {
+	mu            sync.RWMutex
+	model         *core.Model
+	modelBlob     []byte
+	contributions []Contribution
+	maxPool       int
+}
+
+// New creates a Server distributing the given model (may be nil until
+// SetModel is called).
+func New(model *core.Model) (*Server, error) {
+	s := &Server{maxPool: 100000}
+	if model != nil {
+		if err := s.SetModel(model); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SetModel atomically replaces the distributed model.
+func (s *Server) SetModel(m *core.Model) error {
+	blob, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.model = m
+	s.modelBlob = blob
+	return nil
+}
+
+// Model returns the current model (may be nil).
+func (s *Server) Model() *core.Model {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.model
+}
+
+// Contributions returns a snapshot of the pooled observations.
+func (s *Server) Contributions() []Contribution {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Contribution, len(s.contributions))
+	copy(out, s.contributions)
+	return out
+}
+
+// Handler returns the HTTP mux:
+//
+//	GET  /v1/model         → current model JSON (404 until one is set)
+//	GET  /v1/model/version → {"version": N}
+//	POST /v1/contribute    → accept a JSON array of Contributions
+//	GET  /healthz          → 200 ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/model", s.handleModel)
+	mux.HandleFunc("/v1/model/version", s.handleVersion)
+	mux.HandleFunc("/v1/contribute", s.handleContribute)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	blob := s.modelBlob
+	s.mu.RUnlock()
+	if blob == nil {
+		http.Error(w, "no model available", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(blob)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	m := s.model
+	s.mu.RUnlock()
+	if m == nil {
+		http.Error(w, "no model available", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"version":` + strconv.Itoa(m.Version) + `}`))
+}
+
+func (s *Server) handleContribute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch []Contribution
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&batch); err != nil {
+		http.Error(w, "bad contribution payload", http.StatusBadRequest)
+		return
+	}
+	accepted := 0
+	s.mu.Lock()
+	for _, c := range batch {
+		if c.Validate() != nil {
+			continue
+		}
+		if len(s.contributions) >= s.maxPool {
+			break
+		}
+		s.contributions = append(s.contributions, c)
+		accepted++
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"accepted":` + strconv.Itoa(accepted) + `}`))
+}
+
+// Client is the extension-side PME connection.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a Client with a sane timeout.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// FetchModel downloads and decodes the current model.
+func (c *Client) FetchModel() (*core.Model, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/model")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errors.New("pmeserver: model fetch status " + resp.Status)
+	}
+	var buf []byte
+	buf, err = readAll(resp.Body, 32<<20)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeModel(buf)
+}
+
+// Version fetches the advertised model version without the body.
+func (c *Client) Version() (int, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/model/version")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, errors.New("pmeserver: version status " + resp.Status)
+	}
+	var v struct {
+		Version int `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return 0, err
+	}
+	return v.Version, nil
+}
+
+// Contribute uploads anonymous observations.
+func (c *Client) Contribute(batch []Contribution) (int, error) {
+	blob, err := json.Marshal(batch)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/v1/contribute", "application/json",
+		bytesReader(blob))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, errors.New("pmeserver: contribute status " + resp.Status)
+	}
+	var out struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Accepted, nil
+}

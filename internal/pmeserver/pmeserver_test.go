@@ -1,0 +1,223 @@
+package pmeserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/core"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/weblog"
+)
+
+// trainedModel builds a small but real model once for the whole package.
+var (
+	modelOnce sync.Once
+	model     *core.Model
+	modelErr  error
+)
+
+func testModel(t *testing.T) *core.Model {
+	t.Helper()
+	modelOnce.Do(func() {
+		eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: 5})
+		cat := weblog.NewCatalog(60, 30)
+		eng := campaign.NewEngine(eco)
+		cfg := campaign.A1Config(cat, 25, 9)
+		cfg.Setups = cfg.Setups[:36]
+		rep, err := eng.Run(cfg)
+		if err != nil {
+			modelErr = err
+			return
+		}
+		pme := core.NewPME(3)
+		pme.ForestSize = 10
+		pme.CVFolds, pme.CVRuns = 5, 1
+		model, modelErr = pme.Train(rep.Records, core.TrainConfig{})
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return model
+}
+
+func TestModelDistributionRoundTrip(t *testing.T) {
+	m := testModel(t)
+	srv, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := NewClient(ts.URL)
+	got, err := client.FetchModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetched model must predict identically to the source model.
+	probe := make([]float64, len(m.Features.Names))
+	for i := range probe {
+		probe[i] = float64(i % 2)
+	}
+	if got.EstimateCPM(probe) != m.EstimateCPM(probe) {
+		t.Error("fetched model predicts differently")
+	}
+	v, err := client.Version()
+	if err != nil || v != m.Version {
+		t.Errorf("version = %d, %v", v, err)
+	}
+}
+
+func TestNoModel(t *testing.T) {
+	srv, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := NewClient(ts.URL)
+	if _, err := client.FetchModel(); err == nil {
+		t.Error("fetch should fail before a model is set")
+	}
+	if _, err := client.Version(); err == nil {
+		t.Error("version should fail before a model is set")
+	}
+	// And succeed after SetModel.
+	if err := srv.SetModel(testModel(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.FetchModel(); err != nil {
+		t.Errorf("fetch after SetModel: %v", err)
+	}
+	if srv.Model() == nil {
+		t.Error("Model() nil after SetModel")
+	}
+}
+
+func TestContribution(t *testing.T) {
+	srv, _ := New(testModel(t))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	batch := []Contribution{
+		{Observed: time.Now(), ADX: "MoPub", PriceCPM: 0.8, City: "Madrid"},
+		{Observed: time.Now(), ADX: "DoubleClick", Encrypted: true, Slot: "300x250"},
+		{ADX: "", PriceCPM: 1},           // invalid: no adx
+		{ADX: "MoPub", PriceCPM: 0},      // invalid: cleartext without price
+		{ADX: "MoPub", PriceCPM: 999999}, // invalid: implausible
+	}
+	accepted, err := client.Contribute(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 2 {
+		t.Errorf("accepted %d, want 2", accepted)
+	}
+	pool := srv.Contributions()
+	if len(pool) != 2 {
+		t.Errorf("pool size %d", len(pool))
+	}
+	// No user-identifying fields exist on the wire type at all — assert
+	// the anonymity property structurally.
+	for _, c := range pool {
+		if strings.Contains(strings.ToLower(c.ADX+c.City+c.OS+c.Origin+c.Slot+c.IAB), "uid") {
+			t.Error("contribution leaked identifier-like content")
+		}
+	}
+}
+
+func TestContributeBadPayload(t *testing.T) {
+	srv, _ := New(testModel(t))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/contribute", "application/json",
+		strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodDiscipline(t *testing.T) {
+	srv, _ := New(testModel(t))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// POST to model endpoint rejected.
+	resp, _ := http.Post(ts.URL+"/v1/model", "application/json", strings.NewReader("{}"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/model status %d", resp.StatusCode)
+	}
+	// GET to contribute rejected.
+	resp, _ = http.Get(ts.URL + "/v1/contribute")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/contribute status %d", resp.StatusCode)
+	}
+	// Health endpoint OK.
+	resp, _ = http.Get(ts.URL + "/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	srv, _ := New(testModel(t))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				switch i % 3 {
+				case 0:
+					_, _ = client.FetchModel()
+				case 1:
+					_, _ = client.Contribute([]Contribution{
+						{ADX: "MoPub", PriceCPM: 0.5},
+					})
+				default:
+					_ = srv.SetModel(testModel(t))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(srv.Contributions()) == 0 {
+		t.Error("no contributions landed")
+	}
+}
+
+func TestContributionValidate(t *testing.T) {
+	good := Contribution{ADX: "MoPub", PriceCPM: 0.5}
+	if good.Validate() != nil {
+		t.Error("valid contribution rejected")
+	}
+	enc := Contribution{ADX: "OpenX", Encrypted: true}
+	if enc.Validate() != nil {
+		t.Error("encrypted contribution without price should be valid")
+	}
+	if (&Contribution{PriceCPM: 1}).Validate() == nil {
+		t.Error("missing adx accepted")
+	}
+	if (&Contribution{ADX: "X", PriceCPM: -1}).Validate() == nil {
+		t.Error("negative price accepted")
+	}
+}

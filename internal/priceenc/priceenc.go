@@ -1,0 +1,164 @@
+// Package priceenc implements the 28-byte winning-price encryption scheme
+// used by DoubleClick-style ad exchanges, the "popular 28-byte encryption
+// scheme companies use [that] cannot be easily broken" of paper §2.3.
+//
+// The wire format is websafe-base64(iv ‖ enc_price ‖ signature) where
+//
+//	iv        = 16 bytes (per-impression unique vector)
+//	enc_price = 8 bytes  = plaintext ⊕ HMAC-SHA1(encKey, iv)[:8]
+//	signature = 4 bytes  = HMAC-SHA1(sigKey, plaintext ‖ iv)[:4]
+//
+// and the plaintext is the price in micro-units (CPM × 1e6) as a big-endian
+// uint64. Only a holder of both keys (the ADX and its DSPs) can recover or
+// verify prices; YourAdValue treats these tokens as opaque and estimates
+// their value instead, which is the entire point of the paper.
+package priceenc
+
+import (
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Token sizes, in bytes.
+const (
+	IVSize        = 16
+	PriceSize     = 8
+	SignatureSize = 4
+	TokenSize     = IVSize + PriceSize + SignatureSize // 28
+)
+
+// Errors returned by Decrypt.
+var (
+	ErrTokenLength  = errors.New("priceenc: ciphertext is not a 28-byte token")
+	ErrBadSignature = errors.New("priceenc: integrity signature mismatch")
+)
+
+// MicrosPerCPM converts between CPM dollars and micro-units.
+const MicrosPerCPM = 1_000_000
+
+// Scheme holds the two HMAC-SHA1 keys of one ADX↔DSP pairing. A Scheme is
+// safe for concurrent use; HMAC state is constructed per call.
+type Scheme struct {
+	encKey []byte
+	sigKey []byte
+}
+
+// New returns a Scheme with the given encryption and integrity keys.
+// Keys may be any non-empty length (Google issues 32-byte keys).
+func New(encryptionKey, integrityKey []byte) (*Scheme, error) {
+	if len(encryptionKey) == 0 || len(integrityKey) == 0 {
+		return nil, errors.New("priceenc: empty key")
+	}
+	s := &Scheme{
+		encKey: append([]byte(nil), encryptionKey...),
+		sigKey: append([]byte(nil), integrityKey...),
+	}
+	return s, nil
+}
+
+// MustNew is New for static keys known to be valid; it panics on error.
+func MustNew(encryptionKey, integrityKey []byte) *Scheme {
+	s, err := New(encryptionKey, integrityKey)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// EncryptMicros encrypts a price expressed in micro-units using the given
+// 16-byte initialization vector. The IV must be unique per impression
+// (reusing an IV leaks the XOR of two prices, as with any stream cipher).
+func (s *Scheme) EncryptMicros(micros uint64, iv []byte) (string, error) {
+	if len(iv) != IVSize {
+		return "", fmt.Errorf("priceenc: iv must be %d bytes, got %d", IVSize, len(iv))
+	}
+	var plain [PriceSize]byte
+	binary.BigEndian.PutUint64(plain[:], micros)
+
+	pad := hmacSHA1(s.encKey, iv)
+	var token [TokenSize]byte
+	copy(token[:IVSize], iv)
+	for i := 0; i < PriceSize; i++ {
+		token[IVSize+i] = plain[i] ^ pad[i]
+	}
+	sig := hmacSHA1(s.sigKey, plain[:], iv)
+	copy(token[IVSize+PriceSize:], sig[:SignatureSize])
+	return base64.RawURLEncoding.EncodeToString(token[:]), nil
+}
+
+// Encrypt encrypts a CPM price (dollars per thousand impressions),
+// truncating below micro-precision.
+func (s *Scheme) Encrypt(cpm float64, iv []byte) (string, error) {
+	if cpm < 0 {
+		return "", errors.New("priceenc: negative price")
+	}
+	return s.EncryptMicros(uint64(cpm*MicrosPerCPM+0.5), iv)
+}
+
+// DecryptMicros recovers the price in micro-units from an encoded token,
+// verifying the integrity signature.
+func (s *Scheme) DecryptMicros(encoded string) (uint64, error) {
+	token, err := decodeToken(encoded)
+	if err != nil {
+		return 0, err
+	}
+	iv := token[:IVSize]
+	pad := hmacSHA1(s.encKey, iv)
+	var plain [PriceSize]byte
+	for i := 0; i < PriceSize; i++ {
+		plain[i] = token[IVSize+i] ^ pad[i]
+	}
+	sig := hmacSHA1(s.sigKey, plain[:], iv)
+	if !hmac.Equal(sig[:SignatureSize], token[IVSize+PriceSize:]) {
+		return 0, ErrBadSignature
+	}
+	return binary.BigEndian.Uint64(plain[:]), nil
+}
+
+// Decrypt recovers a CPM price from an encoded token.
+func (s *Scheme) Decrypt(encoded string) (float64, error) {
+	micros, err := s.DecryptMicros(encoded)
+	if err != nil {
+		return 0, err
+	}
+	return float64(micros) / MicrosPerCPM, nil
+}
+
+// IsToken reports whether the string is plausibly a 28-byte price token:
+// correct decoded length under websafe or standard base64. It does NOT
+// verify integrity (an observer without keys cannot); the nURL detector
+// uses this to classify price parameters as encrypted.
+func IsToken(s string) bool {
+	_, err := decodeToken(s)
+	return err == nil
+}
+
+func decodeToken(s string) ([]byte, error) {
+	// ADXs emit websafe base64, usually unpadded; tolerate padded and
+	// standard alphabets since nURL parameters pass through URL encoding.
+	for _, enc := range []*base64.Encoding{
+		base64.RawURLEncoding, base64.URLEncoding,
+		base64.RawStdEncoding, base64.StdEncoding,
+	} {
+		b, err := enc.DecodeString(s)
+		if err == nil {
+			if len(b) != TokenSize {
+				return nil, ErrTokenLength
+			}
+			return b, nil
+		}
+	}
+	return nil, ErrTokenLength
+}
+
+func hmacSHA1(key []byte, parts ...[]byte) []byte {
+	m := hmac.New(sha1.New, key)
+	for _, p := range parts {
+		m.Write(p)
+	}
+	return m.Sum(nil)
+}

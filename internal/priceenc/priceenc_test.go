@@ -1,0 +1,200 @@
+package priceenc
+
+import (
+	"encoding/base64"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testScheme(t *testing.T) *Scheme {
+	t.Helper()
+	s, err := New([]byte("enc-key-32-bytes-aaaaaaaaaaaaaaa"), []byte("sig-key-32-bytes-bbbbbbbbbbbbbbb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func iv(b byte) []byte {
+	v := make([]byte, IVSize)
+	for i := range v {
+		v[i] = b + byte(i)
+	}
+	return v
+}
+
+func TestRoundTripMicros(t *testing.T) {
+	s := testScheme(t)
+	for _, micros := range []uint64{0, 1, 950_000, 1_840_000, 1 << 40} {
+		tok, err := s.EncryptMicros(micros, iv(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.DecryptMicros(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != micros {
+			t.Errorf("roundtrip %d → %d", micros, got)
+		}
+	}
+}
+
+func TestRoundTripCPM(t *testing.T) {
+	s := testScheme(t)
+	for _, cpm := range []float64{0, 0.01, 0.95, 1.84, 60, 99.999999} {
+		tok, err := s.Encrypt(cpm, iv(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Decrypt(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := got - cpm; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("roundtrip %v → %v", cpm, got)
+		}
+	}
+}
+
+func TestNegativePriceRejected(t *testing.T) {
+	s := testScheme(t)
+	if _, err := s.Encrypt(-1, iv(0)); err == nil {
+		t.Fatal("expected error for negative price")
+	}
+}
+
+func TestTokenIs28Bytes(t *testing.T) {
+	s := testScheme(t)
+	tok, err := s.Encrypt(1.23, iv(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != TokenSize {
+		t.Fatalf("token is %d bytes, want %d", len(raw), TokenSize)
+	}
+}
+
+func TestBadIVLength(t *testing.T) {
+	s := testScheme(t)
+	if _, err := s.EncryptMicros(1, make([]byte, 8)); err == nil {
+		t.Fatal("expected error for short iv")
+	}
+}
+
+func TestTamperedTokenRejected(t *testing.T) {
+	s := testScheme(t)
+	tok, _ := s.Encrypt(2.5, iv(1))
+	raw, _ := base64.RawURLEncoding.DecodeString(tok)
+	// Flip one bit of the encrypted price — the signature must catch it.
+	raw[IVSize] ^= 0x01
+	tampered := base64.RawURLEncoding.EncodeToString(raw)
+	if _, err := s.Decrypt(tampered); err != ErrBadSignature {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	s := testScheme(t)
+	other := MustNew([]byte("different-enc-key"), []byte("different-sig-key"))
+	tok, _ := s.Encrypt(2.5, iv(1))
+	if _, err := other.Decrypt(tok); err != ErrBadSignature {
+		t.Fatalf("err = %v, want ErrBadSignature for wrong keys", err)
+	}
+}
+
+func TestMalformedTokens(t *testing.T) {
+	s := testScheme(t)
+	for _, bad := range []string{"", "abc", "!!!not-base64!!!",
+		base64.RawURLEncoding.EncodeToString(make([]byte, 27)),
+		base64.RawURLEncoding.EncodeToString(make([]byte, 29)),
+	} {
+		if _, err := s.Decrypt(bad); err == nil {
+			t.Errorf("Decrypt(%q) should fail", bad)
+		}
+	}
+}
+
+func TestIsToken(t *testing.T) {
+	s := testScheme(t)
+	tok, _ := s.Encrypt(0.5, iv(2))
+	if !IsToken(tok) {
+		t.Error("valid token not recognized")
+	}
+	// Padded standard base64 of 28 bytes should also be recognized.
+	raw, _ := base64.RawURLEncoding.DecodeString(tok)
+	if !IsToken(base64.StdEncoding.EncodeToString(raw)) {
+		t.Error("std-encoded token not recognized")
+	}
+	for _, bad := range []string{"", "0.95", "B6A3", "hello world",
+		strings.Repeat("A", 100)} {
+		if IsToken(bad) {
+			t.Errorf("IsToken(%q) = true", bad)
+		}
+	}
+	// The paper's Table 1(B) example token (16 hex chars = 8 bytes decoded
+	// in no alphabet matching 28 bytes) must not be classified by length.
+	if IsToken("B6A3F3C19F50C7FD") {
+		t.Error("8-byte hex string misclassified as 28-byte token")
+	}
+}
+
+func TestEmptyKeysRejected(t *testing.T) {
+	if _, err := New(nil, []byte("x")); err == nil {
+		t.Error("nil encryption key accepted")
+	}
+	if _, err := New([]byte("x"), nil); err == nil {
+		t.Error("nil integrity key accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with empty keys should panic")
+		}
+	}()
+	MustNew(nil, nil)
+}
+
+func TestKeyIsolation(t *testing.T) {
+	// Mutating the caller's key slice after New must not affect the scheme.
+	enc := []byte("enc-key-mutable-xxxxxxxxxxxxxxxx")
+	sig := []byte("sig-key-mutable-yyyyyyyyyyyyyyyy")
+	s, _ := New(enc, sig)
+	tok, _ := s.Encrypt(1.5, iv(4))
+	enc[0] ^= 0xFF
+	sig[0] ^= 0xFF
+	if _, err := s.Decrypt(tok); err != nil {
+		t.Fatalf("scheme affected by caller mutation: %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := testScheme(t)
+	f := func(micros uint64, seed byte) bool {
+		tok, err := s.EncryptMicros(micros, iv(seed))
+		if err != nil {
+			return false
+		}
+		got, err := s.DecryptMicros(tok)
+		return err == nil && got == micros
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctIVsDistinctTokens(t *testing.T) {
+	s := testScheme(t)
+	t1, _ := s.EncryptMicros(1000, iv(1))
+	t2, _ := s.EncryptMicros(1000, iv(2))
+	if t1 == t2 {
+		t.Error("same price with different IVs must produce different tokens")
+	}
+}

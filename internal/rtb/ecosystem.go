@@ -1,0 +1,344 @@
+package rtb
+
+import (
+	"fmt"
+	"sort"
+
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/priceenc"
+	"yourandvalue/internal/stats"
+)
+
+// DSP is a demand-side platform: it values impressions on behalf of
+// advertisers and submits bids to exchanges (paper §2.1). Aggressiveness
+// scales its valuations; NoiseSigma is the log-stddev of its private
+// valuation scatter around the market's structural price.
+type DSP struct {
+	Name           string
+	Domain         string
+	Aggressiveness float64
+	NoiseSigma     float64
+}
+
+// Bid computes the DSP's bid for an impression. The bid is the market's
+// structural value scaled by the DSP's aggressiveness and log-normal
+// private-valuation noise whose width the market modulates per context.
+func (d *DSP) Bid(m *Market, ctx Context, rng *stats.Rand) float64 {
+	base := m.StructuralCPM(ctx) * d.Aggressiveness
+	sigma := d.NoiseSigma * m.NoiseSpread(ctx)
+	return base * rng.LogNormal(0, sigma)
+}
+
+// ADX is an ad-exchange: it hosts second-price auctions among the DSPs it
+// is connected to, and issues the winning-price notification through the
+// user's device (paper §2.2, delivery option ii).
+type ADX struct {
+	Name string
+	// Share is the entity's share of all RTB traffic (Figure 3's x-axis).
+	Share float64
+	// EncBias biases how quickly this exchange's DSP pairs adopt price
+	// encryption: 1 ≈ encrypted from the start (DoubleClick-like),
+	// 0 ≈ stays cleartext (MoPub-like).
+	EncBias float64
+	// Exchange is the nURL macro descriptor used to render notifications.
+	Exchange nurl.Exchange
+	// Scheme encrypts charge prices for encrypted pairs.
+	Scheme *priceenc.Scheme
+	// DSPs connected to this exchange.
+	DSPs []*DSP
+}
+
+// Pair identifies an ADX-DSP relationship, the unit of encryption adoption
+// in Figure 2.
+type Pair struct {
+	ADX string
+	DSP string
+}
+
+// Ecosystem wires exchanges, DSPs and the pair-level encryption adoption
+// schedule together. It is the single stateful entry point the trace
+// generator and the campaign engine drive.
+type Ecosystem struct {
+	Market   *Market
+	Registry *nurl.Registry
+	ADXs     []*ADX
+	// adoption maps a pair to the month index (1-based, months since
+	// Jan 2015) at which it switches to encrypted notifications. Pairs
+	// beyond the horizon stay cleartext.
+	adoption map[Pair]int
+	rng      *stats.Rand
+	impSeq   uint64
+}
+
+// EcosystemConfig controls construction.
+type EcosystemConfig struct {
+	Seed int64
+	// Market overrides the default market model when non-nil.
+	Market *Market
+}
+
+// adxSpec seeds the default exchange roster with Figure 3's shares.
+// MoPub and AppNexus (Adnxs) lead with predominantly cleartext prices;
+// DoubleClick, OpenX, Rubicon, PulsePoint, MediaMath and myThings lean
+// encrypted — the four campaign ADXs of §5 are among them.
+var adxSpecs = []struct {
+	name    string
+	share   float64
+	encBias float64
+}{
+	{"MoPub", 0.3355, 0.06},
+	{"AppNexus", 0.1074, 0.12},
+	{"DoubleClick", 0.0942, 0.88},
+	{"OpenX", 0.0691, 0.78},
+	{"Rubicon", 0.0646, 0.80},
+	{"PulsePoint", 0.0445, 0.72},
+	{"MediaMath", 0.0414, 0.85},
+	{"myThings", 0.0387, 0.75},
+	{"Turn", 0.0354, 0.10},
+}
+
+// dspSpecs is the default DSP roster (paper §2.1 names MediaMath, Criteo,
+// DoubleClick Bid Manager, AppNexus, Invite Media as popular DSPs).
+var dspSpecs = []struct {
+	name, domain string
+	aggr         float64
+}{
+	{"criteo", "criteo.com", 1.15},
+	{"dbm", "doubleclick.net", 1.10},
+	{"mediamath", "mathtag.com", 1.05},
+	{"appnexus-dsp", "adnxs.com", 1.00},
+	{"invitemedia", "invitemedia.com", 0.92},
+	{"turn-dsp", "turn.com", 0.98},
+	{"adform", "adform.net", 0.88},
+	{"bluekai-dsp", "bluekai.com", 0.95},
+}
+
+// NewEcosystem builds the default nine-exchange, eight-DSP ecosystem with
+// a deterministic pair-level encryption adoption schedule.
+func NewEcosystem(cfg EcosystemConfig) *Ecosystem {
+	rng := stats.NewRand(cfg.Seed)
+	market := cfg.Market
+	if market == nil {
+		market = DefaultMarket()
+	}
+	reg := nurl.Default()
+
+	dsps := make([]*DSP, len(dspSpecs))
+	for i, s := range dspSpecs {
+		dsps[i] = &DSP{
+			Name: s.name, Domain: s.domain,
+			Aggressiveness: s.aggr, NoiseSigma: 0.20,
+		}
+	}
+
+	eco := &Ecosystem{
+		Market:   market,
+		Registry: reg,
+		adoption: make(map[Pair]int),
+		rng:      rng,
+	}
+	for _, s := range adxSpecs {
+		ex, ok := reg.FindByName(s.name)
+		if !ok {
+			panic("rtb: exchange missing from nurl registry: " + s.name)
+		}
+		scheme := priceenc.MustNew(
+			[]byte("enc:"+s.name+":0123456789abcdef"),
+			[]byte("sig:"+s.name+":0123456789abcdef"),
+		)
+		adx := &ADX{
+			Name: s.name, Share: s.share, EncBias: s.encBias,
+			Exchange: ex, Scheme: scheme,
+		}
+		// Each exchange connects to 4–6 DSPs deterministically by seed.
+		n := 4 + rng.Intn(3)
+		perm := rng.Perm(len(dsps))
+		for _, idx := range perm[:n] {
+			adx.DSPs = append(adx.DSPs, dsps[idx])
+		}
+		eco.ADXs = append(eco.ADXs, adx)
+
+		// Adoption schedule: high-bias exchanges' pairs adopt early
+		// (month ≤ 1 means "already encrypted entering 2015"); low-bias
+		// pairs mostly adopt far beyond the observation year. The spread
+		// produces Figure 2's steady within-year growth.
+		for _, d := range adx.DSPs {
+			var month int
+			if rng.Float64() < s.encBias {
+				month = 1 + rng.Intn(14) - 2 // −1 .. 12: before or during 2015
+			} else {
+				month = 13 + rng.Intn(36) // after the observation year
+			}
+			eco.adoption[Pair{adx.Name, d.Name}] = month
+		}
+	}
+	return eco
+}
+
+// PairEncrypted reports whether the (adx, dsp) pair delivers encrypted
+// prices in the given month (1-based months since Jan 2015; month 13 is
+// Jan 2016, …).
+func (e *Ecosystem) PairEncrypted(adx, dsp string, month int) bool {
+	m, ok := e.adoption[Pair{adx, dsp}]
+	if !ok {
+		return false
+	}
+	return month >= m
+}
+
+// Pairs returns all ADX-DSP pairs, sorted for determinism.
+func (e *Ecosystem) Pairs() []Pair {
+	out := make([]Pair, 0, len(e.adoption))
+	for p := range e.adoption {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ADX != out[j].ADX {
+			return out[i].ADX < out[j].ADX
+		}
+		return out[i].DSP < out[j].DSP
+	})
+	return out
+}
+
+// EncryptedPairShare returns the fraction of pairs delivering encrypted
+// prices in the given month — Figure 2's y-axis.
+func (e *Ecosystem) EncryptedPairShare(month int) float64 {
+	if len(e.adoption) == 0 {
+		return 0
+	}
+	enc := 0
+	for _, m := range e.adoption {
+		if month >= m {
+			enc++
+		}
+	}
+	return float64(enc) / float64(len(e.adoption))
+}
+
+// PickADX samples an exchange proportionally to traffic share.
+func (e *Ecosystem) PickADX() *ADX {
+	weights := make([]float64, len(e.ADXs))
+	for i, a := range e.ADXs {
+		weights[i] = a.Share
+	}
+	return e.ADXs[e.rng.WeightedChoice(weights)]
+}
+
+// FindADX returns the exchange with the given name.
+func (e *Ecosystem) FindADX(name string) (*ADX, bool) {
+	for _, a := range e.ADXs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// AuctionResult is the outcome of one second-price auction.
+type AuctionResult struct {
+	ADX       *ADX
+	Winner    *DSP
+	WinBid    float64 // highest submitted bid, CPM
+	ChargeCPM float64 // second-highest bid — the Vickrey charge price
+	Encrypted bool    // whether the notification carries an encrypted price
+	NURL      string  // the notification URL delivered through the browser
+	ImpID     string
+	AuctionID string
+}
+
+// minBidders guards the Vickrey rule; with a single bidder the reserve
+// price (80% of the lone bid) acts as the implicit second bid, the common
+// exchange soft-floor policy.
+const reserveFraction = 0.8
+
+// RunAuction executes one auction for ctx on exchange adx during the given
+// month (1-based months since Jan 2015) and returns the result, including
+// the rendered nURL. ok is false when no DSP bids (unsold inventory that
+// would fall to backfill, §2.1).
+func (e *Ecosystem) RunAuction(adx *ADX, ctx Context, month int) (AuctionResult, bool) {
+	if len(adx.DSPs) == 0 {
+		return AuctionResult{}, false
+	}
+	type bid struct {
+		dsp *DSP
+		v   float64
+	}
+	bids := make([]bid, 0, len(adx.DSPs))
+	for _, d := range adx.DSPs {
+		// Channel factor applies per pair: encrypting pairs bid on richer
+		// (hidden) signals, paper §2.3's higher-value hypothesis.
+		bctx := ctx
+		bctx.Encrypted = e.PairEncrypted(adx.Name, d.Name, month)
+		// A DSP may sit out auctions it has no budget appetite for.
+		if e.rng.Float64() < 0.15 {
+			continue
+		}
+		bids = append(bids, bid{d, d.Bid(e.Market, bctx, e.rng)})
+	}
+	if len(bids) == 0 {
+		return AuctionResult{}, false
+	}
+	sort.Slice(bids, func(i, j int) bool { return bids[i].v > bids[j].v })
+	win := bids[0]
+	charge := win.v * reserveFraction
+	if len(bids) > 1 {
+		charge = bids[1].v
+	}
+	encrypted := e.PairEncrypted(adx.Name, win.dsp.Name, month)
+	if encrypted {
+		charge *= e.Market.EncryptedSurcharge
+	}
+	if charge > win.v {
+		charge = win.v // surcharge never exceeds the winner's own bid
+	}
+	// Exchanges settle at micro-CPM precision; truncate here so the
+	// published notification and the internal ledger agree exactly.
+	charge = float64(int64(charge*1e6)) / 1e6
+	if charge <= 0 {
+		return AuctionResult{}, false
+	}
+
+	e.impSeq++
+	impID := fmt.Sprintf("i%08x", e.impSeq)
+	aucID := fmt.Sprintf("a%08x", e.rng.Int63()&0xFFFFFFFF)
+
+	spec := nurl.BuildSpec{
+		DSP:       win.dsp.Name,
+		Width:     ctx.Slot.W,
+		Height:    ctx.Slot.H,
+		ImpID:     impID,
+		AuctionID: aucID,
+		Campaign:  fmt.Sprintf("c%03d", e.rng.Intn(400)),
+		Publisher: ctx.Publisher,
+		Currency:  "USD",
+		BidCPM:    win.v,
+	}
+	if encrypted {
+		iv := make([]byte, priceenc.IVSize)
+		for i := range iv {
+			iv[i] = byte(e.rng.Intn(256))
+		}
+		tok, err := adx.Scheme.Encrypt(charge, iv)
+		if err != nil {
+			return AuctionResult{}, false
+		}
+		spec.Token = tok
+	} else {
+		spec.PriceCPM = charge
+	}
+	res := AuctionResult{
+		ADX: adx, Winner: win.dsp,
+		WinBid: win.v, ChargeCPM: charge,
+		Encrypted: encrypted,
+		NURL:      nurl.Build(adx.Exchange, spec),
+		ImpID:     impID, AuctionID: aucID,
+	}
+	return res, true
+}
+
+// Serve runs the full SSP path for one impression: pick an exchange by
+// share, run the auction there during the given month.
+func (e *Ecosystem) Serve(ctx Context, month int) (AuctionResult, bool) {
+	return e.RunAuction(e.PickADX(), ctx, month)
+}

@@ -1,0 +1,97 @@
+package rtb
+
+import (
+	"fmt"
+	"sort"
+
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/priceenc"
+)
+
+// ProbeOutcome is the result of one auction a probing campaign's DSP
+// participated in. When the probe wins, ChargeCPM is the Vickrey price
+// the campaign pays — and, crucially, the price that appears in the DSP's
+// performance report even when the nURL encrypts it. This report channel
+// is how the paper obtains ground truth for encrypted prices (§5).
+type ProbeOutcome struct {
+	Filled    bool    // auction had at least one bid
+	Won       bool    // the probe's bid was highest
+	ChargeCPM float64 // price the probe pays when Won
+	Encrypted bool    // whether the user-side nURL carries an encrypted price
+	NURL      string  // the notification delivered through the user's device
+}
+
+// ProbeEncrypts reports whether a probing campaign on this exchange will
+// receive encrypted price notifications: the §5 campaign design pairs the
+// probe DSP with each ADX's prevailing channel (DoubleClick, OpenX,
+// Rubicon and PulsePoint encrypt; MoPub does not).
+func (a *ADX) ProbeEncrypts() bool { return a.EncBias >= 0.5 }
+
+// RunProbeAuction runs a second-price auction on adx with the probe DSP's
+// bid competing against the exchange's regular demand. The probe wins ties.
+func (e *Ecosystem) RunProbeAuction(adx *ADX, ctx Context, month int, probeBid float64) ProbeOutcome {
+	if probeBid <= 0 {
+		return ProbeOutcome{}
+	}
+	// Collect competing demand exactly as a regular auction would.
+	var competitors []float64
+	for _, d := range adx.DSPs {
+		bctx := ctx
+		bctx.Encrypted = e.PairEncrypted(adx.Name, d.Name, month)
+		if e.rng.Float64() < 0.15 {
+			continue
+		}
+		competitors = append(competitors, d.Bid(e.Market, bctx, e.rng))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(competitors)))
+
+	out := ProbeOutcome{Filled: true}
+	if len(competitors) > 0 && competitors[0] > probeBid {
+		// Probe lost; a regular winner is charged as usual — nothing in
+		// the campaign report.
+		return out
+	}
+	out.Won = true
+	charge := probeBid * reserveFraction
+	if len(competitors) > 0 {
+		charge = competitors[0]
+	}
+	out.Encrypted = adx.ProbeEncrypts()
+	if out.Encrypted {
+		charge *= e.Market.EncryptedSurcharge
+	}
+	if charge > probeBid {
+		charge = probeBid
+	}
+	charge = float64(int64(charge*1e6)) / 1e6
+	if charge <= 0 {
+		return ProbeOutcome{Filled: true}
+	}
+	out.ChargeCPM = charge
+
+	e.impSeq++
+	spec := nurl.BuildSpec{
+		DSP:       "probe-dsp",
+		Width:     ctx.Slot.W,
+		Height:    ctx.Slot.H,
+		ImpID:     fmt.Sprintf("p%08x", e.impSeq),
+		AuctionID: fmt.Sprintf("a%08x", e.rng.Int63()&0xFFFFFFFF),
+		Publisher: ctx.Publisher,
+		Currency:  "USD",
+	}
+	if out.Encrypted {
+		iv := make([]byte, priceenc.IVSize)
+		for i := range iv {
+			iv[i] = byte(e.rng.Intn(256))
+		}
+		tok, err := adx.Scheme.Encrypt(charge, iv)
+		if err != nil {
+			return ProbeOutcome{Filled: true}
+		}
+		spec.Token = tok
+	} else {
+		spec.PriceCPM = charge
+	}
+	out.NURL = nurl.Build(adx.Exchange, spec)
+	return out
+}

@@ -1,0 +1,150 @@
+package rtb
+
+import (
+	"testing"
+
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/stats"
+)
+
+func TestProbeEncrypts(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 31})
+	for name, want := range map[string]bool{
+		"DoubleClick": true, "OpenX": true, "Rubicon": true,
+		"PulsePoint": true, "MoPub": false, "AppNexus": false, "Turn": false,
+	} {
+		adx, ok := e.FindADX(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if adx.ProbeEncrypts() != want {
+			t.Errorf("%s ProbeEncrypts = %v, want %v", name, !want, want)
+		}
+	}
+}
+
+func TestRunProbeAuctionWinsWithHighBid(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 32})
+	adx, _ := e.FindADX("DoubleClick")
+	ctx := baseCtx()
+	reg := nurl.Default()
+	wins, fills := 0, 0
+	for i := 0; i < 300; i++ {
+		out := e.RunProbeAuction(adx, ctx, 17, 500) // overwhelming bid
+		if !out.Filled {
+			continue
+		}
+		fills++
+		if !out.Won {
+			t.Fatal("500-CPM probe bid lost")
+		}
+		wins++
+		if out.ChargeCPM <= 0 || out.ChargeCPM > 500 {
+			t.Fatalf("charge %v out of range", out.ChargeCPM)
+		}
+		if !out.Encrypted {
+			t.Fatal("DoubleClick probe must be encrypted")
+		}
+		n, ok := reg.Parse(out.NURL)
+		if !ok || n.Kind != nurl.Encrypted {
+			t.Fatalf("probe nURL: %v kind %v", ok, n.Kind)
+		}
+		// The exchange's key recovers the reported charge.
+		got, err := adx.Scheme.Decrypt(n.Token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := got - out.ChargeCPM; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("token %v != report %v", got, out.ChargeCPM)
+		}
+	}
+	if fills == 0 || wins != fills {
+		t.Fatalf("wins %d / fills %d", wins, fills)
+	}
+}
+
+func TestRunProbeAuctionLosesWithTinyBid(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 33})
+	adx, _ := e.FindADX("MoPub")
+	ctx := baseCtx()
+	losses := 0
+	for i := 0; i < 300; i++ {
+		out := e.RunProbeAuction(adx, ctx, 6, 0.000001)
+		if out.Filled && !out.Won {
+			losses++
+			if out.NURL != "" || out.ChargeCPM != 0 {
+				t.Fatal("losing probe must not produce a report")
+			}
+		}
+	}
+	if losses < 200 {
+		t.Errorf("micro bid lost only %d/300 auctions", losses)
+	}
+}
+
+func TestRunProbeAuctionCleartextExchange(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 34})
+	adx, _ := e.FindADX("MoPub")
+	ctx := baseCtx()
+	reg := nurl.Default()
+	for i := 0; i < 100; i++ {
+		out := e.RunProbeAuction(adx, ctx, 18, 500)
+		if !out.Won {
+			continue
+		}
+		if out.Encrypted {
+			t.Fatal("MoPub probe should be cleartext")
+		}
+		n, ok := reg.Parse(out.NURL)
+		if !ok || n.Kind != nurl.Cleartext {
+			t.Fatalf("nURL kind %v", n.Kind)
+		}
+		if diff := n.PriceCPM - out.ChargeCPM; diff > 1e-9 || diff < -1e-9 {
+			t.Fatal("cleartext price mismatch")
+		}
+	}
+}
+
+func TestRunProbeAuctionInvalidBid(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 35})
+	adx, _ := e.FindADX("MoPub")
+	out := e.RunProbeAuction(adx, baseCtx(), 6, 0)
+	if out.Filled || out.Won {
+		t.Error("zero bid should not enter the auction")
+	}
+	out = e.RunProbeAuction(adx, baseCtx(), 6, -5)
+	if out.Filled || out.Won {
+		t.Error("negative bid should not enter the auction")
+	}
+}
+
+// TestProbeChargeVickrey verifies the probe pays (at most) its own bid and
+// tracks the top competitor: with a bid barely above the market, charges
+// cluster near the bid; with an overwhelming bid, charges stay near market
+// level (second-price property).
+func TestProbeChargeVickrey(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 36})
+	adx, _ := e.FindADX("OpenX")
+	ctx := baseCtx()
+	var hugeBidCharges []float64
+	for i := 0; i < 400; i++ {
+		if out := e.RunProbeAuction(adx, ctx, 10, 1000); out.Won {
+			hugeBidCharges = append(hugeBidCharges, out.ChargeCPM)
+		}
+	}
+	med, err := stats.Median(hugeBidCharges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second price ≪ the 1000-CPM bid: the probe pays market level.
+	if med > 50 {
+		t.Errorf("median charge %v under an overwhelming bid — not second-price", med)
+	}
+}
+
+func TestPairEncryptedUnknownPair(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 37})
+	if e.PairEncrypted("NoSuchADX", "nobody", 12) {
+		t.Error("unknown pair should be cleartext")
+	}
+}

@@ -1,0 +1,427 @@
+package rtb
+
+import (
+	"testing"
+	"time"
+
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/stats"
+	"yourandvalue/internal/useragent"
+)
+
+func baseCtx() Context {
+	return Context{
+		Time:      time.Date(2015, 6, 10, 10, 0, 0, 0, time.UTC), // Wed morning
+		City:      geoip.Malaga,
+		OS:        useragent.Android,
+		Device:    useragent.Smartphone,
+		Origin:    useragent.MobileWeb,
+		Publisher: "news.example",
+		Category:  iab.News,
+		Slot:      Slot300x250,
+		UserValue: 1,
+	}
+}
+
+func TestSlotString(t *testing.T) {
+	if Slot300x250.String() != "300x250" || Slot320x50.String() != "320x50" {
+		t.Error("slot labels wrong")
+	}
+	if (Slot{0, 0}).String() != "0x0" {
+		t.Error("zero slot label")
+	}
+	if Slot300x250.Area() != 75000 {
+		t.Error("area wrong")
+	}
+}
+
+func TestFigureSlotsComplete(t *testing.T) {
+	if len(FigureSlots) != 17 {
+		t.Fatalf("Figure 12 has 17 slot sizes, got %d", len(FigureSlots))
+	}
+	seen := map[Slot]bool{}
+	for _, s := range FigureSlots {
+		if seen[s] {
+			t.Errorf("duplicate slot %v", s)
+		}
+		seen[s] = true
+		if SlotPopularity(s, 6) <= 0 {
+			t.Errorf("slot %v has no popularity", s)
+		}
+	}
+}
+
+// TestSlotRegimeChange verifies the Figure 12 handover: 320x50 dominates
+// January; 300x250 dominates December.
+func TestSlotRegimeChange(t *testing.T) {
+	janBanner := SlotPopularity(Slot320x50, 1)
+	janMPU := SlotPopularity(Slot300x250, 1)
+	decBanner := SlotPopularity(Slot320x50, 12)
+	decMPU := SlotPopularity(Slot300x250, 12)
+	if janBanner <= janMPU {
+		t.Errorf("January: banner %v should dominate MPU %v", janBanner, janMPU)
+	}
+	if decMPU <= decBanner {
+		t.Errorf("December: MPU %v should dominate banner %v", decMPU, decBanner)
+	}
+	// May (month 5) is the paper's crossover neighbourhood: MPU should be
+	// at least competitive by then.
+	if SlotPopularity(Slot300x250, 6) < SlotPopularity(Slot320x50, 6)*0.9 {
+		t.Error("MPU should have caught up by mid-year")
+	}
+	// Out-of-range months clamp rather than panic.
+	if SlotPopularity(Slot320x50, 0) != SlotPopularity(Slot320x50, 1) {
+		t.Error("month clamp low")
+	}
+	if SlotPopularity(Slot320x50, 13) != SlotPopularity(Slot320x50, 12) {
+		t.Error("month clamp high")
+	}
+	if SlotPopularity(Slot{1, 1}, 5) != 0 {
+		t.Error("unknown slot should have zero popularity")
+	}
+}
+
+func TestSampleSlot(t *testing.T) {
+	rng := stats.NewRand(1)
+	counts := map[Slot]int{}
+	for i := 0; i < 20000; i++ {
+		counts[SampleSlot(1, rng.WeightedChoice)]++
+	}
+	if counts[Slot320x50] <= counts[Slot300x250] {
+		t.Errorf("January sampling: banner %d vs MPU %d", counts[Slot320x50], counts[Slot300x250])
+	}
+	// Degenerate pick function falls back to the MPU.
+	if s := SampleSlot(1, func([]float64) int { return -1 }); s != Slot300x250 {
+		t.Errorf("fallback slot = %v", s)
+	}
+}
+
+func TestStructuralCPMFactors(t *testing.T) {
+	m := DefaultMarket()
+	base := m.StructuralCPM(baseCtx())
+	if base <= 0 {
+		t.Fatal("structural price must be positive")
+	}
+
+	// App vs web: exactly AppFactor apart (§4.4's 2.6×).
+	app := baseCtx()
+	app.Origin = useragent.MobileApp
+	if got := m.StructuralCPM(app) / base; got < 2.59 || got > 2.61 {
+		t.Errorf("app factor = %v, want 2.6", got)
+	}
+
+	// Encrypted channel bid-side factor; the settlement surcharge tops the
+	// total gap up to ≈1.7× (Fig 16).
+	enc := baseCtx()
+	enc.Encrypted = true
+	if got := m.StructuralCPM(enc) / base; got < 1.14 || got > 1.16 {
+		t.Errorf("encrypted bid factor = %v, want 1.15", got)
+	}
+	if f := m.EncryptedBidFactor * m.EncryptedSurcharge; f < 1.65 || f > 1.75 {
+		t.Errorf("combined encrypted factor = %v, want ≈1.7", f)
+	}
+
+	// iOS > Android (Fig 10).
+	ios := baseCtx()
+	ios.OS = useragent.IOS
+	if m.StructuralCPM(ios) <= base {
+		t.Error("iOS should price above Android")
+	}
+
+	// IAB3 ≫ IAB15 (Fig 11).
+	biz, sci := baseCtx(), baseCtx()
+	biz.Category = iab.Business
+	sci.Category = iab.Science
+	if m.StructuralCPM(biz) < 10*m.StructuralCPM(sci) {
+		t.Errorf("IAB3 %v should be ≫ IAB15 %v",
+			m.StructuralCPM(biz), m.StructuralCPM(sci))
+	}
+
+	// MPU > large banner despite smaller area (Fig 13).
+	mpu, banner := baseCtx(), baseCtx()
+	mpu.Slot = Slot300x250
+	banner.Slot = Slot320x50
+	if m.StructuralCPM(mpu) <= m.StructuralCPM(banner) {
+		t.Error("MPU should out-price the 320x50 banner")
+	}
+
+	// Monster MPU (300x600): pricier than leaderboard but below MPU.
+	monster := baseCtx()
+	monster.Slot = Slot300x600
+	lead := baseCtx()
+	lead.Slot = Slot728x90
+	if !(m.StructuralCPM(mpu) > m.StructuralCPM(monster) &&
+		m.StructuralCPM(monster) > m.StructuralCPM(lead)) {
+		t.Error("Fig 13 ordering MPU > MonsterMPU > leaderboard violated")
+	}
+
+	// 2016 shift (§6.2).
+	y16 := baseCtx()
+	y16.Year2016 = true
+	if m.StructuralCPM(y16) <= base {
+		t.Error("2016 prices should exceed 2015")
+	}
+
+	// User whale multiplier passes straight through.
+	whale := baseCtx()
+	whale.UserValue = 10
+	if got := m.StructuralCPM(whale) / base; got < 9.99 || got > 10.01 {
+		t.Errorf("user value factor = %v", got)
+	}
+}
+
+func TestStructuralCPMGeoTemporal(t *testing.T) {
+	m := DefaultMarket()
+	// Big-city median below small-town median (Fig 5).
+	madrid, torello := baseCtx(), baseCtx()
+	madrid.City = geoip.Madrid
+	torello.City = geoip.Torello
+	if m.StructuralCPM(madrid) >= m.StructuralCPM(torello) {
+		t.Error("Madrid median should sit below Torello")
+	}
+	// …but with wider spread.
+	if m.NoiseSpread(madrid) <= m.NoiseSpread(torello) {
+		t.Error("Madrid spread should exceed Torello")
+	}
+
+	// Morning bin prices above the 20-23 bin (Fig 6).
+	morning, night := baseCtx(), baseCtx()
+	morning.Time = time.Date(2015, 6, 10, 9, 0, 0, 0, time.UTC)
+	night.Time = time.Date(2015, 6, 10, 22, 0, 0, 0, time.UTC)
+	if m.StructuralCPM(morning) <= m.StructuralCPM(night) {
+		t.Error("morning prices should exceed late evening")
+	}
+
+	// Weekday spread above weekend spread (Fig 7).
+	wed, sat := baseCtx(), baseCtx()
+	wed.Time = time.Date(2015, 6, 10, 12, 0, 0, 0, time.UTC) // Wednesday
+	sat.Time = time.Date(2015, 6, 13, 12, 0, 0, 0, time.UTC) // Saturday
+	if m.NoiseSpread(wed) <= m.NoiseSpread(sat) {
+		t.Error("weekday tails should be wider than weekend")
+	}
+}
+
+func TestHourBin(t *testing.T) {
+	cases := map[int]int{0: 0, 3: 0, 4: 1, 7: 1, 8: 2, 11: 2, 12: 3, 23: 5}
+	for h, want := range cases {
+		if got := HourBin(h); got != want {
+			t.Errorf("HourBin(%d) = %d, want %d", h, got, want)
+		}
+	}
+	if HourBin(-1) != 0 {
+		t.Error("negative hour should clamp")
+	}
+	if HourBinLabel(2) != "08:00-11:00" || HourBinLabel(-1) != "?" {
+		t.Error("bin labels")
+	}
+}
+
+func TestNewEcosystemDeterministic(t *testing.T) {
+	a := NewEcosystem(EcosystemConfig{Seed: 42})
+	b := NewEcosystem(EcosystemConfig{Seed: 42})
+	pa, pb := a.Pairs(), b.Pairs()
+	if len(pa) != len(pb) || len(pa) == 0 {
+		t.Fatalf("pair counts differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("pair sets differ under same seed")
+		}
+	}
+	for m := 1; m <= 12; m++ {
+		if a.EncryptedPairShare(m) != b.EncryptedPairShare(m) {
+			t.Fatal("adoption schedules differ under same seed")
+		}
+	}
+}
+
+func TestEncryptedPairShareRises(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 7})
+	jan := e.EncryptedPairShare(1)
+	dec := e.EncryptedPairShare(12)
+	if dec <= jan {
+		t.Errorf("Figure 2 trend violated: Jan %.2f, Dec %.2f", jan, dec)
+	}
+	for m := 2; m <= 12; m++ {
+		if e.EncryptedPairShare(m) < e.EncryptedPairShare(m-1) {
+			t.Errorf("share dropped at month %d", m)
+		}
+	}
+	if jan < 0.05 || jan > 0.60 {
+		t.Errorf("January share %.2f implausible", jan)
+	}
+}
+
+func TestADXRoster(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 1})
+	if len(e.ADXs) != 9 {
+		t.Fatalf("expected 9 exchanges, got %d", len(e.ADXs))
+	}
+	mopub, ok := e.FindADX("MoPub")
+	if !ok || mopub.Share < 0.33 || mopub.Share > 0.34 {
+		t.Errorf("MoPub share = %v", mopub.Share)
+	}
+	if _, ok := e.FindADX("NoSuch"); ok {
+		t.Error("FindADX should miss unknown names")
+	}
+	// MoPub must lean cleartext, DoubleClick encrypted (Fig 3).
+	dc, _ := e.FindADX("DoubleClick")
+	if mopub.EncBias >= dc.EncBias {
+		t.Error("encryption bias ordering violated")
+	}
+	for _, adx := range e.ADXs {
+		if len(adx.DSPs) < 4 || len(adx.DSPs) > 6 {
+			t.Errorf("%s has %d DSPs, want 4-6", adx.Name, len(adx.DSPs))
+		}
+	}
+}
+
+func TestRunAuctionVickrey(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 3})
+	adx, _ := e.FindADX("MoPub")
+	ctx := baseCtx()
+	wins := 0
+	for i := 0; i < 500; i++ {
+		res, ok := e.RunAuction(adx, ctx, 6)
+		if !ok {
+			continue
+		}
+		wins++
+		if res.ChargeCPM > res.WinBid {
+			t.Fatalf("charge %v exceeds winning bid %v (Vickrey violated)",
+				res.ChargeCPM, res.WinBid)
+		}
+		if res.ChargeCPM <= 0 {
+			t.Fatal("non-positive charge")
+		}
+		if res.Winner == nil || res.ADX != adx {
+			t.Fatal("result wiring")
+		}
+	}
+	if wins < 450 {
+		t.Errorf("only %d/500 auctions filled", wins)
+	}
+}
+
+func TestAuctionNURLRoundTrip(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 5})
+	reg := e.Registry
+	ctx := baseCtx()
+	sawClr, sawEnc := false, false
+	for i := 0; i < 2000 && !(sawClr && sawEnc); i++ {
+		res, ok := e.Serve(ctx, 12)
+		if !ok {
+			continue
+		}
+		n, ok := reg.Parse(res.NURL)
+		if !ok {
+			t.Fatalf("unparseable nURL from %s: %s", res.ADX.Name, res.NURL)
+		}
+		if res.Encrypted {
+			sawEnc = true
+			if n.Kind != nurl.Encrypted {
+				t.Fatalf("encrypted auction produced %v nURL", n.Kind)
+			}
+			// The issuing exchange can decrypt its own token.
+			got, err := res.ADX.Scheme.Decrypt(n.Token)
+			if err != nil {
+				t.Fatalf("ADX cannot decrypt own token: %v", err)
+			}
+			if diff := got - res.ChargeCPM; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("decrypted %v != charge %v", got, res.ChargeCPM)
+			}
+		} else {
+			sawClr = true
+			if n.Kind != nurl.Cleartext {
+				t.Fatalf("cleartext auction produced %v nURL", n.Kind)
+			}
+			if diff := n.PriceCPM - res.ChargeCPM; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("nURL price %v != charge %v", n.PriceCPM, res.ChargeCPM)
+			}
+		}
+	}
+	if !sawClr || !sawEnc {
+		t.Fatalf("channel coverage: cleartext=%v encrypted=%v", sawClr, sawEnc)
+	}
+}
+
+func TestEncryptedPricesHigher(t *testing.T) {
+	// Across many auctions in late 2015, encrypted notifications should
+	// carry clearly higher prices (Fig 16's ≈1.7× median).
+	e := NewEcosystem(EcosystemConfig{Seed: 11})
+	ctx := baseCtx()
+	var clr, enc []float64
+	for i := 0; i < 6000; i++ {
+		res, ok := e.Serve(ctx, 10)
+		if !ok {
+			continue
+		}
+		if res.Encrypted {
+			enc = append(enc, res.ChargeCPM)
+		} else {
+			clr = append(clr, res.ChargeCPM)
+		}
+	}
+	if len(clr) < 100 || len(enc) < 100 {
+		t.Fatalf("insufficient coverage: %d clr, %d enc", len(clr), len(enc))
+	}
+	mClr, _ := stats.Median(clr)
+	mEnc, _ := stats.Median(enc)
+	ratio := mEnc / mClr
+	if ratio < 1.3 || ratio > 2.3 {
+		t.Errorf("encrypted/cleartext median ratio = %v, want ≈1.7", ratio)
+	}
+}
+
+func TestServeShares(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 13})
+	counts := map[string]int{}
+	ctx := baseCtx()
+	total := 0
+	for i := 0; i < 20000; i++ {
+		res, ok := e.Serve(ctx, 6)
+		if !ok {
+			continue
+		}
+		counts[res.ADX.Name]++
+		total++
+	}
+	mopubShare := float64(counts["MoPub"]) / float64(total)
+	if mopubShare < 0.37 || mopubShare > 0.45 {
+		// MoPub holds 33.55% of overall traffic = ~41% of the 9 modeled
+		// entities after normalization.
+		t.Errorf("MoPub share = %v", mopubShare)
+	}
+	if counts["Turn"] >= counts["AppNexus"] {
+		t.Error("share ordering violated")
+	}
+}
+
+func TestFactorAccessors(t *testing.T) {
+	if CityPriceFactor(geoip.Madrid) >= CityPriceFactor(geoip.Torello) {
+		t.Error("city factor accessor")
+	}
+	if CityPriceFactor(geoip.CityUnknown) != 1 {
+		t.Error("unknown city factor should be 1")
+	}
+	if IABPriceFactor(iab.Business) <= IABPriceFactor(iab.Science) {
+		t.Error("iab factor accessor")
+	}
+	if IABPriceFactor(iab.Unknown) != 1 {
+		t.Error("unknown iab factor should be 1")
+	}
+	if SlotPriceFactor(Slot300x250) <= SlotPriceFactor(Slot320x50) {
+		t.Error("slot factor accessor")
+	}
+	if SlotPriceFactor(Slot{9, 9}) != 1 {
+		t.Error("unknown slot factor should be 1")
+	}
+	if OSPriceFactor(useragent.IOS) <= OSPriceFactor(useragent.Android) {
+		t.Error("os factor accessor")
+	}
+	if OSPriceFactor(useragent.OS(99)) != 1 {
+		t.Error("unknown os factor should be 1")
+	}
+}

@@ -1,0 +1,127 @@
+// Package rtb simulates the Real-Time Bidding ecosystem of paper §2: the
+// publishers, SSPs, ad-exchanges, DSPs and data-management platforms whose
+// interaction produces the winning-price notifications (nURLs) that
+// YourAdValue measures. The simulator's auctions are second-price
+// (Vickrey) exactly as §2.1 describes, and its ground-truth market model
+// (market.go) encodes the per-feature price couplings the paper reports so
+// the downstream methodology is exercised on realistic signal.
+package rtb
+
+// Slot is an ad-slot dimension in pixels.
+type Slot struct {
+	W, H int
+}
+
+// String returns the conventional "WxH" label used throughout the paper's
+// figures.
+func (s Slot) String() string {
+	return itoa(s.W) + "x" + itoa(s.H)
+}
+
+// Area returns the slot area in square pixels, the quantity Figure 13
+// shows does not correlate with price.
+func (s Slot) Area() int { return s.W * s.H }
+
+// itoa avoids importing strconv for two-field formatting in a hot path.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 && i > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// The 17 ad-slot sizes of the paper's Figure 12, in ascending area order
+// (the order the figure's legend uses).
+var (
+	Slot300x50   = Slot{300, 50}
+	Slot320x50   = Slot{320, 50} // "large mobile banner"
+	Slot468x60   = Slot{468, 60}
+	Slot200x200  = Slot{200, 200}
+	Slot316x150  = Slot{316, 150}
+	Slot728x90   = Slot{728, 90} // "leaderboard"
+	Slot280x250  = Slot{280, 250}
+	Slot120x600  = Slot{120, 600}
+	Slot300x250  = Slot{300, 250} // "MPU" / "medium rectangle"
+	Slot336x280  = Slot{336, 280}
+	Slot160x600  = Slot{160, 600}
+	Slot800x130  = Slot{800, 130}
+	Slot400x300  = Slot{400, 300}
+	Slot320x480  = Slot{320, 480}
+	Slot480x320  = Slot{480, 320}
+	Slot300x600  = Slot{300, 600} // "Monster MPU"
+	Slot350x600  = Slot{350, 600}
+	Slot768x1024 = Slot{768, 1024} // tablet portrait (Table 5 campaign format)
+	Slot1024x768 = Slot{1024, 768} // tablet landscape
+)
+
+// FigureSlots are the 17 sizes of Figure 12 in legend (area) order.
+var FigureSlots = []Slot{
+	Slot300x50, Slot320x50, Slot468x60, Slot200x200, Slot316x150,
+	Slot728x90, Slot280x250, Slot120x600, Slot300x250, Slot336x280,
+	Slot160x600, Slot800x130, Slot400x300, Slot320x480, Slot480x320,
+	Slot300x600, Slot350x600,
+}
+
+// slotBasePopularity is the time-independent popularity weight of each
+// slot. Figure 12's dominant shapes (320x50 early, 300x250 later, 728x90
+// steady) get most of the mass.
+var slotBasePopularity = map[Slot]float64{
+	Slot300x50: 2, Slot320x50: 22, Slot468x60: 3, Slot200x200: 1.5,
+	Slot316x150: 1, Slot728x90: 14, Slot280x250: 2, Slot120x600: 2.5,
+	Slot300x250: 24, Slot336x280: 3, Slot160x600: 4, Slot800x130: 1,
+	Slot400x300: 1.5, Slot320x480: 4, Slot480x320: 3, Slot300x600: 4,
+	Slot350x600: 1,
+}
+
+// SlotPopularity returns the relative popularity of slot s in month m
+// (1..12 of 2015). It encodes the Figure 12 regime change: 320x50 "large
+// mobile banners" dominate early 2015; 300x250 MPUs take over from May
+// (month 5) on.
+func SlotPopularity(s Slot, month int) float64 {
+	w, ok := slotBasePopularity[s]
+	if !ok {
+		return 0
+	}
+	if month < 1 {
+		month = 1
+	}
+	if month > 12 {
+		month = 12
+	}
+	// Linear handover between the two headline formats across the year.
+	progress := float64(month-1) / 11 // 0 in Jan, 1 in Dec
+	switch s {
+	case Slot320x50:
+		return w * (1.6 - 1.2*progress) // 35 → 9 relative units
+	case Slot300x250:
+		return w * (0.55 + 1.05*progress) // 13 → 38 relative units
+	default:
+		return w
+	}
+}
+
+// SampleSlot draws a slot for the given month from the popularity model.
+func SampleSlot(month int, pick func(weights []float64) int) Slot {
+	weights := make([]float64, len(FigureSlots))
+	for i, s := range FigureSlots {
+		weights[i] = SlotPopularity(s, month)
+	}
+	i := pick(weights)
+	if i < 0 || i >= len(FigureSlots) {
+		return Slot300x250
+	}
+	return FigureSlots[i]
+}
+
+// TabletSlots are the tablet campaign ad-formats of Table 5.
+var TabletSlots = []Slot{Slot728x90, Slot300x250, Slot768x1024, Slot1024x768}
+
+// SmartphoneSlots are the smartphone campaign ad-formats of Table 5.
+var SmartphoneSlots = []Slot{Slot320x50, Slot300x250, Slot320x480, Slot480x320}

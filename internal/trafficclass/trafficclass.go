@@ -1,0 +1,179 @@
+// Package trafficclass implements the first stage of the Weblog Ads
+// Analyzer (paper §4.1): a Disconnect-style blacklist engine that
+// categorizes HTTP request domains into five groups based on the content
+// they deliver — Advertising, Analytics, Social, 3rd-party content, and
+// Rest. Like the paper's analyzer, it can integrate more than one
+// blacklist (e.g. EasyList- or Ghostery-style lists) with first-match
+// precedence in registration order.
+package trafficclass
+
+import (
+	"sort"
+	"strings"
+)
+
+// Class is a traffic category.
+type Class int
+
+// The five groups of the paper.
+const (
+	Rest Class = iota
+	Advertising
+	Analytics
+	Social
+	ThirdPartyContent
+)
+
+var classNames = [...]string{"Rest", "Advertising", "Analytics", "Social", "3rd party content"}
+
+// String returns the category label used in the paper.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return "Rest"
+	}
+	return classNames[c]
+}
+
+// Blacklist maps domains (and their subdomains) to a Class. Matching is
+// suffix-based at label boundaries, the way ad blockers match: an entry
+// "doubleclick.net" matches "ad.doubleclick.net" but not
+// "notdoubleclick.net".
+type Blacklist struct {
+	Name    string
+	entries map[string]Class
+}
+
+// NewBlacklist creates a named, empty blacklist.
+func NewBlacklist(name string) *Blacklist {
+	return &Blacklist{Name: name, entries: make(map[string]Class)}
+}
+
+// Add registers a domain under the given class. Domains are normalized to
+// lowercase without a leading "www.".
+func (b *Blacklist) Add(domain string, c Class) {
+	b.entries[normalize(domain)] = c
+}
+
+// Len returns the number of entries.
+func (b *Blacklist) Len() int { return len(b.entries) }
+
+// Lookup returns the class for host and whether any entry matched.
+func (b *Blacklist) Lookup(host string) (Class, bool) {
+	h := normalize(host)
+	for h != "" {
+		if c, ok := b.entries[h]; ok {
+			return c, true
+		}
+		i := strings.IndexByte(h, '.')
+		if i < 0 {
+			break
+		}
+		h = h[i+1:]
+	}
+	return Rest, false
+}
+
+// Domains returns the registered domains, sorted, for inspection.
+func (b *Blacklist) Domains() []string {
+	out := make([]string, 0, len(b.entries))
+	for d := range b.entries {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classifier chains one or more blacklists; the first list containing a
+// match wins, mirroring "our analyzer can also integrate more than one
+// blacklists" (paper footnote 3).
+type Classifier struct {
+	lists []*Blacklist
+}
+
+// NewClassifier builds a classifier over the given blacklists in
+// precedence order.
+func NewClassifier(lists ...*Blacklist) *Classifier {
+	return &Classifier{lists: lists}
+}
+
+// Append adds a lower-precedence blacklist.
+func (c *Classifier) Append(b *Blacklist) { c.lists = append(c.lists, b) }
+
+// Classify returns the class of the request host.
+func (c *Classifier) Classify(host string) Class {
+	for _, b := range c.lists {
+		if cl, ok := b.Lookup(host); ok {
+			return cl
+		}
+	}
+	return Rest
+}
+
+// Lists returns the number of chained blacklists.
+func (c *Classifier) Lists() int { return len(c.lists) }
+
+func normalize(domain string) string {
+	h := strings.ToLower(strings.TrimSpace(domain))
+	h = strings.TrimPrefix(h, "www.")
+	if i := strings.IndexByte(h, '/'); i >= 0 {
+		h = h[:i]
+	}
+	if i := strings.IndexByte(h, ':'); i >= 0 {
+		h = h[:i]
+	}
+	return h
+}
+
+// DefaultAdDomains lists the ad-ecosystem domains wired into the simulator
+// (the ADX and DSP hosts of internal/rtb) plus well-known real-world ones
+// appearing in the paper's Table 1 examples. The default blacklist marks
+// them Advertising.
+var DefaultAdDomains = []string{
+	// ADX notification hosts (Table 1 + §2.1 "popular ad-exchanges").
+	"mopub.com", "imp.mpx.mopub.com", "doubleclick.net", "openx.net",
+	"rubiconproject.com", "pulsepoint.com", "contextweb.com", "mathtag.com", "mythings.com",
+	"adnxs.com", "turn.com", "advertising.com", "adtech.de", "smartadserver.com",
+	"criteo.com", "mediamath.com", "appnexus.com", "invitemedia.com",
+	"taboola.com", "outbrain.com", "zedo.com", "adform.net",
+}
+
+// DefaultAnalyticsDomains are classified Analytics by the default list.
+var DefaultAnalyticsDomains = []string{
+	"google-analytics.com", "scorecardresearch.com", "quantserve.com",
+	"chartbeat.com", "newrelic.com", "mixpanel.com", "comscore.com",
+}
+
+// DefaultSocialDomains are classified Social by the default list.
+var DefaultSocialDomains = []string{
+	"facebook.com", "facebook.net", "twitter.com", "linkedin.com",
+	"pinterest.com", "instagram.com", "plus.google.com",
+}
+
+// DefaultThirdPartyDomains are classified 3rd-party content.
+var DefaultThirdPartyDomains = []string{
+	"akamaihd.net", "cloudfront.net", "gstatic.com", "fbcdn.net",
+	"jquery.com", "bootstrapcdn.com", "googleapis.com", "fastly.net",
+}
+
+// DefaultBlacklist returns the built-in Disconnect-style list.
+func DefaultBlacklist() *Blacklist {
+	b := NewBlacklist("disconnect-default")
+	for _, d := range DefaultAdDomains {
+		b.Add(d, Advertising)
+	}
+	for _, d := range DefaultAnalyticsDomains {
+		b.Add(d, Analytics)
+	}
+	for _, d := range DefaultSocialDomains {
+		b.Add(d, Social)
+	}
+	for _, d := range DefaultThirdPartyDomains {
+		b.Add(d, ThirdPartyContent)
+	}
+	return b
+}
+
+// DefaultClassifier returns a classifier over the built-in blacklist.
+func DefaultClassifier() *Classifier {
+	return NewClassifier(DefaultBlacklist())
+}

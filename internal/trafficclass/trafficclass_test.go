@@ -1,0 +1,157 @@
+package trafficclass
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	if Advertising.String() != "Advertising" || Rest.String() != "Rest" ||
+		ThirdPartyContent.String() != "3rd party content" {
+		t.Error("class names wrong")
+	}
+	if Class(99).String() != "Rest" || Class(-1).String() != "Rest" {
+		t.Error("out-of-range class names wrong")
+	}
+}
+
+func TestSuffixMatching(t *testing.T) {
+	b := NewBlacklist("t")
+	b.Add("doubleclick.net", Advertising)
+	cases := []struct {
+		host  string
+		class Class
+		found bool
+	}{
+		{"doubleclick.net", Advertising, true},
+		{"ad.doubleclick.net", Advertising, true},
+		{"a.b.c.doubleclick.net", Advertising, true},
+		{"notdoubleclick.net", Rest, false},
+		{"doubleclick.net.evil.com", Rest, false},
+		{"example.com", Rest, false},
+	}
+	for _, c := range cases {
+		got, ok := b.Lookup(c.host)
+		if got != c.class || ok != c.found {
+			t.Errorf("Lookup(%q) = (%v,%v), want (%v,%v)", c.host, got, ok, c.class, c.found)
+		}
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	b := NewBlacklist("t")
+	b.Add("WWW.Tracker.COM", Analytics)
+	for _, h := range []string{"tracker.com", "www.tracker.com", "TRACKER.COM",
+		"tracker.com:443", "tracker.com/path"} {
+		if _, ok := b.Lookup(h); !ok {
+			t.Errorf("Lookup(%q) missed", h)
+		}
+	}
+}
+
+func TestClassifierPrecedence(t *testing.T) {
+	first := NewBlacklist("first")
+	first.Add("dual.example", Advertising)
+	second := NewBlacklist("second")
+	second.Add("dual.example", Social)
+	second.Add("only-second.example", Analytics)
+
+	c := NewClassifier(first, second)
+	if got := c.Classify("dual.example"); got != Advertising {
+		t.Errorf("precedence violated: %v", got)
+	}
+	if got := c.Classify("only-second.example"); got != Analytics {
+		t.Errorf("fallthrough broken: %v", got)
+	}
+	if got := c.Classify("unlisted.example"); got != Rest {
+		t.Errorf("default class: %v", got)
+	}
+	if c.Lists() != 2 {
+		t.Errorf("Lists = %d", c.Lists())
+	}
+}
+
+func TestClassifierAppend(t *testing.T) {
+	c := NewClassifier()
+	if got := c.Classify("mopub.com"); got != Rest {
+		t.Errorf("empty classifier should return Rest, got %v", got)
+	}
+	c.Append(DefaultBlacklist())
+	if got := c.Classify("mopub.com"); got != Advertising {
+		t.Errorf("after append: %v", got)
+	}
+}
+
+func TestDefaultBlacklistCoverage(t *testing.T) {
+	c := DefaultClassifier()
+	cases := map[string]Class{
+		"cpp.imp.mpx.mopub.com":         Advertising, // Table 1(A)
+		"tags.mathtag.com":              Advertising, // Table 1(B)
+		"adserver-ir-p.mythings.com":    Advertising, // Table 1(C)
+		"beacon-eu2.rubiconproject.com": Advertising,
+		"securepubads.doubleclick.net":  Advertising,
+		"ssl.google-analytics.com":      Analytics,
+		"connect.facebook.net":          Social,
+		"d1.awsstatic.cloudfront.net":   ThirdPartyContent,
+		"elpais.es":                     Rest,
+	}
+	for host, want := range cases {
+		if got := c.Classify(host); got != want {
+			t.Errorf("Classify(%q) = %v, want %v", host, got, want)
+		}
+	}
+}
+
+func TestDomainsSorted(t *testing.T) {
+	b := DefaultBlacklist()
+	ds := b.Domains()
+	if len(ds) != b.Len() {
+		t.Fatalf("Domains len %d != Len %d", len(ds), b.Len())
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1] > ds[i] {
+			t.Fatal("Domains not sorted")
+		}
+	}
+}
+
+func TestLookupNeverPanicsProperty(t *testing.T) {
+	b := DefaultBlacklist()
+	f := func(host string) bool {
+		// Must not panic and must return a valid class.
+		cl, _ := b.Lookup(host)
+		return cl >= Rest && cl <= ThirdPartyContent
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubdomainDepthProperty(t *testing.T) {
+	b := NewBlacklist("t")
+	b.Add("x.example", Advertising)
+	f := func(labels []string) bool {
+		clean := make([]string, 0, len(labels))
+		for _, l := range labels {
+			l = strings.Map(func(r rune) rune {
+				if r >= 'a' && r <= 'z' {
+					return r
+				}
+				return -1
+			}, strings.ToLower(l))
+			if l != "" {
+				clean = append(clean, l)
+			}
+		}
+		if len(clean) > 5 {
+			clean = clean[:5]
+		}
+		host := strings.Join(append(clean, "x.example"), ".")
+		_, ok := b.Lookup(host)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package useragent parses and synthesizes HTTP User-Agent strings. The
+// Weblog Ads Analyzer (paper §4.1, operations ii–iii) classifies traffic
+// and extracts device fingerprints from the UA header: type of device,
+// mobile OS, and whether the request came from a mobile app or a mobile
+// web browser (process VM fingerprints such as Dalvik/ART for Android
+// apps, Darwin/CFNetwork for iOS apps).
+//
+// The package is used from both sides of the simulation: the trace
+// generator builds UA strings for synthetic devices, and the analyzer
+// parses them back — so round-trip fidelity is tested explicitly.
+package useragent
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OS is a device operating system family.
+type OS int
+
+// The OS families of the paper's Figure 8.
+const (
+	OSOther OS = iota
+	Android
+	IOS
+	WindowsMobile
+)
+
+var osNames = [...]string{"Other", "Android", "iOS", "Windows Mob"}
+
+// String returns the Figure 8 legend label.
+func (o OS) String() string {
+	if o < 0 || int(o) >= len(osNames) {
+		return "Other"
+	}
+	return osNames[o]
+}
+
+// DeviceType distinguishes the hardware classes of Table 5's campaign
+// filters.
+type DeviceType int
+
+// Device classes.
+const (
+	DeviceUnknown DeviceType = iota
+	Smartphone
+	Tablet
+	PC
+)
+
+var deviceNames = [...]string{"Unknown", "Smartphone", "Tablet", "PC"}
+
+// String returns the device class label.
+func (d DeviceType) String() string {
+	if d < 0 || int(d) >= len(deviceNames) {
+		return "Unknown"
+	}
+	return deviceNames[d]
+}
+
+// Origin distinguishes mobile in-app traffic from mobile web-browser
+// traffic (the "Type of interaction" filter of Table 5, and the §4.4
+// web-vs-apps analysis).
+type Origin int
+
+// Traffic origins.
+const (
+	OriginUnknown Origin = iota
+	MobileWeb
+	MobileApp
+	DesktopWeb
+)
+
+var originNames = [...]string{"Unknown", "Mobile web", "Mobile in-app", "Desktop web"}
+
+// String returns the origin label.
+func (o Origin) String() string {
+	if o < 0 || int(o) >= len(originNames) {
+		return "Unknown"
+	}
+	return originNames[o]
+}
+
+// Device is the parsed fingerprint of one User-Agent string.
+type Device struct {
+	OS        OS
+	OSVersion string
+	Type      DeviceType
+	Origin    Origin
+	Model     string
+}
+
+// Parse extracts a Device from a User-Agent header value. Unknown UAs
+// produce the zero Device (OSOther/DeviceUnknown/OriginUnknown).
+func Parse(ua string) Device {
+	l := strings.ToLower(ua)
+	var d Device
+	switch {
+	case strings.Contains(l, "dalvik") || strings.Contains(l, "; art "):
+		// Android process VM: app-originated traffic.
+		d.OS = Android
+		d.Origin = MobileApp
+		d.Type = androidDeviceType(l)
+		d.OSVersion = versionAfter(l, "android ")
+		d.Model = androidModel(ua)
+	case strings.Contains(l, "cfnetwork") || strings.Contains(l, "darwin"):
+		// iOS networking stack: app-originated traffic.
+		d.OS = IOS
+		d.Origin = MobileApp
+		if strings.Contains(l, "ipad") {
+			d.Type = Tablet
+		} else {
+			d.Type = Smartphone
+		}
+		d.OSVersion = versionAfter(l, "cfnetwork/")
+	case strings.Contains(l, "windows phone"):
+		d.OS = WindowsMobile
+		d.Origin = MobileWeb
+		d.Type = Smartphone
+		d.OSVersion = versionAfter(l, "windows phone ")
+	case strings.Contains(l, "android"):
+		d.OS = Android
+		d.Origin = MobileWeb
+		d.Type = androidDeviceType(l)
+		d.OSVersion = versionAfter(l, "android ")
+		d.Model = androidModel(ua)
+	case strings.Contains(l, "iphone"):
+		d.OS = IOS
+		d.Origin = MobileWeb
+		d.Type = Smartphone
+		d.OSVersion = dotted(versionAfter(l, "iphone os "))
+	case strings.Contains(l, "ipad"):
+		d.OS = IOS
+		d.Origin = MobileWeb
+		d.Type = Tablet
+		d.OSVersion = dotted(versionAfter(l, "cpu os "))
+	case strings.Contains(l, "windows nt"), strings.Contains(l, "macintosh"),
+		strings.Contains(l, "x11; linux"):
+		d.OS = OSOther
+		d.Origin = DesktopWeb
+		d.Type = PC
+	}
+	return d
+}
+
+func androidDeviceType(l string) DeviceType {
+	// Android convention: "Mobile" token present on phones, absent on
+	// tablets. App UAs (Dalvik) rarely carry it; assume phone unless the
+	// model hints tablet.
+	if strings.Contains(l, "tablet") || strings.Contains(l, "sm-t") ||
+		strings.Contains(l, "nexus 7") || strings.Contains(l, "nexus 10") {
+		return Tablet
+	}
+	if strings.Contains(l, "mobile") || strings.Contains(l, "dalvik") ||
+		strings.Contains(l, "; art ") {
+		return Smartphone
+	}
+	return Tablet
+}
+
+func androidModel(ua string) string {
+	// Model appears between the last "; " and " Build/" in the platform
+	// segment, e.g. "...; SM-G920F Build/LRX22G)".
+	i := strings.Index(ua, " Build/")
+	if i < 0 {
+		return ""
+	}
+	j := strings.LastIndex(ua[:i], "; ")
+	if j < 0 {
+		return ""
+	}
+	return strings.TrimSpace(ua[j+2 : i])
+}
+
+// versionAfter extracts a leading version-looking run (digits, dots,
+// underscores) following the marker.
+func versionAfter(l, marker string) string {
+	i := strings.Index(l, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := l[i+len(marker):]
+	end := 0
+	for end < len(rest) {
+		c := rest[end]
+		if (c < '0' || c > '9') && c != '.' && c != '_' {
+			break
+		}
+		end++
+	}
+	return rest[:end]
+}
+
+func dotted(v string) string { return strings.ReplaceAll(v, "_", ".") }
+
+// Spec describes a synthetic device for the trace generator.
+type Spec struct {
+	OS        OS
+	Type      DeviceType
+	Origin    Origin
+	OSVersion string
+	Model     string
+	App       string // bundle/app name for app-originated UAs
+}
+
+// Build renders a realistic User-Agent string for the Spec, the inverse of
+// Parse. Parse(Build(s)) recovers OS, Type and Origin (see tests).
+func Build(s Spec) string {
+	switch s.OS {
+	case Android:
+		v := s.OSVersion
+		if v == "" {
+			v = "5.1"
+		}
+		model := s.Model
+		if model == "" {
+			model = "SM-G920F"
+		}
+		if s.Origin == MobileApp {
+			return fmt.Sprintf("Dalvik/2.1.0 (Linux; U; Android %s; %s Build/LMY47X) %s",
+				v, model, appSuffix(s.App))
+		}
+		mobile := "Mobile "
+		if s.Type == Tablet {
+			mobile = ""
+			if model == "SM-G920F" {
+				model = "SM-T810"
+			}
+		}
+		return fmt.Sprintf("Mozilla/5.0 (Linux; Android %s; %s Build/LMY47X) "+
+			"AppleWebKit/537.36 (KHTML, like Gecko) Chrome/43.0.2357.93 %sSafari/537.36",
+			v, model, mobile)
+	case IOS:
+		v := s.OSVersion
+		if v == "" {
+			v = "9.3.2"
+		}
+		if s.Origin == MobileApp {
+			app := s.App
+			if app == "" {
+				app = "App"
+			}
+			return fmt.Sprintf("%s/3.1 CFNetwork/758.4.3 Darwin/15.5.0", app)
+		}
+		verToken := strings.ReplaceAll(v, ".", "_")
+		if s.Type == Tablet {
+			return fmt.Sprintf("Mozilla/5.0 (iPad; CPU OS %s like Mac OS X) "+
+				"AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 Mobile/13F69 Safari/601.1",
+				verToken)
+		}
+		return fmt.Sprintf("Mozilla/5.0 (iPhone; CPU iPhone OS %s like Mac OS X) "+
+			"AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 Mobile/13F69 Safari/601.1",
+			verToken)
+	case WindowsMobile:
+		v := s.OSVersion
+		if v == "" {
+			v = "8.1"
+		}
+		return fmt.Sprintf("Mozilla/5.0 (Mobile; Windows Phone %s; ARM; Trident/7.0; "+
+			"Touch; rv:11.0; IEMobile/11.0; NOKIA; Lumia 635) like Gecko", v)
+	default:
+		return "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 " +
+			"(KHTML, like Gecko) Chrome/51.0.2704.103 Safari/537.36"
+	}
+}
+
+func appSuffix(app string) string {
+	if app == "" {
+		return "com.example.app/1.0"
+	}
+	return app + "/1.0"
+}

@@ -1,0 +1,160 @@
+package useragent
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRealWorldUAs(t *testing.T) {
+	cases := []struct {
+		ua   string
+		os   OS
+		typ  DeviceType
+		orig Origin
+	}{
+		{
+			"Mozilla/5.0 (Linux; Android 5.1; SM-G920F Build/LMY47X) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/43.0.2357.93 Mobile Safari/537.36",
+			Android, Smartphone, MobileWeb,
+		},
+		{
+			"Dalvik/2.1.0 (Linux; U; Android 6.0.1; Nexus 5 Build/M4B30Z) com.king.candycrush/1.0",
+			Android, Smartphone, MobileApp,
+		},
+		{
+			"Mozilla/5.0 (Linux; Android 5.0.2; SM-T810 Build/LRX22G) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/43.0.2357.93 Safari/537.36",
+			Android, Tablet, MobileWeb,
+		},
+		{
+			"Mozilla/5.0 (iPhone; CPU iPhone OS 9_3_2 like Mac OS X) AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 Mobile/13F69 Safari/601.1",
+			IOS, Smartphone, MobileWeb,
+		},
+		{
+			"Mozilla/5.0 (iPad; CPU OS 9_3_2 like Mac OS X) AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 Mobile/13F69 Safari/601.1",
+			IOS, Tablet, MobileWeb,
+		},
+		{
+			"SpotifyApp/4.2 CFNetwork/758.4.3 Darwin/15.5.0",
+			IOS, Smartphone, MobileApp,
+		},
+		{
+			"Mozilla/5.0 (Mobile; Windows Phone 8.1; ARM; Trident/7.0; Touch; rv:11.0; IEMobile/11.0; NOKIA; Lumia 635) like Gecko",
+			WindowsMobile, Smartphone, MobileWeb,
+		},
+		{
+			"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/51.0.2704.103 Safari/537.36",
+			OSOther, PC, DesktopWeb,
+		},
+		{"totally unknown agent", OSOther, DeviceUnknown, OriginUnknown},
+		{"", OSOther, DeviceUnknown, OriginUnknown},
+	}
+	for _, c := range cases {
+		d := Parse(c.ua)
+		if d.OS != c.os || d.Type != c.typ || d.Origin != c.orig {
+			t.Errorf("Parse(%.40q) = {%v %v %v}, want {%v %v %v}",
+				c.ua, d.OS, d.Type, d.Origin, c.os, c.typ, c.orig)
+		}
+	}
+}
+
+func TestParseVersions(t *testing.T) {
+	d := Parse("Mozilla/5.0 (Linux; Android 5.1.1; Nexus 7 Build/LMY47X) AppleWebKit/537.36 Safari/537.36")
+	if d.OSVersion != "5.1.1" {
+		t.Errorf("android version = %q", d.OSVersion)
+	}
+	if d.Type != Tablet {
+		t.Errorf("Nexus 7 should be a tablet, got %v", d.Type)
+	}
+	d = Parse("Mozilla/5.0 (iPhone; CPU iPhone OS 9_3_2 like Mac OS X) AppleWebKit/601.1.46")
+	if d.OSVersion != "9.3.2" {
+		t.Errorf("ios version = %q", d.OSVersion)
+	}
+}
+
+func TestParseAndroidModel(t *testing.T) {
+	d := Parse("Mozilla/5.0 (Linux; Android 5.1; SM-G920F Build/LMY47X) AppleWebKit/537.36 Mobile Safari/537.36")
+	if d.Model != "SM-G920F" {
+		t.Errorf("model = %q", d.Model)
+	}
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{OS: Android, Type: Smartphone, Origin: MobileWeb},
+		{OS: Android, Type: Tablet, Origin: MobileWeb},
+		{OS: Android, Type: Smartphone, Origin: MobileApp, App: "com.game.fun"},
+		{OS: IOS, Type: Smartphone, Origin: MobileWeb},
+		{OS: IOS, Type: Tablet, Origin: MobileWeb},
+		{OS: IOS, Type: Smartphone, Origin: MobileApp, App: "NewsApp"},
+		{OS: WindowsMobile, Type: Smartphone, Origin: MobileWeb},
+		{OS: OSOther, Type: PC, Origin: DesktopWeb},
+	}
+	for _, s := range specs {
+		ua := Build(s)
+		d := Parse(ua)
+		if d.OS != s.OS {
+			t.Errorf("Build(%+v) → OS %v", s, d.OS)
+		}
+		if d.Origin != s.Origin {
+			t.Errorf("Build(%+v) → Origin %v (ua %q)", s, d.Origin, ua)
+		}
+		// Device type round-trips for web UAs; app UAs default to phone.
+		if s.Origin == MobileWeb && d.Type != s.Type {
+			t.Errorf("Build(%+v) → Type %v (ua %q)", s, d.Type, ua)
+		}
+	}
+}
+
+func TestBuildParseRoundTripProperty(t *testing.T) {
+	f := func(osSel, typeSel, origSel uint8) bool {
+		s := Spec{
+			OS:     OS(int(osSel)%3 + 1), // Android, IOS, WindowsMobile
+			Type:   Smartphone,
+			Origin: MobileWeb,
+		}
+		if typeSel%2 == 0 && s.OS != WindowsMobile {
+			s.Type = Tablet
+		}
+		if origSel%2 == 0 && s.OS != WindowsMobile {
+			s.Origin = MobileApp
+		}
+		d := Parse(Build(s))
+		return d.OS == s.OS && d.Origin == s.Origin
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Android.String() != "Android" || IOS.String() != "iOS" ||
+		WindowsMobile.String() != "Windows Mob" || OSOther.String() != "Other" {
+		t.Error("OS strings wrong")
+	}
+	if OS(99).String() != "Other" {
+		t.Error("out-of-range OS string")
+	}
+	if Smartphone.String() != "Smartphone" || Tablet.String() != "Tablet" {
+		t.Error("device strings wrong")
+	}
+	if DeviceType(-1).String() != "Unknown" {
+		t.Error("negative device string")
+	}
+	if MobileApp.String() != "Mobile in-app" || MobileWeb.String() != "Mobile web" {
+		t.Error("origin strings wrong")
+	}
+	if Origin(42).String() != "Unknown" {
+		t.Error("out-of-range origin string")
+	}
+}
+
+func TestVersionAfter(t *testing.T) {
+	if v := versionAfter("foo android 5.1.1; bar", "android "); v != "5.1.1" {
+		t.Errorf("versionAfter = %q", v)
+	}
+	if v := versionAfter("no marker here", "android "); v != "" {
+		t.Errorf("missing marker → %q", v)
+	}
+	if v := versionAfter("android x", "android "); v != "" {
+		t.Errorf("non-numeric version → %q", v)
+	}
+}

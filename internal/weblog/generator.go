@@ -1,0 +1,326 @@
+package weblog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/stats"
+	"yourandvalue/internal/useragent"
+)
+
+// Config sizes a synthetic trace. The zero value is invalid; use
+// DefaultConfig (full paper scale) or DefaultConfig().Scaled(f).
+type Config struct {
+	Seed int64
+	// Users is the population size; the paper's D has 1,594.
+	Users int
+	// Impressions is the target number of RTB price notifications; the
+	// paper's D carries 78,560.
+	Impressions int
+	// Sites and Apps size the browsing catalog.
+	Sites, Apps int
+	// Year of the trace; D spans 2015.
+	Year int
+	// BackgroundPerSession is the mean number of non-ad third-party
+	// requests logged per browsing session.
+	BackgroundPerSession float64
+	// Ecosystem overrides the default RTB simulator when non-nil.
+	Ecosystem *rtb.Ecosystem
+}
+
+// DefaultConfig reproduces the paper's dataset-D scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		Users:                1594,
+		Impressions:          78560,
+		Sites:                300,
+		Apps:                 150,
+		Year:                 2015,
+		BackgroundPerSession: 2.5,
+	}
+}
+
+// Scaled returns a copy with the population and impression volume scaled
+// by f (0 < f ≤ 1), for fast tests and benchmarks.
+func (c Config) Scaled(f float64) Config {
+	if f <= 0 || f > 1 {
+		return c
+	}
+	c.Users = max(int(float64(c.Users)*f), 10)
+	c.Impressions = max(int(float64(c.Impressions)*f), 100)
+	return c
+}
+
+// diurnal weights the hour-of-day at which sessions start.
+var diurnal = [24]float64{
+	1.0, 0.5, 0.3, 0.2, 0.3, 0.6, 1.2, 2.2, 3.0, 3.4, 3.5, 3.4,
+	3.0, 3.0, 2.6, 2.6, 3.0, 3.4, 4.0, 4.4, 4.4, 3.8, 2.8, 1.8,
+}
+
+// Third-party background hosts, keyed to the default traffic-class lists.
+var (
+	cdnHosts       = []string{"cdn.gstatic.com", "img.akamaihd.net", "assets.cloudfront.net", "code.jquery.com"}
+	analyticsHosts = []string{"www.google-analytics.com", "b.scorecardresearch.com", "pixel.quantserve.com"}
+	socialHosts    = []string{"connect.facebook.net", "platform.twitter.com", "widgets.pinterest.com"}
+	syncHosts      = []string{"sync.adnxs.com", "pixel.rubiconproject.com", "sync.mathtag.com", "cm.turn.com", "us-ads.openx.net"}
+)
+
+// Generate materializes a synthetic year-long trace per the config. The
+// result is deterministic in Config.Seed.
+func Generate(cfg Config) *Trace {
+	if cfg.Users <= 0 || cfg.Impressions <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Year == 0 {
+		cfg.Year = 2015
+	}
+	if cfg.Sites <= 0 {
+		cfg.Sites = 300
+	}
+	if cfg.Apps <= 0 {
+		cfg.Apps = 150
+	}
+	rng := stats.NewRand(cfg.Seed)
+	eco := cfg.Ecosystem
+	if eco == nil {
+		eco = rtb.NewEcosystem(rtb.EcosystemConfig{Seed: cfg.Seed + 1})
+	}
+	catalog := NewCatalog(cfg.Sites, cfg.Apps)
+
+	users := makeUsers(cfg, rng)
+
+	// Auction probability per session calibrated so the expected RTB
+	// impression count meets the target.
+	days := 365
+	if isLeap(cfg.Year) {
+		days = 366
+	}
+	expectedSessions := 0.0
+	for _, u := range users {
+		expectedSessions += u.SessionsPerDay * float64(days)
+	}
+	adRate := float64(cfg.Impressions) / expectedSessions // may exceed 1
+
+	g := &generator{
+		cfg: cfg, rng: rng, eco: eco, catalog: catalog,
+		trace: &Trace{Users: users, Catalog: catalog, Year: cfg.Year},
+	}
+	siteZipf := rng.Zipf(1.15, len(catalog.Sites))
+	appZipf := rng.Zipf(1.15, len(catalog.Apps))
+
+	start := time.Date(cfg.Year, 1, 1, 0, 0, 0, 0, time.UTC)
+	for ui := range users {
+		u := &users[ui]
+		webUA := useragent.Build(useragent.Spec{
+			OS: u.OS, Type: u.Device, Origin: useragent.MobileWeb,
+		})
+		appUA := useragent.Build(useragent.Spec{
+			OS: u.OS, Type: u.Device, Origin: useragent.MobileApp,
+			App: fmt.Sprintf("com.user%04d.app", u.ID),
+		})
+		for day := 0; day < days; day++ {
+			n := rng.Poisson(u.SessionsPerDay)
+			for s := 0; s < n; s++ {
+				hour := rng.WeightedChoice(diurnal[:])
+				ts := start.Add(time.Duration(day)*24*time.Hour +
+					time.Duration(hour)*time.Hour +
+					time.Duration(rng.Intn(3600))*time.Second)
+				inApp := rng.Float64() < u.AppAffinity
+				var prop Property
+				var ua string
+				if inApp {
+					prop = catalog.Apps[appZipf.Next()]
+					ua = appUA
+				} else {
+					prop = catalog.Sites[siteZipf.Next()]
+					ua = webUA
+				}
+				g.session(u, ts, prop, ua, adRate)
+			}
+		}
+	}
+	sort.SliceStable(g.trace.Requests, func(i, j int) bool {
+		return g.trace.Requests[i].Time.Before(g.trace.Requests[j].Time)
+	})
+	sort.SliceStable(g.trace.Impressions, func(i, j int) bool {
+		return g.trace.Impressions[i].Ctx.Time.Before(g.trace.Impressions[j].Ctx.Time)
+	})
+	return g.trace
+}
+
+type generator struct {
+	cfg     Config
+	rng     *stats.Rand
+	eco     *rtb.Ecosystem
+	catalog *Catalog
+	trace   *Trace
+}
+
+func (g *generator) emit(r Request) { g.trace.Requests = append(g.trace.Requests, r) }
+
+func (g *generator) request(u *User, ts time.Time, rawURL, host, ua string, meanBytes float64) {
+	g.emit(Request{
+		Time: ts, UserID: u.ID, URL: rawURL, Host: host,
+		UserAgent: ua, ClientIP: u.IP,
+		Bytes:      int64(g.rng.LogNormalMeanStd(meanBytes, meanBytes)),
+		DurationMS: g.rng.LogNormalMeanStd(180, 150),
+	})
+}
+
+// session emits the request cluster of one browsing session: the page (or
+// app API call), background third-party traffic, occasional cookie syncs
+// and beacons, and — with probability adRate — an RTB auction whose nURL
+// lands in the trace.
+func (g *generator) session(u *User, ts time.Time, prop Property, ua string, adRate float64) {
+	rng := g.rng
+	pageURL := "http://" + prop.Domain + "/"
+	if prop.IsApp() {
+		pageURL = "http://" + prop.Domain + "/v1/feed"
+	}
+	g.request(u, ts, pageURL, prop.Domain, ua, 24000)
+
+	nBg := rng.Poisson(g.cfg.BackgroundPerSession)
+	for i := 0; i < nBg; i++ {
+		ts = ts.Add(time.Duration(50+rng.Intn(400)) * time.Millisecond)
+		var host, path string
+		switch rng.Intn(4) {
+		case 0:
+			host, path = analyticsHosts[rng.Intn(len(analyticsHosts))], "/collect?v=1&t=pageview"
+		case 1:
+			host, path = socialHosts[rng.Intn(len(socialHosts))], "/plugins/like.php"
+		default:
+			host, path = cdnHosts[rng.Intn(len(cdnHosts))], fmt.Sprintf("/static/a%d.js", rng.Intn(50))
+		}
+		g.request(u, ts, "http://"+host+path, host, ua, 8000)
+	}
+
+	// Cookie synchronization: a pair of ad hosts exchanging the user's ID.
+	if rng.Float64() < 0.10 {
+		h1 := syncHosts[rng.Intn(len(syncHosts))]
+		h2 := syncHosts[rng.Intn(len(syncHosts))]
+		ts = ts.Add(80 * time.Millisecond)
+		g.request(u, ts, fmt.Sprintf("http://%s/getuid?user_id=%s", h1, u.SyncID), h1, ua, 400)
+		if h2 != h1 {
+			ts = ts.Add(40 * time.Millisecond)
+			g.request(u, ts, fmt.Sprintf("http://%s/usersync?user_id=%s&redir=http%%3A%%2F%%2F%s%%2Fmatch", h2, u.SyncID, h1), h2, ua, 400)
+		}
+	}
+	if rng.Float64() < 0.10 {
+		h := syncHosts[rng.Intn(len(syncHosts))]
+		ts = ts.Add(60 * time.Millisecond)
+		g.request(u, ts, "http://"+h+"/px.gif?r="+fmt.Sprint(rng.Intn(1<<30)), h, ua, 43)
+	}
+
+	// RTB auctions for this session's ad slots.
+	k := int(adRate)
+	if rng.Float64() < adRate-float64(k) {
+		k++
+	}
+	for i := 0; i < k; i++ {
+		ts = ts.Add(time.Duration(100+rng.Intn(300)) * time.Millisecond)
+		g.auction(u, ts, prop, ua)
+	}
+}
+
+func (g *generator) auction(u *User, ts time.Time, prop Property, ua string) {
+	month := int(ts.Month())
+	origin := useragent.MobileWeb
+	if prop.IsApp() {
+		origin = useragent.MobileApp
+	}
+	ctx := rtb.Context{
+		Time:      ts,
+		City:      u.City,
+		OS:        u.OS,
+		Device:    u.Device,
+		Origin:    origin,
+		Publisher: prop.Domain,
+		Category:  prop.Category,
+		Slot:      rtb.SampleSlot(month, g.rng.WeightedChoice),
+		UserValue: u.ValueMultiplier,
+		Year2016:  g.cfg.Year >= 2016,
+	}
+	res, ok := g.eco.Serve(ctx, monthIndex(g.cfg.Year, month))
+	if !ok {
+		return
+	}
+	host := hostOf(res.NURL)
+	g.request(u, ts, res.NURL, host, ua, 600)
+	g.trace.Impressions = append(g.trace.Impressions, ImpressionTruth{
+		UserID: u.ID, Month: month, Ctx: ctx,
+		ADX: res.ADX.Name, DSP: res.Winner.Name,
+		ChargeCPM: res.ChargeCPM, Encrypted: res.Encrypted,
+		NURL: res.NURL,
+	})
+}
+
+// monthIndex converts a calendar month of the trace year into the
+// ecosystem's 1-based months-since-Jan-2015 adoption clock.
+func monthIndex(year, month int) int {
+	return (year-2015)*12 + month
+}
+
+func hostOf(rawURL string) string {
+	const scheme = "http://"
+	s := rawURL
+	if len(s) > len(scheme) && s[:len(scheme)] == scheme {
+		s = s[len(scheme):]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == '?' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func makeUsers(cfg Config, rng *stats.Rand) []User {
+	cities := geoip.AllCities()
+	cityWeights := make([]float64, len(cities))
+	for i, c := range cities {
+		cityWeights[i] = c.Weight()
+	}
+	users := make([]User, cfg.Users)
+	for i := range users {
+		city := cities[rng.WeightedChoice(cityWeights)]
+		var os useragent.OS
+		switch r := rng.Float64(); {
+		case r < 0.62:
+			os = useragent.Android
+		case r < 0.93:
+			os = useragent.IOS
+		case r < 0.98:
+			os = useragent.WindowsMobile
+		default:
+			os = useragent.OSOther
+		}
+		dev := useragent.Smartphone
+		if rng.Float64() < 0.18 {
+			dev = useragent.Tablet
+		}
+		value := rng.LogNormal(-0.125, 0.5)
+		if rng.Float64() < 0.02 { // whales, §6.2's ~2% of users
+			value *= 8 + rng.Float64()*32
+		}
+		users[i] = User{
+			ID:              i,
+			City:            city,
+			OS:              os,
+			Device:          dev,
+			IP:              geoip.AddrFor(city, uint16(i)),
+			ValueMultiplier: value,
+			SessionsPerDay:  rng.LogNormal(-1.2, 0.9), // median ≈0.30/day
+			AppAffinity:     0.30 + 0.50*rng.Float64(),
+			SyncID:          fmt.Sprintf("uid-%08x%08x", rng.Int63()&0xFFFFFFFF, i),
+		}
+	}
+	return users
+}
+
+func isLeap(y int) bool {
+	return y%4 == 0 && (y%100 != 0 || y%400 == 0)
+}

@@ -1,0 +1,69 @@
+package weblog
+
+import (
+	"time"
+
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/useragent"
+)
+
+// Request is one HTTP request record as the paper's proxy logged it:
+// timestamp, user, URL, UA, client address, and transfer accounting.
+type Request struct {
+	Time       time.Time
+	UserID     int
+	URL        string
+	Host       string
+	UserAgent  string
+	ClientIP   string
+	Bytes      int64
+	DurationMS float64
+}
+
+// User is one member of the synthetic population with the latent traits
+// that shape their traffic and their value to advertisers.
+type User struct {
+	ID     int
+	City   geoip.City
+	OS     useragent.OS
+	Device useragent.DeviceType
+	IP     string
+	// ValueMultiplier is the heavy-tailed per-user worth advertisers
+	// perceive; whales (paper §6.2's ~2% of users) carry large values.
+	ValueMultiplier float64
+	// SessionsPerDay is the user's mean browsing-session rate.
+	SessionsPerDay float64
+	// AppAffinity is the probability a session happens in an app rather
+	// than the mobile browser.
+	AppAffinity float64
+	// SyncID is the user identifier ad domains exchange in cookie syncs.
+	SyncID string
+}
+
+// ImpressionTruth retains the generator-side ground truth for one RTB
+// impression: what the auction actually charged and under which context.
+// The analyzer never sees this; evaluation harnesses score against it.
+type ImpressionTruth struct {
+	UserID    int
+	Month     int // 1..12 within the trace year
+	Ctx       rtb.Context
+	ADX       string
+	DSP       string
+	ChargeCPM float64
+	Encrypted bool
+	NURL      string
+}
+
+// Trace is a fully materialized synthetic weblog.
+type Trace struct {
+	Users       []User
+	Requests    []Request // time-ordered
+	Impressions []ImpressionTruth
+	Catalog     *Catalog
+	Year        int
+}
+
+// RTBCount returns the number of RTB impressions in the trace (the
+// paper's Table 3 "Impressions" row for D).
+func (t *Trace) RTBCount() int { return len(t.Impressions) }

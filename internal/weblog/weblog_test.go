@@ -1,0 +1,273 @@
+package weblog
+
+import (
+	"testing"
+
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/stats"
+	"yourandvalue/internal/useragent"
+)
+
+// smallConfig keeps unit tests fast (~2% of paper scale).
+func smallConfig(seed int64) Config {
+	c := DefaultConfig().Scaled(0.02)
+	c.Seed = seed
+	return c
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog(50, 20)
+	if len(c.Sites) != 50 || len(c.Apps) != 20 {
+		t.Fatalf("catalog sizes %d/%d", len(c.Sites), len(c.Apps))
+	}
+	for _, p := range c.Sites {
+		if p.IsApp() {
+			t.Error("site flagged as app")
+		}
+		if got := c.Directory().Lookup(p.Domain); got != p.Category {
+			t.Errorf("directory disagrees for %s: %v vs %v", p.Domain, got, p.Category)
+		}
+	}
+	for _, p := range c.Apps {
+		if !p.IsApp() {
+			t.Error("app not flagged")
+		}
+	}
+	if n := c.CategoryCount(); n != 18 {
+		t.Errorf("category count = %d, want 18 (Table 3)", n)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(5))
+	b := Generate(smallConfig(5))
+	if len(a.Requests) != len(b.Requests) || len(a.Impressions) != len(b.Impressions) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			len(a.Requests), len(a.Impressions), len(b.Requests), len(b.Impressions))
+	}
+	for i := range a.Impressions {
+		if a.Impressions[i].NURL != b.Impressions[i].NURL {
+			t.Fatal("impression streams differ under same seed")
+		}
+	}
+	c := Generate(smallConfig(6))
+	if len(c.Impressions) == len(a.Impressions) && len(c.Requests) == len(a.Requests) {
+		// Extremely unlikely to match exactly under a different seed.
+		t.Error("different seeds produced identical trace sizes")
+	}
+}
+
+func TestImpressionVolumeNearTarget(t *testing.T) {
+	cfg := smallConfig(1)
+	tr := Generate(cfg)
+	got := float64(tr.RTBCount())
+	want := float64(cfg.Impressions)
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("impressions = %v, want ≈%v", got, want)
+	}
+}
+
+func TestRequestsOrderedAndWellFormed(t *testing.T) {
+	tr := Generate(smallConfig(2))
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i, r := range tr.Requests {
+		if i > 0 && r.Time.Before(tr.Requests[i-1].Time) {
+			t.Fatal("requests not time-ordered")
+		}
+		if r.Time.Year() != tr.Year {
+			t.Fatalf("request outside trace year: %v", r.Time)
+		}
+		if r.Host == "" || r.URL == "" || r.UserAgent == "" || r.ClientIP == "" {
+			t.Fatalf("incomplete request %+v", r)
+		}
+		if r.Bytes < 0 || r.DurationMS < 0 {
+			t.Fatalf("negative accounting %+v", r)
+		}
+		if r.UserID < 0 || r.UserID >= len(tr.Users) {
+			t.Fatalf("bad user id %d", r.UserID)
+		}
+	}
+}
+
+func TestNURLsParseable(t *testing.T) {
+	tr := Generate(smallConfig(3))
+	reg := nurl.Default()
+	for _, imp := range tr.Impressions {
+		n, ok := reg.Parse(imp.NURL)
+		if !ok {
+			t.Fatalf("impression nURL unparseable: %s", imp.NURL)
+		}
+		if imp.Encrypted != (n.Kind == nurl.Encrypted) {
+			t.Fatalf("encryption flag mismatch for %s", imp.NURL)
+		}
+		if !imp.Encrypted {
+			if diff := n.PriceCPM - imp.ChargeCPM; diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("cleartext price %v != truth %v", n.PriceCPM, imp.ChargeCPM)
+			}
+		}
+		if imp.ChargeCPM <= 0 {
+			t.Fatal("non-positive ground-truth charge")
+		}
+	}
+}
+
+func TestUserPopulationShape(t *testing.T) {
+	cfg := DefaultConfig().Scaled(0.3) // larger sample for stable shares
+	cfg.Seed = 4
+	tr := Generate(cfg)
+
+	android, ios := 0, 0
+	whales := 0
+	cityCounts := map[geoip.City]int{}
+	for _, u := range tr.Users {
+		switch u.OS {
+		case useragent.Android:
+			android++
+		case useragent.IOS:
+			ios++
+		}
+		if u.ValueMultiplier > 8 {
+			whales++
+		}
+		cityCounts[u.City]++
+		if !u.City.Valid() {
+			t.Fatalf("user %d has invalid city", u.ID)
+		}
+		if u.SessionsPerDay <= 0 || u.AppAffinity < 0.3 || u.AppAffinity > 0.8 {
+			t.Fatalf("user traits out of range: %+v", u)
+		}
+	}
+	// Android ≈ 2× iOS (Figure 8); wide band for the small sample.
+	ratio := float64(android) / float64(ios)
+	if ratio < 1.4 || ratio > 2.8 {
+		t.Errorf("android/ios user ratio = %v, want ≈2", ratio)
+	}
+	// ~2% whales (±1.5 points).
+	wf := float64(whales) / float64(len(tr.Users))
+	if wf < 0.005 || wf > 0.05 {
+		t.Errorf("whale fraction = %v, want ≈0.02", wf)
+	}
+	// Madrid should be the most common home city.
+	for c, n := range cityCounts {
+		if c != geoip.Madrid && n > cityCounts[geoip.Madrid] {
+			t.Errorf("city %v (%d users) outnumbers Madrid (%d)", c, n, cityCounts[geoip.Madrid])
+		}
+	}
+}
+
+// TestMakeUsersOSDistribution checks the OS mix at large N where binomial
+// noise is negligible: Android ≈2× iOS (Figures 8–9).
+func TestMakeUsersOSDistribution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Users = 20000
+	users := makeUsers(cfg, stats.NewRand(17))
+	counts := map[useragent.OS]int{}
+	for _, u := range users {
+		counts[u.OS]++
+	}
+	ratio := float64(counts[useragent.Android]) / float64(counts[useragent.IOS])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("android/ios = %v at N=20000, want ≈2", ratio)
+	}
+	if counts[useragent.WindowsMobile] == 0 || counts[useragent.OSOther] == 0 {
+		t.Error("minor OSes absent")
+	}
+}
+
+func TestEncryptedShareGrowsInTrace(t *testing.T) {
+	cfg := DefaultConfig().Scaled(0.1)
+	cfg.Seed = 9
+	tr := Generate(cfg)
+	encByHalf := [2]int{}
+	totByHalf := [2]int{}
+	for _, imp := range tr.Impressions {
+		h := 0
+		if imp.Month > 6 {
+			h = 1
+		}
+		totByHalf[h]++
+		if imp.Encrypted {
+			encByHalf[h]++
+		}
+	}
+	s1 := float64(encByHalf[0]) / float64(totByHalf[0])
+	s2 := float64(encByHalf[1]) / float64(totByHalf[1])
+	if s2 <= s1 {
+		t.Errorf("encrypted share should grow: H1 %.3f, H2 %.3f", s1, s2)
+	}
+	overall := float64(encByHalf[0]+encByHalf[1]) / float64(totByHalf[0]+totByHalf[1])
+	if overall < 0.10 || overall > 0.45 {
+		t.Errorf("overall encrypted share = %.3f, want ≈0.26 (§2.4)", overall)
+	}
+}
+
+func TestAppPricesHigher(t *testing.T) {
+	cfg := DefaultConfig().Scaled(0.1)
+	cfg.Seed = 10
+	tr := Generate(cfg)
+	var app, web []float64
+	for _, imp := range tr.Impressions {
+		if imp.Ctx.Origin == useragent.MobileApp {
+			app = append(app, imp.ChargeCPM)
+		} else {
+			web = append(web, imp.ChargeCPM)
+		}
+	}
+	ma, _ := stats.Mean(app)
+	mw, _ := stats.Mean(web)
+	if ma/mw < 1.5 {
+		t.Errorf("app/web mean price ratio = %v, want ≈2.6 (§4.4)", ma/mw)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := DefaultConfig()
+	s := c.Scaled(0.1)
+	if s.Users != 159 || s.Impressions != 7856 {
+		t.Errorf("scaled = %d users / %d imps", s.Users, s.Impressions)
+	}
+	if bad := c.Scaled(0); bad.Users != c.Users {
+		t.Error("invalid factor should be a no-op")
+	}
+	if bad := c.Scaled(2); bad.Users != c.Users {
+		t.Error("factor >1 should be a no-op")
+	}
+	tiny := c.Scaled(0.0001)
+	if tiny.Users < 10 || tiny.Impressions < 100 {
+		t.Error("scaling floor violated")
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	cases := map[string]string{
+		"http://a.b.c/path?q=1": "a.b.c",
+		"http://a.b.c?q=1":      "a.b.c",
+		"http://a.b.c":          "a.b.c",
+		"a.b.c/x":               "a.b.c",
+	}
+	for in, want := range cases {
+		if got := hostOf(in); got != want {
+			t.Errorf("hostOf(%q) = %q", in, got)
+		}
+	}
+}
+
+func TestMonthIndex(t *testing.T) {
+	if monthIndex(2015, 1) != 1 || monthIndex(2015, 12) != 12 {
+		t.Error("2015 months")
+	}
+	if monthIndex(2016, 5) != 17 {
+		t.Error("2016 offset")
+	}
+}
+
+func TestIsLeap(t *testing.T) {
+	for y, want := range map[int]bool{2015: false, 2016: true, 2000: true, 1900: false} {
+		if isLeap(y) != want {
+			t.Errorf("isLeap(%d) = %v", y, !want)
+		}
+	}
+}

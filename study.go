@@ -1,0 +1,143 @@
+// Package yourandvalue reproduces "If you are not paying for it, you are
+// the product: How much do advertisers pay to reach you?" (Papadopoulos,
+// Kourtellis, Rodriguez, Laoutaris — IMC 2017) as a runnable system: a
+// full RTB ecosystem simulator, the paper's Weblog Ads Analyzer, the
+// probing ad-campaign engine, the Price Modeling Engine with its
+// random-forest encrypted-price classifier, and the YourAdValue
+// client-side cost estimator.
+//
+// The package is the public facade: Run executes the end-to-end study
+// (trace → analysis → campaigns → model → per-user costs) and the
+// Figure*/Table*/Section* methods regenerate every table and figure of
+// the paper's evaluation as printable rows. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package yourandvalue
+
+import (
+	"fmt"
+
+	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/baseline"
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/core"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/weblog"
+)
+
+// Config sizes a study run. The zero value is invalid; start from
+// DefaultConfig.
+type Config struct {
+	// Seed drives every random component; equal seeds give equal studies.
+	Seed int64
+	// Scale shrinks the paper-scale dataset (1,594 users / 78,560 RTB
+	// impressions) for faster runs; 1.0 is full scale.
+	Scale float64
+	// CampaignImpressionsPerSetup is the per-setup delivery target for
+	// the probing campaigns (§5.2 derives a 185 minimum at full rigor).
+	CampaignImpressionsPerSetup int
+	// ForestSize is the PME's random-forest ensemble size.
+	ForestSize int
+	// CVFolds and CVRuns control the §5.4 evaluation protocol.
+	CVFolds, CVRuns int
+}
+
+// DefaultConfig returns a configuration matching the paper's scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                        1,
+		Scale:                       1.0,
+		CampaignImpressionsPerSetup: 185,
+		ForestSize:                  40,
+		CVFolds:                     10,
+		CVRuns:                      2,
+	}
+}
+
+// QuickConfig returns a reduced configuration suitable for laptops and
+// benchmarks (~5% of paper scale).
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Scale = 0.05
+	c.CampaignImpressionsPerSetup = 60
+	c.CVRuns = 1
+	return c
+}
+
+// Study holds every artifact of one end-to-end run.
+type Study struct {
+	Config    Config
+	Ecosystem *rtb.Ecosystem
+	Trace     *weblog.Trace
+	Analysis  *analyzer.Result
+	A1        *campaign.Report // encrypted-exchange probing round
+	A2        *campaign.Report // MoPub cleartext round
+	Model     *core.Model
+	Costs     map[int]*core.UserCost
+	Baseline  *baseline.Estimator
+}
+
+// Run executes the complete pipeline of the paper:
+//
+//  1. generate the year-long weblog D through simulated RTB auctions,
+//  2. analyze it with the Weblog Ads Analyzer (§4),
+//  3. run the A1 (encrypted) and A2 (cleartext) probing campaigns (§5.2–5.3),
+//  4. train the PME model on A1 ground truth (§5.4),
+//  5. estimate every user's total advertiser cost (§6).
+func Run(cfg Config) (*Study, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("yourandvalue: scale %v out of (0,1]", cfg.Scale)
+	}
+	if cfg.CampaignImpressionsPerSetup <= 0 {
+		return nil, fmt.Errorf("yourandvalue: non-positive campaign target")
+	}
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: cfg.Seed + 1})
+	wcfg := weblog.DefaultConfig().Scaled(cfg.Scale)
+	wcfg.Seed = cfg.Seed
+	wcfg.Ecosystem = eco
+	trace := weblog.Generate(wcfg)
+
+	an := analyzer.New(trace.Catalog.Directory())
+	res := an.Analyze(trace.Requests)
+
+	eng := campaign.NewEngine(eco)
+	a1, err := eng.Run(campaign.A1Config(trace.Catalog, cfg.CampaignImpressionsPerSetup, cfg.Seed+2))
+	if err != nil {
+		return nil, fmt.Errorf("yourandvalue: A1 campaign: %w", err)
+	}
+	a2, err := eng.Run(campaign.A2Config(trace.Catalog, cfg.CampaignImpressionsPerSetup, cfg.Seed+3))
+	if err != nil {
+		return nil, fmt.Errorf("yourandvalue: A2 campaign: %w", err)
+	}
+
+	pme := core.NewPME(cfg.Seed + 4)
+	if cfg.ForestSize > 0 {
+		pme.ForestSize = cfg.ForestSize
+	}
+	if cfg.CVFolds > 0 {
+		pme.CVFolds = cfg.CVFolds
+	}
+	if cfg.CVRuns > 0 {
+		pme.CVRuns = cfg.CVRuns
+	}
+	model, err := pme.Train(a1.Records, core.TrainConfig{
+		CleartextReference2015: res.CleartextPrices(func(i analyzer.Impression) bool {
+			return i.Notification.ADX == campaign.CleartextADX
+		}),
+		CleartextCampaign: a2.Records,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("yourandvalue: training PME: %w", err)
+	}
+
+	return &Study{
+		Config:    cfg,
+		Ecosystem: eco,
+		Trace:     trace,
+		Analysis:  res,
+		A1:        a1,
+		A2:        a2,
+		Model:     model,
+		Costs:     core.BatchEstimate(res, model),
+		Baseline:  baseline.New(res),
+	}, nil
+}

@@ -1,0 +1,89 @@
+package yourandvalue
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result: the rows/series a paper figure
+// or table reports, rendered uniformly by the benchmark harness and the
+// experiments CLI.
+type Table struct {
+	ID     string // e.g. "Figure 17"
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries the paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted float cells after a leading label.
+func (t *Table) AddRowf(label string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, FormatCPM(v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// FormatCPM renders a CPM value compactly.
+func FormatCPM(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 0.01:
+		return fmt.Sprintf("%.4f", v)
+	case v < 10:
+		return fmt.Sprintf("%.3f", v)
+	case v < 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// FormatPct renders a fraction as a percentage.
+func FormatPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
