@@ -7,9 +7,11 @@ package yourandvalue
 // experiment reproduction run recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/baseline"
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
 	"yourandvalue/internal/nurl"
@@ -213,6 +215,84 @@ func BenchmarkAblationPublisherOverfit(b *testing.B) {
 	}
 	b.StopTimer()
 	b.Logf("\n%s", tbl.String())
+}
+
+// --- Pipeline vs sequential seed path ---
+
+// benchConfig is a full study small enough to iterate under the
+// benchmark clock.
+func benchConfig() Config {
+	return Config{
+		Seed: 7, Scale: 0.03, CampaignImpressionsPerSetup: 40,
+		ForestSize: 8, CVFolds: 3, CVRuns: 1,
+	}
+}
+
+// runSequentialSeedPath replicates the shape of the seed repository's
+// one-shot Run body: stages strictly in sequence, campaigns one after
+// the other, cost estimation unsharded. (Auction demand now flows
+// through per-campaign probe sessions everywhere, so the draws differ
+// from the historical seed output; the stage structure and workload are
+// what this baseline preserves.) It is the sequential path the staged
+// pipeline must not regress against.
+func runSequentialSeedPath(cfg Config) (*Study, error) {
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: cfg.Seed + 1})
+	wcfg := weblog.DefaultConfig().Scaled(cfg.Scale)
+	wcfg.Seed = cfg.Seed
+	wcfg.Ecosystem = eco
+	trace := weblog.Generate(wcfg)
+
+	res := analyzer.New(trace.Catalog.Directory()).Analyze(trace.Requests)
+
+	eng := campaign.NewEngine(eco)
+	a1, err := eng.Run(campaign.A1Config(trace.Catalog, cfg.CampaignImpressionsPerSetup, cfg.Seed+2))
+	if err != nil {
+		return nil, err
+	}
+	a2, err := eng.Run(campaign.A2Config(trace.Catalog, cfg.CampaignImpressionsPerSetup, cfg.Seed+3))
+	if err != nil {
+		return nil, err
+	}
+
+	pme := core.NewPME(cfg.Seed + 4)
+	pme.ForestSize = cfg.ForestSize
+	pme.CVFolds, pme.CVRuns = cfg.CVFolds, cfg.CVRuns
+	model, err := pme.Train(a1.Records, core.TrainConfig{
+		CleartextReference2015: res.CleartextPrices(func(i analyzer.Impression) bool {
+			return i.Notification.ADX == campaign.CleartextADX
+		}),
+		CleartextCampaign: a2.Records,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		Config: cfg, Ecosystem: eco, Trace: trace, Analysis: res,
+		A1: a1, A2: a2, Model: model,
+		Costs:    core.BatchEstimate(res, model),
+		Baseline: baseline.New(res),
+	}, nil
+}
+
+func BenchmarkStudySequentialSeedPath(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := runSequentialSeedPath(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudyPipelineStaged(b *testing.B) {
+	p, err := NewPipeline(WithConfig(benchConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Execute(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Hot-path micro-benchmarks ---

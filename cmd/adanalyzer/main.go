@@ -8,15 +8,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
-	"yourandvalue/internal/analyzer"
+	"yourandvalue"
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/trafficclass"
-	"yourandvalue/internal/weblog"
 )
 
 func main() {
@@ -24,14 +25,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	cfg := weblog.DefaultConfig().Scaled(*scale)
-	cfg.Seed = *seed
-	fmt.Fprintf(os.Stderr, "generating trace (%d users, target %d impressions)...\n",
-		cfg.Users, cfg.Impressions)
-	trace := weblog.Generate(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	an := analyzer.New(trace.Catalog.Directory())
-	res := an.Analyze(trace.Requests)
+	pipe, err := yourandvalue.NewPipeline(
+		yourandvalue.WithScale(*scale),
+		yourandvalue.WithSeed(*seed),
+	)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "generating trace at scale %.2f...\n", *scale)
+	tr, err := pipe.GenerateTrace(ctx)
+	exitOn(err)
+	trace := tr.Trace
+	res, err := pipe.Analyze(ctx, tr)
+	exitOn(err)
 
 	fmt.Printf("requests analyzed:    %d\n", len(trace.Requests))
 	fmt.Printf("users:                %d\n", len(res.Users))
@@ -74,5 +81,12 @@ func main() {
 	fmt.Println("\nencrypted ADX-DSP pair share by month:")
 	for m := 1; m <= 12; m++ {
 		fmt.Printf("  %02d: %.1f%%\n", m, 100*res.EncryptedPairShare(m))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
 	}
 }

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"yourandvalue"
@@ -28,16 +30,34 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
 	flag.Parse()
 
-	cfg := yourandvalue.DefaultConfig()
-	cfg.Scale = *scale
-	cfg.Seed = *seed
-	cfg.CampaignImpressionsPerSetup = *perSetup
-	cfg.ForestSize = *forest
-	cfg.CVRuns = 1
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	pipe, err := yourandvalue.NewPipeline(
+		yourandvalue.WithScale(*scale),
+		yourandvalue.WithSeed(*seed),
+		yourandvalue.WithCampaignImpressions(*perSetup),
+		yourandvalue.WithForestSize(*forest),
+		yourandvalue.WithCrossValidation(10, 1),
+		yourandvalue.WithProgress(func(ev yourandvalue.StageEvent) {
+			switch ev.State {
+			case yourandvalue.StageStarted:
+				fmt.Fprintf(os.Stderr, "  %-15s ...\n", ev.Stage)
+			case yourandvalue.StageCompleted:
+				fmt.Fprintf(os.Stderr, "  %-15s %s\n", ev.Stage, ev.Elapsed.Round(time.Millisecond))
+			case yourandvalue.StageFailed:
+				fmt.Fprintf(os.Stderr, "  %-15s FAILED: %v\n", ev.Stage, ev.Err)
+			}
+		}),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "running study at scale %.2f (seed %d)...\n", *scale, *seed)
-	study, err := yourandvalue.Run(cfg)
+	study, err := pipe.Execute(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

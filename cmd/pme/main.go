@@ -4,61 +4,61 @@
 //
 // Usage:
 //
-//	pme [-listen :8700] [-per-setup 60] [-seed 1] [-once]
+//	pme [-listen :8700] [-scale 0.05] [-per-setup 60] [-seed 1] [-once]
 //
 // With -once the trained model's metrics are printed and the process
 // exits without serving (useful in scripts).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 
-	"yourandvalue/internal/analyzer"
-	"yourandvalue/internal/campaign"
-	"yourandvalue/internal/core"
+	"yourandvalue"
 	"yourandvalue/internal/pmeserver"
-	"yourandvalue/internal/rtb"
-	"yourandvalue/internal/weblog"
 )
 
 func main() {
 	listen := flag.String("listen", ":8700", "HTTP listen address")
+	scale := flag.Float64("scale", 0.05, "bootstrap weblog scale")
 	perSetup := flag.Int("per-setup", 60, "campaign impressions per setup")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	once := flag.Bool("once", false, "train, print metrics, and exit")
 	flag.Parse()
 
-	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: *seed + 1})
-	catalog := weblog.NewCatalog(300, 150)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	fmt.Fprintln(os.Stderr, "running probing ad-campaigns (A1 encrypted, A2 cleartext)...")
-	eng := campaign.NewEngine(eco)
-	a1, err := eng.Run(campaign.A1Config(catalog, *perSetup, *seed+2))
+	pipe, err := yourandvalue.NewPipeline(
+		yourandvalue.WithScale(*scale),
+		yourandvalue.WithSeed(*seed),
+		yourandvalue.WithCampaignImpressions(*perSetup),
+		yourandvalue.WithCrossValidation(10, 1),
+		yourandvalue.WithProgress(func(ev yourandvalue.StageEvent) {
+			if ev.State == yourandvalue.StageCompleted {
+				fmt.Fprintf(os.Stderr, "stage %-15s done in %s\n", ev.Stage, ev.Elapsed.Round(1e6))
+			}
+		}),
+	)
 	exitOn(err)
-	a2, err := eng.Run(campaign.A2Config(catalog, *perSetup, *seed+3))
+
+	// The model needs campaigns plus the analyzed weblog (its cleartext
+	// 2015 reference drives the §6.2 time-shift coefficient); the cost
+	// stage is not needed to serve, so run the stages individually.
+	tr, err := pipe.GenerateTrace(ctx)
+	exitOn(err)
+	res, err := pipe.Analyze(ctx, tr)
+	exitOn(err)
+	fmt.Fprintln(os.Stderr, "running probing ad-campaigns (A1 encrypted, A2 cleartext, in parallel)...")
+	camps, err := pipe.RunCampaigns(ctx, tr)
 	exitOn(err)
 	fmt.Fprintf(os.Stderr, "A1: %d records ($%.2f); A2: %d records ($%.2f)\n",
-		len(a1.Records), a1.SpentUSD, len(a2.Records), a2.SpentUSD)
-
-	// A small weblog supplies the 2015 cleartext reference for the
-	// time-shift coefficient.
-	wcfg := weblog.DefaultConfig().Scaled(0.05)
-	wcfg.Seed = *seed
-	wcfg.Ecosystem = eco
-	trace := weblog.Generate(wcfg)
-	res := analyzer.New(trace.Catalog.Directory()).Analyze(trace.Requests)
-
-	pme := core.NewPME(*seed + 4)
-	pme.CVRuns = 1
-	model, err := pme.Train(a1.Records, core.TrainConfig{
-		CleartextReference2015: res.CleartextPrices(func(i analyzer.Impression) bool {
-			return i.Notification.ADX == campaign.CleartextADX
-		}),
-		CleartextCampaign: a2.Records,
-	})
+		len(camps.A1.Records), camps.A1.SpentUSD, len(camps.A2.Records), camps.A2.SpentUSD)
+	model, err := pipe.TrainModel(ctx, res, camps)
 	exitOn(err)
 
 	m := model.Metrics
@@ -74,7 +74,9 @@ func main() {
 
 	srv, err := pmeserver.New(model)
 	exitOn(err)
-	fmt.Fprintf(os.Stderr, "serving model on %s (GET /v1/model, POST /v1/contribute)\n", *listen)
+	fmt.Fprintf(os.Stderr,
+		"serving model on %s (GET /v1/model, GET /v2/model [ETag], POST /v2/contribute, POST /v2/estimate)\n",
+		*listen)
 	exitOn(http.ListenAndServe(*listen, srv.Handler()))
 }
 

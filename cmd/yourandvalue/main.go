@@ -8,21 +8,22 @@
 //	yourandvalue [-user -1] [-scale 0.05] [-seed 1] [-pme http://...]
 //
 // With -user -1 (default) the busiest user in the trace is followed.
-// When -pme is given the model is fetched from a running pme server;
-// otherwise a model is trained locally first.
+// When -pme is given the model is fetched from a running pme server
+// (conditionally, via the v2 API); otherwise a model is trained locally
+// from a probing campaign first.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"yourandvalue/internal/analyzer"
+	"yourandvalue"
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
 	"yourandvalue/internal/pmeserver"
-	"yourandvalue/internal/rtb"
-	"yourandvalue/internal/weblog"
 )
 
 func main() {
@@ -33,22 +34,29 @@ func main() {
 	verbose := flag.Bool("v", false, "print every price event")
 	flag.Parse()
 
-	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: *seed + 1})
-	cfg := weblog.DefaultConfig().Scaled(*scale)
-	cfg.Seed = *seed
-	cfg.Ecosystem = eco
-	trace := weblog.Generate(cfg)
+	// Ctrl-C cancels the pipeline between stages, and mid-stage inside
+	// the campaign and estimation stages.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	pipe, err := yourandvalue.NewPipeline(
+		yourandvalue.WithScale(*scale),
+		yourandvalue.WithSeed(*seed),
+	)
+	exitOn(err)
+	tr, err := pipe.GenerateTrace(ctx)
+	exitOn(err)
 
 	var model *core.Model
 	if *pmeURL != "" {
 		fmt.Fprintf(os.Stderr, "fetching model from %s...\n", *pmeURL)
-		m, err := pmeserver.NewClient(*pmeURL).FetchModel()
+		m, _, err := pmeserver.NewClient(*pmeURL).FetchModelV2(ctx, "")
 		exitOn(err)
 		model = m
 	} else {
 		fmt.Fprintln(os.Stderr, "training local model from probing campaigns...")
-		eng := campaign.NewEngine(eco)
-		a1, err := eng.Run(campaign.A1Config(trace.Catalog, 40, *seed+2))
+		eng := campaign.NewEngine(tr.Ecosystem)
+		a1, err := eng.RunContext(ctx, campaign.A1Config(tr.Trace.Catalog, 40, *seed+2))
 		exitOn(err)
 		pme := core.NewPME(*seed + 4)
 		pme.CVFolds, pme.CVRuns = 5, 1
@@ -56,13 +64,20 @@ func main() {
 		exitOn(err)
 	}
 
+	// The analyzer pass is only needed to pick a default subject.
 	if *userID < 0 {
-		*userID = busiestUser(trace)
+		res, err := pipe.Analyze(ctx, tr)
+		exitOn(err)
+		*userID = res.BusiestUser()
+	}
+	if *userID < 0 {
+		fmt.Fprintln(os.Stderr, "error: trace has no users")
+		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "following user %d\n", *userID)
 
-	client := core.NewClient(model, trace.Catalog.Directory())
-	for _, r := range trace.Requests {
+	client := core.NewClient(model, tr.Trace.Catalog.Directory())
+	for _, r := range tr.Trace.Requests {
 		if r.UserID != *userID {
 			continue
 		}
@@ -91,18 +106,6 @@ func main() {
 	fmt.Printf("total (time-corrected):            %8.2f CPM\n", tot.TotalCorrectedCPM())
 	fmt.Printf("extrapolated annual value:         $%.2f\n",
 		core.ExtrapolateAnnualUSD(tot.TotalCPM()))
-}
-
-func busiestUser(trace *weblog.Trace) int {
-	an := analyzer.New(trace.Catalog.Directory())
-	res := an.Analyze(trace.Requests)
-	best, bestN := 0, -1
-	for id, u := range res.Users {
-		if u.Impressions > bestN {
-			best, bestN = id, u.Impressions
-		}
-	}
-	return best
 }
 
 func exitOn(err error) {

@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
@@ -20,6 +22,11 @@ func main() {
 	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: 42})
 	catalog := weblog.NewCatalog(200, 100)
 	eng := campaign.NewEngine(eco)
+
+	// A real buy runs for days; RunContext aborts cleanly if the deadline
+	// or an operator's Ctrl-C arrives first.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
 
 	// Plan: how many impressions per setup for a ±0.1 CPM estimate of the
 	// mean at 95% confidence, assuming the paper's within-campaign spread?
@@ -34,7 +41,7 @@ func main() {
 	fmt.Printf("example setup: %s\n\n", grid[0])
 
 	// Execute round A1 on the encrypting exchanges with a hard budget.
-	rep, err := eng.Run(campaign.Config{
+	rep, err := eng.RunContext(ctx, campaign.Config{
 		Setups:              grid,
 		ImpressionsPerSetup: perSetup / 4, // demo budget
 		BudgetUSD:           300,          // "a few hundred dollars"

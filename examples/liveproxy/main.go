@@ -1,39 +1,45 @@
 // Liveproxy example: the full distributed deployment of the paper's §3 —
-// a PME server distributing models over HTTP, and a YourAdValue client
-// that fetches the model, watches a user's live traffic, estimates
-// encrypted prices locally, and contributes anonymous observations back.
+// a PME server distributing versioned models over the v2 HTTP API, and a
+// YourAdValue client that fetches the model conditionally (ETag), watches
+// a user's live traffic, estimates encrypted prices locally, offloads a
+// batch to the server's /v2/estimate endpoint, and contributes anonymous
+// observations back with explicit accepted/dropped accounting.
 //
 //	go run ./examples/liveproxy
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http/httptest"
 
-	"yourandvalue/internal/analyzer"
-	"yourandvalue/internal/campaign"
+	"yourandvalue"
 	"yourandvalue/internal/core"
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/pmeserver"
-	"yourandvalue/internal/rtb"
-	"yourandvalue/internal/weblog"
 )
 
 func main() {
-	// --- Server side: bootstrap the PME and expose it over HTTP. ---
-	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: 11})
-	cfg := weblog.DefaultConfig().Scaled(0.03)
-	cfg.Seed = 11
-	cfg.Ecosystem = eco
-	trace := weblog.Generate(cfg)
+	ctx := context.Background()
 
-	eng := campaign.NewEngine(eco)
-	a1, err := eng.Run(campaign.A1Config(trace.Catalog, 40, 12))
+	// --- Server side: bootstrap the PME through the staged pipeline and
+	// expose it over HTTP. ---
+	pipe, err := yourandvalue.NewPipeline(
+		yourandvalue.WithScale(0.03),
+		yourandvalue.WithSeed(11),
+		yourandvalue.WithCampaignImpressions(40),
+		yourandvalue.WithCrossValidation(5, 1),
+	)
 	check(err)
-	pme := core.NewPME(13)
-	pme.CVFolds, pme.CVRuns = 5, 1
-	model, err := pme.Train(a1.Records, core.TrainConfig{})
+	tr, err := pipe.GenerateTrace(ctx)
+	check(err)
+	res, err := pipe.Analyze(ctx, tr)
+	check(err)
+	camps, err := pipe.RunCampaigns(ctx, tr) // A1 ∥ A2
+	check(err)
+	model, err := pipe.TrainModel(ctx, res, camps)
 	check(err)
 
 	srv, err := pmeserver.New(model)
@@ -42,25 +48,26 @@ func main() {
 	defer ts.Close()
 	fmt.Printf("PME serving at %s (model version %d)\n", ts.URL, model.Version)
 
-	// --- Client side: fetch the model, stream the user's traffic. ---
+	// --- Client side: fetch the model conditionally, stream the user's
+	// traffic. ---
 	pmeClient := pmeserver.NewClient(ts.URL)
-	fetched, err := pmeClient.FetchModel()
+	fetched, etag, err := pmeClient.FetchModelV2(ctx, "")
 	check(err)
-	fmt.Printf("client fetched model: %d features, %d classes\n\n",
-		fetched.Features.Dim(), fetched.Binner.Classes())
+	fmt.Printf("client fetched model: %d features, %d classes (etag %s)\n",
+		fetched.Features.Dim(), fetched.Binner.Classes(), etag)
+
+	// The extension's periodic poll (§3.3): unchanged model → 304, no body.
+	if _, _, err := pmeClient.FetchModelV2(ctx, etag); errors.Is(err, pmeserver.ErrNotModified) {
+		fmt.Println("version poll: model unchanged, 304 — nothing downloaded")
+	}
 
 	// Follow the busiest user.
-	res := analyzer.New(trace.Catalog.Directory()).Analyze(trace.Requests)
-	user, best := 0, -1
-	for id, u := range res.Users {
-		if u.Impressions > best {
-			user, best = id, u.Impressions
-		}
-	}
-	client := core.NewClient(fetched, trace.Catalog.Directory())
+	user := res.BusiestUser()
+	client := core.NewClient(fetched, tr.Trace.Catalog.Directory())
 	var contributions []pmeserver.Contribution
+	var offload []pmeserver.EstimateItem
 	shown := 0
-	for _, r := range trace.Requests {
+	for _, r := range tr.Trace.Requests {
 		if r.UserID != user {
 			continue
 		}
@@ -83,6 +90,11 @@ func main() {
 		}
 		if !ev.Encrypted {
 			c.PriceCPM = ev.CPM
+		} else if len(offload) < 16 {
+			// A thin client would let the server run the forest instead.
+			offload = append(offload, pmeserver.EstimateItem{
+				Observed: ev.Time, ADX: ev.ADX,
+			})
 		}
 		contributions = append(contributions, c)
 	}
@@ -93,10 +105,22 @@ func main() {
 	fmt.Printf("advertisers paid ≈ %.2f CPM (%.2f time-corrected)\n",
 		tot.TotalCPM(), tot.TotalCorrectedCPM())
 
-	accepted, err := pmeClient.Contribute(contributions)
+	// Thin-client path: batch estimation on the server.
+	if len(offload) > 0 {
+		est, err := pmeClient.EstimateV2(ctx, offload)
+		check(err)
+		sum := 0.0
+		for _, v := range est.EstimatesCPM {
+			sum += v
+		}
+		fmt.Printf("server-side batch estimate: %d encrypted impressions → %.2f CPM total (model v%d)\n",
+			len(est.EstimatesCPM), sum, est.ModelVersion)
+	}
+
+	out, err := pmeClient.ContributeV2(ctx, contributions)
 	check(err)
-	fmt.Printf("contributed %d anonymous observations to the PME (pool now %d)\n",
-		accepted, len(srv.Contributions()))
+	fmt.Printf("contributed %d anonymous observations (%d dropped, %d invalid; pool now %d)\n",
+		out.Accepted, out.Dropped, out.Invalid, len(srv.Contributions()))
 
 	// The pooled cleartext observations let the PME monitor price drift
 	// and decide when to re-run probing campaigns.

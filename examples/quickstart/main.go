@@ -1,21 +1,35 @@
-// Quickstart: run a reduced end-to-end study and answer the paper's
-// question — how much do advertisers pay to reach a user?
+// Quickstart: run a reduced end-to-end study through the staged Pipeline
+// API and answer the paper's question — how much do advertisers pay to
+// reach a user?
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"yourandvalue"
 )
 
 func main() {
-	// QuickConfig runs ~5% of the paper's dataset: still a full pipeline —
-	// synthetic year-long weblog, Weblog Ads Analyzer, two probing
-	// ad-campaigns, PME training, per-user cost estimation.
-	study, err := yourandvalue.Run(yourandvalue.QuickConfig())
+	// ~5% of the paper's dataset: still the full pipeline — synthetic
+	// year-long weblog, Weblog Ads Analyzer, two probing ad-campaigns
+	// (run in parallel), PME training, sharded per-user cost estimation.
+	pipe, err := yourandvalue.NewPipeline(
+		yourandvalue.WithConfig(yourandvalue.QuickConfig()),
+		yourandvalue.WithProgress(func(ev yourandvalue.StageEvent) {
+			if ev.State == yourandvalue.StageCompleted {
+				fmt.Fprintf(os.Stderr, "%-15s %s\n", ev.Stage, ev.Elapsed.Round(1e6))
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study, err := pipe.Execute(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module yourandvalue
+
+go 1.24

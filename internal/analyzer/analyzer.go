@@ -313,6 +313,19 @@ func (r *Result) EncryptedPairShare(month int) float64 {
 	return float64(enc) / float64(active)
 }
 
+// BusiestUser returns the user id with the most RTB impressions (ties
+// break toward the smaller id), or -1 on an empty result — the default
+// subject the CLI tools follow.
+func (r *Result) BusiestUser() int {
+	best, bestN := -1, -1
+	for id, u := range r.Users {
+		if u.Impressions > bestN || (u.Impressions == bestN && id < best) {
+			best, bestN = id, u.Impressions
+		}
+	}
+	return best
+}
+
 // CleartextPrices returns all cleartext charge prices, optionally filtered
 // by a predicate (nil keeps everything).
 func (r *Result) CleartextPrices(keep func(Impression) bool) []float64 {

@@ -6,6 +6,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -232,6 +233,20 @@ var ErrBadConfig = errors.New("campaign: invalid configuration")
 // needed to get the minimum of impressions delivered") until the setup's
 // impression target, the auction cap, or the budget is exhausted.
 func (e *Engine) Run(cfg Config) (*Report, error) {
+	return e.RunContext(context.Background(), cfg)
+}
+
+// probeStreamSalt decorrelates the auction-demand stream from the
+// setup-sampling stream, which both derive from cfg.Seed.
+const probeStreamSalt = 0x5E3779B97F4A7C15
+
+// RunContext executes the campaign like Run, honoring ctx: cancellation
+// is checked before every auction attempt, so a campaign aborts promptly
+// mid-round. Auction demand is drawn from a probe session private to this
+// call, so independent campaigns (the pipeline's A1 and A2 rounds) may
+// run concurrently over one ecosystem and remain deterministic in their
+// seeds.
+func (e *Engine) RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if len(cfg.Setups) == 0 || cfg.ImpressionsPerSetup <= 0 || cfg.Catalog == nil {
 		return nil, ErrBadConfig
 	}
@@ -245,6 +260,7 @@ func (e *Engine) Run(cfg Config) (*Report, error) {
 		cfg.Start = time.Date(2016, 5, 2, 0, 0, 0, 0, time.UTC)
 	}
 	rng := stats.NewRand(cfg.Seed)
+	session := e.Eco.NewProbeSession(cfg.Seed ^ probeStreamSalt)
 	rep := &Report{Setups: len(cfg.Setups)}
 
 	for _, setup := range cfg.Setups {
@@ -257,6 +273,9 @@ func (e *Engine) Run(cfg Config) (*Report, error) {
 		attempts := 0
 		maxAttempts := cfg.ImpressionsPerSetup * 6
 		for delivered < cfg.ImpressionsPerSetup && attempts < maxAttempts {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if cfg.BudgetUSD > 0 && rep.SpentUSD >= cfg.BudgetUSD {
 				return rep, nil // budget exhausted mid-campaign
 			}
@@ -264,7 +283,7 @@ func (e *Engine) Run(cfg Config) (*Report, error) {
 			rep.Attempted++
 			ts := sampleTime(rng, cfg.Start, cfg.Days, setup)
 			prop := sampleProperty(rng, cfg.Catalog, setup.Origin)
-			ctx := rtb.Context{
+			rctx := rtb.Context{
 				Time:      ts,
 				City:      setup.City,
 				OS:        setup.OS,
@@ -277,7 +296,7 @@ func (e *Engine) Run(cfg Config) (*Report, error) {
 				Year2016:  cfg.Start.Year() >= 2016,
 			}
 			month := (cfg.Start.Year()-2015)*12 + int(ts.Month())
-			out := e.Eco.RunProbeAuction(adx, ctx, month, bid)
+			out := session.RunProbeAuction(adx, rctx, month, bid)
 			if !out.Won {
 				// Raise the bid toward the ceiling when losing.
 				bid *= 1.15

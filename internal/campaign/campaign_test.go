@@ -1,6 +1,10 @@
 package campaign
 
 import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -248,6 +252,61 @@ func TestEncryptedCampaignPricesHigher(t *testing.T) {
 	m2, _ := stats.Median(a2.Prices())
 	if ratio := m1 / m2; ratio < 1.2 {
 		t.Errorf("A1/A2 median ratio = %v, want >1.2 (paper ≈1.7)", ratio)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	eng, cat := testEngine()
+	cfg := Config{
+		Setups:              Grid(EncryptedADXs)[:12],
+		ImpressionsPerSetup: 30,
+		MaxBidCPM:           25,
+		Catalog:             cat,
+		Seed:                5,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunContextDeterministicAndConcurrent(t *testing.T) {
+	// Two campaigns on one ecosystem, run concurrently, must each equal
+	// their sequential selves: probe sessions keep the streams private.
+	eng, cat := testEngine()
+	mk := func(seed int64) Config {
+		return Config{
+			Setups:              Grid(EncryptedADXs)[:12],
+			ImpressionsPerSetup: 20,
+			MaxBidCPM:           25,
+			Catalog:             cat,
+			Seed:                seed,
+		}
+	}
+	seqA, err := eng.Run(mk(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqB, err := eng.Run(mk(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var conA, conB *Report
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); conA, errA = eng.RunContext(context.Background(), mk(5)) }()
+	go func() { defer wg.Done(); conB, errB = eng.RunContext(context.Background(), mk(9)) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !reflect.DeepEqual(seqA.Records, conA.Records) {
+		t.Error("concurrent A records differ from sequential run")
+	}
+	if !reflect.DeepEqual(seqB.Records, conB.Records) {
+		t.Error("concurrent B records differ from sequential run")
 	}
 }
 

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"yourandvalue/internal/analyzer"
@@ -174,16 +178,15 @@ func (u UserCost) AvgEncryptedCPM() float64 {
 // BatchEstimate applies the model across an analyzed weblog, producing
 // every user's cost decomposition (the input to Figures 17, 18 and 19).
 func BatchEstimate(res *analyzer.Result, model *Model) map[int]*UserCost {
-	out := make(map[int]*UserCost, len(res.Users))
-	for id := range res.Users {
-		out[id] = &UserCost{UserID: id}
-	}
-	for _, imp := range res.Impressions {
-		uc := out[imp.UserID]
-		if uc == nil {
-			uc = &UserCost{UserID: imp.UserID}
-			out[imp.UserID] = uc
-		}
+	out, _ := BatchEstimateContext(context.Background(), res, model, 1)
+	return out
+}
+
+// estimateUser accumulates one user's impressions (given by index into
+// res.Impressions, in stream order) into uc.
+func estimateUser(res *analyzer.Result, model *Model, uc *UserCost, idxs []int) {
+	for _, i := range idxs {
+		imp := res.Impressions[i]
 		switch imp.Notification.Kind {
 		case nurl.Cleartext:
 			uc.CleartextCPM += imp.Notification.PriceCPM
@@ -195,7 +198,78 @@ func BatchEstimate(res *analyzer.Result, model *Model) map[int]*UserCost {
 			uc.EncryptedCount++
 		}
 	}
-	return out
+}
+
+// BatchEstimateContext is BatchEstimate with cancellation and sharding:
+// per-user estimation fans out across min(workers, GOMAXPROCS) goroutines.
+// Impressions are pre-grouped per user in stream order and each user is
+// owned by exactly one worker, so the result is bit-identical to the
+// sequential path for any worker count. Returns ctx.Err() when cancelled.
+func BatchEstimateContext(ctx context.Context, res *analyzer.Result, model *Model, workers int) (map[int]*UserCost, error) {
+	if limit := runtime.GOMAXPROCS(0); workers > limit {
+		workers = limit
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	out := make(map[int]*UserCost, len(res.Users))
+	for id := range res.Users {
+		out[id] = &UserCost{UserID: id}
+	}
+	byUser := make(map[int][]int, len(res.Users))
+	for i, imp := range res.Impressions {
+		if out[imp.UserID] == nil {
+			out[imp.UserID] = &UserCost{UserID: imp.UserID}
+		}
+		byUser[imp.UserID] = append(byUser[imp.UserID], i)
+	}
+	ids := make([]int, 0, len(byUser))
+	for id := range byUser {
+		ids = append(ids, id)
+	}
+
+	if workers == 1 || len(ids) < 2 {
+		for n, id := range ids {
+			if n%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			estimateUser(res, model, out[id], byUser[id])
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	// The map itself is read-only from here on; workers mutate disjoint
+	// *UserCost values, claiming users off a shared cursor.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(cursor.Add(1)) - 1
+				if n >= len(ids) {
+					return
+				}
+				if n%64 == 0 && ctx.Err() != nil {
+					return
+				}
+				id := ids[n]
+				estimateUser(res, model, out[id], byUser[id])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // EstimateImpression returns the model's estimate for a single analyzed

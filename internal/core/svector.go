@@ -6,6 +6,9 @@
 package core
 
 import (
+	"strconv"
+	"strings"
+
 	"yourandvalue/internal/analyzer"
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/geoip"
@@ -115,34 +118,29 @@ type sParts struct {
 	publisher string
 }
 
+// encode funnels the typed paths through the one string-keyed encoder so
+// training (FromRecord), analysis (FromImpression), live clients
+// (FromNotification) and the /v2/estimate path (FromStrings) can never
+// drift apart. Publisher identity exists only on the typed paths.
 func (s *SFeatures) encode(p sParts) []float64 {
-	v := make([]float64, len(s.Names))
-	set := func(name string, val float64) {
-		if i, ok := s.index[name]; ok {
-			v[i] = val
-		}
-	}
-	set("city="+p.city.String(), 1)
+	origin := "web"
 	if p.origin == useragent.MobileApp {
-		set("origin=app", 1)
-	} else {
-		set("origin=web", 1)
+		origin = "app"
 	}
-	set("device="+p.device.String(), 1)
-	set("os="+p.os.String(), 1)
-	set("hourbin="+rtb.HourBinLabel(rtb.HourBin(p.hour)), 1)
-	set("dow="+dowName(p.dow), 1)
-	if p.dow == 0 || p.dow == 6 {
-		set("weekend", 1)
-	}
+	slot := ""
 	if p.slot.W > 0 {
-		set("slot="+p.slot.String(), 1)
-		set("slot_width", float64(p.slot.W))
-		set("slot_height", float64(p.slot.H))
-		set("slot_area", float64(p.slot.Area()))
+		slot = p.slot.String()
 	}
-	set("iab="+p.category.String(), 1)
-	set("adx="+p.adx, 1)
+	v := s.FromStrings(StringContext{
+		ADX:    p.adx,
+		City:   p.city.String(),
+		OS:     p.os.String(),
+		Device: p.device.String(),
+		Origin: origin,
+		Slot:   slot,
+		IAB:    p.category.String(),
+		Hour:   p.hour, Weekday: p.dow,
+	})
 	if i, ok := s.pubs[p.publisher]; ok {
 		v[i] = 1
 	}
@@ -198,6 +196,70 @@ func (s *SFeatures) FromNotification(n nurl.Notification, ctx ClientContext) []f
 		adx:       n.ADX,
 		publisher: ctx.Publisher,
 	})
+}
+
+// StringContext is the string-typed ambient context a thin client ships
+// to the PME's batch estimation endpoint (/v2/estimate), where neither an
+// analyzer impression nor a typed ClientContext exists. Unknown values
+// simply leave their one-hot positions zero.
+type StringContext struct {
+	ADX     string // exchange name, e.g. "DoubleClick"
+	City    string // e.g. "Madrid"
+	OS      string // "Android", "iOS", "Windows Mob"
+	Device  string // "Smartphone", "Tablet", "PC"
+	Origin  string // "app" or "web"
+	Slot    string // "WxH", e.g. "300x250"
+	IAB     string // e.g. "IAB3"
+	Hour    int    // 0-23 local hour
+	Weekday int    // 0 = Sunday
+}
+
+// FromStrings encodes a thin-client context into the S vector.
+func (s *SFeatures) FromStrings(c StringContext) []float64 {
+	v := make([]float64, len(s.Names))
+	set := func(name string, val float64) {
+		if i, ok := s.index[name]; ok {
+			v[i] = val
+		}
+	}
+	set("city="+c.City, 1)
+	switch c.Origin {
+	case "app":
+		set("origin=app", 1)
+	case "web":
+		set("origin=web", 1)
+	}
+	set("device="+c.Device, 1)
+	set("os="+c.OS, 1)
+	set("hourbin="+rtb.HourBinLabel(rtb.HourBin(c.Hour)), 1)
+	set("dow="+dowName(c.Weekday), 1)
+	if c.Weekday == 0 || c.Weekday == 6 {
+		set("weekend", 1)
+	}
+	if w, h, ok := parseSlot(c.Slot); ok {
+		sl := rtb.Slot{W: w, H: h}
+		set("slot="+sl.String(), 1)
+		set("slot_width", float64(w))
+		set("slot_height", float64(h))
+		set("slot_area", float64(sl.Area()))
+	}
+	set("iab="+c.IAB, 1)
+	set("adx="+c.ADX, 1)
+	return v
+}
+
+// parseSlot reads a "WxH" ad-format string.
+func parseSlot(s string) (w, h int, ok bool) {
+	ws, hs, found := strings.Cut(s, "x")
+	if !found {
+		return 0, 0, false
+	}
+	w, errW := strconv.Atoi(ws)
+	h, errH := strconv.Atoi(hs)
+	if errW != nil || errH != nil || w <= 0 || h <= 0 {
+		return 0, 0, false
+	}
+	return w, h, true
 }
 
 func dowName(d int) string {

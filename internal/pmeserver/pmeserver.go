@@ -10,6 +10,8 @@
 package pmeserver
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -55,6 +57,7 @@ type Server struct {
 	mu            sync.RWMutex
 	model         *core.Model
 	modelBlob     []byte
+	modelETag     string // strong ETag over modelBlob, quoted
 	contributions []Contribution
 	maxPool       int
 }
@@ -77,11 +80,24 @@ func (s *Server) SetModel(m *core.Model) error {
 	if err != nil {
 		return err
 	}
+	sum := sha256.Sum256(blob)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.model = m
 	s.modelBlob = blob
+	s.modelETag = `"` + hex.EncodeToString(sum[:8]) + `"`
 	return nil
+}
+
+// SetMaxPool bounds the contribution pool (default 100,000); n <= 0 is
+// ignored. Contributions beyond the bound are counted as dropped.
+func (s *Server) SetMaxPool(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.maxPool = n
+	s.mu.Unlock()
 }
 
 // Model returns the current model (may be nil).
@@ -100,17 +116,30 @@ func (s *Server) Contributions() []Contribution {
 	return out
 }
 
-// Handler returns the HTTP mux:
+// Handler returns the HTTP mux.
+//
+// v1 (stable, plain-text errors):
 //
 //	GET  /v1/model         → current model JSON (404 until one is set)
 //	GET  /v1/model/version → {"version": N}
 //	POST /v1/contribute    → accept a JSON array of Contributions
 //	GET  /healthz          → 200 ok
+//
+// v2 (context-aware clients, structured JSON errors — see v2.go):
+//
+//	GET  /v2/model         → model JSON with ETag; If-None-Match → 304
+//	GET  /v2/model/version → {"version": N, "etag": "..."}
+//	POST /v2/contribute    → {"accepted":N,"dropped":M,"invalid":K}; 507 when full
+//	POST /v2/estimate      → batch price estimation for thin clients
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/model", s.handleModel)
 	mux.HandleFunc("/v1/model/version", s.handleVersion)
 	mux.HandleFunc("/v1/contribute", s.handleContribute)
+	mux.HandleFunc("/v2/model", s.handleModelV2)
+	mux.HandleFunc("/v2/model/version", s.handleVersionV2)
+	mux.HandleFunc("/v2/contribute", s.handleContributeV2)
+	mux.HandleFunc("/v2/estimate", s.handleEstimateV2)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok"))
@@ -150,6 +179,26 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(`{"version":` + strconv.Itoa(m.Version) + `}`))
 }
 
+// addContributions pools the valid entries of batch, reporting how many
+// were accepted, dropped at the pool bound, and structurally invalid.
+func (s *Server) addContributions(batch []Contribution) (accepted, dropped, invalid int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range batch {
+		if c.Validate() != nil {
+			invalid++
+			continue
+		}
+		if len(s.contributions) >= s.maxPool {
+			dropped++
+			continue
+		}
+		s.contributions = append(s.contributions, c)
+		accepted++
+	}
+	return accepted, dropped, invalid
+}
+
 func (s *Server) handleContribute(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -161,21 +210,16 @@ func (s *Server) handleContribute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad contribution payload", http.StatusBadRequest)
 		return
 	}
-	accepted := 0
-	s.mu.Lock()
-	for _, c := range batch {
-		if c.Validate() != nil {
-			continue
-		}
-		if len(s.contributions) >= s.maxPool {
-			break
-		}
-		s.contributions = append(s.contributions, c)
-		accepted++
-	}
-	s.mu.Unlock()
+	accepted, dropped, _ := s.addContributions(batch)
 	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write([]byte(`{"accepted":` + strconv.Itoa(accepted) + `}`))
+	// A full pool must not look like success: nothing was stored, so tell
+	// the client to back off instead of silently discarding its batch.
+	if accepted == 0 && dropped > 0 {
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusInsufficientStorage)
+	}
+	_, _ = w.Write([]byte(`{"accepted":` + strconv.Itoa(accepted) +
+		`,"dropped":` + strconv.Itoa(dropped) + `}`))
 }
 
 // Client is the extension-side PME connection.
@@ -229,7 +273,9 @@ func (c *Client) Version() (int, error) {
 	return v.Version, nil
 }
 
-// Contribute uploads anonymous observations.
+// Contribute uploads anonymous observations. A full server pool returns
+// the accepted count (zero) together with ErrPoolFull so callers can
+// back off instead of treating the 507 as a transport failure.
 func (c *Client) Contribute(batch []Contribution) (int, error) {
 	blob, err := json.Marshal(batch)
 	if err != nil {
@@ -241,7 +287,7 @@ func (c *Client) Contribute(batch []Contribution) (int, error) {
 		return 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInsufficientStorage {
 		return 0, errors.New("pmeserver: contribute status " + resp.Status)
 	}
 	var out struct {
@@ -249,6 +295,9 @@ func (c *Client) Contribute(batch []Contribution) (int, error) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return 0, err
+	}
+	if resp.StatusCode == http.StatusInsufficientStorage {
+		return out.Accepted, ErrPoolFull
 	}
 	return out.Accepted, nil
 }

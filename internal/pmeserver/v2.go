@@ -1,0 +1,321 @@
+package pmeserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"yourandvalue/internal/core"
+)
+
+// The /v2 surface serves real client fleets (§3.3's extension deployment):
+// conditional model fetch so extensions poll cheaply, a batch estimation
+// endpoint so thin clients need not run the forest locally, explicit
+// accepted/dropped accounting on contributions, and structured JSON errors
+// throughout. /v1 routes are unchanged alongside it.
+
+// apiError is the structured error body every /v2 endpoint returns.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeV2Error(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error apiError `json:"error"`
+	}{apiError{Code: code, Message: msg}})
+}
+
+func writeV2JSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// maxEstimateItems bounds one /v2/estimate request.
+const maxEstimateItems = 4096
+
+// EstimateItem is one thin-client price query: the string-typed ambient
+// context of an encrypted notification, mirroring Contribution's fields.
+type EstimateItem struct {
+	Observed time.Time `json:"observed,omitempty"` // supplies hour/weekday; zero = fields below
+	ADX      string    `json:"adx"`
+	City     string    `json:"city,omitempty"`
+	OS       string    `json:"os,omitempty"`
+	Device   string    `json:"device,omitempty"`
+	Origin   string    `json:"origin,omitempty"` // "app" or "web"
+	Slot     string    `json:"slot,omitempty"`   // "300x250"
+	IAB      string    `json:"iab,omitempty"`    // "IAB3"
+	Hour     int       `json:"hour,omitempty"`   // used when Observed is zero
+	Weekday  int       `json:"weekday,omitempty"`
+}
+
+// EstimateRequest is the POST /v2/estimate body.
+type EstimateRequest struct {
+	Items []EstimateItem `json:"items"`
+}
+
+// EstimateResponse carries one CPM estimate per request item, in order.
+type EstimateResponse struct {
+	ModelVersion int       `json:"model_version"`
+	EstimatesCPM []float64 `json:"estimates_cpm"`
+}
+
+// ContributeResponse is the POST /v2/contribute body.
+type ContributeResponse struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+	Invalid  int `json:"invalid"`
+}
+
+// VersionResponse is the GET /v2/model/version body.
+type VersionResponse struct {
+	Version int    `json:"version"`
+	ETag    string `json:"etag"`
+}
+
+func (s *Server) handleModelV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeV2Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	s.mu.RLock()
+	blob, etag := s.modelBlob, s.modelETag
+	s.mu.RUnlock()
+	if blob == nil {
+		writeV2Error(w, http.StatusNotFound, "no_model", "no model available yet")
+		return
+	}
+	w.Header().Set("ETag", etag)
+	// Extensions poll for new versions (§3.3); an unchanged ETag answers
+	// the poll without shipping the multi-hundred-KiB model body.
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(blob)
+}
+
+func (s *Server) handleVersionV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeV2Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	s.mu.RLock()
+	m, etag := s.model, s.modelETag
+	s.mu.RUnlock()
+	if m == nil {
+		writeV2Error(w, http.StatusNotFound, "no_model", "no model available yet")
+		return
+	}
+	writeV2JSON(w, http.StatusOK, VersionResponse{Version: m.Version, ETag: etag})
+}
+
+func (s *Server) handleContributeV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeV2Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var batch []Contribution
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&batch); err != nil {
+		writeV2Error(w, http.StatusBadRequest, "bad_payload", "contribution batch is not valid JSON")
+		return
+	}
+	accepted, dropped, invalid := s.addContributions(batch)
+	status := http.StatusOK
+	if accepted == 0 && dropped > 0 {
+		// Pool full: nothing stored, tell the client to retry later.
+		w.Header().Set("Retry-After", "3600")
+		status = http.StatusInsufficientStorage
+	}
+	writeV2JSON(w, status, ContributeResponse{Accepted: accepted, Dropped: dropped, Invalid: invalid})
+}
+
+func (s *Server) handleEstimateV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeV2Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var req EstimateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeV2Error(w, http.StatusBadRequest, "bad_payload", "estimate request is not valid JSON")
+		return
+	}
+	if len(req.Items) == 0 {
+		writeV2Error(w, http.StatusBadRequest, "empty_batch", "no items to estimate")
+		return
+	}
+	if len(req.Items) > maxEstimateItems {
+		writeV2Error(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			fmt.Sprintf("at most %d items per request", maxEstimateItems))
+		return
+	}
+	s.mu.RLock()
+	m := s.model
+	s.mu.RUnlock()
+	if m == nil {
+		writeV2Error(w, http.StatusNotFound, "no_model", "no model available yet")
+		return
+	}
+	resp := EstimateResponse{
+		ModelVersion: m.Version,
+		EstimatesCPM: make([]float64, len(req.Items)),
+	}
+	for i, it := range req.Items {
+		hour, weekday := it.Hour, it.Weekday
+		if !it.Observed.IsZero() {
+			hour, weekday = it.Observed.Hour(), int(it.Observed.Weekday())
+		}
+		resp.EstimatesCPM[i] = m.EstimateCPM(m.Features.FromStrings(core.StringContext{
+			ADX: it.ADX, City: it.City, OS: it.OS, Device: it.Device,
+			Origin: it.Origin, Slot: it.Slot, IAB: it.IAB,
+			Hour: hour, Weekday: weekday,
+		}))
+	}
+	writeV2JSON(w, http.StatusOK, resp)
+}
+
+// --- v2 client methods ---
+
+// ErrNotModified reports that the server's model still matches the ETag
+// the client presented — the cheap outcome of a §3.3 version poll.
+var ErrNotModified = errors.New("pmeserver: model not modified")
+
+// ErrPoolFull reports that the server accepted nothing because its
+// contribution pool is at capacity.
+var ErrPoolFull = errors.New("pmeserver: contribution pool full")
+
+// decodeV2Error maps a structured error body onto a Go error.
+func decodeV2Error(resp *http.Response) error {
+	var body struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error.Code == "" {
+		return errors.New("pmeserver: status " + resp.Status)
+	}
+	return fmt.Errorf("pmeserver: %s (%s)", body.Error.Message, body.Error.Code)
+}
+
+// FetchModelV2 downloads the current model unless it still matches etag
+// (pass "" on first fetch). On a 304 it returns (nil, etag, ErrNotModified);
+// otherwise the decoded model and its new ETag for the next poll.
+func (c *Client) FetchModelV2(ctx context.Context, etag string) (*core.Model, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v2/model", nil)
+	if err != nil {
+		return nil, etag, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, etag, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, etag, ErrNotModified
+	case http.StatusOK:
+		buf, err := readAll(resp.Body, 32<<20)
+		if err != nil {
+			return nil, etag, err
+		}
+		m, err := core.DecodeModel(buf)
+		if err != nil {
+			return nil, etag, err
+		}
+		return m, resp.Header.Get("ETag"), nil
+	default:
+		return nil, etag, decodeV2Error(resp)
+	}
+}
+
+// VersionV2 polls the advertised model version and ETag without the body.
+func (c *Client) VersionV2(ctx context.Context) (VersionResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v2/model/version", nil)
+	if err != nil {
+		return VersionResponse{}, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return VersionResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return VersionResponse{}, decodeV2Error(resp)
+	}
+	var v VersionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return VersionResponse{}, err
+	}
+	return v, nil
+}
+
+// ContributeV2 uploads anonymous observations, reporting both accepted
+// and dropped counts. A full pool returns counts with ErrPoolFull.
+func (c *Client) ContributeV2(ctx context.Context, batch []Contribution) (ContributeResponse, error) {
+	blob, err := json.Marshal(batch)
+	if err != nil {
+		return ContributeResponse{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v2/contribute", bytesReader(blob))
+	if err != nil {
+		return ContributeResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return ContributeResponse{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusInsufficientStorage:
+		var out ContributeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return ContributeResponse{}, err
+		}
+		if resp.StatusCode == http.StatusInsufficientStorage {
+			return out, ErrPoolFull
+		}
+		return out, nil
+	default:
+		return ContributeResponse{}, decodeV2Error(resp)
+	}
+}
+
+// EstimateV2 asks the server to estimate a batch of encrypted prices —
+// the thin-client path that avoids shipping the forest to the device.
+func (c *Client) EstimateV2(ctx context.Context, items []EstimateItem) (EstimateResponse, error) {
+	blob, err := json.Marshal(EstimateRequest{Items: items})
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v2/estimate", bytesReader(blob))
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return EstimateResponse{}, decodeV2Error(resp)
+	}
+	var out EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return EstimateResponse{}, err
+	}
+	return out, nil
+}

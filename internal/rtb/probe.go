@@ -6,6 +6,7 @@ import (
 
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/priceenc"
+	"yourandvalue/internal/stats"
 )
 
 // ProbeOutcome is the result of one auction a probing campaign's DSP
@@ -27,9 +28,40 @@ type ProbeOutcome struct {
 // Rubicon and PulsePoint encrypt; MoPub does not).
 func (a *ADX) ProbeEncrypts() bool { return a.EncBias >= 0.5 }
 
+// ProbeSession runs probe auctions against the ecosystem with its own
+// random stream and impression counter. The ecosystem's roster, market
+// model and adoption schedule are read-only after construction, so any
+// number of sessions may run concurrently — the campaign engine gives the
+// A1 and A2 rounds one session each, letting them execute in parallel
+// without perturbing each other's draws or the ecosystem's own stream.
+type ProbeSession struct {
+	eco    *Ecosystem
+	rng    *stats.Rand
+	impSeq uint64
+}
+
+// NewProbeSession returns an independent probe-auction stream over the
+// ecosystem, deterministic in seed.
+func (e *Ecosystem) NewProbeSession(seed int64) *ProbeSession {
+	return &ProbeSession{eco: e, rng: stats.NewRand(seed)}
+}
+
 // RunProbeAuction runs a second-price auction on adx with the probe DSP's
-// bid competing against the exchange's regular demand. The probe wins ties.
+// bid competing against the exchange's regular demand, drawing from the
+// session's private stream. The probe wins ties.
+func (s *ProbeSession) RunProbeAuction(adx *ADX, ctx Context, month int, probeBid float64) ProbeOutcome {
+	return runProbeAuction(s.eco, adx, ctx, month, probeBid, s.rng, &s.impSeq)
+}
+
+// RunProbeAuction is the legacy single-stream variant: it draws from the
+// ecosystem's shared stream, so concurrent callers must use NewProbeSession
+// instead. The probe wins ties.
 func (e *Ecosystem) RunProbeAuction(adx *ADX, ctx Context, month int, probeBid float64) ProbeOutcome {
+	return runProbeAuction(e, adx, ctx, month, probeBid, e.rng, &e.impSeq)
+}
+
+func runProbeAuction(e *Ecosystem, adx *ADX, ctx Context, month int, probeBid float64,
+	rng *stats.Rand, impSeq *uint64) ProbeOutcome {
 	if probeBid <= 0 {
 		return ProbeOutcome{}
 	}
@@ -38,10 +70,10 @@ func (e *Ecosystem) RunProbeAuction(adx *ADX, ctx Context, month int, probeBid f
 	for _, d := range adx.DSPs {
 		bctx := ctx
 		bctx.Encrypted = e.PairEncrypted(adx.Name, d.Name, month)
-		if e.rng.Float64() < 0.15 {
+		if rng.Float64() < 0.15 {
 			continue
 		}
-		competitors = append(competitors, d.Bid(e.Market, bctx, e.rng))
+		competitors = append(competitors, d.Bid(e.Market, bctx, rng))
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(competitors)))
 
@@ -69,20 +101,20 @@ func (e *Ecosystem) RunProbeAuction(adx *ADX, ctx Context, month int, probeBid f
 	}
 	out.ChargeCPM = charge
 
-	e.impSeq++
+	*impSeq++
 	spec := nurl.BuildSpec{
 		DSP:       "probe-dsp",
 		Width:     ctx.Slot.W,
 		Height:    ctx.Slot.H,
-		ImpID:     fmt.Sprintf("p%08x", e.impSeq),
-		AuctionID: fmt.Sprintf("a%08x", e.rng.Int63()&0xFFFFFFFF),
+		ImpID:     fmt.Sprintf("p%08x", *impSeq),
+		AuctionID: fmt.Sprintf("a%08x", rng.Int63()&0xFFFFFFFF),
 		Publisher: ctx.Publisher,
 		Currency:  "USD",
 	}
 	if out.Encrypted {
 		iv := make([]byte, priceenc.IVSize)
 		for i := range iv {
-			iv[i] = byte(e.rng.Intn(256))
+			iv[i] = byte(rng.Intn(256))
 		}
 		tok, err := adx.Scheme.Encrypt(charge, iv)
 		if err != nil {

@@ -1,0 +1,363 @@
+package yourandvalue
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"yourandvalue/internal/analyzer"
+	"yourandvalue/internal/baseline"
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/core"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/weblog"
+)
+
+// Stage identifies one step of the study pipeline (§3's system flow:
+// weblog → analyzer → probing campaigns → PME training → cost estimation).
+type Stage string
+
+// The five pipeline stages, in dependency order. Analyze and RunCampaigns
+// both depend only on GenerateTrace and run concurrently inside Execute.
+const (
+	StageGenerateTrace Stage = "generate-trace"
+	StageAnalyze       Stage = "analyze"
+	StageRunCampaigns  Stage = "run-campaigns"
+	StageTrainModel    Stage = "train-model"
+	StageEstimateCosts Stage = "estimate-costs"
+)
+
+// StageState is the lifecycle position a StageEvent reports.
+type StageState int
+
+// Stage lifecycle states.
+const (
+	StageStarted StageState = iota
+	StageCompleted
+	StageFailed
+)
+
+// String renders the state for logs.
+func (s StageState) String() string {
+	switch s {
+	case StageStarted:
+		return "started"
+	case StageCompleted:
+		return "completed"
+	case StageFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// StageEvent is delivered to the WithProgress callback at every stage
+// transition. Concurrent stages may interleave events; the callback must
+// be safe for concurrent use when the pipeline runs stages in parallel.
+type StageEvent struct {
+	Stage   Stage
+	State   StageState
+	Elapsed time.Duration // zero for StageStarted
+	Err     error         // non-nil only for StageFailed
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithConfig replaces the whole configuration (the Run compatibility
+// path). Later options still apply on top.
+func WithConfig(cfg Config) Option {
+	return func(p *Pipeline) { p.cfg = cfg }
+}
+
+// WithScale sets the dataset scale in (0,1]; 1.0 is the paper's size.
+func WithScale(scale float64) Option {
+	return func(p *Pipeline) { p.cfg.Scale = scale }
+}
+
+// WithSeed sets the master seed; equal seeds give equal studies.
+func WithSeed(seed int64) Option {
+	return func(p *Pipeline) { p.cfg.Seed = seed }
+}
+
+// WithCampaignImpressions sets the per-setup delivery target of the
+// probing campaigns (§5.2 derives a 185 minimum at full rigor).
+func WithCampaignImpressions(n int) Option {
+	return func(p *Pipeline) { p.cfg.CampaignImpressionsPerSetup = n }
+}
+
+// WithForestSize sets the PME random-forest ensemble size.
+func WithForestSize(n int) Option {
+	return func(p *Pipeline) { p.cfg.ForestSize = n }
+}
+
+// WithCrossValidation sets the §5.4 evaluation protocol.
+func WithCrossValidation(folds, runs int) Option {
+	return func(p *Pipeline) { p.cfg.CVFolds, p.cfg.CVRuns = folds, runs }
+}
+
+// WithProgress registers a stage-event observer.
+func WithProgress(fn func(StageEvent)) Option {
+	return func(p *Pipeline) { p.progress = fn }
+}
+
+// WithWorkers caps the goroutines the per-user estimation stage shards
+// across; the default is GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(p *Pipeline) { p.workers = n }
+}
+
+// Pipeline is the staged form of the study: each stage is a context-aware
+// method returning a typed artifact, so callers can cancel, observe,
+// parallelize, and resume from intermediates (e.g. retrain a model on an
+// existing trace without regenerating it). A zero Pipeline is invalid;
+// use NewPipeline.
+type Pipeline struct {
+	cfg      Config
+	progress func(StageEvent)
+	workers  int
+}
+
+// NewPipeline builds a Pipeline from DefaultConfig plus options,
+// validating the resulting configuration.
+func NewPipeline(opts ...Option) (*Pipeline, error) {
+	p := &Pipeline{cfg: DefaultConfig(), workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(p)
+	}
+	if err := p.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p.workers < 1 {
+		p.workers = 1
+	}
+	return p, nil
+}
+
+// Config returns the pipeline's resolved configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+func (p *Pipeline) emit(ev StageEvent) {
+	if p.progress != nil {
+		p.progress(ev)
+	}
+}
+
+// runStage wraps one stage body with the context pre-check and progress
+// events.
+func (p *Pipeline) runStage(ctx context.Context, stage Stage, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.emit(StageEvent{Stage: stage, State: StageStarted})
+	start := time.Now()
+	if err := fn(); err != nil {
+		p.emit(StageEvent{Stage: stage, State: StageFailed, Elapsed: time.Since(start), Err: err})
+		return err
+	}
+	p.emit(StageEvent{Stage: stage, State: StageCompleted, Elapsed: time.Since(start)})
+	return nil
+}
+
+// TraceArtifact is StageGenerateTrace's output: the simulated RTB
+// ecosystem and the year-long weblog D generated through it. Both are
+// read-only to every later stage, so one artifact can feed any number of
+// Analyze/RunCampaigns calls.
+type TraceArtifact struct {
+	Ecosystem *rtb.Ecosystem
+	Trace     *weblog.Trace
+}
+
+// CampaignArtifact is StageRunCampaigns's output: the A1
+// (encrypted-exchange) and A2 (MoPub cleartext) probing rounds of §5.2–5.3.
+type CampaignArtifact struct {
+	A1 *campaign.Report
+	A2 *campaign.Report
+}
+
+// GenerateTrace runs stage 1: simulate the RTB ecosystem and generate the
+// weblog D through it.
+func (p *Pipeline) GenerateTrace(ctx context.Context) (*TraceArtifact, error) {
+	var art *TraceArtifact
+	err := p.runStage(ctx, StageGenerateTrace, func() error {
+		eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: p.cfg.Seed + 1})
+		wcfg := weblog.DefaultConfig().Scaled(p.cfg.Scale)
+		wcfg.Seed = p.cfg.Seed
+		wcfg.Ecosystem = eco
+		art = &TraceArtifact{Ecosystem: eco, Trace: weblog.Generate(wcfg)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// Analyze runs stage 2: the Weblog Ads Analyzer (§4) over the trace.
+func (p *Pipeline) Analyze(ctx context.Context, tr *TraceArtifact) (*analyzer.Result, error) {
+	if tr == nil || tr.Trace == nil {
+		return nil, fmt.Errorf("yourandvalue: Analyze needs a trace artifact")
+	}
+	var res *analyzer.Result
+	err := p.runStage(ctx, StageAnalyze, func() error {
+		res = analyzer.New(tr.Trace.Catalog.Directory()).Analyze(tr.Trace.Requests)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunCampaigns runs stage 3: the A1 and A2 probing rounds, concurrently —
+// each round draws from its own probe session over the shared read-only
+// ecosystem, so the pair is deterministic in the seed regardless of
+// scheduling. Cancellation is honored mid-round, per auction attempt.
+func (p *Pipeline) RunCampaigns(ctx context.Context, tr *TraceArtifact) (*CampaignArtifact, error) {
+	if tr == nil || tr.Trace == nil || tr.Ecosystem == nil {
+		return nil, fmt.Errorf("yourandvalue: RunCampaigns needs a trace artifact")
+	}
+	art := &CampaignArtifact{}
+	err := p.runStage(ctx, StageRunCampaigns, func() error {
+		eng := campaign.NewEngine(tr.Ecosystem)
+		var wg sync.WaitGroup
+		var err1, err2 error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			art.A1, err1 = eng.RunContext(ctx,
+				campaign.A1Config(tr.Trace.Catalog, p.cfg.CampaignImpressionsPerSetup, p.cfg.Seed+2))
+		}()
+		go func() {
+			defer wg.Done()
+			art.A2, err2 = eng.RunContext(ctx,
+				campaign.A2Config(tr.Trace.Catalog, p.cfg.CampaignImpressionsPerSetup, p.cfg.Seed+3))
+		}()
+		wg.Wait()
+		if err1 != nil {
+			return fmt.Errorf("A1 campaign: %w", err1)
+		}
+		if err2 != nil {
+			return fmt.Errorf("A2 campaign: %w", err2)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// TrainModel runs stage 4: fit the PME's encrypted-price model on the A1
+// ground truth (§5.4), with the analysis supplying the 2015 cleartext
+// reference for the time-shift coefficient.
+func (p *Pipeline) TrainModel(ctx context.Context, res *analyzer.Result, camps *CampaignArtifact) (*core.Model, error) {
+	if res == nil || camps == nil || camps.A1 == nil || camps.A2 == nil {
+		return nil, fmt.Errorf("yourandvalue: TrainModel needs analysis and campaign artifacts")
+	}
+	var model *core.Model
+	err := p.runStage(ctx, StageTrainModel, func() error {
+		pme := core.NewPME(p.cfg.Seed + 4)
+		if p.cfg.ForestSize > 0 {
+			pme.ForestSize = p.cfg.ForestSize
+		}
+		if p.cfg.CVFolds > 0 {
+			pme.CVFolds = p.cfg.CVFolds
+		}
+		if p.cfg.CVRuns > 0 {
+			pme.CVRuns = p.cfg.CVRuns
+		}
+		m, err := pme.Train(camps.A1.Records, core.TrainConfig{
+			CleartextReference2015: res.CleartextPrices(func(i analyzer.Impression) bool {
+				return i.Notification.ADX == campaign.CleartextADX
+			}),
+			CleartextCampaign: camps.A2.Records,
+		})
+		if err != nil {
+			return fmt.Errorf("training PME: %w", err)
+		}
+		model = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// EstimateCosts runs stage 5: every user's total advertiser cost (§6),
+// sharded across the pipeline's workers. Deterministic for any worker
+// count.
+func (p *Pipeline) EstimateCosts(ctx context.Context, res *analyzer.Result, model *core.Model) (map[int]*core.UserCost, error) {
+	if res == nil || model == nil {
+		return nil, fmt.Errorf("yourandvalue: EstimateCosts needs analysis and model artifacts")
+	}
+	var costs map[int]*core.UserCost
+	err := p.runStage(ctx, StageEstimateCosts, func() error {
+		var err error
+		costs, err = core.BatchEstimateContext(ctx, res, model, p.workers)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return costs, nil
+}
+
+// Execute runs every stage in dependency order — Analyze and RunCampaigns
+// concurrently, both feeding TrainModel — and assembles the Study. It is
+// the staged equivalent of Run and returns the first stage error,
+// including ctx.Err() after cancellation.
+func (p *Pipeline) Execute(ctx context.Context) (*Study, error) {
+	tr, err := p.GenerateTrace(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2 and 3 both depend only on the trace; run them in parallel.
+	var (
+		wg    sync.WaitGroup
+		res   *analyzer.Result
+		camps *CampaignArtifact
+		aErr  error
+		cErr  error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		res, aErr = p.Analyze(ctx, tr)
+	}()
+	go func() {
+		defer wg.Done()
+		camps, cErr = p.RunCampaigns(ctx, tr)
+	}()
+	wg.Wait()
+	if aErr != nil {
+		return nil, fmt.Errorf("yourandvalue: %w", aErr)
+	}
+	if cErr != nil {
+		return nil, fmt.Errorf("yourandvalue: %w", cErr)
+	}
+
+	model, err := p.TrainModel(ctx, res, camps)
+	if err != nil {
+		return nil, fmt.Errorf("yourandvalue: %w", err)
+	}
+	costs, err := p.EstimateCosts(ctx, res, model)
+	if err != nil {
+		return nil, fmt.Errorf("yourandvalue: %w", err)
+	}
+
+	return &Study{
+		Config:    p.cfg,
+		Ecosystem: tr.Ecosystem,
+		Trace:     tr.Trace,
+		Analysis:  res,
+		A1:        camps.A1,
+		A2:        camps.A2,
+		Model:     model,
+		Costs:     costs,
+		Baseline:  baseline.New(res),
+	}, nil
+}

@@ -1,0 +1,255 @@
+package yourandvalue
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"yourandvalue/internal/core"
+)
+
+// tinyOptions is the smallest configuration the pipeline tests share.
+func tinyOptions() []Option {
+	return []Option{
+		WithScale(0.02),
+		WithSeed(7),
+		WithCampaignImpressions(15),
+		WithForestSize(8),
+		WithCrossValidation(3, 1),
+	}
+}
+
+func tinyConfig() Config {
+	return Config{
+		Seed: 7, Scale: 0.02, CampaignImpressionsPerSetup: 15,
+		ForestSize: 8, CVFolds: 3, CVRuns: 1,
+	}
+}
+
+// TestPipelineMatchesRun: the options API and the Run(Config) wrapper
+// must describe the same study — equal seeds, equal artifacts.
+func TestPipelineMatchesRun(t *testing.T) {
+	p, err := NewPipeline(tinyOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Config(), tinyConfig(); got != want {
+		t.Fatalf("options resolved to %+v, want %+v", got, want)
+	}
+	a, err := p.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace.Requests) != len(b.Trace.Requests) {
+		t.Fatal("traces differ")
+	}
+	for _, pair := range [][2]string{
+		{a.Figure2().String(), b.Figure2().String()},
+		{a.Figure17().String(), b.Figure17().String()},
+		{a.Section54().String(), b.Section54().String()},
+	} {
+		if pair[0] != pair[1] {
+			t.Fatalf("pipeline and Run disagree under equal seeds:\n%s\nvs\n%s",
+				pair[0], pair[1])
+		}
+	}
+}
+
+func TestNewPipelineValidates(t *testing.T) {
+	if _, err := NewPipeline(WithScale(0)); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := NewPipeline(WithScale(2)); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	if _, err := NewPipeline(WithCampaignImpressions(0)); err == nil {
+		t.Error("zero campaign target accepted")
+	}
+	p, err := NewPipeline(WithWorkers(-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.workers < 1 {
+		t.Errorf("workers = %d, want >= 1", p.workers)
+	}
+}
+
+// TestPipelineCancellation: a context cancelled while the campaign stage
+// runs must abort the study mid-stage with ctx's error.
+func TestPipelineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var failed []Stage
+	opts := append(tinyOptions(), WithProgress(func(ev StageEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		// Pull the plug the moment the campaign stage starts.
+		if ev.Stage == StageRunCampaigns && ev.State == StageStarted {
+			cancel()
+		}
+		if ev.State == StageFailed {
+			failed = append(failed, ev.Stage)
+		}
+	}))
+	p, err := NewPipeline(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, st := range failed {
+		if st == StageRunCampaigns {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("campaign stage should report failure, failed stages: %v", failed)
+	}
+
+	// A context cancelled before the first stage never starts the study.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := p.GenerateTrace(pre); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled GenerateTrace: %v", err)
+	}
+}
+
+// TestPipelineArtifactReuse: stage artifacts are plain values — a second
+// pipeline can retrain on an existing trace/campaign pair without
+// regenerating either, and retraining is deterministic.
+func TestPipelineArtifactReuse(t *testing.T) {
+	ctx := context.Background()
+	p, err := NewPipeline(tinyOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.GenerateTrace(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Analyze(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camps, err := p.RunCampaigns(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1, err := p.TrainModel(ctx, res, camps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same artifacts, same config → identical model metrics.
+	m2, err := p.TrainModel(ctx, res, camps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Metrics != m2.Metrics {
+		t.Errorf("retrain on reused artifacts not deterministic:\n%+v\nvs\n%+v",
+			m1.Metrics, m2.Metrics)
+	}
+
+	// A differently-tuned pipeline retrains on the same artifacts.
+	p2, err := NewPipeline(append(tinyOptions(), WithForestSize(4))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := p2.TrainModel(ctx, res, camps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Metrics.TrainSize != len(camps.A1.Records) {
+		t.Errorf("retrained on %d records, campaign has %d",
+			m3.Metrics.TrainSize, len(camps.A1.Records))
+	}
+
+	// And the cost stage runs from reused artifacts too.
+	costs, err := p.EstimateCosts(ctx, res, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) == 0 {
+		t.Error("no costs estimated")
+	}
+
+	// Stage methods reject missing artifacts instead of panicking.
+	if _, err := p.Analyze(ctx, nil); err == nil {
+		t.Error("Analyze(nil) accepted")
+	}
+	if _, err := p.RunCampaigns(ctx, &TraceArtifact{}); err == nil {
+		t.Error("RunCampaigns(empty) accepted")
+	}
+	if _, err := p.TrainModel(ctx, res, nil); err == nil {
+		t.Error("TrainModel(nil campaigns) accepted")
+	}
+	if _, err := p.EstimateCosts(ctx, nil, m1); err == nil {
+		t.Error("EstimateCosts(nil analysis) accepted")
+	}
+}
+
+// TestPipelineProgressEvents: every stage of a full Execute reports a
+// start and a completion.
+func TestPipelineProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[Stage]map[StageState]int{}
+	opts := append(tinyOptions(), WithProgress(func(ev StageEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if counts[ev.Stage] == nil {
+			counts[ev.Stage] = map[StageState]int{}
+		}
+		counts[ev.Stage][ev.State]++
+		if ev.State == StageCompleted && ev.Elapsed < 0 {
+			t.Errorf("stage %s negative elapsed", ev.Stage)
+		}
+	}))
+	p, err := NewPipeline(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, st := range []Stage{StageGenerateTrace, StageAnalyze,
+		StageRunCampaigns, StageTrainModel, StageEstimateCosts} {
+		if counts[st][StageStarted] != 1 || counts[st][StageCompleted] != 1 {
+			t.Errorf("stage %s events = %v", st, counts[st])
+		}
+	}
+}
+
+// TestBatchEstimateShardingDeterministic: the sharded cost stage must be
+// bit-identical to the sequential path for any worker count.
+func TestBatchEstimateShardingDeterministic(t *testing.T) {
+	s := quickStudy(t)
+	seq, err := core.BatchEstimateContext(context.Background(), s.Analysis, s.Model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := core.BatchEstimateContext(context.Background(), s.Analysis, s.Model, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("sharded estimate (workers=%d) differs from sequential", workers)
+		}
+	}
+	if !reflect.DeepEqual(seq, s.Costs) {
+		t.Fatal("study costs differ from direct BatchEstimate")
+	}
+}

@@ -14,6 +14,7 @@
 package yourandvalue
 
 import (
+	"context"
 	"fmt"
 
 	"yourandvalue/internal/analyzer"
@@ -63,6 +64,17 @@ func QuickConfig() Config {
 	return c
 }
 
+// Validate rejects configurations no stage can run under.
+func (c Config) Validate() error {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("yourandvalue: scale %v out of (0,1]", c.Scale)
+	}
+	if c.CampaignImpressionsPerSetup <= 0 {
+		return fmt.Errorf("yourandvalue: non-positive campaign target")
+	}
+	return nil
+}
+
 // Study holds every artifact of one end-to-end run.
 type Study struct {
 	Config    Config
@@ -83,61 +95,14 @@ type Study struct {
 //  3. run the A1 (encrypted) and A2 (cleartext) probing campaigns (§5.2–5.3),
 //  4. train the PME model on A1 ground truth (§5.4),
 //  5. estimate every user's total advertiser cost (§6).
+//
+// Run is a compatibility wrapper over the staged Pipeline API; callers
+// needing cancellation, progress observation, or stage-artifact reuse
+// should use NewPipeline directly.
 func Run(cfg Config) (*Study, error) {
-	if cfg.Scale <= 0 || cfg.Scale > 1 {
-		return nil, fmt.Errorf("yourandvalue: scale %v out of (0,1]", cfg.Scale)
-	}
-	if cfg.CampaignImpressionsPerSetup <= 0 {
-		return nil, fmt.Errorf("yourandvalue: non-positive campaign target")
-	}
-	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: cfg.Seed + 1})
-	wcfg := weblog.DefaultConfig().Scaled(cfg.Scale)
-	wcfg.Seed = cfg.Seed
-	wcfg.Ecosystem = eco
-	trace := weblog.Generate(wcfg)
-
-	an := analyzer.New(trace.Catalog.Directory())
-	res := an.Analyze(trace.Requests)
-
-	eng := campaign.NewEngine(eco)
-	a1, err := eng.Run(campaign.A1Config(trace.Catalog, cfg.CampaignImpressionsPerSetup, cfg.Seed+2))
+	p, err := NewPipeline(WithConfig(cfg))
 	if err != nil {
-		return nil, fmt.Errorf("yourandvalue: A1 campaign: %w", err)
+		return nil, err
 	}
-	a2, err := eng.Run(campaign.A2Config(trace.Catalog, cfg.CampaignImpressionsPerSetup, cfg.Seed+3))
-	if err != nil {
-		return nil, fmt.Errorf("yourandvalue: A2 campaign: %w", err)
-	}
-
-	pme := core.NewPME(cfg.Seed + 4)
-	if cfg.ForestSize > 0 {
-		pme.ForestSize = cfg.ForestSize
-	}
-	if cfg.CVFolds > 0 {
-		pme.CVFolds = cfg.CVFolds
-	}
-	if cfg.CVRuns > 0 {
-		pme.CVRuns = cfg.CVRuns
-	}
-	model, err := pme.Train(a1.Records, core.TrainConfig{
-		CleartextReference2015: res.CleartextPrices(func(i analyzer.Impression) bool {
-			return i.Notification.ADX == campaign.CleartextADX
-		}),
-		CleartextCampaign: a2.Records,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("yourandvalue: training PME: %w", err)
-	}
-
-	return &Study{
-		Config:    cfg,
-		Ecosystem: eco,
-		Trace:     trace,
-		Analysis:  res,
-		A1:        a1,
-		A2:        a2,
-		Model:     model,
-		Costs:     core.BatchEstimate(res, model),
-		Baseline:  baseline.New(res),
-	}, nil
+	return p.Execute(context.Background())
 }
