@@ -8,6 +8,7 @@ package yourandvalue
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"yourandvalue/internal/analyzer"
@@ -17,6 +18,7 @@ import (
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/priceenc"
 	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/stream"
 	"yourandvalue/internal/weblog"
 )
 
@@ -293,6 +295,60 @@ func BenchmarkStudyPipelineStaged(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Streaming vs batch estimation ---
+
+// BenchmarkStreamVsBatch compares per-user cost estimation throughput
+// between the batch path (core.BatchEstimateContext over a pre-analyzed
+// trace) and the streaming path (stream.Aggregator re-detecting and
+// estimating online). Run with -benchmem: the streaming sub-benchmarks
+// also show peak working-set behavior — "generate" never materializes
+// the trace at all.
+func BenchmarkStreamVsBatch(b *testing.B) {
+	s := quickStudy(b)
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BatchEstimateContext(ctx, s.Analysis, s.Model, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(s.Analysis.Impressions)), "impressions/op")
+	})
+
+	b.Run("stream-replay", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, err := stream.NewReplaySource(s.Trace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg := stream.NewAggregator(s.Model, s.Trace.Catalog.Directory(),
+				stream.WithShards(workers))
+			if _, err := agg.Run(ctx, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(s.Trace.Requests)), "events/op")
+	})
+
+	b.Run("stream-generate", func(b *testing.B) {
+		wcfg := weblog.DefaultConfig().Scaled(s.Config.Scale)
+		wcfg.Seed = s.Config.Seed
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src := stream.NewGeneratorSource(wcfg)
+			agg := stream.NewAggregator(s.Model, src.Directory(),
+				stream.WithShards(workers))
+			if _, err := agg.Run(ctx, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Hot-path micro-benchmarks ---

@@ -1,0 +1,120 @@
+// loadgen is a scaletest-style harness for pmeserver: it spins up N
+// concurrent synthetic clients — each behaving like a deployed extension
+// (§3.3): polling /v2/model with ETags, contributing anonymous price
+// observations, and requesting batch estimates — and reports throughput,
+// latency histograms (p50/p95/p99), and error/507 counts.
+//
+// Against an already-running server:
+//
+//	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -clients 200 -duration 30s
+//
+// Self-contained (trains a small model and serves it in-process):
+//
+//	go run ./cmd/loadgen -clients 100 -duration 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/core"
+	"yourandvalue/internal/pmeserver"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/stream"
+	"yourandvalue/internal/weblog"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running pmeserver; empty starts one in-process")
+	clients := flag.Int("clients", 100, "concurrent synthetic clients")
+	duration := flag.Duration("duration", 10*time.Second, "wall-clock cap")
+	batch := flag.Int("batch", 32, "stream events per client operation cycle")
+	poll := flag.Int("poll", 16, "cycles between conditional model polls")
+	scale := flag.Float64("scale", 0.05, "trace scale in (0,1] feeding the clients")
+	seed := flag.Int64("seed", 1, "master seed for the synthetic traffic")
+	maxOps := flag.Int64("maxops", 0, "total operation budget (0 = until duration or source drain)")
+	pool := flag.Int("pool", 0, "override the server contribution-pool bound (in-process only, 0 = default)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	base := *addr
+	var srv *pmeserver.Server
+	if base == "" {
+		var shutdown func()
+		var err error
+		srv, base, shutdown, err = selfHost(*seed, *pool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process pmeserver at %s\n", base)
+	}
+
+	wcfg := weblog.DefaultConfig().Scaled(*scale)
+	wcfg.Seed = *seed
+	report, err := stream.RunLoad(ctx, stream.LoadConfig{
+		BaseURL:   base,
+		Clients:   *clients,
+		Source:    stream.NewGeneratorSource(wcfg),
+		BatchSize: *batch,
+		PollEvery: *poll,
+		Duration:  *duration,
+		MaxOps:    *maxOps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.String())
+	if srv != nil {
+		fmt.Printf("server pool: %d contributions retained\n", len(srv.Contributions()))
+	}
+}
+
+// selfHost trains a small campaign-fit model and serves it on a loopback
+// listener, so the harness runs with zero external dependencies.
+func selfHost(seed int64, maxPool int) (*pmeserver.Server, string, func(), error) {
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: seed + 1})
+	cat := weblog.NewCatalog(60, 30)
+	cfg := campaign.A1Config(cat, 25, seed+2)
+	cfg.Setups = cfg.Setups[:36]
+	rep, err := campaign.NewEngine(eco).Run(cfg)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	pme := core.NewPME(seed + 3)
+	pme.ForestSize = 10
+	pme.CVFolds, pme.CVRuns = 5, 1
+	model, err := pme.Train(rep.Records, core.TrainConfig{})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	srv, err := pmeserver.New(model)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if maxPool > 0 {
+		srv.SetMaxPool(maxPool)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	shutdown := func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shCtx)
+	}
+	return srv, "http://" + ln.Addr().String(), shutdown, nil
+}

@@ -1,10 +1,13 @@
 package pmeserver
 
 import (
+	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -202,6 +205,69 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if len(srv.Contributions()) == 0 {
 		t.Error("no contributions landed")
+	}
+}
+
+// TestConcurrentContributePoolAccounting: many contributors racing into
+// a bounded pool must keep the accepted/dropped/invalid accounting
+// exact — every submitted contribution lands in exactly one bucket, the
+// pool never exceeds its bound, and accepted equals what it retains.
+// (Run under -race in CI.)
+func TestConcurrentContributePoolAccounting(t *testing.T) {
+	const (
+		maxPool      = 137
+		contributors = 32
+		batches      = 8
+		batchSize    = 5 // 4 valid + 1 invalid per batch
+	)
+	srv, err := New(testModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetMaxPool(maxPool)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var accepted, dropped, invalid atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < contributors; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := NewClient(ts.URL)
+			for b := 0; b < batches; b++ {
+				batch := []Contribution{
+					{ADX: "MoPub", PriceCPM: 0.4},
+					{ADX: "DoubleClick", Encrypted: true},
+					{ADX: "OpenX", PriceCPM: 1.1},
+					{ADX: "Rubicon", PriceCPM: 2.2},
+					{ADX: ""}, // invalid
+				}
+				out, err := client.ContributeV2(context.Background(), batch)
+				if err != nil && !errors.Is(err, ErrPoolFull) {
+					t.Errorf("contribute: %v", err)
+					return
+				}
+				accepted.Add(int64(out.Accepted))
+				dropped.Add(int64(out.Dropped))
+				invalid.Add(int64(out.Invalid))
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(contributors * batches * batchSize)
+	if got := accepted.Load() + dropped.Load() + invalid.Load(); got != total {
+		t.Errorf("accounted %d contributions, submitted %d", got, total)
+	}
+	if got := invalid.Load(); got != int64(contributors*batches) {
+		t.Errorf("invalid = %d, want %d", got, contributors*batches)
+	}
+	if got := accepted.Load(); got != maxPool {
+		t.Errorf("accepted = %d, want exactly the pool bound %d", got, maxPool)
+	}
+	if got := len(srv.Contributions()); int64(got) != accepted.Load() {
+		t.Errorf("pool retains %d, accepted %d", got, accepted.Load())
 	}
 }
 

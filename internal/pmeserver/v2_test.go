@@ -197,6 +197,19 @@ func TestContributePoolOverflow(t *testing.T) {
 	if resp.StatusCode != http.StatusInsufficientStorage {
 		t.Errorf("v1 full-pool status %d, want 507", resp.StatusCode)
 	}
+	// Retry-After parity with v2: v1's 507 must tell clients when to
+	// come back (the body stays the frozen v1 accepted/dropped shape).
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("v1 507 missing Retry-After header")
+	} else if v2resp, err := http.Post(ts.URL+"/v2/contribute", "application/json",
+		strings.NewReader(`[{"adx":"MoPub","price_cpm":0.5}]`)); err != nil {
+		t.Fatal(err)
+	} else {
+		defer v2resp.Body.Close()
+		if want := v2resp.Header.Get("Retry-After"); got != want {
+			t.Errorf("v1 Retry-After = %q, v2 = %q; want parity", got, want)
+		}
+	}
 	var v1 struct {
 		Accepted int `json:"accepted"`
 		Dropped  int `json:"dropped"`

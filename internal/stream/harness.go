@@ -1,0 +1,337 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/pmeserver"
+	"yourandvalue/internal/useragent"
+)
+
+// LoadConfig drives RunLoad: a scaletest-style harness that spins up N
+// concurrent synthetic clients against a live pmeserver, each behaving
+// like a deployed extension fleet member — polling /v2/model with ETags,
+// posting /v2/contribute batches built from the event stream, and asking
+// /v2/estimate for its encrypted prices.
+type LoadConfig struct {
+	// BaseURL is the pmeserver root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is how many concurrent synthetic clients to run.
+	Clients int
+	// Source feeds the impression traffic the clients report. Clients
+	// share the stream; each pulls its next batch from a bounded
+	// channel.
+	Source Source
+	// BatchSize is how many stream events one client consumes per
+	// operation cycle (default 32).
+	BatchSize int
+	// PollEvery issues a conditional model fetch every n cycles per
+	// client (default 16; the steady state is a cheap 304).
+	PollEvery int
+	// Duration caps the wall-clock run when positive.
+	Duration time.Duration
+	// MaxOps caps the total operation cycles across all clients when
+	// positive (so smoke tests finish before the source drains).
+	MaxOps int64
+	// Buffer bounds the source channel (default 1024).
+	Buffer int
+	// HTTPClient overrides the transport (e.g. shorter timeouts).
+	HTTPClient *http.Client
+}
+
+// LoadReport aggregates what the synthetic fleet observed.
+type LoadReport struct {
+	Clients     int
+	Elapsed     time.Duration
+	Ops         int64 // operation cycles completed
+	Contributed int64 // contributions accepted by the server
+	Estimated   int64 // price estimates received
+	ModelPolls  int64 // conditional model fetches issued
+	NotModified int64 // polls answered 304
+	PoolFull    int64 // contribute calls answered 507
+	Errors      int64 // transport or non-2xx failures
+	// Hist keys: "model", "contribute", "estimate".
+	Hist map[string]*Histogram
+}
+
+// Throughput returns completed operation cycles per second.
+func (r *LoadReport) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// String renders the human-readable latency report.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d clients, %s elapsed, %d ops (%.1f ops/s)\n",
+		r.Clients, r.Elapsed.Round(time.Millisecond), r.Ops, r.Throughput())
+	fmt.Fprintf(&b, "  contributed=%d estimated=%d polls=%d not-modified(304)=%d pool-full(507)=%d errors=%d\n",
+		r.Contributed, r.Estimated, r.ModelPolls, r.NotModified, r.PoolFull, r.Errors)
+	for _, k := range []string{"contribute", "estimate", "model"} {
+		if h := r.Hist[k]; h != nil && h.Count() > 0 {
+			fmt.Fprintf(&b, "  %-10s %s\n", k, h)
+		}
+	}
+	return b.String()
+}
+
+// clientStats is one client's private accounting, merged after the run.
+type clientStats struct {
+	ops, contributed, estimated   int64
+	modelPolls, notModified       int64
+	poolFull, errors              int64
+	model, contribute, estimateHG Histogram
+}
+
+// RunLoad executes the load test and reports throughput, latency
+// histograms, and error/507 counts. It returns when the source drains,
+// the op budget or duration is spent, or ctx is cancelled (cancellation
+// is a normal end of test, not an error).
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("stream: load test needs a BaseURL")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("stream: load test needs a Source")
+	}
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 32
+	}
+	if cfg.PollEvery < 1 {
+		cfg.PollEvery = 16
+	}
+	if cfg.Buffer < 1 {
+		cfg.Buffer = 1024
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+	// The source must not outlive the fleet: once every client exits
+	// (op budget spent, duration reached), cancel generation rather
+	// than letting it block on the full channel until the deadline.
+	ctx, stopSource := context.WithCancel(ctx)
+	defer stopSource()
+
+	events := make(chan Event, cfg.Buffer)
+	srcErr := make(chan error, 1)
+	go func() {
+		err := cfg.Source.Run(ctx, events)
+		close(events)
+		srcErr <- err
+	}()
+
+	var budgetLeft atomic.Int64
+	if cfg.MaxOps > 0 {
+		budgetLeft.Store(cfg.MaxOps)
+	} else {
+		budgetLeft.Store(math.MaxInt64)
+	}
+
+	geo := geoip.Default()
+	registry := nurl.Default()
+	stats := make([]clientStats, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(st *clientStats) {
+			defer wg.Done()
+			runClient(ctx, cfg, st, events, &budgetLeft, geo, registry)
+		}(&stats[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stopSource()
+	err := <-srcErr
+
+	report := &LoadReport{
+		Clients: cfg.Clients,
+		Elapsed: elapsed,
+		Hist: map[string]*Histogram{
+			"model": {}, "contribute": {}, "estimate": {},
+		},
+	}
+	for i := range stats {
+		st := &stats[i]
+		report.Ops += st.ops
+		report.Contributed += st.contributed
+		report.Estimated += st.estimated
+		report.ModelPolls += st.modelPolls
+		report.NotModified += st.notModified
+		report.PoolFull += st.poolFull
+		report.Errors += st.errors
+		report.Hist["model"].Merge(&st.model)
+		report.Hist["contribute"].Merge(&st.contribute)
+		report.Hist["estimate"].Merge(&st.estimateHG)
+	}
+	// A source stopped by the harness's own deadline is a normal end.
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return report, err
+	}
+	return report, nil
+}
+
+// runClient is one synthetic extension client's lifetime.
+func runClient(ctx context.Context, cfg LoadConfig, st *clientStats, events <-chan Event, budgetLeft *atomic.Int64, geo *geoip.DB, registry *nurl.Registry) {
+	pc := pmeserver.NewClient(cfg.BaseURL)
+	if cfg.HTTPClient != nil {
+		pc.HTTP = cfg.HTTPClient
+	}
+	etag := ""
+	for cycle := 0; ; cycle++ {
+		if budgetLeft.Add(-1) < 0 {
+			return
+		}
+		batch := nextBatch(ctx, events, cfg.BatchSize)
+		if len(batch) == 0 {
+			return // source drained or ctx cancelled
+		}
+		contributions, items := convert(batch, geo, registry)
+
+		if cycle%cfg.PollEvery == 0 {
+			st.modelPolls++
+			t0 := time.Now()
+			_, newTag, err := pc.FetchModelV2(ctx, etag)
+			st.model.Record(time.Since(t0))
+			switch {
+			case errors.Is(err, pmeserver.ErrNotModified):
+				st.notModified++
+			case err != nil:
+				if ctx.Err() != nil {
+					return
+				}
+				st.errors++
+			default:
+				etag = newTag
+			}
+		}
+
+		if len(contributions) > 0 {
+			t0 := time.Now()
+			out, err := pc.ContributeV2(ctx, contributions)
+			st.contribute.Record(time.Since(t0))
+			switch {
+			case errors.Is(err, pmeserver.ErrPoolFull):
+				st.poolFull++
+			case err != nil:
+				if ctx.Err() != nil {
+					return
+				}
+				st.errors++
+			default:
+				st.contributed += int64(out.Accepted)
+			}
+		}
+
+		if len(items) > 0 {
+			t0 := time.Now()
+			out, err := pc.EstimateV2(ctx, items)
+			st.estimateHG.Record(time.Since(t0))
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				st.errors++
+			} else {
+				st.estimated += int64(len(out.EstimatesCPM))
+			}
+		}
+		st.ops++
+	}
+}
+
+// nextBatch pulls up to n events: blocking for the first, then draining
+// whatever is immediately available, so slow sources still make
+// progress and fast sources fill whole batches.
+func nextBatch(ctx context.Context, events <-chan Event, n int) []Event {
+	batch := make([]Event, 0, n)
+	select {
+	case ev, ok := <-events:
+		if !ok {
+			return nil
+		}
+		batch = append(batch, ev)
+	case <-ctx.Done():
+		return nil
+	}
+	for len(batch) < n {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, ev)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// convert turns raw stream events into the anonymous payloads a real
+// client would upload: contributions for every detected price
+// notification and estimate queries for the encrypted ones.
+func convert(batch []Event, geo *geoip.DB, registry *nurl.Registry) ([]pmeserver.Contribution, []pmeserver.EstimateItem) {
+	var contributions []pmeserver.Contribution
+	var items []pmeserver.EstimateItem
+	for _, ev := range batch {
+		if ev.Kind != EventRequest {
+			continue
+		}
+		r := ev.Request
+		n, ok := registry.Parse(r.URL)
+		if !ok || n.Kind == nurl.NoPrice {
+			continue
+		}
+		dev := useragent.Parse(r.UserAgent)
+		origin := "web"
+		if dev.Origin == useragent.MobileApp {
+			origin = "app"
+		}
+		slot := ""
+		if n.Width > 0 && n.Height > 0 {
+			slot = fmt.Sprintf("%dx%d", n.Width, n.Height)
+		}
+		city := geo.LookupString(r.ClientIP).String()
+		c := pmeserver.Contribution{
+			Observed:  r.Time,
+			ADX:       n.ADX,
+			Encrypted: n.Kind == nurl.Encrypted,
+			City:      city,
+			OS:        dev.OS.String(),
+			Origin:    origin,
+			Slot:      slot,
+		}
+		if n.Kind == nurl.Cleartext {
+			c.PriceCPM = n.PriceCPM
+		} else {
+			items = append(items, pmeserver.EstimateItem{
+				Observed: r.Time,
+				ADX:      n.ADX,
+				City:     city,
+				OS:       dev.OS.String(),
+				Device:   dev.Type.String(),
+				Origin:   origin,
+				Slot:     slot,
+			})
+		}
+		contributions = append(contributions, c)
+	}
+	return contributions, items
+}

@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"yourandvalue/internal/pmeserver"
+)
+
+// TestLoadHarnessSmoke: ≥100 concurrent synthetic clients against an
+// in-process pmeserver must complete a bounded run with zero transport
+// errors and produce a printable latency-histogram report.
+func TestLoadHarnessSmoke(t *testing.T) {
+	model, _, _ := fixtures(t)
+	srv, err := pmeserver.New(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	report, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:   ts.URL,
+		Clients:   100,
+		Source:    NewGeneratorSource(traceConfig()),
+		BatchSize: 16,
+		PollEvery: 4,
+		MaxOps:    400, // 4 cycles per client on average
+		Duration:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clients != 100 {
+		t.Errorf("clients = %d", report.Clients)
+	}
+	if report.Ops == 0 {
+		t.Fatal("no operation cycles completed")
+	}
+	if report.Errors != 0 {
+		t.Fatalf("%d transport errors (report:\n%s)", report.Errors, report)
+	}
+	if report.Contributed == 0 {
+		t.Error("no contributions accepted")
+	}
+	if report.Estimated == 0 {
+		t.Error("no estimates returned")
+	}
+	if report.ModelPolls == 0 {
+		t.Error("no model polls issued")
+	}
+	// The server can retain slightly more than clients counted: a batch
+	// whose response was cut off by the run deadline is stored
+	// server-side but never reported client-side. It can never retain
+	// fewer.
+	if got := len(srv.Contributions()); int64(got) < report.Contributed {
+		t.Errorf("server retained %d contributions, clients counted %d accepted",
+			got, report.Contributed)
+	}
+	out := report.String()
+	for _, want := range []string{"100 clients", "p50=", "p95=", "p99=", "contribute"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if report.Throughput() <= 0 {
+		t.Error("non-positive throughput")
+	}
+}
+
+// TestLoadHarnessPoolFull: a saturated contribution pool must surface as
+// counted 507s, not as transport errors.
+func TestLoadHarnessPoolFull(t *testing.T) {
+	model, _, _ := fixtures(t)
+	srv, err := pmeserver.New(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetMaxPool(1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	report, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Clients:  8,
+		Source:   NewGeneratorSource(traceConfig()),
+		MaxOps:   64,
+		Duration: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("pool-full runs must not count transport errors, got %d", report.Errors)
+	}
+	if report.PoolFull == 0 {
+		t.Fatal("expected 507 pool-full responses")
+	}
+}
+
+// TestLoadConfigValidation: missing essentials are rejected up front.
+func TestLoadConfigValidation(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadConfig{Source: NewGeneratorSource(traceConfig())}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := RunLoad(context.Background(), LoadConfig{BaseURL: "http://x"}); err == nil {
+		t.Error("missing Source accepted")
+	}
+}

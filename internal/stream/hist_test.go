@@ -1,0 +1,45 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantiles: recorded latencies must produce ordered
+// quantiles bounded by the observed extremes, and merging must preserve
+// counts and the maximum.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99 && p99 <= h.Quantile(1)) {
+		t.Fatalf("quantiles out of order: p50=%s p95=%s p99=%s", p50, p95, p99)
+	}
+	// ~15% bucket resolution around the true values.
+	if p50 < 400*time.Millisecond || p50 > 700*time.Millisecond {
+		t.Errorf("p50 = %s, want ≈500ms", p50)
+	}
+	if h.Quantile(1) != 1000*time.Millisecond {
+		t.Errorf("p100 = %s, want the exact max", h.Quantile(1))
+	}
+	if mean := h.Mean(); mean != 500500*time.Microsecond {
+		t.Errorf("mean = %s, want exact 500.5ms", mean)
+	}
+
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(10 * time.Second)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Quantile(1) != 10*time.Second {
+		t.Errorf("merge lost data: n=%d max=%s", a.Count(), a.Quantile(1))
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"yourandvalue/internal/core"
+)
+
+// UserRank is one row of a snapshot's top-K user summary.
+type UserRank struct {
+	UserID   int
+	TotalCPM float64 // cleartext + estimated encrypted cost so far
+}
+
+// AdvertiserRank is one row of a snapshot's top-K advertiser summary.
+type AdvertiserRank struct {
+	Name        string
+	SpendCPM    float64 // cleartext + estimated encrypted spend so far
+	Impressions int64
+}
+
+// Snapshot is an immutable view of the aggregation state after exactly
+// Events distributed events. Periodic snapshots are barrier-consistent:
+// a snapshot taken at event N contains the effect of events 1..N and
+// nothing else, regardless of shard scheduling, so its per-user costs
+// are deterministic in (source, model, N). Global float totals are
+// diagnostics and may differ in last-bit rounding across shard counts;
+// the per-user costs are the bit-identical contract.
+type Snapshot struct {
+	Events         int64 // events distributed when the snapshot was cut
+	Users          int   // users seen so far
+	Impressions    int64 // RTB price notifications detected so far
+	CleartextCount int64
+	EncryptedCount int64
+	CleartextCPM   float64
+	EncryptedCPM   float64
+	// Costs is a by-value copy of every user's accumulator at the
+	// barrier; mutating it cannot affect the aggregator.
+	Costs          map[int]core.UserCost
+	TopUsers       []UserRank
+	TopAdvertisers []AdvertiserRank
+}
+
+// TotalCPM returns the population-wide Σ Vu(T) at the snapshot.
+func (s *Snapshot) TotalCPM() float64 { return s.CleartextCPM + s.EncryptedCPM }
+
+// String renders a compact one-stop summary of the snapshot.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream snapshot @%d events: %d users, %d impressions (%d clear / %d enc), total %.2f CPM (%.2f clear + %.2f enc)\n",
+		s.Events, s.Users, s.Impressions, s.CleartextCount, s.EncryptedCount,
+		s.TotalCPM(), s.CleartextCPM, s.EncryptedCPM)
+	for i, r := range s.TopUsers {
+		fmt.Fprintf(&b, "  user #%d: id=%d total=%.2f CPM\n", i+1, r.UserID, r.TotalCPM)
+	}
+	for i, r := range s.TopAdvertisers {
+		fmt.Fprintf(&b, "  advertiser #%d: %s spend=%.2f CPM over %d impressions\n",
+			i+1, r.Name, r.SpendCPM, r.Impressions)
+	}
+	return b.String()
+}
+
+// advertiserTotals is a shard's partial per-DSP accounting. A DSP's
+// spend spans users on every shard, so shards keep full partial maps and
+// snapshots merge them (the DSP roster is small) before ranking.
+type advertiserTotals struct {
+	spendCPM    float64
+	impressions int64
+}
+
+// shardPart is one shard's immutable contribution to a snapshot.
+type shardPart struct {
+	costs          map[int]core.UserCost
+	advertisers    map[string]advertiserTotals
+	topUsers       []Entry[int]
+	users          int
+	impressions    int64
+	cleartextCount int64
+	encryptedCount int64
+	cleartextCPM   float64
+	encryptedCPM   float64
+}
+
+// mergeParts assembles the global snapshot from per-shard parts cut at
+// the same barrier.
+func mergeParts(events int64, topK int, parts []*shardPart) *Snapshot {
+	snap := &Snapshot{Events: events, Costs: make(map[int]core.UserCost)}
+	advertisers := make(map[string]advertiserTotals)
+	var userEntries []Entry[int]
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		snap.Users += p.users
+		snap.Impressions += p.impressions
+		snap.CleartextCount += p.cleartextCount
+		snap.EncryptedCount += p.encryptedCount
+		snap.CleartextCPM += p.cleartextCPM
+		snap.EncryptedCPM += p.encryptedCPM
+		for id, uc := range p.costs {
+			snap.Costs[id] = uc
+		}
+		for name, at := range p.advertisers {
+			got := advertisers[name]
+			got.spendCPM += at.spendCPM
+			got.impressions += at.impressions
+			advertisers[name] = got
+		}
+		userEntries = append(userEntries, p.topUsers...)
+	}
+
+	// Shards own disjoint users, so merging per-shard top-Ks yields the
+	// exact global user top-K.
+	sortEntries(userEntries)
+	if len(userEntries) > topK {
+		userEntries = userEntries[:topK]
+	}
+	snap.TopUsers = make([]UserRank, len(userEntries))
+	for i, e := range userEntries {
+		snap.TopUsers[i] = UserRank{UserID: e.Key, TotalCPM: e.Score}
+	}
+
+	names := make([]string, 0, len(advertisers))
+	for name := range advertisers {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := advertisers[names[i]], advertisers[names[j]]
+		if a.spendCPM != b.spendCPM {
+			return a.spendCPM > b.spendCPM
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > topK {
+		names = names[:topK]
+	}
+	snap.TopAdvertisers = make([]AdvertiserRank, len(names))
+	for i, name := range names {
+		at := advertisers[name]
+		snap.TopAdvertisers[i] = AdvertiserRank{
+			Name: name, SpendCPM: at.spendCPM, Impressions: at.impressions,
+		}
+	}
+	return snap
+}

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/weblog"
+)
+
+// GeneratorSource synthesizes the weblog on the fly through
+// weblog.GenerateStream: users are generated one at a time, each user's
+// year of requests emitted in time order followed by an EventUserDone
+// marker, so peak memory stays bounded by a single user's records no
+// matter how large the configured population is.
+type GeneratorSource struct {
+	cfg     weblog.Config
+	catalog *weblog.Catalog
+}
+
+// NewGeneratorSource builds a source for the given trace configuration.
+// The catalog (and its category directory) is constructed eagerly so
+// Directory is available before Run.
+func NewGeneratorSource(cfg weblog.Config) *GeneratorSource {
+	cfg = cfg.Normalized()
+	return &GeneratorSource{cfg: cfg, catalog: weblog.NewCatalog(cfg.Sites, cfg.Apps)}
+}
+
+// Config returns the normalized trace configuration the source runs.
+func (s *GeneratorSource) Config() weblog.Config { return s.cfg }
+
+// Catalog returns the browsing catalog backing the stream.
+func (s *GeneratorSource) Catalog() *weblog.Catalog { return s.catalog }
+
+// Directory returns the catalog's IAB category directory.
+func (s *GeneratorSource) Directory() *iab.Directory { return s.catalog.Directory() }
+
+// Run generates and emits the stream. Each send honors ctx, so a
+// cancelled consumer unblocks generation immediately.
+func (s *GeneratorSource) Run(ctx context.Context, out chan<- Event) error {
+	return weblog.GenerateStream(s.cfg, s.catalog, func(ut weblog.UserTrace) error {
+		for _, r := range ut.Requests {
+			select {
+			case out <- Event{Kind: EventRequest, Request: r}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		select {
+		case out <- Event{Kind: EventUserDone, User: ut.User}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return nil
+	})
+}
+
+// ReplaySource re-emits a fully materialized trace in its global time
+// order — the "ingest an existing TraceArtifact" path. Global time order
+// preserves within-user order, so the determinism contract holds.
+type ReplaySource struct {
+	trace *weblog.Trace
+}
+
+// NewReplaySource wraps an existing trace. The trace must carry its
+// catalog (every weblog.Generate trace does).
+func NewReplaySource(t *weblog.Trace) (*ReplaySource, error) {
+	if t == nil || t.Catalog == nil {
+		return nil, fmt.Errorf("stream: replay needs a trace with its catalog")
+	}
+	return &ReplaySource{trace: t}, nil
+}
+
+// Directory returns the replayed trace's category directory.
+func (s *ReplaySource) Directory() *iab.Directory { return s.trace.Catalog.Directory() }
+
+// Run emits every request of the trace in order, then one EventUserDone
+// per user so consumers can release transient state.
+func (s *ReplaySource) Run(ctx context.Context, out chan<- Event) error {
+	for _, r := range s.trace.Requests {
+		select {
+		case out <- Event{Kind: EventRequest, Request: r}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, u := range s.trace.Users {
+		select {
+		case out <- Event{Kind: EventUserDone, User: u}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

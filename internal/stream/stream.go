@@ -1,0 +1,70 @@
+// Package stream turns the batch study pipeline into an online system.
+// The paper's PME is meant to run continuously at population scale —
+// clients observe charge prices in real time and "contribute anonymously
+// their impression charge prices to a centralized platform" (§1, §3.3) —
+// so ingestion has to be a stream, not a year-end snapshot.
+//
+// A Source emits weblog events incrementally with bounded memory: either
+// generated on the fly from a weblog.Config (no full-trace
+// materialization) or replayed from an existing trace. An Aggregator
+// consumes the stream through sharded per-user online cost accumulators
+// backed by a core.Model, taking periodic immutable snapshots and
+// maintaining incremental top-K user and advertiser summaries while
+// events are still flowing. Backpressure is a bounded channel end to
+// end; cancellation is the context.
+//
+// Determinism contract: per-user cost accumulation is bit-identical to
+// core.BatchEstimateContext over the analyzed batch trace, for the same
+// seed and model, at any shard count. The guarantee holds because every
+// Source preserves each user's within-user event order — the only order
+// per-user float accumulation is sensitive to — and the Aggregator
+// routes all of a user's events to exactly one shard.
+package stream
+
+import (
+	"context"
+
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/weblog"
+)
+
+// EventKind discriminates stream events.
+type EventKind uint8
+
+const (
+	// EventRequest carries one HTTP request record of the weblog.
+	EventRequest EventKind = iota
+	// EventUserDone marks that a user's stream is complete; consumers
+	// may release the user's transient state (bounded-memory sources
+	// emit users one at a time and signal each boundary).
+	EventUserDone
+)
+
+// Event is one element of the ingestion stream.
+type Event struct {
+	Kind    EventKind
+	Request weblog.Request // valid when Kind == EventRequest
+	User    weblog.User    // valid when Kind == EventUserDone
+}
+
+// userID returns the user the event belongs to, for shard routing.
+func (e Event) userID() int {
+	if e.Kind == EventUserDone {
+		return e.User.ID
+	}
+	return e.Request.UserID
+}
+
+// Source produces an ordered event stream. Implementations must preserve
+// each user's within-user request order (the determinism contract above)
+// and must honor ctx while blocked on a full out channel.
+type Source interface {
+	// Directory returns the IAB category directory backing publisher
+	// lookups for this stream; it must agree with the catalog the
+	// trace was generated against.
+	Directory() *iab.Directory
+	// Run pushes the stream into out until exhaustion or cancellation,
+	// blocking when out is full (backpressure). It must not close out
+	// and returns ctx.Err() when cancelled mid-stream.
+	Run(ctx context.Context, out chan<- Event) error
+}

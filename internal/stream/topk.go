@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Entry is one ranked (key, score) pair.
+type Entry[K cmp.Ordered] struct {
+	Key   K
+	Score float64
+}
+
+// Tracker maintains the top-K keys by a monotonically non-decreasing
+// score, updated incrementally in O(log k) per update. It is an indexed
+// min-heap: the root is the weakest member of the current top-K, so an
+// update either adjusts a member in place or displaces the root.
+//
+// Exactness relies on scores never decreasing (true for cumulative cost
+// accumulators): the heap minimum is then monotone, so a key outside the
+// heap — last seen at a score at or below some historical minimum — can
+// never silently belong above the current minimum.
+type Tracker[K cmp.Ordered] struct {
+	k    int
+	pos  map[K]int
+	keys []K
+	vals []float64
+}
+
+// NewTracker returns a tracker keeping the k highest-scored keys.
+func NewTracker[K cmp.Ordered](k int) *Tracker[K] {
+	if k < 1 {
+		k = 1
+	}
+	return &Tracker[K]{k: k, pos: make(map[K]int, k)}
+}
+
+// Update records key's current (absolute, non-decreasing) score.
+func (t *Tracker[K]) Update(key K, score float64) {
+	if i, ok := t.pos[key]; ok {
+		t.vals[i] = score
+		t.siftDown(i)
+		return
+	}
+	if len(t.keys) < t.k {
+		t.keys = append(t.keys, key)
+		t.vals = append(t.vals, score)
+		t.pos[key] = len(t.keys) - 1
+		t.siftUp(len(t.keys) - 1)
+		return
+	}
+	// Full: displace the weakest member when strictly stronger, or on a
+	// tie when the key orders first (deterministic tie policy).
+	if score < t.vals[0] || (score == t.vals[0] && key >= t.keys[0]) {
+		return
+	}
+	delete(t.pos, t.keys[0])
+	t.keys[0], t.vals[0] = key, score
+	t.pos[key] = 0
+	t.siftDown(0)
+}
+
+// Top returns the tracked entries, strongest first (score descending,
+// key ascending on ties). The slice is freshly allocated.
+func (t *Tracker[K]) Top() []Entry[K] {
+	out := make([]Entry[K], len(t.keys))
+	for i := range t.keys {
+		out[i] = Entry[K]{Key: t.keys[i], Score: t.vals[i]}
+	}
+	sortEntries(out)
+	return out
+}
+
+// Len returns the number of tracked keys (≤ k).
+func (t *Tracker[K]) Len() int { return len(t.keys) }
+
+// less orders the heap: smaller score first; equal scores break toward
+// the larger key so the weakest, latest-ordered member sits at the root.
+func (t *Tracker[K]) less(i, j int) bool {
+	if t.vals[i] != t.vals[j] {
+		return t.vals[i] < t.vals[j]
+	}
+	return t.keys[i] > t.keys[j]
+}
+
+func (t *Tracker[K]) swap(i, j int) {
+	t.keys[i], t.keys[j] = t.keys[j], t.keys[i]
+	t.vals[i], t.vals[j] = t.vals[j], t.vals[i]
+	t.pos[t.keys[i]], t.pos[t.keys[j]] = i, j
+}
+
+func (t *Tracker[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.less(i, parent) {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *Tracker[K]) siftDown(i int) {
+	n := len(t.keys)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && t.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && t.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// sortEntries orders entries strongest-first with a deterministic key
+// tie-break.
+func sortEntries[K cmp.Ordered](entries []Entry[K]) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Score != entries[j].Score {
+			return entries[i].Score > entries[j].Score
+		}
+		return entries[i].Key < entries[j].Key
+	})
+}

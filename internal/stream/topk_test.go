@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"sort"
+	"testing"
+
+	"yourandvalue/internal/stats"
+)
+
+// bruteTop computes the reference top-k from the full score map.
+func bruteTop(scores map[int]float64, k int) []Entry[int] {
+	all := make([]Entry[int], 0, len(scores))
+	for key, v := range scores {
+		all = append(all, Entry[int]{Key: key, Score: v})
+	}
+	sortEntries(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// TestTrackerMatchesBruteForce: under random monotone updates the
+// incremental tracker must agree with a full re-sort at every step's
+// end state.
+func TestTrackerMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRand(42)
+	for _, k := range []int{1, 3, 10, 64} {
+		tr := NewTracker[int](k)
+		scores := make(map[int]float64)
+		for i := 0; i < 5000; i++ {
+			key := rng.Intn(200)
+			scores[key] += rng.LogNormal(0, 1) // cumulative: never decreases
+			tr.Update(key, scores[key])
+		}
+		got := tr.Top()
+		want := bruteTop(scores, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: len %d, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d rank %d: got %+v, want %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTrackerSmall: deterministic update walk, including in-place
+// growth of an existing member past its peers.
+func TestTrackerSmall(t *testing.T) {
+	tr := NewTracker[string](2)
+	tr.Update("a", 1)
+	tr.Update("b", 2)
+	tr.Update("c", 3) // evicts a
+	top := tr.Top()
+	if top[0].Key != "c" || top[1].Key != "b" {
+		t.Fatalf("top = %+v", top)
+	}
+	tr.Update("b", 5) // b overtakes c in place
+	top = tr.Top()
+	if top[0].Key != "b" || top[0].Score != 5 {
+		t.Fatalf("after in-place growth top = %+v", top)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	// a re-enters by outgrowing the current minimum.
+	tr.Update("a", 4)
+	top = tr.Top()
+	if top[0].Key != "b" || top[1].Key != "a" {
+		t.Fatalf("after re-entry top = %+v", top)
+	}
+	sorted := sort.SliceIsSorted(top, func(i, j int) bool { return top[i].Score > top[j].Score })
+	if !sorted {
+		t.Fatal("Top not sorted")
+	}
+}

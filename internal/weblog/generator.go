@@ -45,13 +45,34 @@ func DefaultConfig() Config {
 }
 
 // Scaled returns a copy with the population and impression volume scaled
-// by f (0 < f ≤ 1), for fast tests and benchmarks.
+// by f, for fast tests and benchmarks. f is clamped into (0, 1]: factors
+// above 1 run at full scale (f = 1) and non-positive factors collapse to
+// the minimum population (10 users / 100 impressions), so an out-of-range
+// factor never silently returns the unscaled full-size config.
 func (c Config) Scaled(f float64) Config {
-	if f <= 0 || f > 1 {
-		return c
-	}
+	f = min(max(f, 0), 1)
 	c.Users = max(int(float64(c.Users)*f), 10)
 	c.Impressions = max(int(float64(c.Impressions)*f), 100)
+	return c
+}
+
+// Normalized returns the configuration Generate actually runs: a config
+// without a positive population falls back to DefaultConfig wholesale
+// (the historical contract), and zero Year/Sites/Apps take their
+// defaults. Normalized is idempotent and does not touch Ecosystem.
+func (c Config) Normalized() Config {
+	if c.Users <= 0 || c.Impressions <= 0 {
+		c = DefaultConfig()
+	}
+	if c.Year == 0 {
+		c.Year = 2015
+	}
+	if c.Sites <= 0 {
+		c.Sites = 300
+	}
+	if c.Apps <= 0 {
+		c.Apps = 150
+	}
 	return c
 }
 
@@ -70,26 +91,66 @@ var (
 )
 
 // Generate materializes a synthetic year-long trace per the config. The
-// result is deterministic in Config.Seed.
+// result is deterministic in Config.Seed. Generate is the batch form of
+// GenerateStream: it accumulates every user's records and applies the
+// global time sort.
 func Generate(cfg Config) *Trace {
-	if cfg.Users <= 0 || cfg.Impressions <= 0 {
-		cfg = DefaultConfig()
-	}
-	if cfg.Year == 0 {
-		cfg.Year = 2015
-	}
-	if cfg.Sites <= 0 {
-		cfg.Sites = 300
-	}
-	if cfg.Apps <= 0 {
-		cfg.Apps = 150
-	}
+	cfg = cfg.Normalized()
+	catalog := NewCatalog(cfg.Sites, cfg.Apps)
+	trace := &Trace{Catalog: catalog, Year: cfg.Year}
+	// GenerateStream never fails when yield never fails.
+	_ = GenerateStream(cfg, catalog, func(ut UserTrace) error {
+		trace.Users = append(trace.Users, ut.User)
+		trace.Requests = append(trace.Requests, ut.Requests...)
+		trace.Impressions = append(trace.Impressions, ut.Impressions...)
+		return nil
+	})
+	// Each user's records arrive pre-sorted, so the stable global sort
+	// reproduces exactly the order the historical single-pass generator
+	// produced: ties keep generation order within a user, and users keep
+	// their relative generation order across equal timestamps.
+	sort.SliceStable(trace.Requests, func(i, j int) bool {
+		return trace.Requests[i].Time.Before(trace.Requests[j].Time)
+	})
+	sort.SliceStable(trace.Impressions, func(i, j int) bool {
+		return trace.Impressions[i].Ctx.Time.Before(trace.Impressions[j].Ctx.Time)
+	})
+	return trace
+}
+
+// UserTrace is one user's complete year of traffic as GenerateStream
+// emits it: requests stable-sorted by time (matching the user's relative
+// record order in the fully sorted batch trace) together with the
+// generator-side ground truth behind their RTB impressions. The slices
+// are owned by the callee.
+type UserTrace struct {
+	User        User
+	Requests    []Request
+	Impressions []ImpressionTruth
+}
+
+// GenerateStream is the incremental form of Generate: it synthesizes the
+// same trace user by user, calling yield once per user with that user's
+// complete traffic, so peak memory stays bounded by a single user's
+// records instead of the whole population's. cat overrides the browsing
+// catalog when non-nil (it must be a NewCatalog of the config's sizes);
+// nil builds one. A non-nil error from yield stops generation and is
+// returned.
+//
+// Determinism: GenerateStream consumes the seeded RNG in exactly the
+// order the batch generator historically did, so concatenating every
+// yielded UserTrace and stable-sorting by time is bit-identical to
+// Generate(cfg) — Generate is implemented on top of this function.
+func GenerateStream(cfg Config, cat *Catalog, yield func(UserTrace) error) error {
+	cfg = cfg.Normalized()
 	rng := stats.NewRand(cfg.Seed)
 	eco := cfg.Ecosystem
 	if eco == nil {
 		eco = rtb.NewEcosystem(rtb.EcosystemConfig{Seed: cfg.Seed + 1})
 	}
-	catalog := NewCatalog(cfg.Sites, cfg.Apps)
+	if cat == nil {
+		cat = NewCatalog(cfg.Sites, cfg.Apps)
+	}
 
 	users := makeUsers(cfg, rng)
 
@@ -105,16 +166,14 @@ func Generate(cfg Config) *Trace {
 	}
 	adRate := float64(cfg.Impressions) / expectedSessions // may exceed 1
 
-	g := &generator{
-		cfg: cfg, rng: rng, eco: eco, catalog: catalog,
-		trace: &Trace{Users: users, Catalog: catalog, Year: cfg.Year},
-	}
-	siteZipf := rng.Zipf(1.15, len(catalog.Sites))
-	appZipf := rng.Zipf(1.15, len(catalog.Apps))
+	g := &generator{cfg: cfg, rng: rng, eco: eco, catalog: cat}
+	siteZipf := rng.Zipf(1.15, len(cat.Sites))
+	appZipf := rng.Zipf(1.15, len(cat.Apps))
 
 	start := time.Date(cfg.Year, 1, 1, 0, 0, 0, 0, time.UTC)
 	for ui := range users {
 		u := &users[ui]
+		g.reqs, g.imps = nil, nil
 		webUA := useragent.Build(useragent.Spec{
 			OS: u.OS, Type: u.Device, Origin: useragent.MobileWeb,
 		})
@@ -133,23 +192,26 @@ func Generate(cfg Config) *Trace {
 				var prop Property
 				var ua string
 				if inApp {
-					prop = catalog.Apps[appZipf.Next()]
+					prop = cat.Apps[appZipf.Next()]
 					ua = appUA
 				} else {
-					prop = catalog.Sites[siteZipf.Next()]
+					prop = cat.Sites[siteZipf.Next()]
 					ua = webUA
 				}
 				g.session(u, ts, prop, ua, adRate)
 			}
 		}
+		sort.SliceStable(g.reqs, func(i, j int) bool {
+			return g.reqs[i].Time.Before(g.reqs[j].Time)
+		})
+		sort.SliceStable(g.imps, func(i, j int) bool {
+			return g.imps[i].Ctx.Time.Before(g.imps[j].Ctx.Time)
+		})
+		if err := yield(UserTrace{User: *u, Requests: g.reqs, Impressions: g.imps}); err != nil {
+			return err
+		}
 	}
-	sort.SliceStable(g.trace.Requests, func(i, j int) bool {
-		return g.trace.Requests[i].Time.Before(g.trace.Requests[j].Time)
-	})
-	sort.SliceStable(g.trace.Impressions, func(i, j int) bool {
-		return g.trace.Impressions[i].Ctx.Time.Before(g.trace.Impressions[j].Ctx.Time)
-	})
-	return g.trace
+	return nil
 }
 
 type generator struct {
@@ -157,10 +219,12 @@ type generator struct {
 	rng     *stats.Rand
 	eco     *rtb.Ecosystem
 	catalog *Catalog
-	trace   *Trace
+	// reqs and imps buffer the user currently being generated.
+	reqs []Request
+	imps []ImpressionTruth
 }
 
-func (g *generator) emit(r Request) { g.trace.Requests = append(g.trace.Requests, r) }
+func (g *generator) emit(r Request) { g.reqs = append(g.reqs, r) }
 
 func (g *generator) request(u *User, ts time.Time, rawURL, host, ua string, meanBytes float64) {
 	g.emit(Request{
@@ -250,7 +314,7 @@ func (g *generator) auction(u *User, ts time.Time, prop Property, ua string) {
 	}
 	host := hostOf(res.NURL)
 	g.request(u, ts, res.NURL, host, ua, 600)
-	g.trace.Impressions = append(g.trace.Impressions, ImpressionTruth{
+	g.imps = append(g.imps, ImpressionTruth{
 		UserID: u.ID, Month: month, Ctx: ctx,
 		ADX: res.ADX.Name, DSP: res.Winner.Name,
 		ChargeCPM: res.ChargeCPM, Encrypted: res.Encrypted,

@@ -1,6 +1,9 @@
 package weblog
 
 import (
+	"errors"
+	"reflect"
+	"sort"
 	"testing"
 
 	"yourandvalue/internal/geoip"
@@ -229,15 +232,82 @@ func TestScaled(t *testing.T) {
 	if s.Users != 159 || s.Impressions != 7856 {
 		t.Errorf("scaled = %d users / %d imps", s.Users, s.Impressions)
 	}
-	if bad := c.Scaled(0); bad.Users != c.Users {
-		t.Error("invalid factor should be a no-op")
+	// Out-of-range factors clamp instead of silently returning the
+	// unscaled config: f <= 0 collapses to the minimum population...
+	for _, f := range []float64{0, -1} {
+		if bad := c.Scaled(f); bad.Users != 10 || bad.Impressions != 100 {
+			t.Errorf("Scaled(%v) = %d users / %d imps, want minimum 10/100",
+				f, bad.Users, bad.Impressions)
+		}
 	}
-	if bad := c.Scaled(2); bad.Users != c.Users {
-		t.Error("factor >1 should be a no-op")
+	// ...and f > 1 clamps to full (f = 1) scale.
+	for _, f := range []float64{1, 2, 1000} {
+		if full := c.Scaled(f); full.Users != c.Users || full.Impressions != c.Impressions {
+			t.Errorf("Scaled(%v) = %d users / %d imps, want full %d/%d",
+				f, full.Users, full.Impressions, c.Users, c.Impressions)
+		}
 	}
 	tiny := c.Scaled(0.0001)
 	if tiny.Users < 10 || tiny.Impressions < 100 {
 		t.Error("scaling floor violated")
+	}
+}
+
+// TestGenerateStreamMatchesGenerate: the incremental per-user emission
+// path must reproduce the batch trace bit-for-bit — same users, and the
+// concatenation of every yielded block must stable-sort into exactly
+// Generate's request and impression streams.
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	cfg := DefaultConfig().Scaled(0.01)
+	cfg.Seed = 23
+	batch := Generate(cfg)
+
+	var users []User
+	var reqs []Request
+	var imps []ImpressionTruth
+	if err := GenerateStream(cfg, nil, func(ut UserTrace) error {
+		users = append(users, ut.User)
+		for i := 1; i < len(ut.Requests); i++ {
+			if ut.Requests[i].Time.Before(ut.Requests[i-1].Time) {
+				t.Fatalf("user %d requests not time-sorted", ut.User.ID)
+			}
+		}
+		reqs = append(reqs, ut.Requests...)
+		imps = append(imps, ut.Impressions...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Time.Before(reqs[j].Time) })
+	sort.SliceStable(imps, func(i, j int) bool { return imps[i].Ctx.Time.Before(imps[j].Ctx.Time) })
+
+	if !reflect.DeepEqual(users, batch.Users) {
+		t.Fatal("streamed population differs from batch population")
+	}
+	if !reflect.DeepEqual(reqs, batch.Requests) {
+		t.Fatalf("streamed requests differ from batch (%d vs %d records)",
+			len(reqs), len(batch.Requests))
+	}
+	if !reflect.DeepEqual(imps, batch.Impressions) {
+		t.Fatal("streamed impression truth differs from batch")
+	}
+}
+
+// TestGenerateStreamStopsOnYieldError: a failing yield aborts generation
+// immediately with the callee's error.
+func TestGenerateStreamStopsOnYieldError(t *testing.T) {
+	cfg := DefaultConfig().Scaled(0.01)
+	wantErr := errors.New("stop")
+	calls := 0
+	err := GenerateStream(cfg, nil, func(UserTrace) error {
+		calls++
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if calls != 1 {
+		t.Fatalf("yield called %d times after error, want 1", calls)
 	}
 }
 

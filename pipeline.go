@@ -12,6 +12,7 @@ import (
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
 	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/stream"
 	"yourandvalue/internal/weblog"
 )
 
@@ -27,6 +28,10 @@ const (
 	StageRunCampaigns  Stage = "run-campaigns"
 	StageTrainModel    Stage = "train-model"
 	StageEstimateCosts Stage = "estimate-costs"
+	// StageStreamCosts is the online alternative to StageEstimateCosts:
+	// events flow through a sharded stream.Aggregator instead of a
+	// materialized batch.
+	StageStreamCosts Stage = "stream-costs"
 )
 
 // StageState is the lifecycle position a StageEvent reports.
@@ -305,14 +310,35 @@ func (p *Pipeline) EstimateCosts(ctx context.Context, res *analyzer.Result, mode
 	return costs, nil
 }
 
-// Execute runs every stage in dependency order — Analyze and RunCampaigns
-// concurrently, both feeding TrainModel — and assembles the Study. It is
-// the staged equivalent of Run and returns the first stage error,
-// including ctx.Err() after cancellation.
-func (p *Pipeline) Execute(ctx context.Context) (*Study, error) {
-	tr, err := p.GenerateTrace(ctx)
+// EstimateCostsStreaming is the online form of EstimateCosts: events
+// from src flow through a sharded stream.Aggregator backed by the model,
+// with bounded-channel backpressure, periodic immutable snapshots, and
+// incremental top-K summaries. Per-user costs are bit-identical to the
+// batch EstimateCosts path over the same trace for any worker count (the
+// pipeline's WithWorkers sets the shard count).
+func (p *Pipeline) EstimateCostsStreaming(ctx context.Context, src stream.Source, model *core.Model) (*stream.Result, error) {
+	if src == nil || model == nil {
+		return nil, fmt.Errorf("yourandvalue: EstimateCostsStreaming needs a source and a model")
+	}
+	var res *stream.Result
+	err := p.runStage(ctx, StageStreamCosts, func() error {
+		agg := stream.NewAggregator(model, src.Directory(), stream.WithShards(p.workers))
+		var err error
+		res, err = agg.Run(ctx, src)
+		return err
+	})
 	if err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// executeModel runs stages 1–4 (trace, then analysis ∥ campaigns, then
+// training) — the shared prefix of Execute and ExecuteStreaming.
+func (p *Pipeline) executeModel(ctx context.Context) (*TraceArtifact, *analyzer.Result, *CampaignArtifact, *core.Model, error) {
+	tr, err := p.GenerateTrace(ctx)
+	if err != nil {
+		return nil, nil, nil, nil, err
 	}
 
 	// Stage 2 and 3 both depend only on the trace; run them in parallel.
@@ -334,21 +360,22 @@ func (p *Pipeline) Execute(ctx context.Context) (*Study, error) {
 	}()
 	wg.Wait()
 	if aErr != nil {
-		return nil, fmt.Errorf("yourandvalue: %w", aErr)
+		return nil, nil, nil, nil, fmt.Errorf("yourandvalue: %w", aErr)
 	}
 	if cErr != nil {
-		return nil, fmt.Errorf("yourandvalue: %w", cErr)
+		return nil, nil, nil, nil, fmt.Errorf("yourandvalue: %w", cErr)
 	}
 
 	model, err := p.TrainModel(ctx, res, camps)
 	if err != nil {
-		return nil, fmt.Errorf("yourandvalue: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("yourandvalue: %w", err)
 	}
-	costs, err := p.EstimateCosts(ctx, res, model)
-	if err != nil {
-		return nil, fmt.Errorf("yourandvalue: %w", err)
-	}
+	return tr, res, camps, model, nil
+}
 
+// assembleStudy builds the Study both Execute variants return; only the
+// cost map (and, for streaming runs, the snapshot) differs between them.
+func (p *Pipeline) assembleStudy(tr *TraceArtifact, res *analyzer.Result, camps *CampaignArtifact, model *core.Model, costs map[int]*core.UserCost) *Study {
 	return &Study{
 		Config:    p.cfg,
 		Ecosystem: tr.Ecosystem,
@@ -359,5 +386,45 @@ func (p *Pipeline) Execute(ctx context.Context) (*Study, error) {
 		Model:     model,
 		Costs:     costs,
 		Baseline:  baseline.New(res),
-	}, nil
+	}
+}
+
+// Execute runs every stage in dependency order — Analyze and RunCampaigns
+// concurrently, both feeding TrainModel — and assembles the Study. It is
+// the staged equivalent of Run and returns the first stage error,
+// including ctx.Err() after cancellation.
+func (p *Pipeline) Execute(ctx context.Context) (*Study, error) {
+	tr, res, camps, model, err := p.executeModel(ctx)
+	if err != nil {
+		return nil, err
+	}
+	costs, err := p.EstimateCosts(ctx, res, model)
+	if err != nil {
+		return nil, fmt.Errorf("yourandvalue: %w", err)
+	}
+	return p.assembleStudy(tr, res, camps, model, costs), nil
+}
+
+// ExecuteStreaming is Execute with the cost stage run online: the
+// generated trace is replayed as an event stream through
+// EstimateCostsStreaming instead of estimated in batch. The resulting
+// Study carries costs bit-identical to Execute's for the same seed, plus
+// the final stream snapshot (top-K users/advertisers, running totals) in
+// Study.Stream.
+func (p *Pipeline) ExecuteStreaming(ctx context.Context) (*Study, error) {
+	tr, res, camps, model, err := p.executeModel(ctx)
+	if err != nil {
+		return nil, err
+	}
+	src, err := stream.NewReplaySource(tr.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("yourandvalue: %w", err)
+	}
+	sres, err := p.EstimateCostsStreaming(ctx, src, model)
+	if err != nil {
+		return nil, fmt.Errorf("yourandvalue: %w", err)
+	}
+	study := p.assembleStudy(tr, res, camps, model, sres.Costs)
+	study.Stream = sres.Final
+	return study, nil
 }

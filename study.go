@@ -22,6 +22,7 @@ import (
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
 	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/stream"
 	"yourandvalue/internal/weblog"
 )
 
@@ -85,7 +86,11 @@ type Study struct {
 	A2        *campaign.Report // MoPub cleartext round
 	Model     *core.Model
 	Costs     map[int]*core.UserCost
-	Baseline  *baseline.Estimator
+	// Stream is the final aggregation snapshot (running totals and
+	// top-K summaries) when the study ran via ExecuteStreaming; nil for
+	// batch runs.
+	Stream   *stream.Snapshot
+	Baseline *baseline.Estimator
 }
 
 // Run executes the complete pipeline of the paper:
