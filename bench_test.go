@@ -15,10 +15,14 @@ import (
 	"yourandvalue/internal/baseline"
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/detect"
+	"yourandvalue/internal/geoip"
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/priceenc"
 	"yourandvalue/internal/rtb"
 	"yourandvalue/internal/stream"
+	"yourandvalue/internal/trafficclass"
+	"yourandvalue/internal/useragent"
 	"yourandvalue/internal/weblog"
 )
 
@@ -351,19 +355,101 @@ func BenchmarkStreamVsBatch(b *testing.B) {
 	})
 }
 
+// --- Shared detection engine vs the pre-refactor string path ---
+
+// BenchmarkDetectEngine pits the shared internal/detect engine (interned
+// symbols, cached sub-lookups, allocation-free nURL parse, scratch-buffer
+// encode) against the pre-refactor string path it replaced: uncached
+// classification, net/url parsing, per-impression UA/geo lookups and a
+// freshly allocated S vector per estimate. Run with -benchmem; the B/op
+// gap is the refactor's headline.
+func BenchmarkDetectEngine(b *testing.B) {
+	s := quickStudy(b)
+	reqs := s.Trace.Requests
+	if len(reqs) > 30000 {
+		reqs = reqs[:30000]
+	}
+	dir := s.Trace.Catalog.Directory()
+	model := s.Model
+
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := detect.NewEngine(detect.Config{Directory: dir})
+			vec := make([]float64, model.Features.Dim())
+			for _, r := range reqs {
+				em := eng.Step(r.Detect())
+				if em.Detected && em.Impression.Encrypted() {
+					model.Features.EncodeImpressionInto(vec, em.Impression)
+					model.EstimateCPM(vec)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs)), "requests/op")
+	})
+
+	b.Run("legacy-strings", func(b *testing.B) {
+		registry := nurl.Default()
+		classifier := trafficclass.DefaultClassifier()
+		geo := geoip.Default()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lastPage := make(map[int]string)
+			for _, r := range reqs {
+				switch classifier.Classify(r.Host) {
+				case trafficclass.Rest:
+					lastPage[r.UserID] = r.Host
+				case trafficclass.Advertising:
+					n, ok := registry.ParseReference(r.URL)
+					if !ok {
+						continue
+					}
+					pub := lastPage[r.UserID]
+					if pub == "" {
+						pub = n.Publisher
+					}
+					imp := analyzer.Impression{
+						Time: r.Time, Month: int(r.Time.Month()), UserID: r.UserID,
+						Notification: n,
+						City:         geo.LookupString(r.ClientIP),
+						Device:       useragent.Parse(r.UserAgent),
+						Publisher:    pub,
+						Category:     dir.Lookup(pub),
+					}
+					if imp.Encrypted() {
+						model.EstimateCPM(model.Features.FromImpression(imp))
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs)), "requests/op")
+	})
+}
+
 // --- Hot-path micro-benchmarks ---
 
 func BenchmarkNURLParse(b *testing.B) {
 	reg := nurl.Default()
 	raw := "http://cpp.imp.mpx.mopub.com/imp?ad_domain=amazon.es&ads_creative_id=ID&" +
 		"bid_price=0.99&bidder_name=dsp&charge_price=0.95&currency=USD&mopub_id=ID&pub_name=p"
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, ok := reg.Parse(raw); !ok {
-			b.Fatal("parse failed")
+	b.Run("span", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := reg.Parse(raw); !ok {
+				b.Fatal("parse failed")
+			}
 		}
-	}
+	})
+	b.Run("neturl-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := reg.ParseReference(raw); !ok {
+				b.Fatal("parse failed")
+			}
+		}
+	})
 }
 
 func BenchmarkNURLParseMiss(b *testing.B) {

@@ -22,6 +22,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"yourandvalue/internal/campaign"
@@ -42,42 +44,105 @@ func main() {
 	seed := flag.Int64("seed", 1, "master seed for the synthetic traffic")
 	maxOps := flag.Int64("maxops", 0, "total operation budget (0 = until duration or source drain)")
 	pool := flag.Int("pool", 0, "override the server contribution-pool bound (in-process only, 0 = default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the load run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the load run to this file")
 	flag.Parse()
 
+	// All work happens inside run so its defers — profile flushes,
+	// server shutdown — execute even on the error path; log.Fatal here
+	// would os.Exit past them and truncate a -cpuprofile after a
+	// potentially long load run.
+	if err := run(options{
+		addr: *addr, clients: *clients, duration: *duration,
+		batch: *batch, poll: *poll, scale: *scale, seed: *seed,
+		maxOps: *maxOps, pool: *pool,
+		cpuProfile: *cpuProfile, memProfile: *memProfile,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// options carries the parsed flags by name, so the run call site cannot
+// silently transpose same-typed values.
+type options struct {
+	addr       string
+	clients    int
+	duration   time.Duration
+	batch      int
+	poll       int
+	scale      float64
+	seed       int64
+	maxOps     int64
+	pool       int
+	cpuProfile string
+	memProfile string
+}
+
+func run(o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	base := *addr
+	// Profiles cover the serving hot path: with an in-process server the
+	// pmeserver handlers, detection encoder and forest all run inside
+	// this process, so one -cpuprofile/-memprofile pair captures both
+	// sides of the load.
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}()
+	}
+
+	base := o.addr
 	var srv *pmeserver.Server
 	if base == "" {
 		var shutdown func()
 		var err error
-		srv, base, shutdown, err = selfHost(*seed, *pool)
+		srv, base, shutdown, err = selfHost(o.seed, o.pool)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer shutdown()
 		fmt.Fprintf(os.Stderr, "loadgen: in-process pmeserver at %s\n", base)
 	}
 
-	wcfg := weblog.DefaultConfig().Scaled(*scale)
-	wcfg.Seed = *seed
+	wcfg := weblog.DefaultConfig().Scaled(o.scale)
+	wcfg.Seed = o.seed
 	report, err := stream.RunLoad(ctx, stream.LoadConfig{
 		BaseURL:   base,
-		Clients:   *clients,
+		Clients:   o.clients,
 		Source:    stream.NewGeneratorSource(wcfg),
-		BatchSize: *batch,
-		PollEvery: *poll,
-		Duration:  *duration,
-		MaxOps:    *maxOps,
+		BatchSize: o.batch,
+		PollEvery: o.poll,
+		Duration:  o.duration,
+		MaxOps:    o.maxOps,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Print(report.String())
 	if srv != nil {
 		fmt.Printf("server pool: %d contributions retained\n", len(srv.Contributions()))
 	}
+	return nil
 }
 
 // selfHost trains a small campaign-fit model and serves it on a loopback

@@ -6,38 +6,30 @@
 // identifies cooperating ADX-DSP pairs, and (vii) builds per-user interest
 // profiles from browsing history.
 //
+// The detection substeps (i)-(v) live in the shared internal/detect
+// engine — the same code path the online stream shards and the PME's
+// estimation surfaces run — and the analyzer is a fold over the
+// engine's emissions into the paper's batch summaries.
+//
 // The analyzer sees only what a proxy would: requests. It never touches
 // the generator's ground truth, which is what makes the downstream
 // accuracy evaluation meaningful.
 package analyzer
 
 import (
-	"time"
-
 	"yourandvalue/internal/cookiesync"
+	"yourandvalue/internal/detect"
 	"yourandvalue/internal/geoip"
 	"yourandvalue/internal/iab"
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/trafficclass"
-	"yourandvalue/internal/useragent"
 	"yourandvalue/internal/weblog"
 )
 
 // Impression is one detected RTB price notification enriched with the
-// auction's context as reconstructed from the trace.
-type Impression struct {
-	Time         time.Time
-	Month        int // 1..12
-	UserID       int
-	Notification nurl.Notification
-	City         geoip.City
-	Device       useragent.Device
-	Publisher    string // attributed from the user's preceding page view
-	Category     iab.Category
-}
-
-// Encrypted reports whether the price arrived encrypted.
-func (i Impression) Encrypted() bool { return i.Notification.Kind == nurl.Encrypted }
+// auction's context as reconstructed from the trace. It is the shared
+// detection engine's impression record.
+type Impression = detect.Impression
 
 // UserSummary aggregates the per-user behavioural features of Table 4.
 type UserSummary struct {
@@ -176,7 +168,9 @@ func New(dir *iab.Directory) *Analyzer {
 	}
 }
 
-// Analyze runs the full pipeline over a time-ordered request stream.
+// Analyze runs the full pipeline over a time-ordered request stream:
+// one shared detect.Engine pass per request, folded into the paper's
+// per-user, per-advertiser and per-pair summaries.
 func (a *Analyzer) Analyze(requests []weblog.Request) *Result {
 	res := &Result{
 		Users:       make(map[int]*UserSummary),
@@ -185,10 +179,15 @@ func (a *Analyzer) Analyze(requests []weblog.Request) *Result {
 		ClassCounts: make(map[trafficclass.Class]int),
 		Publishers:  make(map[string]int),
 	}
-	lastPage := make(map[int]string)
+	eng := detect.NewEngine(detect.Config{
+		Registry:   a.Registry,
+		Classifier: a.Classifier,
+		GeoDB:      a.GeoDB,
+		Directory:  a.Directory,
+	})
 	detectors := make(map[int]*cookiesync.Detector)
 	adHost := func(h string) bool {
-		return a.Classifier.Classify(h) == trafficclass.Advertising
+		return eng.Class(h) == trafficclass.Advertising
 	}
 
 	for _, r := range requests {
@@ -205,20 +204,19 @@ func (a *Analyzer) Analyze(requests []weblog.Request) *Result {
 		u.Requests++
 		u.Bytes += r.Bytes
 		u.TotalDurationMS += r.DurationMS
-		if city := a.GeoDB.LookupString(r.ClientIP); city.Valid() {
-			u.Cities[city]++
+
+		em := eng.Step(r.Detect())
+		if em.City.Valid() {
+			u.Cities[em.City]++
 		}
+		res.ClassCounts[em.Class]++
 
-		class := a.Classifier.Classify(r.Host)
-		res.ClassCounts[class]++
-
-		switch class {
+		switch em.Class {
 		case trafficclass.Rest:
-			// First-party page view: remember it for publisher
-			// attribution and feed the interest profile.
-			lastPage[r.UserID] = r.Host
+			// First-party page view: the engine recorded it for
+			// publisher attribution; feed the interest profile.
 			u.Publishers[r.Host]++
-			u.Interests.Observe(a.Directory.Lookup(r.Host), 1)
+			u.Interests.Observe(em.Category, 1)
 		case trafficclass.Advertising:
 			d := detectors[r.UserID]
 			if d == nil {
@@ -231,31 +229,18 @@ func (a *Analyzer) Analyze(requests []weblog.Request) *Result {
 			case cookiesync.WebBeacon:
 				u.Beacons++
 			}
-			if n, ok := a.Registry.Parse(r.URL); ok {
-				a.recordImpression(res, u, r, n, lastPage[r.UserID])
+			if em.Detected {
+				a.recordImpression(res, u, r, em.Impression)
 			}
 		}
 	}
 	return res
 }
 
-func (a *Analyzer) recordImpression(res *Result, u *UserSummary, r weblog.Request, n nurl.Notification, page string) {
-	pub := page
-	if pub == "" {
-		pub = n.Publisher
-	}
-	imp := Impression{
-		Time:         r.Time,
-		Month:        int(r.Time.Month()),
-		UserID:       r.UserID,
-		Notification: n,
-		City:         a.GeoDB.LookupString(r.ClientIP),
-		Device:       useragent.Parse(r.UserAgent),
-		Publisher:    pub,
-		Category:     a.Directory.Lookup(pub),
-	}
+func (a *Analyzer) recordImpression(res *Result, u *UserSummary, r weblog.Request, imp Impression) {
+	n := imp.Notification
 	res.Impressions = append(res.Impressions, imp)
-	res.Publishers[pub]++
+	res.Publishers[imp.Publisher]++
 
 	u.Impressions++
 	if n.Kind == nurl.Cleartext {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,8 @@ type Client struct {
 	totals   Totals
 	events   []PriceEvent
 	lastPage string
+	vec      []float64    // reused encode scratch for estimates
+	parser   *nurl.Parser // persistent span parser over Registry
 }
 
 // NewClient builds a client around a trained model. dir may be nil.
@@ -79,13 +82,18 @@ func NewClient(model *Model, dir *iab.Directory) *Client {
 	if dir == nil {
 		dir = iab.NewDirectory(nil)
 	}
-	return &Client{
+	c := &Client{
 		Registry:   nurl.Default(),
 		Classifier: trafficclass.DefaultClassifier(),
 		GeoDB:      geoip.Default(),
 		Directory:  dir,
 		Model:      model,
 	}
+	c.parser = nurl.NewParser(c.Registry)
+	if model != nil {
+		c.vec = make([]float64, model.Features.Dim())
+	}
+	return c
 }
 
 // Process inspects one request from the user's own traffic. It returns
@@ -99,11 +107,18 @@ func (c *Client) Process(r weblog.Request) (PriceEvent, bool) {
 	if class != trafficclass.Advertising {
 		return PriceEvent{}, false
 	}
-	n, ok := c.Registry.Parse(r.URL)
+	if c.parser == nil {
+		// Zero-value Clients (no NewClient) still work, just lazily.
+		c.parser = nurl.NewParser(c.Registry)
+	}
+	n, ok := c.parser.Parse(r.URL)
 	if !ok {
 		return PriceEvent{}, false
 	}
-	ev := PriceEvent{Time: r.Time, ADX: n.ADX, DSP: n.DSP}
+	// The event history outlives the request: clone the DSP so the
+	// retained event does not pin the whole notification URL the parsed
+	// fields alias (ADX is a registry literal, never a URL substring).
+	ev := PriceEvent{Time: r.Time, ADX: n.ADX, DSP: strings.Clone(n.DSP)}
 	switch n.Kind {
 	case nurl.Cleartext:
 		ev.CPM = n.PriceCPM
@@ -121,7 +136,11 @@ func (c *Client) Process(r weblog.Request) (PriceEvent, bool) {
 				Publisher: c.lastPage,
 				Category:  c.Directory.Lookup(c.lastPage),
 			}
-			ev.CPM = c.Model.EstimateCPM(c.Model.Features.FromNotification(n, ctx))
+			if c.vec == nil {
+				c.vec = make([]float64, c.Model.Features.Dim())
+			}
+			c.Model.Features.EncodeNotificationInto(c.vec, n, ctx)
+			ev.CPM = c.Model.EstimateCPM(c.vec)
 		}
 		c.totals.EncryptedCPM += ev.CPM
 		c.totals.EncryptedCount++
@@ -183,8 +202,10 @@ func BatchEstimate(res *analyzer.Result, model *Model) map[int]*UserCost {
 }
 
 // estimateUser accumulates one user's impressions (given by index into
-// res.Impressions, in stream order) into uc.
-func estimateUser(res *analyzer.Result, model *Model, uc *UserCost, idxs []int) {
+// res.Impressions, in stream order) into uc. vec is the worker's reused
+// encode scratch (length Features.Dim), so the per-impression loop
+// allocates nothing.
+func estimateUser(res *analyzer.Result, model *Model, uc *UserCost, idxs []int, vec []float64) {
 	for _, i := range idxs {
 		imp := res.Impressions[i]
 		switch imp.Notification.Kind {
@@ -193,11 +214,21 @@ func estimateUser(res *analyzer.Result, model *Model, uc *UserCost, idxs []int) 
 			uc.CleartextCount++
 		case nurl.Encrypted:
 			if model != nil {
-				uc.EncryptedCPM += model.EstimateCPM(model.Features.FromImpression(imp))
+				model.Features.EncodeImpressionInto(vec, imp)
+				uc.EncryptedCPM += model.EstimateCPM(vec)
 			}
 			uc.EncryptedCount++
 		}
 	}
+}
+
+// encodeScratch returns one worker's reusable encode buffer (nil for a
+// nil model, which never encodes).
+func encodeScratch(model *Model) []float64 {
+	if model == nil {
+		return nil
+	}
+	return make([]float64, model.Features.Dim())
 }
 
 // BatchEstimateContext is BatchEstimate with cancellation and sharding:
@@ -230,13 +261,14 @@ func BatchEstimateContext(ctx context.Context, res *analyzer.Result, model *Mode
 	}
 
 	if workers == 1 || len(ids) < 2 {
+		vec := encodeScratch(model)
 		for n, id := range ids {
 			if n%64 == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
 			}
-			estimateUser(res, model, out[id], byUser[id])
+			estimateUser(res, model, out[id], byUser[id], vec)
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -252,6 +284,7 @@ func BatchEstimateContext(ctx context.Context, res *analyzer.Result, model *Mode
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			vec := encodeScratch(model)
 			for {
 				n := int(cursor.Add(1)) - 1
 				if n >= len(ids) {
@@ -261,7 +294,7 @@ func BatchEstimateContext(ctx context.Context, res *analyzer.Result, model *Mode
 					return
 				}
 				id := ids[n]
-				estimateUser(res, model, out[id], byUser[id])
+				estimateUser(res, model, out[id], byUser[id], vec)
 			}
 		}()
 	}

@@ -6,195 +6,122 @@
 package core
 
 import (
-	"strconv"
-	"strings"
+	"sync"
 
 	"yourandvalue/internal/analyzer"
 	"yourandvalue/internal/campaign"
-	"yourandvalue/internal/geoip"
-	"yourandvalue/internal/iab"
+	"yourandvalue/internal/detect"
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/rtb"
-	"yourandvalue/internal/useragent"
 )
 
 // SFeatures is the reduced feature space S ⊆ F selected in §5.1:
 //
 //	S = {application/web-browsing, device type, user location, time of
-//	     day, day of week, ad format (size), type of website, ad-exchange}
+//	     day, ad format (size), day of week, type of website, ad-exchange}
 //
 // one-hot encoded so both campaign records (training) and analyzer
 // impressions (inference) map into the same vector. Optionally the exact
 // publisher identity can be appended — the §5.4 ablation shows that
 // variant overfits and the production model excludes it.
+//
+// The layout and every encode path are owned by the shared
+// detect.Encoder, so training (FromRecord), analysis (FromImpression),
+// live clients (FromNotification), stream shards, and the /v2/estimate
+// path (FromStrings) share the exact vector positions by construction.
 type SFeatures struct {
-	Names []string `json:"names"`
-	index map[string]int
-	pubs  map[string]int
+	Names   []string `json:"names"`
+	enc     *detect.Encoder
+	rebuilt sync.Once
 }
 
 // NewSFeatures builds the standard S space. Pass publishers to append
 // identity features for the overfitting ablation (nil for the production
 // model).
 func NewSFeatures(publishers []string) *SFeatures {
-	s := &SFeatures{index: make(map[string]int), pubs: make(map[string]int)}
-	add := func(name string) {
-		s.index[name] = len(s.Names)
-		s.Names = append(s.Names, name)
-	}
-	for _, c := range geoip.AllCities() {
-		add("city=" + c.String())
-	}
-	add("origin=app")
-	add("origin=web")
-	add("device=Smartphone")
-	add("device=Tablet")
-	add("device=PC")
-	add("os=Android")
-	add("os=iOS")
-	add("os=Windows Mob")
-	for b := 0; b < 6; b++ {
-		add("hourbin=" + rtb.HourBinLabel(b))
-	}
-	for d := 0; d < 7; d++ {
-		add("dow=" + dowName(d))
-	}
-	add("weekend")
-	for _, sl := range slotVocabulary {
-		add("slot=" + sl.String())
-	}
-	add("slot_width")
-	add("slot_height")
-	add("slot_area")
-	for _, c := range iab.All() {
-		add("iab=" + c.String())
-	}
-	for _, a := range adxVocabulary {
-		add("adx=" + a)
-	}
-	for _, p := range publishers {
-		s.pubs[p] = len(s.Names)
-		add("pub=" + p)
-	}
-	return s
-}
-
-var slotVocabulary = append(append([]rtb.Slot(nil), rtb.FigureSlots...),
-	rtb.Slot768x1024, rtb.Slot1024x768)
-
-var adxVocabulary = []string{
-	"MoPub", "AppNexus", "DoubleClick", "OpenX", "Rubicon",
-	"PulsePoint", "MediaMath", "myThings", "Turn",
+	enc := detect.NewEncoder(publishers)
+	return &SFeatures{Names: enc.Names(), enc: enc}
 }
 
 // Dim returns the feature-space dimensionality.
 func (s *SFeatures) Dim() int { return len(s.Names) }
 
 // HasPublishers reports whether identity features are included.
-func (s *SFeatures) HasPublishers() bool { return len(s.pubs) > 0 }
+func (s *SFeatures) HasPublishers() bool { return s.encoder().HasPublishers() }
 
-// rebuild restores the lookup maps after JSON decoding.
-func (s *SFeatures) rebuild() {
-	s.index = make(map[string]int, len(s.Names))
-	s.pubs = make(map[string]int)
-	for i, n := range s.Names {
-		s.index[n] = i
-		if len(n) > 4 && n[:4] == "pub=" {
-			s.pubs[n[4:]] = i
+// Encoder returns the shared detection encoder behind the layout.
+func (s *SFeatures) Encoder() *detect.Encoder { return s.encoder() }
+
+// rebuild restores the encoder after JSON decoding.
+func (s *SFeatures) rebuild() { s.enc = detect.EncoderFromNames(s.Names) }
+
+// encoder returns the layout, reconstructing it when the SFeatures was
+// populated by a JSON decode rather than NewSFeatures. The once-guard
+// makes lazy reconstruction safe for concurrent encoders (batch
+// estimation workers, server handlers) sharing one SFeatures.
+func (s *SFeatures) encoder() *detect.Encoder {
+	s.rebuilt.Do(func() {
+		if s.enc == nil {
+			s.rebuild()
 		}
-	}
-}
-
-type sParts struct {
-	city      geoip.City
-	origin    useragent.Origin
-	device    useragent.DeviceType
-	os        useragent.OS
-	hour      int
-	dow       int
-	slot      rtb.Slot
-	category  iab.Category
-	adx       string
-	publisher string
-}
-
-// encode funnels the typed paths through the one string-keyed encoder so
-// training (FromRecord), analysis (FromImpression), live clients
-// (FromNotification) and the /v2/estimate path (FromStrings) can never
-// drift apart. Publisher identity exists only on the typed paths.
-func (s *SFeatures) encode(p sParts) []float64 {
-	origin := "web"
-	if p.origin == useragent.MobileApp {
-		origin = "app"
-	}
-	slot := ""
-	if p.slot.W > 0 {
-		slot = p.slot.String()
-	}
-	v := s.FromStrings(StringContext{
-		ADX:    p.adx,
-		City:   p.city.String(),
-		OS:     p.os.String(),
-		Device: p.device.String(),
-		Origin: origin,
-		Slot:   slot,
-		IAB:    p.category.String(),
-		Hour:   p.hour, Weekday: p.dow,
 	})
-	if i, ok := s.pubs[p.publisher]; ok {
-		v[i] = 1
-	}
-	return v
+	return s.enc
 }
 
 // FromRecord encodes a campaign training record.
 func (s *SFeatures) FromRecord(rec campaign.Record) []float64 {
-	return s.encode(sParts{
-		city:      rec.Setup.City,
-		origin:    rec.Setup.Origin,
-		device:    rec.Setup.Device,
-		os:        rec.Setup.OS,
-		hour:      rec.Time.Hour(),
-		dow:       int(rec.Time.Weekday()),
-		slot:      rec.Setup.Slot,
-		category:  rec.Category,
-		adx:       rec.Setup.ADX,
-		publisher: rec.Publisher,
+	v := make([]float64, s.Dim())
+	s.encoder().EncodeSampleInto(v, detect.Sample{
+		City:      rec.Setup.City,
+		Origin:    rec.Setup.Origin,
+		Device:    rec.Setup.Device,
+		OS:        rec.Setup.OS,
+		Hour:      rec.Time.Hour(),
+		Weekday:   int(rec.Time.Weekday()),
+		Slot:      rec.Setup.Slot,
+		Category:  rec.Category,
+		ADX:       rec.Setup.ADX,
+		Publisher: rec.Publisher,
 	})
+	return v
 }
 
 // FromImpression encodes a detected weblog impression.
 func (s *SFeatures) FromImpression(imp analyzer.Impression) []float64 {
-	n := imp.Notification
-	return s.encode(sParts{
-		city:      imp.City,
-		origin:    imp.Device.Origin,
-		device:    imp.Device.Type,
-		os:        imp.Device.OS,
-		hour:      imp.Time.Hour(),
-		dow:       int(imp.Time.Weekday()),
-		slot:      rtb.Slot{W: n.Width, H: n.Height},
-		category:  imp.Category,
-		adx:       n.ADX,
-		publisher: imp.Publisher,
-	})
+	v := make([]float64, s.Dim())
+	s.encoder().EncodeInto(v, imp)
+	return v
+}
+
+// EncodeImpressionInto encodes a detected impression into a caller-owned
+// buffer of length Dim — the zero-allocation hot path batch estimation
+// and stream shards reuse per worker.
+func (s *SFeatures) EncodeImpressionInto(dst []float64, imp analyzer.Impression) {
+	s.encoder().EncodeInto(dst, imp)
 }
 
 // FromNotification encodes directly from a parsed nURL plus the ambient
 // client context — the path the YourAdValue extension uses in real time,
 // where no analyzer result exists.
 func (s *SFeatures) FromNotification(n nurl.Notification, ctx ClientContext) []float64 {
-	return s.encode(sParts{
-		city:      ctx.City,
-		origin:    ctx.Device.Origin,
-		device:    ctx.Device.Type,
-		os:        ctx.Device.OS,
-		hour:      ctx.Hour,
-		dow:       ctx.Weekday,
-		slot:      rtb.Slot{W: n.Width, H: n.Height},
-		category:  ctx.Category,
-		adx:       n.ADX,
-		publisher: ctx.Publisher,
+	v := make([]float64, s.Dim())
+	s.EncodeNotificationInto(v, n, ctx)
+	return v
+}
+
+// EncodeNotificationInto is FromNotification over a caller-owned buffer.
+func (s *SFeatures) EncodeNotificationInto(dst []float64, n nurl.Notification, ctx ClientContext) {
+	s.encoder().EncodeSampleInto(dst, detect.Sample{
+		City:      ctx.City,
+		Origin:    ctx.Device.Origin,
+		Device:    ctx.Device.Type,
+		OS:        ctx.Device.OS,
+		Hour:      ctx.Hour,
+		Weekday:   ctx.Weekday,
+		Slot:      rtb.Slot{W: n.Width, H: n.Height},
+		Category:  ctx.Category,
+		ADX:       n.ADX,
+		Publisher: ctx.Publisher,
 	})
 }
 
@@ -202,71 +129,17 @@ func (s *SFeatures) FromNotification(n nurl.Notification, ctx ClientContext) []f
 // to the PME's batch estimation endpoint (/v2/estimate), where neither an
 // analyzer impression nor a typed ClientContext exists. Unknown values
 // simply leave their one-hot positions zero.
-type StringContext struct {
-	ADX     string // exchange name, e.g. "DoubleClick"
-	City    string // e.g. "Madrid"
-	OS      string // "Android", "iOS", "Windows Mob"
-	Device  string // "Smartphone", "Tablet", "PC"
-	Origin  string // "app" or "web"
-	Slot    string // "WxH", e.g. "300x250"
-	IAB     string // e.g. "IAB3"
-	Hour    int    // 0-23 local hour
-	Weekday int    // 0 = Sunday
-}
+type StringContext = detect.StringContext
 
 // FromStrings encodes a thin-client context into the S vector.
 func (s *SFeatures) FromStrings(c StringContext) []float64 {
-	v := make([]float64, len(s.Names))
-	set := func(name string, val float64) {
-		if i, ok := s.index[name]; ok {
-			v[i] = val
-		}
-	}
-	set("city="+c.City, 1)
-	switch c.Origin {
-	case "app":
-		set("origin=app", 1)
-	case "web":
-		set("origin=web", 1)
-	}
-	set("device="+c.Device, 1)
-	set("os="+c.OS, 1)
-	set("hourbin="+rtb.HourBinLabel(rtb.HourBin(c.Hour)), 1)
-	set("dow="+dowName(c.Weekday), 1)
-	if c.Weekday == 0 || c.Weekday == 6 {
-		set("weekend", 1)
-	}
-	if w, h, ok := parseSlot(c.Slot); ok {
-		sl := rtb.Slot{W: w, H: h}
-		set("slot="+sl.String(), 1)
-		set("slot_width", float64(w))
-		set("slot_height", float64(h))
-		set("slot_area", float64(sl.Area()))
-	}
-	set("iab="+c.IAB, 1)
-	set("adx="+c.ADX, 1)
+	v := make([]float64, s.Dim())
+	s.encoder().EncodeStringsInto(v, c)
 	return v
 }
 
-// parseSlot reads a "WxH" ad-format string.
-func parseSlot(s string) (w, h int, ok bool) {
-	ws, hs, found := strings.Cut(s, "x")
-	if !found {
-		return 0, 0, false
-	}
-	w, errW := strconv.Atoi(ws)
-	h, errH := strconv.Atoi(hs)
-	if errW != nil || errH != nil || w <= 0 || h <= 0 {
-		return 0, 0, false
-	}
-	return w, h, true
-}
-
-func dowName(d int) string {
-	names := [7]string{"Sunday", "Monday", "Tuesday", "Wednesday",
-		"Thursday", "Friday", "Saturday"}
-	if d < 0 || d >= len(names) {
-		return "?"
-	}
-	return names[d]
+// EncodeStringsInto is FromStrings over a caller-owned buffer — the
+// /v2/estimate batch path reuses one buffer across its items.
+func (s *SFeatures) EncodeStringsInto(dst []float64, c StringContext) {
+	s.encoder().EncodeStringsInto(dst, c)
 }

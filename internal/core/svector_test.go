@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+func nonzeroCount(v []float64) int {
+	n := 0
+	for _, x := range v {
+		if x != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFromStringsMalformedInputs: thin clients ship arbitrary strings to
+// /v2/estimate; every malformed value must degrade to a zero feature,
+// never panic and never pollute other positions.
+func TestFromStringsMalformedInputs(t *testing.T) {
+	s := NewSFeatures(nil)
+
+	t.Run("malformed slots", func(t *testing.T) {
+		for _, slot := range []string{"300x", "x250", "-1x-1", "0x0", "300x-250", "axb", "300", ""} {
+			v := s.FromStrings(StringContext{Slot: slot})
+			if got := v[indexOf(t, s, "slot_width")]; got != 0 {
+				t.Errorf("slot %q leaked width %v", slot, got)
+			}
+			if got := v[indexOf(t, s, "slot_area")]; got != 0 {
+				t.Errorf("slot %q leaked area %v", slot, got)
+			}
+			// Only hourbin, dow and origin-independent defaults may fire:
+			// with a zero context that is hourbin=0, dow=Sunday, weekend.
+			if n := nonzeroCount(v); n != 3 {
+				t.Errorf("slot %q: %d nonzero features, want 3 (hourbin/dow/weekend)", slot, n)
+			}
+		}
+	})
+
+	t.Run("valid odd slot sets scalars only", func(t *testing.T) {
+		// Parseable but outside the 19-slot vocabulary: the scalar
+		// width/height/area features still encode.
+		v := s.FromStrings(StringContext{Slot: "123x45"})
+		if v[indexOf(t, s, "slot_width")] != 123 || v[indexOf(t, s, "slot_height")] != 45 ||
+			v[indexOf(t, s, "slot_area")] != 123*45 {
+			t.Error("scalar slot features missing for off-vocabulary size")
+		}
+	})
+
+	t.Run("unknown categorical values", func(t *testing.T) {
+		v := s.FromStrings(StringContext{
+			ADX:    "NotAnExchange",
+			City:   "Atlantis",
+			OS:     "BeOS",
+			Device: "Toaster",
+			Origin: "carrier-pigeon",
+			IAB:    "IAB99",
+			Hour:   10, Weekday: 3,
+		})
+		// Only the always-resolvable time features may fire.
+		if n := nonzeroCount(v); n != 2 {
+			t.Errorf("unknown categoricals: %d nonzero features, want 2 (hourbin/dow)", n)
+		}
+	})
+
+	t.Run("out of range time", func(t *testing.T) {
+		v := s.FromStrings(StringContext{Hour: -7, Weekday: 99})
+		// HourBin clamps; the impossible weekday encodes nothing.
+		if n := nonzeroCount(v); n != 1 {
+			t.Errorf("out-of-range time: %d nonzero features, want 1 (clamped hourbin)", n)
+		}
+	})
+}
+
+func indexOf(t *testing.T, s *SFeatures, name string) int {
+	t.Helper()
+	for i, n := range s.Names {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("feature %q missing from layout", name)
+	return -1
+}

@@ -1,0 +1,185 @@
+package detect
+
+import (
+	"testing"
+
+	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/iab"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/useragent"
+)
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	if in.Len() != 0 {
+		t.Fatal("new interner not empty")
+	}
+	a := in.Intern("alpha")
+	b := in.Intern("beta")
+	if a == None || b == None || a == b {
+		t.Fatalf("syms = %d, %d", a, b)
+	}
+	if in.Intern("alpha") != a {
+		t.Error("re-intern changed the symbol")
+	}
+	if in.Lookup("beta") != b || in.Lookup("gamma") != None {
+		t.Error("lookup")
+	}
+	if in.String(a) != "alpha" || in.String(None) != "" || in.String(99) != "" {
+		t.Error("string round trip")
+	}
+	if in.Intern("") != None {
+		t.Error("empty string must intern to None")
+	}
+	if in.Len() != 2 {
+		t.Errorf("len = %d, want 2", in.Len())
+	}
+}
+
+func TestSymbolTableNamespaces(t *testing.T) {
+	st := NewSymbolTable()
+	h := st.Hosts.Intern("example.com")
+	a := st.Agents.Intern("example.com") // same string, different namespace
+	if h != 1 || a != 1 {
+		t.Errorf("namespaces must count independently: %d, %d", h, a)
+	}
+}
+
+// TestEncoderMatchesHistoricalLayout locks the vector layout against the
+// exact name sequence core.NewSFeatures historically produced.
+func TestEncoderMatchesHistoricalLayout(t *testing.T) {
+	e := NewEncoder(nil)
+	names := e.Names()
+	// 10 cities + 2 origins + 3 devices + 3 oses + 6 hourbins + 7 dows +
+	// weekend + 19 slots + 3 slot scalars + 26 iabs + 9 adxs.
+	want := 10 + 2 + 3 + 3 + 6 + 7 + 1 + 19 + 3 + 26 + 9
+	if len(names) != want {
+		t.Fatalf("dim = %d, want %d", len(names), want)
+	}
+	if names[0] != "city=Madrid" || names[10] != "origin=app" {
+		t.Errorf("prefix order changed: %q, %q", names[0], names[10])
+	}
+	if names[len(names)-1] != "adx=Turn" {
+		t.Errorf("suffix order changed: %q", names[len(names)-1])
+	}
+	withPubs := NewEncoder([]string{"a.example", "b.example"})
+	if withPubs.Dim() != e.Dim()+2 || !withPubs.HasPublishers() {
+		t.Error("publisher features not appended")
+	}
+}
+
+// TestEncoderRoundTripFromNames: a rebuilt encoder (the JSON-decode
+// path) must encode bit-identically to the constructed one.
+func TestEncoderRoundTripFromNames(t *testing.T) {
+	orig := NewEncoder([]string{"pub.example"})
+	rebuilt := EncoderFromNames(orig.Names())
+	s := Sample{
+		City: geoip.Barcelona, Origin: useragent.MobileApp,
+		Device: useragent.Tablet, OS: useragent.IOS,
+		Hour: 14, Weekday: 6, Slot: rtb.Slot300x250,
+		Category: iab.News, ADX: "OpenX", Publisher: "pub.example",
+	}
+	a := make([]float64, orig.Dim())
+	b := make([]float64, rebuilt.Dim())
+	orig.EncodeSampleInto(a, s)
+	rebuilt.EncodeSampleInto(b, s)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %q: %v vs %v", orig.Names()[i], a[i], b[i])
+		}
+	}
+	nonzero := 0
+	for _, v := range a {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	// city, origin, device, os, hourbin, dow, weekend, slot + 3 scalars,
+	// iab, adx, pub.
+	if nonzero != 14 {
+		t.Errorf("nonzero = %d, want 14", nonzero)
+	}
+}
+
+// TestEncodeStringsMatchesTyped: the string-context path must hit the
+// same positions as the typed path for equivalent inputs.
+func TestEncodeStringsMatchesTyped(t *testing.T) {
+	e := NewEncoder(nil)
+	typed := make([]float64, e.Dim())
+	strs := make([]float64, e.Dim())
+	e.EncodeSampleInto(typed, Sample{
+		City: geoip.Madrid, Origin: useragent.MobileWeb,
+		Device: useragent.Smartphone, OS: useragent.Android,
+		Hour: 9, Weekday: 3, Slot: rtb.Slot{W: 320, H: 50},
+		Category: iab.Business, ADX: "MoPub",
+	})
+	e.EncodeStringsInto(strs, StringContext{
+		City: "Madrid", Origin: "web", Device: "Smartphone", OS: "Android",
+		Hour: 9, Weekday: 3, Slot: "320x50", IAB: "IAB3", ADX: "MoPub",
+	})
+	for i := range typed {
+		if typed[i] != strs[i] {
+			t.Fatalf("divergence at %q: typed %v, strings %v", e.Names()[i], typed[i], strs[i])
+		}
+	}
+}
+
+func TestEncodeIntoWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer must panic")
+		}
+	}()
+	NewEncoder(nil).EncodeSampleInto(make([]float64, 3), Sample{})
+}
+
+func TestParseSlot(t *testing.T) {
+	if w, h, ok := ParseSlot("300x250"); !ok || w != 300 || h != 250 {
+		t.Errorf("ParseSlot(300x250) = %d, %d, %v", w, h, ok)
+	}
+	for _, bad := range []string{"300x", "x250", "-1x-1", "", "axb", "300"} {
+		if _, _, ok := ParseSlot(bad); ok {
+			t.Errorf("ParseSlot(%q) accepted", bad)
+		}
+	}
+}
+
+// TestForgetUserEvictsCaches pins the bounded-memory contract: at a
+// user boundary the engine releases not just attribution state but the
+// address/agent cache entries the user warmed, for both the
+// symbol-keyed and the string-keyed paths.
+func TestForgetUserEvictsCaches(t *testing.T) {
+	eng := NewEngine(Config{})
+	interned := Record{
+		UserID: 1, Host: "elpais.es", URL: "http://elpais.es/",
+		UserAgent: "Mozilla/5.0 (Linux; Android 6.0) Mobile",
+		ClientIP:  geoip.AddrFor(geoip.Madrid, 1),
+		HostSym:   1, AgentSym: 1, AddrSym: 1,
+	}
+	plain := Record{
+		UserID: 2, Host: "elmundo.es", URL: "http://elmundo.es/",
+		UserAgent: "Mozilla/5.0 (iPhone; CPU iPhone OS 9_0 like Mac OS X)",
+		ClientIP:  geoip.AddrFor(geoip.Barcelona, 2),
+	}
+	eng.Step(interned)
+	// Force the device caches warm too (page views skip UA parsing).
+	eng.device(interned.UserAgent, interned.AgentSym, eng.user(interned.UserID))
+	eng.device(plain.UserAgent, plain.AgentSym, eng.user(plain.UserID))
+	eng.Step(plain)
+	if len(eng.addrsBySym) != 1 || len(eng.addrsByIP) != 1 ||
+		len(eng.agentsBySym) != 1 || len(eng.agentsByUA) != 1 || len(eng.users) != 2 {
+		t.Fatalf("unexpected warm cache shape: %d/%d addrs, %d/%d agents, %d users",
+			len(eng.addrsBySym), len(eng.addrsByIP), len(eng.agentsBySym), len(eng.agentsByUA), len(eng.users))
+	}
+	eng.ForgetUser(1)
+	eng.ForgetUser(2)
+	if len(eng.addrsBySym) != 0 || len(eng.addrsByIP) != 0 ||
+		len(eng.agentsBySym) != 0 || len(eng.agentsByUA) != 0 || len(eng.users) != 0 {
+		t.Fatalf("caches not evicted: %d/%d addrs, %d/%d agents, %d users",
+			len(eng.addrsBySym), len(eng.addrsByIP), len(eng.agentsBySym), len(eng.agentsByUA), len(eng.users))
+	}
+	// Eviction must not change results: the next step recomputes.
+	if em := eng.Step(interned); em.City != geoip.Madrid {
+		t.Fatalf("post-eviction recompute diverged: %+v", em)
+	}
+}

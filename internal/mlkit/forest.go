@@ -131,9 +131,17 @@ func TrainForest(X [][]float64, y []int, classes int, cfg ForestConfig) (*Forest
 	return f, nil
 }
 
-// Predict returns the majority-vote class for x.
+// Predict returns the majority-vote class for x. For the class counts
+// any real price model uses, the vote tally lives on the stack, so the
+// per-impression estimation path allocates nothing.
 func (f *Forest) Predict(x []float64) int {
-	votes := make([]int, f.Classes)
+	var buf [16]int
+	var votes []int
+	if f.Classes <= len(buf) {
+		votes = buf[:f.Classes]
+	} else {
+		votes = make([]int, f.Classes)
+	}
 	for _, t := range f.Trees {
 		votes[t.Predict(x)]++
 	}

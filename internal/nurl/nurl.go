@@ -172,7 +172,20 @@ var adxAliases = map[string]string{
 // Parse attempts to interpret rawURL as a price notification. ok is false
 // when the URL does not match any registered macro or carries no usable
 // charge price.
+//
+// Parse builds a scratch Parser per call; hot loops should hold a
+// persistent NewParser instead, whose warm path allocates nothing.
 func (r *Registry) Parse(rawURL string) (Notification, bool) {
+	var p Parser
+	p.reg = r
+	return p.Parse(rawURL)
+}
+
+// ParseReference is the reference net/url-based implementation of
+// Parse. It backs the span parser's overflow fallback, serves as the
+// differential oracle for FuzzNURLParse, and stands in for the
+// pre-refactor string path in benchmarks.
+func (r *Registry) ParseReference(rawURL string) (Notification, bool) {
 	u, err := url.Parse(rawURL)
 	if err != nil || u.Host == "" {
 		return Notification{}, false
@@ -215,22 +228,15 @@ func parseWith(ex Exchange, host string, u *url.URL) (Notification, bool) {
 	if cur := q.Get("currency"); cur != "" {
 		n.Currency = strings.ToUpper(cur)
 	}
-	// Classify the price value by shape, the way an external observer
-	// must: CPM floats are cleartext charge prices; opaque tokens
-	// (28-byte scheme or long hex) are encrypted ones. The same exchange
-	// can emit both because encryption adoption is per ADX-DSP pair
-	// (paper §2.4, Figure 2).
-	if v, err := strconv.ParseFloat(raw, 64); err == nil {
-		if v < 0 {
-			return Notification{}, false
-		}
-		n.Kind = Cleartext
-		n.PriceCPM = v
-	} else if looksEncrypted(raw) {
-		n.Kind = Encrypted
-		n.Token = raw
-	} else {
+	kind, cpm, ok := classifyPrice(raw)
+	if !ok {
 		return Notification{}, false
+	}
+	n.Kind = kind
+	if kind == Cleartext {
+		n.PriceCPM = cpm
+	} else {
+		n.Token = raw
 	}
 	if ex.DSPParam != "" {
 		n.DSP = q.Get(ex.DSPParam)
@@ -274,6 +280,45 @@ func parseWith(ex Exchange, host string, u *url.URL) (Notification, bool) {
 	return n, true
 }
 
+// classifyPrice interprets a price parameter's value by shape, the way
+// an external observer must: CPM floats are cleartext charge prices;
+// opaque tokens (28-byte scheme or long hex) are encrypted ones. The
+// same exchange can emit both because encryption adoption is per
+// ADX-DSP pair (paper §2.4, Figure 2). The floatLike pre-check keeps
+// strconv's error path — a heap allocation — off the encrypted-token
+// hot path; as a side effect, exotic ParseFloat spellings ("Inf",
+// "NaN", hex floats) are rejected rather than tallied as charges.
+func classifyPrice(raw string) (kind PriceKind, cpm float64, ok bool) {
+	if floatLike(raw) {
+		if v, err := strconv.ParseFloat(raw, 64); err == nil {
+			if v < 0 {
+				return NoPrice, 0, false
+			}
+			return Cleartext, v, true
+		}
+	}
+	if looksEncrypted(raw) {
+		return Encrypted, 0, true
+	}
+	return NoPrice, 0, false
+}
+
+// floatLike reports whether s is plausibly a decimal float literal.
+func floatLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+		case c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // looksEncrypted accepts the 28-byte websafe-base64 tokens of the
 // DoubleClick scheme plus the long-hex style of Table 1(B)
 // ("price=B6A3F3C19F50C7FD").
@@ -286,9 +331,13 @@ func looksEncrypted(v string) bool {
 	}
 	// Long base64-ish opaque values (e.g. Table 1(C) rtbwinprice).
 	if len(v) >= 22 && isBase64ish(v) {
-		// Reject pure numbers, which would be cleartext.
-		if _, err := strconv.ParseFloat(v, 64); err == nil {
-			return false
+		// Reject pure numbers, which would be cleartext. The floatLike
+		// gate keeps strconv's allocating error path away from ordinary
+		// tokens.
+		if floatLike(v) {
+			if _, err := strconv.ParseFloat(v, 64); err == nil {
+				return false
+			}
 		}
 		return true
 	}
@@ -326,18 +375,28 @@ func hostMatches(host, suffix string) bool {
 }
 
 // registrableName extracts the second-level name from a host, e.g.
-// "tags.mathtag.com" → "mathtag".
+// "tags.mathtag.com" → "mathtag". It slices rather than splits so the
+// per-impression DSP attribution allocates nothing.
 func registrableName(host string) string {
-	parts := strings.Split(host, ".")
-	if len(parts) < 2 {
+	end := strings.LastIndexByte(host, '.')
+	if end < 0 {
 		return host
 	}
-	return parts[len(parts)-2]
+	start := strings.LastIndexByte(host[:end], '.')
+	return host[start+1 : end]
 }
 
-// parseSize parses "300x250"-style values.
+// parseSize parses "300x250"-style values ("X" accepted). The separator
+// is located byte-wise: case-folding the whole value first would shift
+// offsets on non-UTF-8 input (a crash a fuzzer found).
 func parseSize(s string) (w, h int) {
-	i := strings.IndexByte(strings.ToLower(s), 'x')
+	i := -1
+	for j := 0; j < len(s); j++ {
+		if s[j] == 'x' || s[j] == 'X' {
+			i = j
+			break
+		}
+	}
 	if i <= 0 {
 		return 0, 0
 	}

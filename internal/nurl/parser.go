@@ -1,0 +1,434 @@
+package nurl
+
+import (
+	"strconv"
+	"strings"
+)
+
+// maxQueryParams bounds the span scratch of a Parser. Real notification
+// URLs carry ~10 parameters; anything beyond the bound falls back to
+// the reference net/url implementation.
+const maxQueryParams = 48
+
+// kvSpan is one successfully scanned query parameter: key and value as
+// substrings of the input URL (no copies), with flags recording whether
+// either side still carries percent/plus escapes.
+type kvSpan struct {
+	key, val       string
+	keyEsc, valEsc bool
+}
+
+// Parser is a reusable allocation-free notification-URL scanner over a
+// Registry. Unlike Registry.Parse — which builds a scratch parser per
+// call — a persistent Parser keeps its span buffer across calls, so the
+// warm path performs zero heap allocations. A Parser is not safe for
+// concurrent use; give each goroutine its own.
+type Parser struct {
+	reg *Registry
+	n   int // spans of arr in use for the current URL
+	arr [maxQueryParams]kvSpan
+}
+
+// NewParser returns a parser over the registry's macro descriptors.
+func NewParser(r *Registry) *Parser { return &Parser{reg: r} }
+
+// Parse attempts to interpret rawURL as a price notification, with the
+// same detection semantics as Registry.Parse. ok is false when the URL
+// matches no registered macro or carries no usable charge price.
+//
+// The returned Notification's string fields (DSP, Token, ImpID, ...)
+// may alias rawURL's backing array — that is what makes the warm path
+// allocation-free. Callers that retain notifications long after the
+// URL (e.g. unbounded event histories) should strings.Clone the fields
+// they keep.
+func (p *Parser) Parse(rawURL string) (Notification, bool) {
+	host, path, query, ok := splitURL(rawURL)
+	if !ok {
+		return Notification{}, false
+	}
+	host = strings.ToLower(host) // no copy when already lowercase
+	scanned, scanOK := false, false
+	for _, ex := range p.reg.exchanges {
+		if !hostMatches(host, ex.HostSuffix) {
+			continue
+		}
+		if ex.PathHint != "" && !pathContains(path, ex.PathHint) {
+			continue
+		}
+		if !scanned {
+			scanned, scanOK = true, p.scanQuery(query)
+		}
+		if !scanOK {
+			// Pathological parameter count: defer wholesale to the
+			// reference implementation.
+			return p.reg.ParseReference(rawURL)
+		}
+		n, ok := p.extract(ex, host)
+		if ok {
+			return n, true
+		}
+	}
+	return Notification{}, false
+}
+
+// scanQuery splits the raw query into valid key/value spans, applying
+// the same per-pair rules as net/url.ParseQuery: empty segments,
+// segments containing ';', and segments with invalid percent escapes
+// are dropped. It reports false when the segment count exceeds the
+// span buffer.
+func (p *Parser) scanQuery(query string) bool {
+	p.n = 0
+	for query != "" {
+		var seg string
+		if i := strings.IndexByte(query, '&'); i >= 0 {
+			seg, query = query[:i], query[i+1:]
+		} else {
+			seg, query = query, ""
+		}
+		if seg == "" || strings.IndexByte(seg, ';') >= 0 {
+			continue
+		}
+		key, val := seg, ""
+		if i := strings.IndexByte(seg, '='); i >= 0 {
+			key, val = seg[:i], seg[i+1:]
+		}
+		if !validEscapes(key) || !validEscapes(val) {
+			continue
+		}
+		if p.n == maxQueryParams {
+			return false
+		}
+		p.arr[p.n] = kvSpan{
+			key: key, val: val,
+			keyEsc: hasEsc(key), valEsc: hasEsc(val),
+		}
+		p.n++
+	}
+	return true
+}
+
+// get returns the first value for the (unescaped) parameter name, ""
+// when absent — the url.Values.Get contract over the scanned spans.
+func (p *Parser) get(name string) string {
+	for i := 0; i < p.n; i++ {
+		sp := &p.arr[i]
+		if sp.keyEsc {
+			if !escPlainEq(sp.key, name) {
+				continue
+			}
+		} else if sp.key != name {
+			continue
+		}
+		if !sp.valEsc {
+			return sp.val
+		}
+		return unescape(sp.val)
+	}
+	return ""
+}
+
+// distinct counts distinct parameter keys — len(url.Values) over the
+// scanned spans.
+func (p *Parser) distinct() int {
+	n := 0
+	for i := 0; i < p.n; i++ {
+		dup := false
+		for j := 0; j < i && !dup; j++ {
+			dup = keyEq(p.arr[i], p.arr[j])
+		}
+		if !dup {
+			n++
+		}
+	}
+	return n
+}
+
+// extract mirrors parseWith over the scanned spans.
+func (p *Parser) extract(ex Exchange, host string) (Notification, bool) {
+	raw := p.get(ex.PriceParam)
+	if raw == "" {
+		return Notification{}, false
+	}
+	n := Notification{
+		ADX:      ex.Name,
+		Host:     host,
+		Currency: "USD",
+		Params:   p.distinct(),
+	}
+	if cur := p.get("currency"); cur != "" {
+		n.Currency = strings.ToUpper(cur)
+	}
+	kind, cpm, ok := classifyPrice(raw)
+	if !ok {
+		return Notification{}, false
+	}
+	n.Kind = kind
+	if kind == Cleartext {
+		n.PriceCPM = cpm
+	} else {
+		n.Token = raw
+	}
+	if ex.DSPParam != "" {
+		n.DSP = p.get(ex.DSPParam)
+	}
+	if n.DSP == "" {
+		if ex.ADXParam != "" {
+			n.DSP = registrableName(host)
+		}
+	}
+	if ex.ADXParam != "" {
+		if v := p.get(ex.ADXParam); v != "" {
+			if canonical, ok := adxAliases[strings.ToLower(v)]; ok {
+				n.ADX = canonical
+			}
+		}
+	}
+	if ex.WidthParam != "" {
+		n.Width, _ = strconv.Atoi(p.get(ex.WidthParam))
+	}
+	if ex.HeightParam != "" {
+		n.Height, _ = strconv.Atoi(p.get(ex.HeightParam))
+	}
+	if ex.SizeParam != "" && n.Width == 0 {
+		n.Width, n.Height = parseSize(p.get(ex.SizeParam))
+	}
+	if ex.ImpParam != "" {
+		n.ImpID = p.get(ex.ImpParam)
+	}
+	if ex.AuctionParam != "" {
+		n.AuctionID = p.get(ex.AuctionParam)
+	}
+	if ex.CampaignParam != "" {
+		n.Campaign = p.get(ex.CampaignParam)
+	}
+	if ex.PublisherParam != "" {
+		n.Publisher = p.get(ex.PublisherParam)
+	} else if v := p.get("ad_domain"); v != "" {
+		n.Publisher = v
+	}
+	return n, true
+}
+
+// splitURL decomposes an absolute (or scheme-relative) URL into host,
+// raw path and raw query without allocating. It applies net/url's
+// structural rejections: control characters, malformed schemes,
+// invalid path escapes, non-numeric ports, and empty hosts all report
+// !ok. Percent-escaped hosts are not supported and report !ok.
+func splitURL(raw string) (host, path, query string, ok bool) {
+	for i := 0; i < len(raw); i++ {
+		if raw[i] < 0x20 || raw[i] == 0x7f {
+			return "", "", "", false
+		}
+	}
+	// The fragment hides everything after it.
+	if i := strings.IndexByte(raw, '#'); i >= 0 {
+		raw = raw[:i]
+	}
+	var rest string
+	if strings.HasPrefix(raw, "//") {
+		rest = raw[2:]
+	} else {
+		i := strings.Index(raw, "://")
+		if i <= 0 || !validScheme(raw[:i]) {
+			return "", "", "", false
+		}
+		rest = raw[i+3:]
+	}
+	end := len(rest)
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' || rest[i] == '?' {
+			end = i
+			break
+		}
+	}
+	auth := rest[:end]
+	rest = rest[end:]
+	if i := strings.LastIndexByte(auth, '@'); i >= 0 {
+		auth = auth[i+1:]
+	}
+	if strings.HasPrefix(auth, "[") {
+		i := strings.IndexByte(auth, ']')
+		if i < 0 || !validOptionalPort(auth[i+1:]) {
+			return "", "", "", false
+		}
+		auth = auth[1:i]
+	} else if i := strings.LastIndexByte(auth, ':'); i >= 0 {
+		// net/url splits the port at the last colon and requires digits.
+		if !validOptionalPort(auth[i:]) {
+			return "", "", "", false
+		}
+		auth = auth[:i]
+	}
+	if auth == "" || !validHostname(auth) {
+		return "", "", "", false
+	}
+	path = rest
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		path, query = rest[:i], rest[i+1:]
+	}
+	if !validEscapes(path) {
+		return "", "", "", false
+	}
+	return auth, path, query, true
+}
+
+// pathContains reports whether the (case-folded, percent-decoded) path
+// contains the hint. Decoding only happens when escapes are present,
+// which no generated notification path has.
+func pathContains(path, hint string) bool {
+	if hasPct(path) {
+		path = unescapePath(path)
+	}
+	return strings.Contains(strings.ToLower(path), hint)
+}
+
+// validOptionalPort reports whether s is "" or ":" followed by digits,
+// the net/url port contract.
+func validOptionalPort(s string) bool {
+	if s == "" {
+		return true
+	}
+	if s[0] != ':' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func validScheme(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z':
+		case '0' <= c && c <= '9' || c == '+' || c == '-' || c == '.':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validHostname(h string) bool {
+	for i := 0; i < len(h); i++ {
+		switch h[i] {
+		case ' ', '<', '>', '"', '%', '\\', '^', '`', '{', '|', '}', '/', '?', '#', '@':
+			return false
+		}
+	}
+	return true
+}
+
+// validEscapes reports whether every '%' in s introduces a two-digit
+// hex escape (the pair is otherwise dropped, like net/url does).
+func validEscapes(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		if i+2 >= len(s) || !isHexDigit(s[i+1]) || !isHexDigit(s[i+2]) {
+			return false
+		}
+		i += 2
+	}
+	return true
+}
+
+func isHexDigit(c byte) bool {
+	return '0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F'
+}
+
+func unhex(c byte) byte {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0'
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}
+
+func hasEsc(s string) bool {
+	return strings.IndexByte(s, '%') >= 0 || strings.IndexByte(s, '+') >= 0
+}
+
+func hasPct(s string) bool { return strings.IndexByte(s, '%') >= 0 }
+
+// unescape decodes a query component with pre-validated escapes
+// ('+' becomes space). It allocates; callers hit it only for escaped
+// values they actually extract.
+func unescape(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '%':
+			b.WriteByte(unhex(s[i+1])<<4 | unhex(s[i+2]))
+			i += 2
+		case '+':
+			b.WriteByte(' ')
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// unescapePath decodes pre-validated path escapes ('+' stays literal).
+func unescapePath(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' {
+			b.WriteByte(unhex(s[i+1])<<4 | unhex(s[i+2]))
+			i += 2
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// escPlainEq reports whether the escaped query key a decodes to the
+// literal (escape-free) string b, without allocating.
+func escPlainEq(a, b string) bool {
+	j := 0
+	for i := 0; i < len(a); i++ {
+		var c byte
+		switch a[i] {
+		case '%':
+			c = unhex(a[i+1])<<4 | unhex(a[i+2])
+			i += 2
+		case '+':
+			c = ' '
+		default:
+			c = a[i]
+		}
+		if j >= len(b) || b[j] != c {
+			return false
+		}
+		j++
+	}
+	return j == len(b)
+}
+
+// keyEq reports whether two scanned spans decode to the same key.
+func keyEq(a, b kvSpan) bool {
+	switch {
+	case !a.keyEsc && !b.keyEsc:
+		return a.key == b.key
+	case a.keyEsc && !b.keyEsc:
+		return escPlainEq(a.key, b.key)
+	case !a.keyEsc && b.keyEsc:
+		return escPlainEq(b.key, a.key)
+	default:
+		return unescape(a.key) == unescape(b.key)
+	}
+}

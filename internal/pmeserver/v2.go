@@ -169,16 +169,21 @@ func (s *Server) handleEstimateV2(w http.ResponseWriter, r *http.Request) {
 		ModelVersion: m.Version,
 		EstimatesCPM: make([]float64, len(req.Items)),
 	}
+	// One encode buffer serves the whole batch: the shared detection
+	// encoder writes each item's S vector in place, so serving a
+	// 4096-item batch costs one allocation, not 4096.
+	vec := make([]float64, m.Features.Dim())
 	for i, it := range req.Items {
 		hour, weekday := it.Hour, it.Weekday
 		if !it.Observed.IsZero() {
 			hour, weekday = it.Observed.Hour(), int(it.Observed.Weekday())
 		}
-		resp.EstimatesCPM[i] = m.EstimateCPM(m.Features.FromStrings(core.StringContext{
+		m.Features.EncodeStringsInto(vec, core.StringContext{
 			ADX: it.ADX, City: it.City, OS: it.OS, Device: it.Device,
 			Origin: it.Origin, Slot: it.Slot, IAB: it.IAB,
 			Hour: hour, Weekday: weekday,
-		}))
+		})
+		resp.EstimatesCPM[i] = m.EstimateCPM(vec)
 	}
 	writeV2JSON(w, http.StatusOK, resp)
 }

@@ -133,8 +133,25 @@ func (s *Scheme) Decrypt(encoded string) (float64, error) {
 // verify integrity (an observer without keys cannot); the nURL detector
 // uses this to classify price parameters as encrypted.
 func IsToken(s string) bool {
-	_, err := decodeToken(s)
-	return err == nil
+	// Mirror decodeToken over stack buffers: detection runs once per
+	// candidate price parameter in the analyzer's hot loop, and the
+	// DecodeString round trip would heap-allocate on every call.
+	const maxEncoded = (TokenSize + 2) / 3 * 4 // padded base64 of TokenSize bytes
+	if len(s) > maxEncoded {
+		return false
+	}
+	var src [maxEncoded]byte
+	var dst [TokenSize + 2]byte
+	n := copy(src[:], s)
+	for _, enc := range []*base64.Encoding{
+		base64.RawURLEncoding, base64.URLEncoding,
+		base64.RawStdEncoding, base64.StdEncoding,
+	} {
+		if m, err := enc.Decode(dst[:], src[:n]); err == nil {
+			return m == TokenSize
+		}
+	}
+	return false
 }
 
 func decodeToken(s string) ([]byte, error) {

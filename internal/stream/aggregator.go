@@ -6,13 +6,12 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"yourandvalue/internal/analyzer"
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/detect"
 	"yourandvalue/internal/geoip"
 	"yourandvalue/internal/iab"
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/trafficclass"
-	"yourandvalue/internal/useragent"
 )
 
 // AggregatorOption configures an Aggregator.
@@ -43,8 +42,9 @@ func WithTopK(k int) AggregatorOption {
 }
 
 // Aggregator consumes an event stream through sharded per-user online
-// cost accumulators backed by a core.Model. It performs the analyzer's
-// detection path per event (classify → parse nURL → attribute publisher)
+// cost accumulators backed by a core.Model. Each shard runs its own
+// instance of the shared detect.Engine — the same classify → parse nURL
+// → attribute publisher → encode path the batch analyzer folds over —
 // and accumulates exactly as core.BatchEstimateContext does, so streamed
 // per-user costs equal the batch path bit for bit. Create with
 // NewAggregator; an Aggregator is single-use (one Run per instance).
@@ -274,13 +274,18 @@ func (a *Aggregator) distribute(ctx context.Context, in <-chan Event, chans []ch
 
 // shard owns a disjoint set of users. All of a user's events arrive on
 // one shard in stream order, so per-user accumulation is sequential and
-// deterministic no matter how many shards run.
+// deterministic no matter how many shards run. Each shard holds its own
+// detect.Engine (publisher-attribution state and symbol-keyed caches)
+// and a reused encode buffer, so the warm per-event path allocates
+// nothing.
 type shard struct {
 	agg *Aggregator
 	idx int
 
+	eng *detect.Engine
+	vec []float64 // reused encode scratch (nil without a model)
+
 	costs       map[int]*core.UserCost
-	lastPage    map[int]string // transient: publisher attribution state
 	advertisers map[string]advertiserTotals
 	topUsers    *Tracker[int]
 
@@ -292,14 +297,23 @@ type shard struct {
 }
 
 func newShard(a *Aggregator, idx int) *shard {
-	return &shard{
-		agg:         a,
-		idx:         idx,
+	s := &shard{
+		agg: a,
+		idx: idx,
+		eng: detect.NewEngine(detect.Config{
+			Registry:   a.registry,
+			Classifier: a.classifier,
+			GeoDB:      a.geo,
+			Directory:  a.dir,
+		}),
 		costs:       make(map[int]*core.UserCost),
-		lastPage:    make(map[int]string),
 		advertisers: make(map[string]advertiserTotals),
 		topUsers:    NewTracker[int](a.topK),
 	}
+	if a.model != nil {
+		s.vec = make([]float64, a.model.Features.Dim())
+	}
+	return s
 }
 
 func (s *shard) handle(m shardMsg) {
@@ -310,15 +324,14 @@ func (s *shard) handle(m shardMsg) {
 	s.process(m.ev)
 }
 
-// process mirrors the analyzer's per-request path for the subset that
-// feeds cost estimation: first-party page views update publisher
-// attribution; advertising requests are parsed for price notifications
-// and accumulated exactly like core's estimateUser.
+// process runs the shared detection engine over one event and folds the
+// emission into the shard's accumulators, exactly like core's
+// estimateUser over the batch analyzer's impressions.
 func (s *shard) process(ev Event) {
 	if ev.Kind == EventUserDone {
 		// The user's stream is complete: release transient state so a
 		// generated population of millions stays bounded. Costs remain.
-		delete(s.lastPage, ev.User.ID)
+		s.eng.ForgetUser(ev.User.ID)
 		return
 	}
 	r := ev.Request
@@ -327,55 +340,38 @@ func (s *shard) process(ev Event) {
 		uc = &core.UserCost{UserID: r.UserID}
 		s.costs[r.UserID] = uc
 	}
-	switch s.agg.classifier.Classify(r.Host) {
-	case trafficclass.Rest:
-		s.lastPage[r.UserID] = r.Host
-	case trafficclass.Advertising:
-		n, ok := s.agg.registry.Parse(r.URL)
-		if !ok {
-			return
+	em := s.eng.Step(r.Detect())
+	if !em.Detected {
+		return
+	}
+	n := em.Impression.Notification
+	s.impressions++
+	var spend float64
+	switch n.Kind {
+	case nurl.Cleartext:
+		spend = n.PriceCPM
+		uc.CleartextCPM += n.PriceCPM
+		uc.CleartextCount++
+		s.cleartextCPM += n.PriceCPM
+		s.cleartextCount++
+	case nurl.Encrypted:
+		if s.agg.model != nil {
+			s.agg.model.Features.EncodeImpressionInto(s.vec, em.Impression)
+			spend = s.agg.model.EstimateCPM(s.vec)
+			uc.EncryptedCPM += spend
+			s.encryptedCPM += spend
 		}
-		s.impressions++
-		var spend float64
-		switch n.Kind {
-		case nurl.Cleartext:
-			spend = n.PriceCPM
-			uc.CleartextCPM += n.PriceCPM
-			uc.CleartextCount++
-			s.cleartextCPM += n.PriceCPM
-			s.cleartextCount++
-		case nurl.Encrypted:
-			if s.agg.model != nil {
-				pub := s.lastPage[r.UserID]
-				if pub == "" {
-					pub = n.Publisher
-				}
-				imp := analyzer.Impression{
-					Time:         r.Time,
-					Month:        int(r.Time.Month()),
-					UserID:       r.UserID,
-					Notification: n,
-					City:         s.agg.geo.LookupString(r.ClientIP),
-					Device:       useragent.Parse(r.UserAgent),
-					Publisher:    pub,
-					Category:     s.agg.dir.Lookup(pub),
-				}
-				spend = s.agg.model.EstimateCPM(s.agg.model.Features.FromImpression(imp))
-				uc.EncryptedCPM += spend
-				s.encryptedCPM += spend
-			}
-			uc.EncryptedCount++
-			s.encryptedCount++
-		default:
-			return
-		}
-		s.topUsers.Update(r.UserID, uc.CleartextCPM+uc.EncryptedCPM)
-		if n.DSP != "" {
-			at := s.advertisers[n.DSP]
-			at.spendCPM += spend
-			at.impressions++
-			s.advertisers[n.DSP] = at
-		}
+		uc.EncryptedCount++
+		s.encryptedCount++
+	default:
+		return
+	}
+	s.topUsers.Update(r.UserID, uc.CleartextCPM+uc.EncryptedCPM)
+	if n.DSP != "" {
+		at := s.advertisers[n.DSP]
+		at.spendCPM += spend
+		at.impressions++
+		s.advertisers[n.DSP] = at
 	}
 }
 

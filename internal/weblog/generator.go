@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"yourandvalue/internal/detect"
 	"yourandvalue/internal/geoip"
 	"yourandvalue/internal/rtb"
 	"yourandvalue/internal/stats"
@@ -103,6 +104,7 @@ func Generate(cfg Config) *Trace {
 		trace.Users = append(trace.Users, ut.User)
 		trace.Requests = append(trace.Requests, ut.Requests...)
 		trace.Impressions = append(trace.Impressions, ut.Impressions...)
+		trace.Symbols = ut.Symbols
 		return nil
 	})
 	// Each user's records arrive pre-sorted, so the stable global sort
@@ -122,11 +124,14 @@ func Generate(cfg Config) *Trace {
 // emits it: requests stable-sorted by time (matching the user's relative
 // record order in the fully sorted batch trace) together with the
 // generator-side ground truth behind their RTB impressions. The slices
-// are owned by the callee.
+// are owned by the callee. Symbols is the stream-wide interner behind
+// the records' dense ids — the same table instance on every yield, and
+// still being extended until the final yield returns.
 type UserTrace struct {
 	User        User
 	Requests    []Request
 	Impressions []ImpressionTruth
+	Symbols     *detect.SymbolTable
 }
 
 // GenerateStream is the incremental form of Generate: it synthesizes the
@@ -166,7 +171,7 @@ func GenerateStream(cfg Config, cat *Catalog, yield func(UserTrace) error) error
 	}
 	adRate := float64(cfg.Impressions) / expectedSessions // may exceed 1
 
-	g := &generator{cfg: cfg, rng: rng, eco: eco, catalog: cat}
+	g := &generator{cfg: cfg, rng: rng, eco: eco, catalog: cat, syms: detect.NewSymbolTable()}
 	siteZipf := rng.Zipf(1.15, len(cat.Sites))
 	appZipf := rng.Zipf(1.15, len(cat.Apps))
 
@@ -198,7 +203,7 @@ func GenerateStream(cfg Config, cat *Catalog, yield func(UserTrace) error) error
 					prop = cat.Sites[siteZipf.Next()]
 					ua = webUA
 				}
-				g.session(u, ts, prop, ua, adRate)
+				g.session(u, ts, prop, ua, inApp, adRate)
 			}
 		}
 		sort.SliceStable(g.reqs, func(i, j int) bool {
@@ -207,7 +212,7 @@ func GenerateStream(cfg Config, cat *Catalog, yield func(UserTrace) error) error
 		sort.SliceStable(g.imps, func(i, j int) bool {
 			return g.imps[i].Ctx.Time.Before(g.imps[j].Ctx.Time)
 		})
-		if err := yield(UserTrace{User: *u, Requests: g.reqs, Impressions: g.imps}); err != nil {
+		if err := yield(UserTrace{User: *u, Requests: g.reqs, Impressions: g.imps, Symbols: g.syms}); err != nil {
 			return err
 		}
 	}
@@ -219,6 +224,7 @@ type generator struct {
 	rng     *stats.Rand
 	eco     *rtb.Ecosystem
 	catalog *Catalog
+	syms    *detect.SymbolTable
 	// reqs and imps buffer the user currently being generated.
 	reqs []Request
 	imps []ImpressionTruth
@@ -226,26 +232,39 @@ type generator struct {
 
 func (g *generator) emit(r Request) { g.reqs = append(g.reqs, r) }
 
-func (g *generator) request(u *User, ts time.Time, rawURL, host, ua string, meanBytes float64) {
-	g.emit(Request{
+// request emits one record with its interned views. Only strings from
+// bounded vocabularies are interned — hosts (catalog plus fixed
+// third-party sets) and the shared web user agents. Per-user-unique
+// strings (the com.userNNNN.app UA, the client IP) stay string-typed:
+// interning them would grow the stream-wide SymbolTable linearly with
+// users streamed, breaking GenerateStream's bounded-memory contract,
+// and the detection engine's string-keyed caches evict them at user
+// boundaries anyway.
+func (g *generator) request(u *User, ts time.Time, rawURL, host, ua string, inApp bool, meanBytes float64) {
+	r := Request{
 		Time: ts, UserID: u.ID, URL: rawURL, Host: host,
 		UserAgent: ua, ClientIP: u.IP,
 		Bytes:      int64(g.rng.LogNormalMeanStd(meanBytes, meanBytes)),
 		DurationMS: g.rng.LogNormalMeanStd(180, 150),
-	})
+		HostSym:    g.syms.Hosts.Intern(host),
+	}
+	if !inApp {
+		r.AgentSym = g.syms.Agents.Intern(ua)
+	}
+	g.emit(r)
 }
 
 // session emits the request cluster of one browsing session: the page (or
 // app API call), background third-party traffic, occasional cookie syncs
 // and beacons, and — with probability adRate — an RTB auction whose nURL
 // lands in the trace.
-func (g *generator) session(u *User, ts time.Time, prop Property, ua string, adRate float64) {
+func (g *generator) session(u *User, ts time.Time, prop Property, ua string, inApp bool, adRate float64) {
 	rng := g.rng
 	pageURL := "http://" + prop.Domain + "/"
 	if prop.IsApp() {
 		pageURL = "http://" + prop.Domain + "/v1/feed"
 	}
-	g.request(u, ts, pageURL, prop.Domain, ua, 24000)
+	g.request(u, ts, pageURL, prop.Domain, ua, inApp, 24000)
 
 	nBg := rng.Poisson(g.cfg.BackgroundPerSession)
 	for i := 0; i < nBg; i++ {
@@ -259,7 +278,7 @@ func (g *generator) session(u *User, ts time.Time, prop Property, ua string, adR
 		default:
 			host, path = cdnHosts[rng.Intn(len(cdnHosts))], fmt.Sprintf("/static/a%d.js", rng.Intn(50))
 		}
-		g.request(u, ts, "http://"+host+path, host, ua, 8000)
+		g.request(u, ts, "http://"+host+path, host, ua, inApp, 8000)
 	}
 
 	// Cookie synchronization: a pair of ad hosts exchanging the user's ID.
@@ -267,16 +286,16 @@ func (g *generator) session(u *User, ts time.Time, prop Property, ua string, adR
 		h1 := syncHosts[rng.Intn(len(syncHosts))]
 		h2 := syncHosts[rng.Intn(len(syncHosts))]
 		ts = ts.Add(80 * time.Millisecond)
-		g.request(u, ts, fmt.Sprintf("http://%s/getuid?user_id=%s", h1, u.SyncID), h1, ua, 400)
+		g.request(u, ts, fmt.Sprintf("http://%s/getuid?user_id=%s", h1, u.SyncID), h1, ua, inApp, 400)
 		if h2 != h1 {
 			ts = ts.Add(40 * time.Millisecond)
-			g.request(u, ts, fmt.Sprintf("http://%s/usersync?user_id=%s&redir=http%%3A%%2F%%2F%s%%2Fmatch", h2, u.SyncID, h1), h2, ua, 400)
+			g.request(u, ts, fmt.Sprintf("http://%s/usersync?user_id=%s&redir=http%%3A%%2F%%2F%s%%2Fmatch", h2, u.SyncID, h1), h2, ua, inApp, 400)
 		}
 	}
 	if rng.Float64() < 0.10 {
 		h := syncHosts[rng.Intn(len(syncHosts))]
 		ts = ts.Add(60 * time.Millisecond)
-		g.request(u, ts, "http://"+h+"/px.gif?r="+fmt.Sprint(rng.Intn(1<<30)), h, ua, 43)
+		g.request(u, ts, "http://"+h+"/px.gif?r="+fmt.Sprint(rng.Intn(1<<30)), h, ua, inApp, 43)
 	}
 
 	// RTB auctions for this session's ad slots.
@@ -286,11 +305,11 @@ func (g *generator) session(u *User, ts time.Time, prop Property, ua string, adR
 	}
 	for i := 0; i < k; i++ {
 		ts = ts.Add(time.Duration(100+rng.Intn(300)) * time.Millisecond)
-		g.auction(u, ts, prop, ua)
+		g.auction(u, ts, prop, ua, inApp)
 	}
 }
 
-func (g *generator) auction(u *User, ts time.Time, prop Property, ua string) {
+func (g *generator) auction(u *User, ts time.Time, prop Property, ua string, inApp bool) {
 	month := int(ts.Month())
 	origin := useragent.MobileWeb
 	if prop.IsApp() {
@@ -313,12 +332,15 @@ func (g *generator) auction(u *User, ts time.Time, prop Property, ua string) {
 		return
 	}
 	host := hostOf(res.NURL)
-	g.request(u, ts, res.NURL, host, ua, 600)
+	g.request(u, ts, res.NURL, host, ua, inApp, 600)
 	g.imps = append(g.imps, ImpressionTruth{
 		UserID: u.ID, Month: month, Ctx: ctx,
 		ADX: res.ADX.Name, DSP: res.Winner.Name,
 		ChargeCPM: res.ChargeCPM, Encrypted: res.Encrypted,
-		NURL: res.NURL,
+		NURL:         res.NURL,
+		ADXSym:       g.syms.Names.Intern(res.ADX.Name),
+		DSPSym:       g.syms.Names.Intern(res.Winner.Name),
+		PublisherSym: g.syms.Hosts.Intern(prop.Domain),
 	})
 }
 

@@ -3,6 +3,7 @@ package weblog
 import (
 	"time"
 
+	"yourandvalue/internal/detect"
 	"yourandvalue/internal/geoip"
 	"yourandvalue/internal/rtb"
 	"yourandvalue/internal/useragent"
@@ -10,6 +11,15 @@ import (
 
 // Request is one HTTP request record as the paper's proxy logged it:
 // timestamp, user, URL, UA, client address, and transfer accounting.
+// The generator also interns bounded-vocabulary strings (hosts, shared
+// web user agents) into the trace's detect.SymbolTable and records the
+// symbols alongside the string views, so detection engines can key
+// their caches by dense id. Per-user-unique strings — the in-app UA
+// and the client address — deliberately stay uninterned (symbol None):
+// interning them would grow the stream-wide table linearly with users
+// and break GenerateStream's bounded-memory contract, and consumers
+// fall back to evictable string-keyed caches for them. Hand-built
+// requests may leave every symbol zero.
 type Request struct {
 	Time       time.Time
 	UserID     int
@@ -19,6 +29,26 @@ type Request struct {
 	ClientIP   string
 	Bytes      int64
 	DurationMS float64
+
+	// Interned views (detect.None when the record was not interned).
+	HostSym  detect.Sym
+	AgentSym detect.Sym
+	AddrSym  detect.Sym
+}
+
+// Detect returns the request in the detection engine's record form.
+func (r Request) Detect() detect.Record {
+	return detect.Record{
+		Time:      r.Time,
+		UserID:    r.UserID,
+		URL:       r.URL,
+		Host:      r.Host,
+		UserAgent: r.UserAgent,
+		ClientIP:  r.ClientIP,
+		HostSym:   r.HostSym,
+		AgentSym:  r.AgentSym,
+		AddrSym:   r.AddrSym,
+	}
 }
 
 // User is one member of the synthetic population with the latent traits
@@ -44,6 +74,7 @@ type User struct {
 // ImpressionTruth retains the generator-side ground truth for one RTB
 // impression: what the auction actually charged and under which context.
 // The analyzer never sees this; evaluation harnesses score against it.
+// The ad entities and publisher are interned like Request's strings.
 type ImpressionTruth struct {
 	UserID    int
 	Month     int // 1..12 within the trace year
@@ -53,14 +84,21 @@ type ImpressionTruth struct {
 	ChargeCPM float64
 	Encrypted bool
 	NURL      string
+
+	// Interned views (detect.None when the record was not interned).
+	ADXSym       detect.Sym
+	DSPSym       detect.Sym
+	PublisherSym detect.Sym
 }
 
-// Trace is a fully materialized synthetic weblog.
+// Trace is a fully materialized synthetic weblog. Symbols is the
+// interned-string table behind the records' dense ids.
 type Trace struct {
 	Users       []User
 	Requests    []Request // time-ordered
 	Impressions []ImpressionTruth
 	Catalog     *Catalog
+	Symbols     *detect.SymbolTable
 	Year        int
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"yourandvalue/internal/detect"
 	"yourandvalue/internal/geoip"
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/stats"
@@ -339,5 +340,64 @@ func TestIsLeap(t *testing.T) {
 		if isLeap(y) != want {
 			t.Errorf("isLeap(%d) = %v", y, !want)
 		}
+	}
+}
+
+// TestInternedViewsCoherent pins the interned-record contract: every
+// symbol a generated trace carries must round-trip through the trace's
+// SymbolTable back to exactly the string view beside it, for requests
+// (hosts, agents, addresses) and impression ground truth (ad entities,
+// publishers) alike. Consumers key caches and evaluation joins by these
+// dense ids, so a drift between the two views would corrupt silently.
+func TestInternedViewsCoherent(t *testing.T) {
+	cfg := DefaultConfig().Scaled(0.01)
+	cfg.Seed = 17
+	trace := Generate(cfg)
+	if trace.Symbols == nil {
+		t.Fatal("trace carries no symbol table")
+	}
+	syms := trace.Symbols
+	webAgents, appAgents := 0, 0
+	for _, r := range trace.Requests {
+		if r.HostSym == detect.None {
+			t.Fatalf("request host not interned: %+v", r)
+		}
+		if syms.Hosts.String(r.HostSym) != r.Host {
+			t.Fatalf("request host views diverged: %+v", r)
+		}
+		// Shared web agents are interned; per-user in-app agents and
+		// client addresses deliberately are not (bounded-memory
+		// streaming contract).
+		if r.AgentSym != detect.None {
+			webAgents++
+			if syms.Agents.String(r.AgentSym) != r.UserAgent {
+				t.Fatalf("request agent views diverged: %+v", r)
+			}
+		} else {
+			appAgents++
+		}
+		if r.AddrSym != detect.None {
+			t.Fatalf("client address unexpectedly interned: %+v", r)
+		}
+	}
+	if webAgents == 0 || appAgents == 0 {
+		t.Fatalf("agent interning split degenerate: %d web, %d app", webAgents, appAgents)
+	}
+	if got, limit := syms.Agents.Len(), 12; got > limit {
+		t.Errorf("agent namespace grew past the bounded web-UA vocabulary: %d > %d", got, limit)
+	}
+	for _, it := range trace.Impressions {
+		if syms.Names.String(it.ADXSym) != it.ADX ||
+			syms.Names.String(it.DSPSym) != it.DSP {
+			t.Fatalf("impression ad-entity views diverged: %+v", it)
+		}
+		if pub := syms.Hosts.String(it.PublisherSym); pub != it.Ctx.Publisher {
+			t.Fatalf("impression publisher %q != context publisher %q", pub, it.Ctx.Publisher)
+		}
+	}
+	// The same symbols must be live in the streaming form: a request
+	// host interned by GenerateStream resolves identically.
+	if got := syms.Hosts.Lookup(trace.Requests[0].Host); got != trace.Requests[0].HostSym {
+		t.Fatalf("lookup disagrees with the emitted symbol: %d vs %d", got, trace.Requests[0].HostSym)
 	}
 }

@@ -199,7 +199,11 @@ func (p *Pipeline) GenerateTrace(ctx context.Context) (*TraceArtifact, error) {
 	return art, nil
 }
 
-// Analyze runs stage 2: the Weblog Ads Analyzer (§4) over the trace.
+// Analyze runs stage 2: the Weblog Ads Analyzer (§4) over the trace —
+// one internal/detect engine pass folded into the batch summaries. The
+// trace's interned symbols (weblog.Trace.Symbols) ride along on every
+// request record, so the engine's per-host/agent/address caches key by
+// dense id instead of string.
 func (p *Pipeline) Analyze(ctx context.Context, tr *TraceArtifact) (*analyzer.Result, error) {
 	if tr == nil || tr.Trace == nil {
 		return nil, fmt.Errorf("yourandvalue: Analyze needs a trace artifact")
@@ -315,7 +319,9 @@ func (p *Pipeline) EstimateCosts(ctx context.Context, res *analyzer.Result, mode
 // with bounded-channel backpressure, periodic immutable snapshots, and
 // incremental top-K summaries. Per-user costs are bit-identical to the
 // batch EstimateCosts path over the same trace for any worker count (the
-// pipeline's WithWorkers sets the shard count).
+// pipeline's WithWorkers sets the shard count): both paths run the same
+// internal/detect engine and encoder, so their equivalence is by
+// construction rather than by two copies kept in sync.
 func (p *Pipeline) EstimateCostsStreaming(ctx context.Context, src stream.Source, model *core.Model) (*stream.Result, error) {
 	if src == nil || model == nil {
 		return nil, fmt.Errorf("yourandvalue: EstimateCostsStreaming needs a source and a model")
