@@ -11,6 +11,11 @@
 // Self-contained (trains a small model and serves it in-process):
 //
 //	go run ./cmd/loadgen -clients 100 -duration 10s
+//
+// Bulk estimation through the NDJSON streaming endpoint instead of the
+// batch one (p50/p95/p99 land in the 'stream' histogram):
+//
+//	go run ./cmd/loadgen -clients 100 -duration 10s -stream-estimate
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "master seed for the synthetic traffic")
 	maxOps := flag.Int64("maxops", 0, "total operation budget (0 = until duration or source drain)")
 	pool := flag.Int("pool", 0, "override the server contribution-pool bound (in-process only, 0 = default)")
+	streamEst := flag.Bool("stream-estimate", false, "drive POST /v2/estimate/stream (NDJSON) instead of the batch endpoint; latencies land in the 'stream' histogram")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the load run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the load run to this file")
 	flag.Parse()
@@ -55,7 +61,7 @@ func main() {
 	if err := run(options{
 		addr: *addr, clients: *clients, duration: *duration,
 		batch: *batch, poll: *poll, scale: *scale, seed: *seed,
-		maxOps: *maxOps, pool: *pool,
+		maxOps: *maxOps, pool: *pool, streamEstimate: *streamEst,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
 	}); err != nil {
 		log.Fatal(err)
@@ -65,17 +71,18 @@ func main() {
 // options carries the parsed flags by name, so the run call site cannot
 // silently transpose same-typed values.
 type options struct {
-	addr       string
-	clients    int
-	duration   time.Duration
-	batch      int
-	poll       int
-	scale      float64
-	seed       int64
-	maxOps     int64
-	pool       int
-	cpuProfile string
-	memProfile string
+	addr           string
+	clients        int
+	duration       time.Duration
+	batch          int
+	poll           int
+	scale          float64
+	seed           int64
+	maxOps         int64
+	pool           int
+	streamEstimate bool
+	cpuProfile     string
+	memProfile     string
 }
 
 func run(o options) error {
@@ -134,6 +141,8 @@ func run(o options) error {
 		PollEvery: o.poll,
 		Duration:  o.duration,
 		MaxOps:    o.maxOps,
+
+		StreamEstimate: o.streamEstimate,
 	})
 	if err != nil {
 		return err
@@ -141,6 +150,11 @@ func run(o options) error {
 	fmt.Print(report.String())
 	if srv != nil {
 		fmt.Printf("server pool: %d contributions retained\n", len(srv.Contributions()))
+	}
+	// A load run that saw request failures must fail the process: the CI
+	// smoke steps rely on the exit code, not on a human reading the report.
+	if report.Errors > 0 {
+		return fmt.Errorf("loadgen: %d request errors during the run", report.Errors)
 	}
 	return nil
 }

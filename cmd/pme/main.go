@@ -1,24 +1,34 @@
 // Command pme bootstraps the Price Modeling Engine — runs the probing
-// ad-campaigns, trains the encrypted-price model, and serves it over HTTP
-// for YourAdValue clients (paper §3.2).
+// ad-campaigns, trains the encrypted-price model, publishes it into a
+// versioned model registry, and serves it over HTTP for YourAdValue
+// clients (paper §3.2). While serving, a retrain loop drains the
+// crowdsourced contribution pool into forest retraining and hot-swaps
+// each new version in atomically; clients observe refreshes as ETag
+// changes on their next conditional poll.
 //
 // Usage:
 //
 //	pme [-listen :8700] [-scale 0.05] [-per-setup 60] [-seed 1] [-once]
+//	    [-retrain-count 500] [-retrain-interval 30s] [-rate 0] [-burst 256]
 //
 // With -once the trained model's metrics are printed and the process
-// exits without serving (useful in scripts).
+// exits without serving (useful in scripts). -rate enables the token-
+// bucket limiter (requests/second; 0 = unlimited).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"yourandvalue"
+	"yourandvalue/internal/pme"
 	"yourandvalue/internal/pmeserver"
 )
 
@@ -28,16 +38,26 @@ func main() {
 	perSetup := flag.Int("per-setup", 60, "campaign impressions per setup")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	once := flag.Bool("once", false, "train, print metrics, and exit")
+	retrainCount := flag.Int("retrain-count", 500, "contributions that trigger a retrain")
+	retrainEvery := flag.Duration("retrain-interval", 30*time.Second, "how often the retrain trigger is checked")
+	rate := flag.Float64("rate", 0, "token-bucket request rate limit in req/s (0 = unlimited)")
+	burst := flag.Int("burst", 256, "token-bucket burst capacity")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// The registry is the hand-off point between training and serving:
+	// the pipeline publishes into it, the server serves from it, and the
+	// retrain loop hot-swaps new versions through it.
+	registry := pme.NewRegistry()
 
 	pipe, err := yourandvalue.NewPipeline(
 		yourandvalue.WithScale(*scale),
 		yourandvalue.WithSeed(*seed),
 		yourandvalue.WithCampaignImpressions(*perSetup),
 		yourandvalue.WithCrossValidation(10, 1),
+		yourandvalue.WithModelRegistry(registry),
 		yourandvalue.WithProgress(func(ev yourandvalue.StageEvent) {
 			if ev.State == yourandvalue.StageCompleted {
 				fmt.Fprintf(os.Stderr, "stage %-15s done in %s\n", ev.Stage, ev.Elapsed.Round(1e6))
@@ -58,11 +78,12 @@ func main() {
 	exitOn(err)
 	fmt.Fprintf(os.Stderr, "A1: %d records ($%.2f); A2: %d records ($%.2f)\n",
 		len(camps.A1.Records), camps.A1.SpentUSD, len(camps.A2.Records), camps.A2.SpentUSD)
-	model, err := pipe.TrainModel(ctx, res, camps)
+	model, err := pipe.TrainModel(ctx, res, camps) // publishes into the registry
 	exitOn(err)
 
 	m := model.Metrics
-	fmt.Printf("model trained: %d classes, %d records\n", m.Classes, m.TrainSize)
+	fmt.Printf("model trained: %d classes, %d records (published as version %d)\n",
+		m.Classes, m.TrainSize, model.Version)
 	fmt.Printf("  accuracy  %.1f%%   (paper 82.9%%)\n", 100*m.Accuracy)
 	fmt.Printf("  FP rate   %.1f%%   (paper 6.8%%)\n", 100*m.FPRate)
 	fmt.Printf("  precision %.1f%%   (paper 83.5%%)\n", 100*m.Precision)
@@ -72,12 +93,36 @@ func main() {
 		return
 	}
 
-	srv, err := pmeserver.New(model)
+	opts := []pmeserver.Option{pmeserver.WithRegistry(registry)}
+	if *rate > 0 {
+		opts = append(opts, pmeserver.WithRateLimit(*rate, *burst))
+	}
+	srv, err := pmeserver.New(nil, opts...)
 	exitOn(err)
+
+	// Close the crowdsourcing loop: drain contributions into retraining.
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	retrainer := pme.NewRetrainer(registry, srv.Pool(), pme.RetrainConfig{
+		MinSamples: *retrainCount,
+		Interval:   *retrainEvery,
+		Seed:       *seed + 100,
+	})
+	retrainer.Log = logger.Printf
+	go func() { _ = retrainer.Run(ctx) }()
+
 	fmt.Fprintf(os.Stderr,
-		"serving model on %s (GET /v1/model, GET /v2/model [ETag], POST /v2/contribute, POST /v2/estimate)\n",
+		"serving model on %s (GET /v1/model, GET /v2/model [ETag], POST /v2/contribute, POST /v2/estimate[/stream], GET /v2/stats)\n",
 		*listen)
-	exitOn(http.ListenAndServe(*listen, srv.Handler()))
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shCtx)
+	}()
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		exitOn(err)
+	}
 }
 
 func exitOn(err error) {

@@ -2,8 +2,12 @@
 // a PME server distributing versioned models over the v2 HTTP API, and a
 // YourAdValue client that fetches the model conditionally (ETag), watches
 // a user's live traffic, estimates encrypted prices locally, offloads a
-// batch to the server's /v2/estimate endpoint, and contributes anonymous
-// observations back with explicit accepted/dropped accounting.
+// batch over the streaming NDJSON endpoint, and contributes anonymous
+// observations back. The example then closes the crowdsourcing loop the
+// way the production deployment does: the retrain loop drains the
+// contribution pool into forest retraining, publishes the next model
+// version through the registry's atomic hot-swap, and the client's next
+// conditional poll observes the refresh as an ETag change.
 //
 //	go run ./examples/liveproxy
 package main
@@ -18,19 +22,22 @@ import (
 	"yourandvalue"
 	"yourandvalue/internal/core"
 	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/pme"
 	"yourandvalue/internal/pmeserver"
 )
 
 func main() {
 	ctx := context.Background()
 
-	// --- Server side: bootstrap the PME through the staged pipeline and
-	// expose it over HTTP. ---
+	// --- Server side: bootstrap the PME through the staged pipeline,
+	// publish into a model registry, and expose it over HTTP. ---
+	registry := pme.NewRegistry()
 	pipe, err := yourandvalue.NewPipeline(
 		yourandvalue.WithScale(0.03),
 		yourandvalue.WithSeed(11),
 		yourandvalue.WithCampaignImpressions(40),
 		yourandvalue.WithCrossValidation(5, 1),
+		yourandvalue.WithModelRegistry(registry),
 	)
 	check(err)
 	tr, err := pipe.GenerateTrace(ctx)
@@ -39,10 +46,10 @@ func main() {
 	check(err)
 	camps, err := pipe.RunCampaigns(ctx, tr) // A1 ∥ A2
 	check(err)
-	model, err := pipe.TrainModel(ctx, res, camps)
+	model, err := pipe.TrainModel(ctx, res, camps) // publishes version 1
 	check(err)
 
-	srv, err := pmeserver.New(model)
+	srv, err := pmeserver.New(nil, pmeserver.WithRegistry(registry))
 	check(err)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -90,7 +97,7 @@ func main() {
 		}
 		if !ev.Encrypted {
 			c.PriceCPM = ev.CPM
-		} else if len(offload) < 16 {
+		} else if len(offload) < 64 {
 			// A thin client would let the server run the forest instead.
 			offload = append(offload, pmeserver.EstimateItem{
 				Observed: ev.Time, ADX: ev.ADX,
@@ -105,16 +112,18 @@ func main() {
 	fmt.Printf("advertisers paid ≈ %.2f CPM (%.2f time-corrected)\n",
 		tot.TotalCPM(), tot.TotalCorrectedCPM())
 
-	// Thin-client path: batch estimation on the server.
+	// Thin-client path: stream the batch over NDJSON — no giant JSON
+	// array on either side, one pinned model version for the whole
+	// stream.
 	if len(offload) > 0 {
-		est, err := pmeClient.EstimateV2(ctx, offload)
+		ests, sum, err := pmeClient.EstimateStreamSliceV2(ctx, offload)
 		check(err)
-		sum := 0.0
-		for _, v := range est.EstimatesCPM {
-			sum += v
+		total := 0.0
+		for _, v := range ests {
+			total += v
 		}
-		fmt.Printf("server-side batch estimate: %d encrypted impressions → %.2f CPM total (model v%d)\n",
-			len(est.EstimatesCPM), sum, est.ModelVersion)
+		fmt.Printf("streaming estimate: %d encrypted impressions → %.2f CPM total (model v%d)\n",
+			sum.Items, total, sum.ModelVersion)
 	}
 
 	out, err := pmeClient.ContributeV2(ctx, contributions)
@@ -122,15 +131,28 @@ func main() {
 	fmt.Printf("contributed %d anonymous observations (%d dropped, %d invalid; pool now %d)\n",
 		out.Accepted, out.Dropped, out.Invalid, len(srv.Contributions()))
 
-	// The pooled cleartext observations let the PME monitor price drift
-	// and decide when to re-run probing campaigns.
-	drift := 0
-	for _, c := range srv.Contributions() {
-		if !c.Encrypted && c.PriceCPM > 0 {
-			drift++
-		}
+	// --- Close the loop: retrain on the pooled contributions and watch
+	// the client observe the hot-swap. ---
+	retrainer := pme.NewRetrainer(registry, srv.Pool(), pme.RetrainConfig{
+		MinSamples: 50, // one user's year of cleartext traffic suffices here
+		ForestSize: 10,
+		Seed:       42,
+	})
+	snap, err := retrainer.RetrainOnce(ctx)
+	if errors.Is(err, pme.ErrNotEnoughSamples) {
+		fmt.Println("retrain: not enough cleartext contributions pooled yet — loop keeps waiting")
+		return
 	}
-	fmt.Printf("PME now holds %d cleartext observations for drift detection\n", drift)
+	check(err)
+	fmt.Printf("retrain: published model version %d from %d contributed samples (pool drained to %d)\n",
+		snap.Version, snap.Model.Metrics.TrainSize, srv.Pool().Len())
+
+	// The client's next conditional poll sees the new version: the old
+	// ETag no longer matches, so the refreshed model downloads.
+	refreshed, newTag, err := pmeClient.FetchModelV2(ctx, etag)
+	check(err)
+	fmt.Printf("client poll after retrain: etag %s → %s, now on model version %d\n",
+		etag, newTag, refreshed.Version)
 	_ = nurl.Default() // package linked for registry parity with the client
 }
 

@@ -43,6 +43,19 @@ type ModelMetrics struct {
 	TrainSize int     `json:"train_size"`
 }
 
+// CloneWithVersion returns a copy of m stamped with new version
+// metadata. The heavy components — features, binner, forest, tree — are
+// shared with the original: they are immutable after training, so the
+// clone is safe to publish while the original keeps serving. This is
+// the snapshot-cloning primitive the model registry's hot-swap relies
+// on: publishing never mutates the caller's model in place.
+func (m *Model) CloneWithVersion(version int, trainedAt time.Time) *Model {
+	c := *m
+	c.Version = version
+	c.TrainedAt = trainedAt
+	return &c
+}
+
 // EstimateCPM estimates an encrypted charge price from its S vector using
 // the forest's predicted class representative.
 func (m *Model) EstimateCPM(x []float64) float64 {

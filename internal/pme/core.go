@@ -1,0 +1,132 @@
+package pme
+
+import (
+	"context"
+
+	"yourandvalue/internal/core"
+)
+
+// DefaultMaxBatch bounds one EstimateBatch call; unbounded workloads
+// use the streaming session path instead.
+const DefaultMaxBatch = 4096
+
+// Core is the canonical Service implementation: a Registry for the
+// model lineage and a Pool for contributed observations. Safe for
+// concurrent use.
+type Core struct {
+	registry *Registry
+	pool     *Pool
+	maxBatch int
+}
+
+// NewCore builds the service over a registry and a contribution pool.
+func NewCore(reg *Registry, pool *Pool) *Core {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	if pool == nil {
+		pool = NewPool(0)
+	}
+	return &Core{registry: reg, pool: pool, maxBatch: DefaultMaxBatch}
+}
+
+// SetMaxBatch re-bounds EstimateBatch (n <= 0 is ignored). Not safe to
+// call concurrently with serving; configure before traffic starts.
+func (c *Core) SetMaxBatch(n int) {
+	if n > 0 {
+		c.maxBatch = n
+	}
+}
+
+// Registry exposes the model lineage for publish/rollback wiring.
+func (c *Core) Registry() *Registry { return c.registry }
+
+// Pool exposes the contribution pool for retrain-loop wiring.
+func (c *Core) Pool() *Pool { return c.pool }
+
+// ModelSnapshot implements Service.
+func (c *Core) ModelSnapshot(ctx context.Context) (*Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	snap := c.registry.Current()
+	if snap == nil {
+		return nil, ErrNoModel
+	}
+	return snap, nil
+}
+
+// EstimateBatch implements Service: every item is estimated against the
+// single snapshot resolved at entry, with one scratch vector reused
+// across the whole batch.
+func (c *Core) EstimateBatch(ctx context.Context, items []EstimateItem) (*EstimateResult, error) {
+	if len(items) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if len(items) > c.maxBatch {
+		return nil, &BatchTooLargeError{N: len(items), Max: c.maxBatch}
+	}
+	sess, err := c.OpenEstimateSession(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := &EstimateResult{
+		Version:      sess.Snapshot().Version,
+		ETag:         sess.Snapshot().ETag,
+		EstimatesCPM: make([]float64, len(items)),
+	}
+	for i := range items {
+		res.EstimatesCPM[i] = sess.Estimate(&items[i])
+	}
+	return res, nil
+}
+
+// OpenEstimateSession implements Service.
+func (c *Core) OpenEstimateSession(ctx context.Context) (*EstimateSession, error) {
+	snap, err := c.ModelSnapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &EstimateSession{
+		snap: snap,
+		vec:  make([]float64, snap.Model.Features.Dim()),
+	}, nil
+}
+
+// Contribute implements Service.
+func (c *Core) Contribute(ctx context.Context, batch []Contribution) (ContributeResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ContributeResult{}, err
+	}
+	accepted, dropped, invalid := c.pool.Add(batch)
+	return ContributeResult{Accepted: accepted, Dropped: dropped, Invalid: invalid}, nil
+}
+
+// MaxBatch returns the per-call EstimateBatch bound.
+func (c *Core) MaxBatch() int { return c.maxBatch }
+
+// EstimateSession pins one model snapshot and one scratch vector for a
+// sequence of estimates: under an unbounded NDJSON stream the memory
+// cost stays one vector and one snapshot pointer no matter how many
+// items flow through, and a concurrent registry hot-swap never changes
+// the version mid-stream. Not safe for concurrent use.
+type EstimateSession struct {
+	snap *Snapshot
+	vec  []float64
+}
+
+// Snapshot returns the pinned model snapshot.
+func (s *EstimateSession) Snapshot() *Snapshot { return s.snap }
+
+// Estimate encodes one item into the reused scratch vector through the
+// shared zero-allocation detect.Encoder path and returns its CPM.
+func (s *EstimateSession) Estimate(it *EstimateItem) float64 {
+	hour, weekday := it.timeFeatures()
+	m := s.snap.Model
+	m.Features.EncodeStringsInto(s.vec, core.StringContext{
+		ADX: it.ADX, City: it.City, OS: it.OS, Device: it.Device,
+		Origin: it.Origin, Slot: it.Slot, IAB: it.IAB,
+		Hour: hour, Weekday: weekday,
+	})
+	return m.EstimateCPM(s.vec)
+}

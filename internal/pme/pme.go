@@ -1,0 +1,64 @@
+// Package pme is the transport-agnostic service core of the Price
+// Modeling Engine deployment (§3.2–§3.3, §6): the business logic the
+// HTTP handlers in internal/pmeserver adapt onto the wire.
+//
+// The package closes the paper's crowdsourcing loop: clients contribute
+// anonymous labeled observations (Contribution) into a bounded Pool, a
+// Retrainer periodically drains them into random-forest retraining, and
+// the resulting model is published into a versioned Registry whose
+// immutable Snapshots serve estimation with atomic hot-swap — clients
+// observe a refresh as an ETag change on their next conditional poll.
+//
+// Nothing here knows about HTTP: the Service interface speaks domain
+// types, so the same core can sit behind HTTP today and any other
+// transport (gRPC, message queue, in-process) tomorrow.
+package pme
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Service is the transport-agnostic PME surface. Every network-facing
+// handler delegates here; implementations must be safe for concurrent
+// use.
+type Service interface {
+	// ModelSnapshot returns the currently published model snapshot, or
+	// ErrNoModel when none has been published yet. Snapshots are
+	// immutable: version and ETag identify the exact bytes a client
+	// would fetch.
+	ModelSnapshot(ctx context.Context) (*Snapshot, error)
+
+	// EstimateBatch estimates every item against one consistent model
+	// snapshot (a concurrent hot-swap never mixes versions within a
+	// batch). Errors: ErrNoModel, ErrEmptyBatch, *BatchTooLargeError.
+	EstimateBatch(ctx context.Context, items []EstimateItem) (*EstimateResult, error)
+
+	// OpenEstimateSession pins one model snapshot for a sequence of
+	// estimates — the bounded-memory path under unbounded item streams.
+	// The session is not safe for concurrent use; open one per stream.
+	OpenEstimateSession(ctx context.Context) (*EstimateSession, error)
+
+	// Contribute validates and pools anonymous observations, reporting
+	// exact accepted/dropped/invalid accounting. A full pool is not an
+	// error: it is visible as accepted == 0 with dropped > 0.
+	Contribute(ctx context.Context, batch []Contribution) (ContributeResult, error)
+}
+
+// ErrNoModel reports that no model has been published yet.
+var ErrNoModel = errors.New("pme: no model published")
+
+// ErrEmptyBatch reports an estimate call with nothing to estimate.
+var ErrEmptyBatch = errors.New("pme: empty estimate batch")
+
+// BatchTooLargeError reports a batch beyond the service's per-call
+// bound; unbounded workloads belong on the streaming path.
+type BatchTooLargeError struct {
+	N, Max int
+}
+
+// Error implements error.
+func (e *BatchTooLargeError) Error() string {
+	return fmt.Sprintf("pme: batch of %d items exceeds the %d-item bound", e.N, e.Max)
+}

@@ -1,0 +1,127 @@
+package pme
+
+import "sync"
+
+// Pool is the bounded anonymous-contribution buffer the retrain loop
+// drains. All methods are safe for concurrent use; every slice that
+// crosses the API boundary is a deep copy or an ownership transfer, so
+// callers can never mutate pooled entries in place.
+type Pool struct {
+	mu        sync.Mutex
+	buf       []Contribution
+	max       int
+	trainable int   // pooled entries with a usable cleartext label
+	dropped   int64 // lifetime count of at-capacity rejections
+}
+
+// DefaultMaxPool bounds the pool when no explicit bound is configured.
+const DefaultMaxPool = 100000
+
+// NewPool creates a pool bounded at max entries (n <= 0 selects
+// DefaultMaxPool).
+func NewPool(max int) *Pool {
+	if max <= 0 {
+		max = DefaultMaxPool
+	}
+	return &Pool{max: max}
+}
+
+// SetMax re-bounds the pool; n <= 0 is ignored. Entries already pooled
+// beyond a lowered bound are retained until the next Drain.
+func (p *Pool) SetMax(n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.max = n
+	p.mu.Unlock()
+}
+
+// Add validates and pools batch, reporting how many entries were
+// accepted, dropped at the pool bound, and structurally invalid.
+func (p *Pool) Add(batch []Contribution) (accepted, dropped, invalid int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range batch {
+		if c.Validate() != nil {
+			invalid++
+			continue
+		}
+		if len(p.buf) >= p.max {
+			dropped++
+			continue
+		}
+		p.buf = append(p.buf, c)
+		if c.Trainable() {
+			p.trainable++
+		}
+		accepted++
+	}
+	p.dropped += int64(dropped)
+	return accepted, dropped, invalid
+}
+
+// Len returns the current pool occupancy.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}
+
+// TrainableLen returns how many pooled entries carry a usable cleartext
+// label — the retrain loop's cheap trigger check, maintained as a
+// counter so idle ticks never drain or scan the pool.
+func (p *Pool) TrainableLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.trainable
+}
+
+// Dropped returns the lifetime count of contributions rejected at the
+// pool bound.
+func (p *Pool) Dropped() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Snapshot returns a deep copy of the pooled observations: Contribution
+// holds only value fields, so copying the backing array fully detaches
+// the result — callers may mutate it freely without racing the pool.
+func (p *Pool) Snapshot() []Contribution {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Contribution, len(p.buf))
+	copy(out, p.buf)
+	return out
+}
+
+// Drain empties the pool and transfers ownership of its contents to the
+// caller — the retrain loop's consumption step. The pool starts a fresh
+// backing array, so concurrent Adds never alias the drained slice.
+func (p *Pool) Drain() []Contribution {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.buf
+	p.buf = nil
+	p.trainable = 0
+	return out
+}
+
+// restore puts drained entries back at the front of the pool — the
+// retrain loop's undo when a drained batch turns out to be untrainable.
+// Entries re-enter without re-validation or accounting and may
+// transiently exceed the bound (they were within it when accepted).
+func (p *Pool) restore(batch []Contribution) {
+	if len(batch) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.buf = append(batch, p.buf...)
+	for i := range batch {
+		if batch[i].Trainable() {
+			p.trainable++
+		}
+	}
+	p.mu.Unlock()
+}

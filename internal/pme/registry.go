@@ -1,0 +1,159 @@
+package pme
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yourandvalue/internal/core"
+)
+
+// Snapshot is one immutable published model version: the decoded model,
+// its serialized distribution bytes, and the strong ETag over them.
+// Snapshots are never mutated after Publish — readers may hold one for
+// the whole lifetime of a request (or an unbounded estimate stream) and
+// see a single consistent version regardless of concurrent hot-swaps.
+type Snapshot struct {
+	Model       *core.Model
+	Version     int
+	ETag        string // strong ETag over Blob, quoted
+	Blob        []byte // the exact bytes GET /model distributes; read-only
+	PublishedAt time.Time
+}
+
+// SnapshotInfo is the metadata-only view of a Snapshot the registry's
+// history reports.
+type SnapshotInfo struct {
+	Version     int       `json:"version"`
+	ETag        string    `json:"etag"`
+	PublishedAt time.Time `json:"published_at"`
+	TrainSize   int       `json:"train_size"`
+}
+
+// ErrNoHistory reports a rollback with no earlier version to return to.
+var ErrNoHistory = errors.New("pme: no earlier model version to roll back to")
+
+// Registry holds the versioned model lineage. Publish assigns
+// monotonically increasing versions and hot-swaps the current snapshot
+// atomically: Current is a single pointer load, so estimation paths pay
+// no lock to resolve the serving model. A bounded history retains
+// recent versions for rollback.
+type Registry struct {
+	mu         sync.Mutex // serializes writers (Publish/Rollback)
+	cur        atomic.Pointer[Snapshot]
+	history    []*Snapshot
+	maxHistory int
+	now        func() time.Time
+}
+
+// RegistryOption configures a Registry.
+type RegistryOption func(*Registry)
+
+// WithHistory bounds how many published snapshots the registry retains
+// for rollback (default 8, minimum 2 — rollback needs a predecessor).
+func WithHistory(n int) RegistryOption {
+	return func(r *Registry) {
+		if n >= 2 {
+			r.maxHistory = n
+		}
+	}
+}
+
+// WithClock overrides the publish timestamp source (tests).
+func WithClock(now func() time.Time) RegistryOption {
+	return func(r *Registry) {
+		if now != nil {
+			r.now = now
+		}
+	}
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry(opts ...RegistryOption) *Registry {
+	r := &Registry{maxHistory: 8, now: time.Now}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Current returns the serving snapshot, or nil before the first
+// Publish. Lock-free.
+func (r *Registry) Current() *Snapshot {
+	return r.cur.Load()
+}
+
+// Publish clones m with the next version number, encodes it, and
+// hot-swaps it in as the serving snapshot. The caller's model is never
+// mutated; the returned snapshot's Model is the stamped clone. The
+// first published model keeps its own positive version (so a
+// pre-trained model's advertised version survives), later publishes
+// always increment.
+func (r *Registry) Publish(m *core.Model) (*Snapshot, error) {
+	if m == nil {
+		return nil, errors.New("pme: cannot publish a nil model")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	version := 1
+	if cur := r.cur.Load(); cur != nil {
+		version = cur.Version + 1
+	} else if m.Version > 0 {
+		version = m.Version
+	}
+	clone := m.CloneWithVersion(version, r.now())
+	blob, err := clone.Encode()
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(blob)
+	snap := &Snapshot{
+		Model:       clone,
+		Version:     version,
+		ETag:        `"` + hex.EncodeToString(sum[:8]) + `"`,
+		Blob:        blob,
+		PublishedAt: clone.TrainedAt,
+	}
+	r.history = append(r.history, snap)
+	if len(r.history) > r.maxHistory {
+		r.history = append(r.history[:0], r.history[len(r.history)-r.maxHistory:]...)
+	}
+	r.cur.Store(snap)
+	return snap, nil
+}
+
+// Rollback re-publishes the serving snapshot's predecessor as a new
+// version. Versions only move forward — a rollback is a fresh publish
+// of old weights, so polling clients converge on it through the same
+// ETag-change signal as any other refresh.
+func (r *Registry) Rollback() (*Snapshot, error) {
+	r.mu.Lock()
+	if len(r.history) < 2 {
+		r.mu.Unlock()
+		return nil, ErrNoHistory
+	}
+	prev := r.history[len(r.history)-2].Model
+	r.mu.Unlock()
+	// Publish re-locks; the gap is benign — a racing Publish simply
+	// becomes another version between the predecessor and the rollback.
+	return r.Publish(prev)
+}
+
+// History returns metadata for the retained snapshots, oldest first.
+func (r *Registry) History() []SnapshotInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SnapshotInfo, len(r.history))
+	for i, s := range r.history {
+		out[i] = SnapshotInfo{
+			Version:     s.Version,
+			ETag:        s.ETag,
+			PublishedAt: s.PublishedAt,
+			TrainSize:   s.Model.Metrics.TrainSize,
+		}
+	}
+	return out
+}

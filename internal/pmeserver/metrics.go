@@ -1,0 +1,113 @@
+package pmeserver
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yourandvalue/internal/hist"
+)
+
+// endpointMetrics is one route's live counters and latency histogram.
+// Counters are atomic; the histogram is the shared internal/hist layout
+// behind a mutex (hist.Sync), so server-side latencies aggregate with
+// the exact bucket scheme loadgen's client-side reports use.
+type endpointMetrics struct {
+	requests    atomic.Int64
+	errors      atomic.Int64 // responses with status >= 400
+	rateLimited atomic.Int64 // sheds by the token bucket (status 429)
+	latency     hist.Sync
+}
+
+// record accounts one finished request.
+func (e *endpointMetrics) record(status int, d time.Duration) {
+	e.requests.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	e.latency.Record(d)
+}
+
+// Metrics owns the per-endpoint series. Endpoints are registered while
+// the mux is built (single-threaded); serving only reads the map.
+type Metrics struct {
+	mu  sync.Mutex
+	eps map[string]*endpointMetrics
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{eps: make(map[string]*endpointMetrics)}
+}
+
+// endpoint returns (creating once) the named endpoint's series.
+func (m *Metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep, ok := m.eps[name]
+	if !ok {
+		ep = &endpointMetrics{}
+		m.eps[name] = ep
+	}
+	return ep
+}
+
+// EndpointStats is the exported snapshot of one endpoint's series.
+type EndpointStats struct {
+	Requests    int64         `json:"requests"`
+	Errors      int64         `json:"errors"`
+	RateLimited int64         `json:"rate_limited"`
+	MeanMicros  int64         `json:"mean_us"`
+	P50Micros   int64         `json:"p50_us"`
+	P95Micros   int64         `json:"p95_us"`
+	P99Micros   int64         `json:"p99_us"`
+	MaxMicros   int64         `json:"max_us"`
+	Mean        time.Duration `json:"-"`
+	P50         time.Duration `json:"-"`
+	P95         time.Duration `json:"-"`
+	P99         time.Duration `json:"-"`
+}
+
+// snapshot exports every endpoint's current stats.
+func (m *Metrics) snapshot() map[string]EndpointStats {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.eps))
+	for name := range m.eps {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+
+	out := make(map[string]EndpointStats, len(names))
+	for _, name := range names {
+		ep := m.endpoint(name)
+		h := ep.latency.Snapshot()
+		st := EndpointStats{
+			Requests:    ep.requests.Load(),
+			Errors:      ep.errors.Load(),
+			RateLimited: ep.rateLimited.Load(),
+			Mean:        h.Mean(),
+			P50:         h.Quantile(0.50),
+			P95:         h.Quantile(0.95),
+			P99:         h.Quantile(0.99),
+		}
+		st.MeanMicros = st.Mean.Microseconds()
+		st.P50Micros = st.P50.Microseconds()
+		st.P95Micros = st.P95.Microseconds()
+		st.P99Micros = st.P99.Microseconds()
+		st.MaxMicros = h.Max().Microseconds()
+		out[name] = st
+	}
+	return out
+}
+
+// handleStats serves the middleware metrics as JSON — the ops view of
+// what the chain observed per endpoint.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeV2Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	writeV2JSON(w, http.StatusOK, s.metrics.snapshot())
+}

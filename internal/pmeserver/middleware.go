@@ -1,0 +1,151 @@
+package pmeserver
+
+import (
+	"log"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// middleware wraps a handler with one cross-cutting concern. The chain
+// for every route is fixed: request-log → metrics → rate-limit →
+// handler (outermost first), so a shed request is still logged and
+// counted, and the latency histogram sees every response the client
+// sees.
+type middleware func(http.Handler) http.Handler
+
+// chain applies middlewares around h; the last argument becomes the
+// outermost layer.
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for _, mw := range mws {
+		if mw != nil {
+			h = mw(h)
+		}
+	}
+	return h
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards streaming flushes (the NDJSON endpoint needs them
+// through the wrapper).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer (the
+// NDJSON endpoint enables full-duplex through it).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// requestLog emits one line per request when a logger is attached.
+func requestLog(l *log.Logger, name string) middleware {
+	if l == nil {
+		return nil
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			l.Printf("%s %s %s → %d in %s",
+				r.Method, r.URL.Path, name, sw.status, time.Since(start).Round(time.Microsecond))
+		})
+	}
+}
+
+// instrument records per-endpoint request counts, error counts, and a
+// latency histogram.
+func instrument(ep *endpointMetrics) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			ep.record(sw.status, time.Since(start))
+		})
+	}
+}
+
+// rateLimit sheds requests beyond the server's token bucket with 429,
+// counting the shed on the endpoint's metrics. Frozen v1 routes get the
+// plain-text error body their contract promises; everything else gets
+// the structured v2 form.
+func rateLimit(b *tokenBucket, ep *endpointMetrics, plainText bool) middleware {
+	if b == nil {
+		return nil
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !b.allow(time.Now()) {
+				ep.rateLimited.Add(1)
+				w.Header().Set("Retry-After", "1")
+				if plainText {
+					http.Error(w, "rate limited", http.StatusTooManyRequests)
+					return
+				}
+				writeV2Error(w, http.StatusTooManyRequests, "rate_limited",
+					"request rate exceeds the server's limit")
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// tokenBucket is a minimal global token bucket: rps sustained, burst
+// capacity, lazily refilled on each allow call.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rps float64, burst int) *tokenBucket {
+	if rps <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rps, burst: float64(burst), tokens: float64(burst)}
+}
+
+// allow consumes one token if available.
+func (b *tokenBucket) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

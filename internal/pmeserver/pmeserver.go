@@ -5,67 +5,99 @@
 // ("contribute anonymously their impression charge prices to a
 // centralized platform for further research", §1).
 //
+// The package is a transport adapter: every handler is a thin decode →
+// pme.Service → encode shim, composed through a small middleware chain
+// (request logging, per-endpoint metrics, token-bucket rate limiting).
+// The business logic — model registry, contribution pool, estimation,
+// retraining — lives transport-agnostically in internal/pme.
+//
 // The server is deliberately privacy-preserving: contributions carry no
 // user identifier, and the model endpoint requires none.
 package pmeserver
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"errors"
+	"log"
 	"net/http"
-	"strconv"
-	"sync"
-	"time"
+	"strings"
 
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/pme"
 )
 
-// Contribution is one anonymous price observation a client donates. It
-// mirrors the S feature context plus the price (cleartext) or the price
-// class estimate (encrypted) — never a user identity.
-type Contribution struct {
-	Observed  time.Time `json:"observed"`
-	ADX       string    `json:"adx"`
-	Encrypted bool      `json:"encrypted"`
-	PriceCPM  float64   `json:"price_cpm,omitempty"` // cleartext only
-	City      string    `json:"city,omitempty"`
-	OS        string    `json:"os,omitempty"`
-	Origin    string    `json:"origin,omitempty"`
-	Slot      string    `json:"slot,omitempty"`
-	IAB       string    `json:"iab,omitempty"`
-}
+// Contribution is one anonymous price observation a client donates —
+// the wire form of pme.Contribution (same type; the alias keeps the
+// historical pmeserver surface stable).
+type Contribution = pme.Contribution
 
-// Validate rejects structurally broken contributions.
-func (c *Contribution) Validate() error {
-	if c.ADX == "" {
-		return errors.New("pmeserver: contribution missing adx")
-	}
-	if !c.Encrypted && c.PriceCPM <= 0 {
-		return errors.New("pmeserver: cleartext contribution missing price")
-	}
-	if c.PriceCPM < 0 || c.PriceCPM > 10000 {
-		return errors.New("pmeserver: implausible price")
-	}
-	return nil
-}
+// EstimateItem is one thin-client price query, aliased from the service
+// core for the same reason.
+type EstimateItem = pme.EstimateItem
 
-// Server holds the currently distributed model and the contribution pool.
-// All methods are safe for concurrent use.
+// Server adapts a pme.Service onto HTTP. All methods are safe for
+// concurrent use.
 type Server struct {
-	mu            sync.RWMutex
-	model         *core.Model
-	modelBlob     []byte
-	modelETag     string // strong ETag over modelBlob, quoted
-	contributions []Contribution
-	maxPool       int
+	svc      pme.Service
+	registry *pme.Registry // nil when a custom Service is injected
+	pool     *pme.Pool     // nil when a custom Service is injected
+	metrics  *Metrics
+	logger   *log.Logger
+	limiter  *tokenBucket
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger attaches a request logger (one line per request) to the
+// middleware chain.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithRateLimit installs a global token-bucket limiter: rps sustained
+// requests per second with the given burst. Requests beyond it receive
+// 429 with a Retry-After hint. /healthz is exempt.
+func WithRateLimit(rps float64, burst int) Option {
+	return func(s *Server) { s.limiter = newTokenBucket(rps, burst) }
+}
+
+// WithRegistry serves models from an externally owned registry — the
+// handle the training pipeline publishes into and the retrain loop
+// hot-swaps through.
+func WithRegistry(reg *pme.Registry) Option {
+	return func(s *Server) { s.registry = reg }
+}
+
+// WithPool pools contributions into an externally owned pool — the
+// handle a retrain loop drains.
+func WithPool(p *pme.Pool) Option {
+	return func(s *Server) { s.pool = p }
+}
+
+// WithService replaces the whole service core. The compat accessors
+// (SetModel, Model, Contributions, SetMaxPool) need registry/pool
+// handles and return zero values or errors under a custom service
+// unless WithRegistry/WithPool also supply them.
+func WithService(svc pme.Service) Option {
+	return func(s *Server) { s.svc = svc }
 }
 
 // New creates a Server distributing the given model (may be nil until
-// SetModel is called).
-func New(model *core.Model) (*Server, error) {
-	s := &Server{maxPool: 100000}
+// SetModel is called or a model is published into the registry).
+func New(model *core.Model, opts ...Option) (*Server, error) {
+	s := &Server{metrics: newMetrics()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.svc == nil {
+		if s.registry == nil {
+			s.registry = pme.NewRegistry()
+		}
+		if s.pool == nil {
+			s.pool = pme.NewPool(0)
+		}
+		s.svc = pme.NewCore(s.registry, s.pool)
+	}
 	if model != nil {
 		if err := s.SetModel(model); err != nil {
 			return nil, err
@@ -74,49 +106,63 @@ func New(model *core.Model) (*Server, error) {
 	return s, nil
 }
 
-// SetModel atomically replaces the distributed model.
+// Service returns the underlying service core.
+func (s *Server) Service() pme.Service { return s.svc }
+
+// Registry returns the model registry behind the server (nil when a
+// custom Service was injected without one).
+func (s *Server) Registry() *pme.Registry { return s.registry }
+
+// Pool returns the contribution pool behind the server (nil when a
+// custom Service was injected without one).
+func (s *Server) Pool() *pme.Pool { return s.pool }
+
+// SetModel publishes m as the next distributed model version via the
+// registry's atomic hot-swap. The caller's model is never mutated.
 func (s *Server) SetModel(m *core.Model) error {
-	blob, err := m.Encode()
-	if err != nil {
-		return err
+	if s.registry == nil {
+		return errors.New("pmeserver: no registry to publish into")
 	}
-	sum := sha256.Sum256(blob)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.model = m
-	s.modelBlob = blob
-	s.modelETag = `"` + hex.EncodeToString(sum[:8]) + `"`
-	return nil
+	_, err := s.registry.Publish(m)
+	return err
 }
 
 // SetMaxPool bounds the contribution pool (default 100,000); n <= 0 is
 // ignored. Contributions beyond the bound are counted as dropped.
 func (s *Server) SetMaxPool(n int) {
-	if n <= 0 {
-		return
+	if s.pool != nil {
+		s.pool.SetMax(n)
 	}
-	s.mu.Lock()
-	s.maxPool = n
-	s.mu.Unlock()
 }
 
-// Model returns the current model (may be nil).
+// Model returns the currently published model (may be nil).
 func (s *Server) Model() *core.Model {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.model
+	if s.registry == nil {
+		return nil
+	}
+	if snap := s.registry.Current(); snap != nil {
+		return snap.Model
+	}
+	return nil
 }
 
-// Contributions returns a snapshot of the pooled observations.
+// Contributions returns a deep copy of the pooled observations —
+// callers may mutate the result freely without racing the pool or the
+// retrain loop.
 func (s *Server) Contributions() []Contribution {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Contribution, len(s.contributions))
-	copy(out, s.contributions)
-	return out
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.Snapshot()
 }
 
-// Handler returns the HTTP mux.
+// Metrics returns a consistent snapshot of the per-endpoint middleware
+// counters and latency histograms.
+func (s *Server) Metrics() map[string]EndpointStats { return s.metrics.snapshot() }
+
+// Handler returns the HTTP mux. Every route runs behind the middleware
+// chain request-log → metrics → rate-limit → handler, and every handler
+// body is a thin adapter over the pme.Service.
 //
 // v1 (stable, plain-text errors):
 //
@@ -127,19 +173,25 @@ func (s *Server) Contributions() []Contribution {
 //
 // v2 (context-aware clients, structured JSON errors — see v2.go):
 //
-//	GET  /v2/model         → model JSON with ETag; If-None-Match → 304
-//	GET  /v2/model/version → {"version": N, "etag": "..."}
-//	POST /v2/contribute    → {"accepted":N,"dropped":M,"invalid":K}; 507 when full
-//	POST /v2/estimate      → batch price estimation for thin clients
+//	GET  /v2/model           → model JSON with ETag; If-None-Match → 304
+//	GET  /v2/model/version   → {"version": N, "etag": "..."}
+//	POST /v2/contribute      → {"accepted":N,"dropped":M,"invalid":K}; 507 when full
+//	POST /v2/estimate        → batch price estimation for thin clients
+//	POST /v2/estimate/stream → NDJSON streaming estimation (see stream.go)
+//	GET  /v2/stats           → per-endpoint middleware metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/model", s.handleModel)
-	mux.HandleFunc("/v1/model/version", s.handleVersion)
-	mux.HandleFunc("/v1/contribute", s.handleContribute)
-	mux.HandleFunc("/v2/model", s.handleModelV2)
-	mux.HandleFunc("/v2/model/version", s.handleVersionV2)
-	mux.HandleFunc("/v2/contribute", s.handleContributeV2)
-	mux.HandleFunc("/v2/estimate", s.handleEstimateV2)
+	mux.Handle("/v1/model", s.route("v1.model", s.handleModel))
+	mux.Handle("/v1/model/version", s.route("v1.version", s.handleVersion))
+	mux.Handle("/v1/contribute", s.route("v1.contribute", s.handleContribute))
+	mux.Handle("/v2/model", s.route("v2.model", s.handleModelV2))
+	mux.Handle("/v2/model/version", s.route("v2.version", s.handleVersionV2))
+	mux.Handle("/v2/contribute", s.route("v2.contribute", s.handleContributeV2))
+	mux.Handle("/v2/estimate", s.route("v2.estimate", s.handleEstimateV2))
+	mux.Handle("/v2/estimate/stream", s.route("v2.estimate_stream", s.handleEstimateStreamV2))
+	mux.Handle("/v2/stats", s.route("v2.stats", s.handleStats))
+	// Health stays outside metrics and rate limiting: orchestrators must
+	// always see it, and it would only pollute the latency series.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok"))
@@ -147,157 +199,12 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	s.mu.RLock()
-	blob := s.modelBlob
-	s.mu.RUnlock()
-	if blob == nil {
-		http.Error(w, "no model available", http.StatusNotFound)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(blob)
-}
-
-func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	s.mu.RLock()
-	m := s.model
-	s.mu.RUnlock()
-	if m == nil {
-		http.Error(w, "no model available", http.StatusNotFound)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write([]byte(`{"version":` + strconv.Itoa(m.Version) + `}`))
-}
-
-// addContributions pools the valid entries of batch, reporting how many
-// were accepted, dropped at the pool bound, and structurally invalid.
-func (s *Server) addContributions(batch []Contribution) (accepted, dropped, invalid int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, c := range batch {
-		if c.Validate() != nil {
-			invalid++
-			continue
-		}
-		if len(s.contributions) >= s.maxPool {
-			dropped++
-			continue
-		}
-		s.contributions = append(s.contributions, c)
-		accepted++
-	}
-	return accepted, dropped, invalid
-}
-
-func (s *Server) handleContribute(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	var batch []Contribution
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	if err := dec.Decode(&batch); err != nil {
-		http.Error(w, "bad contribution payload", http.StatusBadRequest)
-		return
-	}
-	accepted, dropped, _ := s.addContributions(batch)
-	w.Header().Set("Content-Type", "application/json")
-	// A full pool must not look like success: nothing was stored, so tell
-	// the client to back off instead of silently discarding its batch.
-	if accepted == 0 && dropped > 0 {
-		w.Header().Set("Retry-After", "3600")
-		w.WriteHeader(http.StatusInsufficientStorage)
-	}
-	_, _ = w.Write([]byte(`{"accepted":` + strconv.Itoa(accepted) +
-		`,"dropped":` + strconv.Itoa(dropped) + `}`))
-}
-
-// Client is the extension-side PME connection.
-type Client struct {
-	BaseURL string
-	HTTP    *http.Client
-}
-
-// NewClient returns a Client with a sane timeout.
-func NewClient(baseURL string) *Client {
-	return &Client{
-		BaseURL: baseURL,
-		HTTP:    &http.Client{Timeout: 10 * time.Second},
-	}
-}
-
-// FetchModel downloads and decodes the current model.
-func (c *Client) FetchModel() (*core.Model, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/model")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, errors.New("pmeserver: model fetch status " + resp.Status)
-	}
-	var buf []byte
-	buf, err = readAll(resp.Body, 32<<20)
-	if err != nil {
-		return nil, err
-	}
-	return core.DecodeModel(buf)
-}
-
-// Version fetches the advertised model version without the body.
-func (c *Client) Version() (int, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/model/version")
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, errors.New("pmeserver: version status " + resp.Status)
-	}
-	var v struct {
-		Version int `json:"version"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		return 0, err
-	}
-	return v.Version, nil
-}
-
-// Contribute uploads anonymous observations. A full server pool returns
-// the accepted count (zero) together with ErrPoolFull so callers can
-// back off instead of treating the 507 as a transport failure.
-func (c *Client) Contribute(batch []Contribution) (int, error) {
-	blob, err := json.Marshal(batch)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/v1/contribute", "application/json",
-		bytesReader(blob))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInsufficientStorage {
-		return 0, errors.New("pmeserver: contribute status " + resp.Status)
-	}
-	var out struct {
-		Accepted int `json:"accepted"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, err
-	}
-	if resp.StatusCode == http.StatusInsufficientStorage {
-		return out.Accepted, ErrPoolFull
-	}
-	return out.Accepted, nil
+// route composes the middleware chain for one named endpoint.
+func (s *Server) route(name string, h http.HandlerFunc) http.Handler {
+	ep := s.metrics.endpoint(name)
+	return chain(h,
+		rateLimit(s.limiter, ep, strings.HasPrefix(name, "v1.")),
+		instrument(ep),
+		requestLog(s.logger, name),
+	)
 }

@@ -1,0 +1,78 @@
+package pmeserver
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"yourandvalue/internal/pme"
+)
+
+// The v1 surface is frozen: same routes, same bodies, plain-text errors.
+// The handlers are thin adapters over the same pme.Service the v2
+// surface delegates to, so both versions always agree on state.
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap, err := s.svc.ModelSnapshot(r.Context())
+	if err != nil {
+		s.v1Error(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(snap.Blob)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap, err := s.svc.ModelSnapshot(r.Context())
+	if err != nil {
+		s.v1Error(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"version":` + strconv.Itoa(snap.Version) + `}`))
+}
+
+func (s *Server) handleContribute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch []Contribution
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&batch); err != nil {
+		http.Error(w, "bad contribution payload", http.StatusBadRequest)
+		return
+	}
+	res, err := s.svc.Contribute(r.Context(), batch)
+	if err != nil {
+		s.v1Error(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// A full pool must not look like success: nothing was stored, so tell
+	// the client to back off instead of silently discarding its batch.
+	if res.PoolFull() {
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusInsufficientStorage)
+	}
+	_, _ = w.Write([]byte(`{"accepted":` + strconv.Itoa(res.Accepted) +
+		`,"dropped":` + strconv.Itoa(res.Dropped) + `}`))
+}
+
+// v1Error maps service errors onto the frozen plain-text v1 responses.
+func (s *Server) v1Error(w http.ResponseWriter, err error) {
+	if errors.Is(err, pme.ErrNoModel) {
+		http.Error(w, "no model available", http.StatusNotFound)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}

@@ -6,16 +6,18 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"time"
 
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/pme"
 )
 
 // The /v2 surface serves real client fleets (§3.3's extension deployment):
-// conditional model fetch so extensions poll cheaply, a batch estimation
-// endpoint so thin clients need not run the forest locally, explicit
-// accepted/dropped accounting on contributions, and structured JSON errors
-// throughout. /v1 routes are unchanged alongside it.
+// conditional model fetch so extensions poll cheaply, batch and streaming
+// estimation endpoints so thin clients need not run the forest locally,
+// explicit accepted/dropped accounting on contributions, and structured
+// JSON errors throughout. /v1 routes are unchanged alongside it. Every
+// handler body is transport only — decode, delegate to the pme.Service,
+// encode.
 
 // apiError is the structured error body every /v2 endpoint returns.
 type apiError struct {
@@ -37,22 +39,21 @@ func writeV2JSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// maxEstimateItems bounds one /v2/estimate request.
-const maxEstimateItems = 4096
-
-// EstimateItem is one thin-client price query: the string-typed ambient
-// context of an encrypted notification, mirroring Contribution's fields.
-type EstimateItem struct {
-	Observed time.Time `json:"observed,omitempty"` // supplies hour/weekday; zero = fields below
-	ADX      string    `json:"adx"`
-	City     string    `json:"city,omitempty"`
-	OS       string    `json:"os,omitempty"`
-	Device   string    `json:"device,omitempty"`
-	Origin   string    `json:"origin,omitempty"` // "app" or "web"
-	Slot     string    `json:"slot,omitempty"`   // "300x250"
-	IAB      string    `json:"iab,omitempty"`    // "IAB3"
-	Hour     int       `json:"hour,omitempty"`   // used when Observed is zero
-	Weekday  int       `json:"weekday,omitempty"`
+// writeV2ServiceError maps a pme.Service error onto the structured v2
+// wire form.
+func writeV2ServiceError(w http.ResponseWriter, err error) {
+	var tooLarge *pme.BatchTooLargeError
+	switch {
+	case errors.Is(err, pme.ErrNoModel):
+		writeV2Error(w, http.StatusNotFound, "no_model", "no model available yet")
+	case errors.Is(err, pme.ErrEmptyBatch):
+		writeV2Error(w, http.StatusBadRequest, "empty_batch", "no items to estimate")
+	case errors.As(err, &tooLarge):
+		writeV2Error(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			fmt.Sprintf("at most %d items per request", tooLarge.Max))
+	default:
+		writeV2Error(w, http.StatusInternalServerError, "internal", err.Error())
+	}
 }
 
 // EstimateRequest is the POST /v2/estimate body.
@@ -84,22 +85,20 @@ func (s *Server) handleModelV2(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	s.mu.RLock()
-	blob, etag := s.modelBlob, s.modelETag
-	s.mu.RUnlock()
-	if blob == nil {
-		writeV2Error(w, http.StatusNotFound, "no_model", "no model available yet")
+	snap, err := s.svc.ModelSnapshot(r.Context())
+	if err != nil {
+		writeV2ServiceError(w, err)
 		return
 	}
-	w.Header().Set("ETag", etag)
+	w.Header().Set("ETag", snap.ETag)
 	// Extensions poll for new versions (§3.3); an unchanged ETag answers
 	// the poll without shipping the multi-hundred-KiB model body.
-	if r.Header.Get("If-None-Match") == etag {
+	if r.Header.Get("If-None-Match") == snap.ETag {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(blob)
+	_, _ = w.Write(snap.Blob)
 }
 
 func (s *Server) handleVersionV2(w http.ResponseWriter, r *http.Request) {
@@ -107,14 +106,12 @@ func (s *Server) handleVersionV2(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	s.mu.RLock()
-	m, etag := s.model, s.modelETag
-	s.mu.RUnlock()
-	if m == nil {
-		writeV2Error(w, http.StatusNotFound, "no_model", "no model available yet")
+	snap, err := s.svc.ModelSnapshot(r.Context())
+	if err != nil {
+		writeV2ServiceError(w, err)
 		return
 	}
-	writeV2JSON(w, http.StatusOK, VersionResponse{Version: m.Version, ETag: etag})
+	writeV2JSON(w, http.StatusOK, VersionResponse{Version: snap.Version, ETag: snap.ETag})
 }
 
 func (s *Server) handleContributeV2(w http.ResponseWriter, r *http.Request) {
@@ -128,14 +125,20 @@ func (s *Server) handleContributeV2(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, http.StatusBadRequest, "bad_payload", "contribution batch is not valid JSON")
 		return
 	}
-	accepted, dropped, invalid := s.addContributions(batch)
+	res, err := s.svc.Contribute(r.Context(), batch)
+	if err != nil {
+		writeV2ServiceError(w, err)
+		return
+	}
 	status := http.StatusOK
-	if accepted == 0 && dropped > 0 {
+	if res.PoolFull() {
 		// Pool full: nothing stored, tell the client to retry later.
 		w.Header().Set("Retry-After", "3600")
 		status = http.StatusInsufficientStorage
 	}
-	writeV2JSON(w, status, ContributeResponse{Accepted: accepted, Dropped: dropped, Invalid: invalid})
+	writeV2JSON(w, status, ContributeResponse{
+		Accepted: res.Accepted, Dropped: res.Dropped, Invalid: res.Invalid,
+	})
 }
 
 func (s *Server) handleEstimateV2(w http.ResponseWriter, r *http.Request) {
@@ -149,43 +152,16 @@ func (s *Server) handleEstimateV2(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, http.StatusBadRequest, "bad_payload", "estimate request is not valid JSON")
 		return
 	}
-	if len(req.Items) == 0 {
-		writeV2Error(w, http.StatusBadRequest, "empty_batch", "no items to estimate")
+	res, err := s.svc.EstimateBatch(r.Context(), req.Items)
+	if err != nil {
+		writeV2ServiceError(w, err)
 		return
 	}
-	if len(req.Items) > maxEstimateItems {
-		writeV2Error(w, http.StatusRequestEntityTooLarge, "batch_too_large",
-			fmt.Sprintf("at most %d items per request", maxEstimateItems))
-		return
-	}
-	s.mu.RLock()
-	m := s.model
-	s.mu.RUnlock()
-	if m == nil {
-		writeV2Error(w, http.StatusNotFound, "no_model", "no model available yet")
-		return
-	}
-	resp := EstimateResponse{
-		ModelVersion: m.Version,
-		EstimatesCPM: make([]float64, len(req.Items)),
-	}
-	// One encode buffer serves the whole batch: the shared detection
-	// encoder writes each item's S vector in place, so serving a
-	// 4096-item batch costs one allocation, not 4096.
-	vec := make([]float64, m.Features.Dim())
-	for i, it := range req.Items {
-		hour, weekday := it.Hour, it.Weekday
-		if !it.Observed.IsZero() {
-			hour, weekday = it.Observed.Hour(), int(it.Observed.Weekday())
-		}
-		m.Features.EncodeStringsInto(vec, core.StringContext{
-			ADX: it.ADX, City: it.City, OS: it.OS, Device: it.Device,
-			Origin: it.Origin, Slot: it.Slot, IAB: it.IAB,
-			Hour: hour, Weekday: weekday,
-		})
-		resp.EstimatesCPM[i] = m.EstimateCPM(vec)
-	}
-	writeV2JSON(w, http.StatusOK, resp)
+	w.Header().Set("ETag", res.ETag)
+	writeV2JSON(w, http.StatusOK, EstimateResponse{
+		ModelVersion: res.Version,
+		EstimatesCPM: res.EstimatesCPM,
+	})
 }
 
 // --- v2 client methods ---

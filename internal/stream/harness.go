@@ -42,6 +42,11 @@ type LoadConfig struct {
 	// MaxOps caps the total operation cycles across all clients when
 	// positive (so smoke tests finish before the source drains).
 	MaxOps int64
+	// StreamEstimate routes each client's estimate batches through the
+	// NDJSON POST /v2/estimate/stream endpoint instead of the JSON-array
+	// /v2/estimate body — the bulk path that never materializes a giant
+	// array on either side. Latencies land in the "stream" histogram.
+	StreamEstimate bool
 	// Buffer bounds the source channel (default 1024).
 	Buffer int
 	// HTTPClient overrides the transport (e.g. shorter timeouts).
@@ -59,7 +64,8 @@ type LoadReport struct {
 	NotModified int64 // polls answered 304
 	PoolFull    int64 // contribute calls answered 507
 	Errors      int64 // transport or non-2xx failures
-	// Hist keys: "model", "contribute", "estimate".
+	// Hist keys: "model", "contribute", "estimate", "stream" (the last
+	// populated only under StreamEstimate).
 	Hist map[string]*Histogram
 }
 
@@ -78,7 +84,7 @@ func (r *LoadReport) String() string {
 		r.Clients, r.Elapsed.Round(time.Millisecond), r.Ops, r.Throughput())
 	fmt.Fprintf(&b, "  contributed=%d estimated=%d polls=%d not-modified(304)=%d pool-full(507)=%d errors=%d\n",
 		r.Contributed, r.Estimated, r.ModelPolls, r.NotModified, r.PoolFull, r.Errors)
-	for _, k := range []string{"contribute", "estimate", "model"} {
+	for _, k := range []string{"contribute", "estimate", "stream", "model"} {
 		if h := r.Hist[k]; h != nil && h.Count() > 0 {
 			fmt.Fprintf(&b, "  %-10s %s\n", k, h)
 		}
@@ -92,6 +98,7 @@ type clientStats struct {
 	modelPolls, notModified       int64
 	poolFull, errors              int64
 	model, contribute, estimateHG Histogram
+	streamHG                      Histogram
 }
 
 // RunLoad executes the load test and reports throughput, latency
@@ -164,7 +171,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		Clients: cfg.Clients,
 		Elapsed: elapsed,
 		Hist: map[string]*Histogram{
-			"model": {}, "contribute": {}, "estimate": {},
+			"model": {}, "contribute": {}, "estimate": {}, "stream": {},
 		},
 	}
 	for i := range stats {
@@ -179,6 +186,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		report.Hist["model"].Merge(&st.model)
 		report.Hist["contribute"].Merge(&st.contribute)
 		report.Hist["estimate"].Merge(&st.estimateHG)
+		report.Hist["stream"].Merge(&st.streamHG)
 	}
 	// A source stopped by the harness's own deadline is a normal end.
 	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
@@ -240,16 +248,30 @@ func runClient(ctx context.Context, cfg LoadConfig, st *clientStats, events <-ch
 		}
 
 		if len(items) > 0 {
-			t0 := time.Now()
-			out, err := pc.EstimateV2(ctx, items)
-			st.estimateHG.Record(time.Since(t0))
-			if err != nil {
-				if ctx.Err() != nil {
-					return
+			if cfg.StreamEstimate {
+				t0 := time.Now()
+				sum, err := pc.EstimateStreamV2(ctx, pmeserver.SliceIter(items), nil)
+				st.streamHG.Record(time.Since(t0))
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					st.errors++
+				} else {
+					st.estimated += int64(sum.Items)
 				}
-				st.errors++
 			} else {
-				st.estimated += int64(len(out.EstimatesCPM))
+				t0 := time.Now()
+				out, err := pc.EstimateV2(ctx, items)
+				st.estimateHG.Record(time.Since(t0))
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					st.errors++
+				} else {
+					st.estimated += int64(len(out.EstimatesCPM))
+				}
 			}
 		}
 		st.ops++
@@ -315,6 +337,7 @@ func convert(batch []Event, geo *geoip.DB, registry *nurl.Registry) ([]pmeserver
 			Encrypted: n.Kind == nurl.Encrypted,
 			City:      city,
 			OS:        dev.OS.String(),
+			Device:    dev.Type.String(),
 			Origin:    origin,
 			Slot:      slot,
 		}

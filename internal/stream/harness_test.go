@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"yourandvalue/internal/pme"
 	"yourandvalue/internal/pmeserver"
 )
 
@@ -98,6 +99,69 @@ func TestLoadHarnessPoolFull(t *testing.T) {
 	}
 	if report.PoolFull == 0 {
 		t.Fatal("expected 507 pool-full responses")
+	}
+}
+
+// TestLoadHarnessStreamEstimateHotSwap: the StreamEstimate mode drives
+// POST /v2/estimate/stream while a publisher goroutine hot-swaps model
+// versions through the registry — zero transport errors, every estimate
+// served, and the 'stream' histogram populated (run under -race in CI).
+func TestLoadHarnessStreamEstimateHotSwap(t *testing.T) {
+	model, _, _ := fixtures(t)
+	registry := pme.NewRegistry()
+	if _, err := registry.Publish(model); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := pmeserver.New(nil, pmeserver.WithRegistry(registry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The hot-swapper runs for the whole load test.
+	swapCtx, stopSwap := context.WithCancel(context.Background())
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for swapCtx.Err() == nil {
+			if _, err := registry.Publish(model); err != nil {
+				t.Errorf("publish during load: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	report, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:        ts.URL,
+		Clients:        32,
+		Source:         NewGeneratorSource(traceConfig()),
+		BatchSize:      16,
+		PollEvery:      4,
+		MaxOps:         192,
+		Duration:       30 * time.Second,
+		StreamEstimate: true,
+	})
+	stopSwap()
+	<-swapDone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("%d errors during concurrent hot-swap (report:\n%s)", report.Errors, report)
+	}
+	if report.Estimated == 0 {
+		t.Fatal("stream-estimate mode returned no estimates")
+	}
+	if report.Hist["stream"].Count() == 0 {
+		t.Error("stream histogram recorded nothing")
+	}
+	if report.Hist["estimate"].Count() != 0 {
+		t.Error("stream mode must not touch the batch-estimate endpoint")
+	}
+	if first := registry.Current().Version; first <= model.Version {
+		t.Errorf("hot-swapper never advanced the version (current %d)", first)
 	}
 }
 

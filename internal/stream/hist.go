@@ -1,117 +1,9 @@
 package stream
 
-import (
-	"fmt"
-	"math"
-	"time"
-)
+import "yourandvalue/internal/hist"
 
-// histBuckets log-spaced buckets cover 1µs to ~80s at ~33% growth
-// (≈15% relative quantile error), which spans in-process calls to badly
-// overloaded servers without per-sample allocation.
-const (
-	histBuckets = 64
-	histBase    = float64(time.Microsecond)
-	histGrowth  = 1.33
-)
-
-// histBounds[i] is the inclusive upper bound of bucket i in nanoseconds.
-var histBounds = func() [histBuckets]float64 {
-	var b [histBuckets]float64
-	for i := range b {
-		b[i] = histBase * math.Pow(histGrowth, float64(i+1))
-	}
-	b[histBuckets-1] = math.Inf(1)
-	return b
-}()
-
-// Histogram is a fixed-layout log-bucketed latency histogram. It is not
-// safe for concurrent use; load clients record into private histograms
-// and Merge them afterwards.
-type Histogram struct {
-	counts [histBuckets]int64
-	total  int64
-	sum    time.Duration
-	max    time.Duration
-}
-
-// Record adds one observation.
-func (h *Histogram) Record(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	i := 0
-	if d > time.Duration(histBase) {
-		i = int(math.Log(float64(d)/histBase) / math.Log(histGrowth))
-		if i >= histBuckets {
-			i = histBuckets - 1
-		}
-	}
-	h.counts[i]++
-	h.total++
-	h.sum += d
-	if d > h.max {
-		h.max = d
-	}
-}
-
-// Merge folds o into h.
-func (h *Histogram) Merge(o *Histogram) {
-	if o == nil {
-		return
-	}
-	for i := range h.counts {
-		h.counts[i] += o.counts[i]
-	}
-	h.total += o.total
-	h.sum += o.sum
-	if o.max > h.max {
-		h.max = o.max
-	}
-}
-
-// Count returns the number of recorded observations.
-func (h *Histogram) Count() int64 { return h.total }
-
-// Mean returns the exact arithmetic mean of the observations.
-func (h *Histogram) Mean() time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	return h.sum / time.Duration(h.total)
-}
-
-// Quantile returns the latency at quantile q in [0,1], resolved to the
-// containing bucket's upper bound (the last bucket reports the observed
-// maximum).
-func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(h.total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			if i == histBuckets-1 || math.IsInf(histBounds[i], 1) {
-				return h.max
-			}
-			// The bucket's upper bound, clamped so a sparse tail never
-			// reports a quantile above the observed maximum.
-			return min(time.Duration(histBounds[i]), h.max)
-		}
-	}
-	return h.max
-}
-
-// String renders the canonical p50/p95/p99 summary line.
-func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
-		h.total, round(h.Mean()), round(h.Quantile(0.50)),
-		round(h.Quantile(0.95)), round(h.Quantile(0.99)), round(h.max))
-}
-
-func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+// Histogram is the shared log-bucketed latency histogram, re-exported
+// where the load harness's report types reference it. The implementation
+// lives in internal/hist so pmeserver's middleware metrics aggregate
+// latencies with the exact same bucket layout the load clients report.
+type Histogram = hist.Histogram

@@ -11,6 +11,7 @@ import (
 	"yourandvalue/internal/baseline"
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/pme"
 	"yourandvalue/internal/rtb"
 	"yourandvalue/internal/stream"
 	"yourandvalue/internal/weblog"
@@ -113,6 +114,15 @@ func WithWorkers(n int) Option {
 	return func(p *Pipeline) { p.workers = n }
 }
 
+// WithModelRegistry publishes every model TrainModel produces into reg:
+// the trained model becomes the registry's next immutable version and
+// TrainModel returns the published (version-stamped) clone, so a PME
+// serving from the same registry hot-swaps to it atomically and clients
+// observe the refresh as an ETag change.
+func WithModelRegistry(reg *pme.Registry) Option {
+	return func(p *Pipeline) { p.registry = reg }
+}
+
 // Pipeline is the staged form of the study: each stage is a context-aware
 // method returning a typed artifact, so callers can cancel, observe,
 // parallelize, and resume from intermediates (e.g. retrain a model on an
@@ -122,6 +132,7 @@ type Pipeline struct {
 	cfg      Config
 	progress func(StageEvent)
 	workers  int
+	registry *pme.Registry
 }
 
 // NewPipeline builds a Pipeline from DefaultConfig plus options,
@@ -285,6 +296,13 @@ func (p *Pipeline) TrainModel(ctx context.Context, res *analyzer.Result, camps *
 		})
 		if err != nil {
 			return fmt.Errorf("training PME: %w", err)
+		}
+		if p.registry != nil {
+			snap, err := p.registry.Publish(m)
+			if err != nil {
+				return fmt.Errorf("publishing model: %w", err)
+			}
+			m = snap.Model
 		}
 		model = m
 		return nil
