@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.05] [-seed 1] [-per-setup 60] [-ablations]
+//	experiments [-scale 0.05] [-seed 1] [-per-setup 60] [-scenario baseline] [-ablations]
 //
 // At -scale 1.0 the run matches the paper's dataset size (1,594 users,
 // ~78,560 RTB impressions) and takes a few minutes; the default runs a
 // faithful 10% study.
+//
+// -scenario selects the simulated world from the scenario registry:
+// "baseline" (the paper's second-price 2015 marketplace) is the
+// default, and alternatives such as "first-price", "soft-floor",
+// "mobile-heavy", "encrypted-surge" and "bot-noise" re-run the whole
+// evaluation over a differently parameterized market and population.
 package main
 
 import (
@@ -17,18 +23,30 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"yourandvalue"
+	"yourandvalue/internal/scenario"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.10, "fraction of paper-scale dataset (0,1]")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	perSetup := flag.Int("per-setup", 60, "campaign impressions per experimental setup")
-	forest := flag.Int("forest", 40, "random-forest ensemble size")
+	perSetup := flag.Int("per-setup", 60, "campaign impressions per experimental setup (≥ 1)")
+	forest := flag.Int("forest", 40, "random-forest ensemble size (≥ 1)")
+	scen := flag.String("scenario", "baseline",
+		"simulated world; one of: "+strings.Join(scenario.Names(), ", "))
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
 	flag.Parse()
+
+	// Reject out-of-range flags up front with a usable message instead
+	// of failing minutes into the run.
+	if err := validateFlags(*scale, *perSetup, *forest, *scen); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -36,6 +54,7 @@ func main() {
 	pipe, err := yourandvalue.NewPipeline(
 		yourandvalue.WithScale(*scale),
 		yourandvalue.WithSeed(*seed),
+		yourandvalue.WithScenario(*scen),
 		yourandvalue.WithCampaignImpressions(*perSetup),
 		yourandvalue.WithForestSize(*forest),
 		yourandvalue.WithCrossValidation(10, 1),
@@ -56,7 +75,7 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "running study at scale %.2f (seed %d)...\n", *scale, *seed)
+	fmt.Fprintf(os.Stderr, "running %s study at scale %.2f (seed %d)...\n", *scen, *scale, *seed)
 	study, err := pipe.Execute(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -93,4 +112,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ablation family:", err)
 		}
 	}
+}
+
+// validateFlags rejects flag values no study can run under, before any
+// stage spends time. The pipeline re-validates scale and scenario; the
+// campaign and forest floors would otherwise only surface as training
+// errors deep inside the run.
+func validateFlags(scale float64, perSetup, forest int, scen string) error {
+	// Negated form so NaN (which fails every comparison) is rejected too.
+	if !(scale > 0 && scale <= 1) {
+		return fmt.Errorf("-scale %v out of (0,1]", scale)
+	}
+	if perSetup < 1 {
+		return fmt.Errorf("-per-setup %d must be ≥ 1", perSetup)
+	}
+	if forest < 1 {
+		return fmt.Errorf("-forest %d must be ≥ 1", forest)
+	}
+	if _, err := scenario.Get(scen); err != nil {
+		return fmt.Errorf("-scenario: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(0.1, 60, 40, "baseline"); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	if err := validateFlags(1.0, 1, 1, ""); err != nil {
+		t.Fatalf("minimal flags rejected: %v", err)
+	}
+	cases := []struct {
+		scale    float64
+		perSetup int
+		forest   int
+		scen     string
+		want     string
+	}{
+		{0, 60, 40, "baseline", "-scale"},
+		{-0.5, 60, 40, "baseline", "-scale"},
+		{1.5, 60, 40, "baseline", "-scale"},
+		{math.NaN(), 60, 40, "baseline", "-scale"},
+		{0.1, 0, 40, "baseline", "-per-setup"},
+		{0.1, -2, 40, "baseline", "-per-setup"},
+		{0.1, 60, 0, "baseline", "-forest"},
+		{0.1, 60, 40, "not-a-world", "unknown scenario"},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.scale, c.perSetup, c.forest, c.scen)
+		if err == nil {
+			t.Errorf("validateFlags(%v, %d, %d, %q) accepted", c.scale, c.perSetup, c.forest, c.scen)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q does not mention %q", err, c.want)
+		}
+	}
+}

@@ -29,12 +29,14 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
 	"yourandvalue/internal/pmeserver"
 	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/scenario"
 	"yourandvalue/internal/stream"
 	"yourandvalue/internal/weblog"
 )
@@ -47,6 +49,8 @@ func main() {
 	poll := flag.Int("poll", 16, "cycles between conditional model polls")
 	scale := flag.Float64("scale", 0.05, "trace scale in (0,1] feeding the clients")
 	seed := flag.Int64("seed", 1, "master seed for the synthetic traffic")
+	scen := flag.String("scenario", "baseline",
+		"simulated world feeding the clients; one of: "+strings.Join(scenario.Names(), ", "))
 	maxOps := flag.Int64("maxops", 0, "total operation budget (0 = until duration or source drain)")
 	pool := flag.Int("pool", 0, "override the server contribution-pool bound (in-process only, 0 = default)")
 	streamEst := flag.Bool("stream-estimate", false, "drive POST /v2/estimate/stream (NDJSON) instead of the batch endpoint; latencies land in the 'stream' histogram")
@@ -61,7 +65,8 @@ func main() {
 	if err := run(options{
 		addr: *addr, clients: *clients, duration: *duration,
 		batch: *batch, poll: *poll, scale: *scale, seed: *seed,
-		maxOps: *maxOps, pool: *pool, streamEstimate: *streamEst,
+		scenario: *scen,
+		maxOps:   *maxOps, pool: *pool, streamEstimate: *streamEst,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
 	}); err != nil {
 		log.Fatal(err)
@@ -78,6 +83,7 @@ type options struct {
 	poll           int
 	scale          float64
 	seed           int64
+	scenario       string
 	maxOps         int64
 	pool           int
 	streamEstimate bool
@@ -131,8 +137,15 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "loadgen: in-process pmeserver at %s\n", base)
 	}
 
-	wcfg := weblog.DefaultConfig().Scaled(o.scale)
-	wcfg.Seed = o.seed
+	// The synthetic client fleet replays whatever world the scenario
+	// describes; generation shards across the available cores (the
+	// trace is bit-identical at any worker count).
+	sc, err := scenario.Get(o.scenario)
+	if err != nil {
+		return err
+	}
+	wcfg := sc.TraceConfig(o.seed, o.scale)
+	wcfg.Workers = runtime.GOMAXPROCS(0)
 	report, err := stream.RunLoad(ctx, stream.LoadConfig{
 		BaseURL:   base,
 		Clients:   o.clients,

@@ -1,0 +1,120 @@
+// Command scenarios runs the same end-to-end study under several named
+// worlds and prints their cost structure side by side: the paper's
+// baseline second-price marketplace next to first-price, soft-floor,
+// mobile-heavy, encrypted-surge and bot-noise variants.
+//
+//	go run ./examples/scenarios [-scale 0.03] [-seed 1]
+//
+// Every column is one scenario; rows are the headline measurements the
+// paper reports for its single world (§6): impression volume, the
+// encrypted-channel share, per-impression prices and per-user yearly
+// advertiser cost.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"yourandvalue"
+	"yourandvalue/internal/scenario"
+	"yourandvalue/internal/stats"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.03, "trace scale in (0,1] per scenario")
+	seed := flag.Int64("seed", 1, "shared simulation seed")
+	flag.Parse()
+
+	names := []string{
+		scenario.Baseline, scenario.FirstPrice, scenario.SoftFloorName,
+		scenario.MobileHeavy, scenario.EncryptedSurge, scenario.BotNoise,
+	}
+
+	type result struct {
+		impressions  int
+		encShare     float64
+		meanCPM      float64
+		medianUser   float64
+		totalSpend   float64
+		botUserShare float64
+	}
+	results := make([]result, 0, len(names))
+
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "running %q at scale %.2f...\n", name, *scale)
+		pipe, err := yourandvalue.NewPipeline(
+			yourandvalue.WithScenario(name),
+			yourandvalue.WithScale(*scale),
+			yourandvalue.WithSeed(*seed),
+			yourandvalue.WithCampaignImpressions(30),
+			yourandvalue.WithForestSize(15),
+			yourandvalue.WithCrossValidation(5, 1),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		study, err := pipe.Execute(context.Background())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error running %q: %v\n", name, err)
+			os.Exit(1)
+		}
+
+		var r result
+		r.impressions = study.Trace.RTBCount()
+		sum := 0.0
+		enc := 0
+		for _, imp := range study.Trace.Impressions {
+			sum += imp.ChargeCPM
+			if imp.Encrypted {
+				enc++
+			}
+		}
+		if r.impressions > 0 {
+			r.encShare = float64(enc) / float64(r.impressions)
+			r.meanCPM = sum / float64(r.impressions)
+		}
+		totals := make([]float64, 0, len(study.Costs))
+		for _, c := range study.Costs {
+			totals = append(totals, c.TotalCPM())
+			r.totalSpend += c.TotalCPM()
+		}
+		sort.Float64s(totals)
+		r.medianUser, _ = stats.Median(totals)
+		bots := 0
+		for _, u := range study.Trace.Users {
+			if u.Bot {
+				bots++
+			}
+		}
+		r.botUserShare = float64(bots) / float64(len(study.Trace.Users))
+		results = append(results, r)
+	}
+
+	t := &yourandvalue.Table{
+		ID:     "Scenario comparison",
+		Title:  fmt.Sprintf("per-scenario cost structure (scale %.2f, seed %d)", *scale, *seed),
+		Header: append([]string{"metric"}, names...),
+	}
+	addRow := func(metric string, f func(result) string) {
+		cells := []string{metric}
+		for _, r := range results {
+			cells = append(cells, f(r))
+		}
+		t.AddRow(cells...)
+	}
+	addRow("RTB impressions", func(r result) string { return fmt.Sprint(r.impressions) })
+	addRow("encrypted share", func(r result) string { return yourandvalue.FormatPct(r.encShare) })
+	addRow("mean charge CPM", func(r result) string { return yourandvalue.FormatCPM(r.meanCPM) })
+	addRow("median user cost/yr (CPM sum)", func(r result) string { return yourandvalue.FormatCPM(r.medianUser) })
+	addRow("total advertiser spend (CPM sum)", func(r result) string { return yourandvalue.FormatCPM(r.totalSpend) })
+	addRow("bot users", func(r result) string { return yourandvalue.FormatPct(r.botUserShare) })
+	t.Notes = append(t.Notes,
+		"same seed everywhere: differences are the scenario, not the draw",
+		"first-price lifts charges toward bids; encrypted-surge shifts volume into the ≈1.7× channel",
+	)
+	fmt.Println(t.String())
+}

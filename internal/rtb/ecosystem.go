@@ -62,12 +62,19 @@ type Ecosystem struct {
 	Market   *Market
 	Registry *nurl.Registry
 	ADXs     []*ADX
+	// Mechanism is the auction clearing rule every exchange applies;
+	// SecondPrice (the paper's Vickrey marketplace) unless the config
+	// selected another.
+	Mechanism Mechanism
 	// adoption maps a pair to the month index (1-based, months since
 	// Jan 2015) at which it switches to encrypted notifications. Pairs
 	// beyond the horizon stay cleartext.
 	adoption map[Pair]int
-	rng      *stats.Rand
-	impSeq   uint64
+	// adxWeights caches the share weights for PickADX (read-only after
+	// construction, shared by every session).
+	adxWeights []float64
+	rng        *stats.Rand
+	impSeq     uint64
 }
 
 // EcosystemConfig controls construction.
@@ -75,6 +82,17 @@ type EcosystemConfig struct {
 	Seed int64
 	// Market overrides the default market model when non-nil.
 	Market *Market
+	// Mechanism overrides the second-price clearing rule when non-nil.
+	Mechanism Mechanism
+	// EncBiasBoost is added to every exchange's encryption bias (clamped
+	// into [0,1]) before the adoption schedule is drawn: positive values
+	// simulate an ecosystem that encrypts more aggressively than 2015's.
+	EncBiasBoost float64
+	// AdoptionShiftMonths shifts every pair's encryption adoption month:
+	// negative values pull adoption earlier (an encrypted-surge world),
+	// positive values delay it. The shift alters the schedule only, not
+	// the RNG draws, so the roster stays identical across scenarios.
+	AdoptionShiftMonths int
 }
 
 // adxSpec seeds the default exchange roster with Figure 3's shares.
@@ -131,11 +149,16 @@ func NewEcosystem(cfg EcosystemConfig) *Ecosystem {
 		}
 	}
 
+	mech := cfg.Mechanism
+	if mech == nil {
+		mech = SecondPrice{}
+	}
 	eco := &Ecosystem{
-		Market:   market,
-		Registry: reg,
-		adoption: make(map[Pair]int),
-		rng:      rng,
+		Market:    market,
+		Registry:  reg,
+		Mechanism: mech,
+		adoption:  make(map[Pair]int),
+		rng:       rng,
 	}
 	for _, s := range adxSpecs {
 		ex, ok := reg.FindByName(s.name)
@@ -146,8 +169,9 @@ func NewEcosystem(cfg EcosystemConfig) *Ecosystem {
 			[]byte("enc:"+s.name+":0123456789abcdef"),
 			[]byte("sig:"+s.name+":0123456789abcdef"),
 		)
+		bias := min(max(s.encBias+cfg.EncBiasBoost, 0), 1)
 		adx := &ADX{
-			Name: s.name, Share: s.share, EncBias: s.encBias,
+			Name: s.name, Share: s.share, EncBias: bias,
 			Exchange: ex, Scheme: scheme,
 		}
 		// Each exchange connects to 4–6 DSPs deterministically by seed.
@@ -164,13 +188,17 @@ func NewEcosystem(cfg EcosystemConfig) *Ecosystem {
 		// produces Figure 2's steady within-year growth.
 		for _, d := range adx.DSPs {
 			var month int
-			if rng.Float64() < s.encBias {
+			if rng.Float64() < bias {
 				month = 1 + rng.Intn(14) - 2 // −1 .. 12: before or during 2015
 			} else {
 				month = 13 + rng.Intn(36) // after the observation year
 			}
-			eco.adoption[Pair{adx.Name, d.Name}] = month
+			eco.adoption[Pair{adx.Name, d.Name}] = month + cfg.AdoptionShiftMonths
 		}
+	}
+	eco.adxWeights = make([]float64, len(eco.ADXs))
+	for i, a := range eco.ADXs {
+		eco.adxWeights[i] = a.Share
 	}
 	return eco
 }
@@ -217,12 +245,21 @@ func (e *Ecosystem) EncryptedPairShare(month int) float64 {
 }
 
 // PickADX samples an exchange proportionally to traffic share.
-func (e *Ecosystem) PickADX() *ADX {
-	weights := make([]float64, len(e.ADXs))
-	for i, a := range e.ADXs {
-		weights[i] = a.Share
+func (e *Ecosystem) PickADX() *ADX { return e.pickADX(e.rng) }
+
+// pickADX is the share-weighted draw behind every stream. The weights
+// slice is precomputed at construction (the roster is read-only after
+// NewEcosystem) so the per-impression hot path allocates nothing;
+// hand-built ecosystems without the cache fall back to a local copy.
+func (e *Ecosystem) pickADX(rng *stats.Rand) *ADX {
+	w := e.adxWeights
+	if len(w) != len(e.ADXs) {
+		w = make([]float64, len(e.ADXs))
+		for i, a := range e.ADXs {
+			w[i] = a.Share
+		}
 	}
-	return e.ADXs[e.rng.WeightedChoice(weights)]
+	return e.ADXs[rng.WeightedChoice(w)]
 }
 
 // FindADX returns the exchange with the given name.
@@ -252,11 +289,38 @@ type AuctionResult struct {
 // exchange soft-floor policy.
 const reserveFraction = 0.8
 
+// mechanism returns the ecosystem's clearing rule, defaulting to the
+// Vickrey marketplace for hand-built ecosystems.
+func (e *Ecosystem) mechanism() Mechanism {
+	if e.Mechanism == nil {
+		return SecondPrice{}
+	}
+	return e.Mechanism
+}
+
 // RunAuction executes one auction for ctx on exchange adx during the given
 // month (1-based months since Jan 2015) and returns the result, including
-// the rendered nURL. ok is false when no DSP bids (unsold inventory that
-// would fall to backfill, §2.1).
+// the rendered nURL. The winner's charge follows the ecosystem's
+// Mechanism (second-price unless configured otherwise). ok is false when
+// no DSP bids (unsold inventory that would fall to backfill, §2.1).
+//
+// RunAuction draws from the ecosystem's own stream; concurrent callers
+// must use NewSession instead.
 func (e *Ecosystem) RunAuction(adx *ADX, ctx Context, month int) (AuctionResult, bool) {
+	return runAuction(e, adx, ctx, month, e.rng, &e.impSeq, "")
+}
+
+// Serve runs the full SSP path for one impression: pick an exchange by
+// share, run the auction there during the given month.
+func (e *Ecosystem) Serve(ctx Context, month int) (AuctionResult, bool) {
+	return e.RunAuction(e.PickADX(), ctx, month)
+}
+
+// runAuction is the auction body shared by the ecosystem's own stream
+// and per-session streams. tag namespaces impression ids so independent
+// sessions never collide ("" keeps the historical single-stream format).
+func runAuction(e *Ecosystem, adx *ADX, ctx Context, month int,
+	rng *stats.Rand, impSeq *uint64, tag string) (AuctionResult, bool) {
 	if len(adx.DSPs) == 0 {
 		return AuctionResult{}, false
 	}
@@ -271,26 +335,27 @@ func (e *Ecosystem) RunAuction(adx *ADX, ctx Context, month int) (AuctionResult,
 		bctx := ctx
 		bctx.Encrypted = e.PairEncrypted(adx.Name, d.Name, month)
 		// A DSP may sit out auctions it has no budget appetite for.
-		if e.rng.Float64() < 0.15 {
+		if rng.Float64() < 0.15 {
 			continue
 		}
-		bids = append(bids, bid{d, d.Bid(e.Market, bctx, e.rng)})
+		bids = append(bids, bid{d, d.Bid(e.Market, bctx, rng)})
 	}
 	if len(bids) == 0 {
 		return AuctionResult{}, false
 	}
 	sort.Slice(bids, func(i, j int) bool { return bids[i].v > bids[j].v })
 	win := bids[0]
-	charge := win.v * reserveFraction
+	runnerUp := 0.0
 	if len(bids) > 1 {
-		charge = bids[1].v
+		runnerUp = bids[1].v
 	}
+	charge := e.mechanism().Charge(win.v, runnerUp)
 	encrypted := e.PairEncrypted(adx.Name, win.dsp.Name, month)
 	if encrypted {
 		charge *= e.Market.EncryptedSurcharge
 	}
 	if charge > win.v {
-		charge = win.v // surcharge never exceeds the winner's own bid
+		charge = win.v // settlement never exceeds the winner's own bid
 	}
 	// Exchanges settle at micro-CPM precision; truncate here so the
 	// published notification and the internal ledger agree exactly.
@@ -299,9 +364,9 @@ func (e *Ecosystem) RunAuction(adx *ADX, ctx Context, month int) (AuctionResult,
 		return AuctionResult{}, false
 	}
 
-	e.impSeq++
-	impID := fmt.Sprintf("i%08x", e.impSeq)
-	aucID := fmt.Sprintf("a%08x", e.rng.Int63()&0xFFFFFFFF)
+	*impSeq++
+	impID := fmt.Sprintf("i%s%08x", tag, *impSeq)
+	aucID := fmt.Sprintf("a%08x", rng.Int63()&0xFFFFFFFF)
 
 	spec := nurl.BuildSpec{
 		DSP:       win.dsp.Name,
@@ -309,7 +374,7 @@ func (e *Ecosystem) RunAuction(adx *ADX, ctx Context, month int) (AuctionResult,
 		Height:    ctx.Slot.H,
 		ImpID:     impID,
 		AuctionID: aucID,
-		Campaign:  fmt.Sprintf("c%03d", e.rng.Intn(400)),
+		Campaign:  fmt.Sprintf("c%03d", rng.Intn(400)),
 		Publisher: ctx.Publisher,
 		Currency:  "USD",
 		BidCPM:    win.v,
@@ -317,7 +382,7 @@ func (e *Ecosystem) RunAuction(adx *ADX, ctx Context, month int) (AuctionResult,
 	if encrypted {
 		iv := make([]byte, priceenc.IVSize)
 		for i := range iv {
-			iv[i] = byte(e.rng.Intn(256))
+			iv[i] = byte(rng.Intn(256))
 		}
 		tok, err := adx.Scheme.Encrypt(charge, iv)
 		if err != nil {
@@ -337,8 +402,45 @@ func (e *Ecosystem) RunAuction(adx *ADX, ctx Context, month int) (AuctionResult,
 	return res, true
 }
 
-// Serve runs the full SSP path for one impression: pick an exchange by
-// share, run the auction there during the given month.
-func (e *Ecosystem) Serve(ctx Context, month int) (AuctionResult, bool) {
-	return e.RunAuction(e.PickADX(), ctx, month)
+// Session is an independent auction stream over a read-only Ecosystem:
+// its own RNG, impression counter and impression-id namespace. The
+// roster, market model, mechanism and adoption schedule are immutable
+// after construction, so any number of sessions may serve auctions
+// concurrently — the parallel trace generator gives every user one,
+// which is what makes each user's impressions derivable in isolation.
+type Session struct {
+	eco    *Ecosystem
+	rng    *stats.Rand
+	impSeq uint64
+	tag    string
+}
+
+// NewSession returns an auction stream deterministic in seed. tag
+// namespaces the session's impression ids ("u0042-" gives
+// "iu0042-00000001", …); it must be unique among concurrently live
+// sessions for ids to stay globally unique.
+func (e *Ecosystem) NewSession(seed int64, tag string) *Session {
+	return &Session{eco: e, rng: stats.NewRand(seed), tag: tag}
+}
+
+// NewSubstreamSession is NewSession keyed by (seed, streamID) through
+// the SplitMix64 substream derivation, for callers that hand out one
+// session per entity (per user, per shard) from a single master seed.
+func (e *Ecosystem) NewSubstreamSession(seed int64, streamID uint64, tag string) *Session {
+	return &Session{eco: e, rng: stats.NewSubstream(seed, streamID), tag: tag}
+}
+
+// PickADX samples an exchange proportionally to traffic share from the
+// session's stream.
+func (s *Session) PickADX() *ADX { return s.eco.pickADX(s.rng) }
+
+// RunAuction executes one auction on adx, drawing from the session's
+// private stream.
+func (s *Session) RunAuction(adx *ADX, ctx Context, month int) (AuctionResult, bool) {
+	return runAuction(s.eco, adx, ctx, month, s.rng, &s.impSeq, s.tag)
+}
+
+// Serve runs the full SSP path for one impression within the session.
+func (s *Session) Serve(ctx Context, month int) (AuctionResult, bool) {
+	return s.RunAuction(s.PickADX(), ctx, month)
 }

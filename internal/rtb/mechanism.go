@@ -1,0 +1,112 @@
+package rtb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mechanism is the auction clearing rule: given the winning bid and the
+// best losing bid, it decides what the winner pays. The paper's world is
+// a pure second-price (Vickrey) marketplace — the 2015 ecosystem it
+// measured — but the industry has since moved to first-price and
+// soft-floor hybrids, so the charge rule is pluggable: the ecosystem,
+// the probe sessions and every scenario select a Mechanism instead of
+// hardcoding Vickrey.
+//
+// Charge sees only the bid book; settlement-side adjustments that apply
+// to every mechanism alike (the encrypted-channel surcharge, the
+// charge ≤ winning-bid cap, micro-CPM truncation) stay in the ecosystem.
+type Mechanism interface {
+	// Name returns the registry name ("second-price", …).
+	Name() string
+	// Charge returns the CPM the winner pays. runnerUp is the best losing
+	// bid, or 0 when the winner stood alone.
+	Charge(winBid, runnerUp float64) float64
+}
+
+// SecondPrice is the Vickrey rule the paper's ecosystem runs: the winner
+// pays the second-highest bid. A lone bidder pays ReserveFraction of
+// their own bid — the common exchange soft-reserve policy standing in
+// for the absent second bid.
+type SecondPrice struct {
+	// ReserveFraction of the lone bid acts as the implicit second bid;
+	// zero takes the default 0.8.
+	ReserveFraction float64
+}
+
+// Name implements Mechanism.
+func (SecondPrice) Name() string { return "second-price" }
+
+// Charge implements the Vickrey rule.
+func (m SecondPrice) Charge(winBid, runnerUp float64) float64 {
+	if runnerUp > 0 {
+		return runnerUp
+	}
+	rf := m.ReserveFraction
+	if rf <= 0 {
+		rf = reserveFraction
+	}
+	return winBid * rf
+}
+
+// FirstPrice is the pay-your-bid rule that came to dominate programmatic
+// exchanges after 2017 (Arrate et al. 2018): the winner pays exactly
+// what they bid, regardless of the second bid.
+type FirstPrice struct{}
+
+// Name implements Mechanism.
+func (FirstPrice) Name() string { return "first-price" }
+
+// Charge implements the pay-your-bid rule.
+func (FirstPrice) Charge(winBid, _ float64) float64 { return winBid }
+
+// SoftFloor is the hybrid rule many exchanges ran during the first-price
+// transition: bids clearing the floor settle second-price but never
+// below the floor; bids under the floor settle first-price. The floor
+// thus acts as a price accelerant rather than a hard reserve.
+type SoftFloor struct {
+	// FloorCPM is the soft floor; non-positive degrades to second-price.
+	FloorCPM float64
+	// ReserveFraction backs the lone-bidder case below the floor; zero
+	// takes the default 0.8.
+	ReserveFraction float64
+}
+
+// Name implements Mechanism.
+func (SoftFloor) Name() string { return "soft-floor" }
+
+// Charge implements the hybrid rule.
+func (m SoftFloor) Charge(winBid, runnerUp float64) float64 {
+	second := SecondPrice{ReserveFraction: m.ReserveFraction}
+	if m.FloorCPM <= 0 || winBid >= m.FloorCPM {
+		charge := second.Charge(winBid, runnerUp)
+		if charge < m.FloorCPM {
+			charge = m.FloorCPM
+		}
+		return charge
+	}
+	return winBid
+}
+
+// MechanismFor returns the named clearing rule. floorCPM parameterizes
+// the mechanisms that price against a floor and is ignored by the rest.
+func MechanismFor(name string, floorCPM float64) (Mechanism, error) {
+	switch name {
+	case "", "second-price":
+		return SecondPrice{}, nil
+	case "first-price":
+		return FirstPrice{}, nil
+	case "soft-floor":
+		return SoftFloor{FloorCPM: floorCPM}, nil
+	default:
+		return nil, fmt.Errorf("rtb: unknown auction mechanism %q (have %v)",
+			name, MechanismNames())
+	}
+}
+
+// MechanismNames lists the registered clearing rules, sorted.
+func MechanismNames() []string {
+	names := []string{"second-price", "first-price", "soft-floor"}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,204 @@
+package rtb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSecondPriceCharge(t *testing.T) {
+	m := SecondPrice{}
+	if got := m.Charge(2.0, 1.5); got != 1.5 {
+		t.Errorf("charge = %v, want runner-up 1.5", got)
+	}
+	// Lone bidder pays the reserve fraction of their own bid.
+	if got := m.Charge(2.0, 0); got != 2.0*reserveFraction {
+		t.Errorf("lone-bidder charge = %v, want %v", got, 2.0*reserveFraction)
+	}
+	if got := (SecondPrice{ReserveFraction: 0.5}).Charge(2.0, 0); got != 1.0 {
+		t.Errorf("custom reserve charge = %v, want 1.0", got)
+	}
+}
+
+func TestFirstPriceCharge(t *testing.T) {
+	m := FirstPrice{}
+	for _, runnerUp := range []float64{0, 0.5, 1.9} {
+		if got := m.Charge(2.0, runnerUp); got != 2.0 {
+			t.Errorf("Charge(2.0, %v) = %v, want the bid itself", runnerUp, got)
+		}
+	}
+}
+
+func TestSoftFloorCharge(t *testing.T) {
+	m := SoftFloor{FloorCPM: 1.0}
+	// Above the floor: second-price, floored.
+	if got := m.Charge(2.0, 1.5); got != 1.5 {
+		t.Errorf("above-floor charge = %v, want runner-up", got)
+	}
+	if got := m.Charge(2.0, 0.4); got != 1.0 {
+		t.Errorf("above-floor low-runner-up charge = %v, want floor 1.0", got)
+	}
+	// Below the floor: first-price.
+	if got := m.Charge(0.8, 0.3); got != 0.8 {
+		t.Errorf("below-floor charge = %v, want the bid", got)
+	}
+	// No floor degrades to pure second-price.
+	if got := (SoftFloor{}).Charge(2.0, 1.5); got != 1.5 {
+		t.Errorf("floorless charge = %v, want second-price", got)
+	}
+}
+
+func TestMechanismFor(t *testing.T) {
+	for _, name := range MechanismNames() {
+		m, err := MechanismFor(name, 0.5)
+		if err != nil {
+			t.Fatalf("MechanismFor(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("Name() = %q, want %q", m.Name(), name)
+		}
+	}
+	// Empty selects the default.
+	if m, err := MechanismFor("", 0); err != nil || m.Name() != "second-price" {
+		t.Errorf("default mechanism = %v, %v", m, err)
+	}
+	if _, err := MechanismFor("dutch", 0); err == nil ||
+		!strings.Contains(err.Error(), "dutch") {
+		t.Errorf("unknown mechanism error = %v", err)
+	}
+	if sf, _ := MechanismFor("soft-floor", 0.7); sf.(SoftFloor).FloorCPM != 0.7 {
+		t.Error("floor parameter not threaded through")
+	}
+}
+
+// TestRunAuctionFirstPrice: under a first-price ecosystem every
+// cleartext settlement equals the winning bid (modulo the micro-CPM
+// truncation); encrypted settlements stay capped at the winning bid.
+func TestRunAuctionFirstPrice(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 3, Mechanism: FirstPrice{}})
+	adx, _ := e.FindADX("MoPub")
+	ctx := baseCtx()
+	wins := 0
+	for i := 0; i < 300; i++ {
+		res, ok := e.RunAuction(adx, ctx, 6)
+		if !ok {
+			continue
+		}
+		wins++
+		if res.ChargeCPM > res.WinBid {
+			t.Fatalf("charge %v exceeds winning bid %v", res.ChargeCPM, res.WinBid)
+		}
+		if !res.Encrypted {
+			if diff := res.WinBid - res.ChargeCPM; diff < 0 || diff > 1e-5 {
+				t.Fatalf("first-price charge %v != winning bid %v", res.ChargeCPM, res.WinBid)
+			}
+		}
+	}
+	if wins < 250 {
+		t.Errorf("only %d/300 auctions filled", wins)
+	}
+}
+
+// TestFirstPriceRaisesRevenue: holding the seed and context fixed, the
+// pay-your-bid rule must clear at or above the Vickrey price on every
+// auction, so mean revenue strictly rises.
+func TestFirstPriceRaisesRevenue(t *testing.T) {
+	total := func(m Mechanism) float64 {
+		e := NewEcosystem(EcosystemConfig{Seed: 17, Mechanism: m})
+		ctx := baseCtx()
+		sum := 0.0
+		for i := 0; i < 2000; i++ {
+			if res, ok := e.Serve(ctx, 6); ok {
+				sum += res.ChargeCPM
+			}
+		}
+		return sum
+	}
+	second := total(SecondPrice{})
+	first := total(FirstPrice{})
+	if first <= second {
+		t.Errorf("first-price revenue %v should exceed second-price %v", first, second)
+	}
+}
+
+// TestSessionsIndependentAndDeterministic: equal-seed sessions replay
+// identical auction streams regardless of what other sessions do in
+// between, and their impression ids are namespaced by tag.
+func TestSessionsIndependentAndDeterministic(t *testing.T) {
+	e := NewEcosystem(EcosystemConfig{Seed: 5})
+	ctx := baseCtx()
+
+	run := func(s *Session, n int) []AuctionResult {
+		var out []AuctionResult
+		for i := 0; i < n; i++ {
+			if res, ok := s.Serve(ctx, 6); ok {
+				out = append(out, res)
+			}
+		}
+		return out
+	}
+
+	a := run(e.NewSession(101, "a-"), 50)
+	// Interleave unrelated activity: another session and the ecosystem's
+	// own stream must not perturb a replay.
+	run(e.NewSession(999, "x-"), 50)
+	for i := 0; i < 25; i++ {
+		e.Serve(ctx, 6)
+	}
+	b := run(e.NewSession(101, "a-"), 50)
+
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].NURL != b[i].NURL || a[i].ChargeCPM != b[i].ChargeCPM {
+			t.Fatal("session replay diverged")
+		}
+		if !strings.HasPrefix(a[i].ImpID, "ia-") {
+			t.Fatalf("impression id %q missing session tag", a[i].ImpID)
+		}
+	}
+
+	// Substream-keyed sessions: deterministic and distinct across ids.
+	s1 := run(e.NewSubstreamSession(7, 1, "u1-"), 20)
+	s1b := run(e.NewSubstreamSession(7, 1, "u1-"), 20)
+	s2 := run(e.NewSubstreamSession(7, 2, "u2-"), 20)
+	if len(s1) != len(s1b) {
+		t.Fatal("substream session not deterministic")
+	}
+	for i := range s1 {
+		if s1[i].NURL != s1b[i].NURL {
+			t.Fatal("substream session replay diverged")
+		}
+	}
+	if len(s1) == len(s2) {
+		same := true
+		for i := range s1 {
+			if s1[i].ChargeCPM != s2[i].ChargeCPM {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("distinct substream ids produced identical auctions")
+		}
+	}
+}
+
+// TestAdoptionShiftAndBias: the encrypted-surge knobs move Figure 2's
+// curve without re-rolling the roster.
+func TestAdoptionShiftAndBias(t *testing.T) {
+	base := NewEcosystem(EcosystemConfig{Seed: 7})
+	surge := NewEcosystem(EcosystemConfig{Seed: 7, EncBiasBoost: 0.5, AdoptionShiftMonths: -6})
+	if got, want := len(surge.Pairs()), len(base.Pairs()); got != want {
+		t.Fatalf("pair roster changed: %d vs %d", got, want)
+	}
+	for m := 1; m <= 12; m++ {
+		if surge.EncryptedPairShare(m) < base.EncryptedPairShare(m) {
+			t.Fatalf("month %d: surge share %.2f below baseline %.2f",
+				m, surge.EncryptedPairShare(m), base.EncryptedPairShare(m))
+		}
+	}
+	if surge.EncryptedPairShare(12) <= base.EncryptedPairShare(12) {
+		t.Error("surge should lift the year-end encrypted share")
+	}
+}

@@ -84,10 +84,11 @@ func runProbeAuction(e *Ecosystem, adx *ADX, ctx Context, month int, probeBid fl
 		return out
 	}
 	out.Won = true
-	charge := probeBid * reserveFraction
+	runnerUp := 0.0
 	if len(competitors) > 0 {
-		charge = competitors[0]
+		runnerUp = competitors[0]
 	}
+	charge := e.mechanism().Charge(probeBid, runnerUp)
 	out.Encrypted = adx.ProbeEncrypts()
 	if out.Encrypted {
 		charge *= e.Market.EncryptedSurcharge

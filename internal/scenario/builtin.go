@@ -1,0 +1,82 @@
+package scenario
+
+import "yourandvalue/internal/weblog"
+
+// Builtin scenario names.
+const (
+	// Baseline is the paper's world: 2015 Spanish mobile users on a
+	// second-price marketplace with Figure 2's encryption adoption.
+	Baseline = "baseline"
+	// FirstPrice re-runs the world under the pay-your-bid rule that
+	// displaced Vickrey auctions after 2017.
+	FirstPrice = "first-price"
+	// SoftFloorName runs the transitional hybrid: second-price above a
+	// soft floor, first-price below it.
+	SoftFloorName = "soft-floor"
+	// MobileHeavy skews the population toward Android and in-app
+	// browsing — an emerging-market segment mix.
+	MobileHeavy = "mobile-heavy"
+	// EncryptedSurge accelerates pair-level price encryption: most
+	// pairs encrypt early in the year.
+	EncryptedSurge = "encrypted-surge"
+	// BotNoise contaminates the population with automated traffic that
+	// advertisers still (unknowingly) pay to reach.
+	BotNoise = "bot-noise"
+)
+
+func init() {
+	MustRegister(Scenario{
+		Name: Baseline,
+		Description: "The paper's world: second-price auctions, the 2015 " +
+			"encryption adoption curve, and dataset D's population mix.",
+		Population: weblog.DefaultPopulation(),
+	})
+
+	MustRegister(Scenario{
+		Name: FirstPrice,
+		Description: "Every exchange clears pay-your-bid (the post-2017 " +
+			"programmatic shift): charges rise to the winning bid, so " +
+			"per-user advertiser cost runs above baseline.",
+		Market:     Market{Mechanism: "first-price"},
+		Population: weblog.DefaultPopulation(),
+	})
+
+	MustRegister(Scenario{
+		Name: SoftFloorName,
+		Description: "Transitional soft-floor hybrid: bids above a 0.45 CPM " +
+			"floor settle second-price but never below the floor; bids " +
+			"under it settle first-price.",
+		Market:     Market{Mechanism: "soft-floor", SoftFloorCPM: 0.45},
+		Population: weblog.DefaultPopulation(),
+	})
+
+	mobile := weblog.DefaultPopulation()
+	mobile.AndroidShare, mobile.IOSShare = 0.85, 0.12
+	mobile.WindowsShare, mobile.OtherOSShare = 0.02, 0.01
+	mobile.AppAffinityBase, mobile.AppAffinitySpan = 0.60, 0.35
+	MustRegister(Scenario{
+		Name: MobileHeavy,
+		Description: "Emerging-market segment: 85% Android, sessions mostly " +
+			"in-app — the ≈2.6× app premium dominates per-user cost.",
+		Population: mobile,
+	})
+
+	MustRegister(Scenario{
+		Name: EncryptedSurge,
+		Description: "Price encryption adopted aggressively: every pair's " +
+			"bias boosted and adoption pulled 6 months earlier, so the " +
+			"encrypted (≈1.7×-priced) channel carries most notifications.",
+		Market:     Market{EncBiasBoost: 0.5, AdoptionShiftMonths: -6},
+		Population: weblog.DefaultPopulation(),
+	})
+
+	bots := weblog.DefaultPopulation()
+	bots.BotShare = 0.25
+	MustRegister(Scenario{
+		Name: BotNoise,
+		Description: "A quarter of the population is automated traffic with " +
+			"heavy session rates and discounted-but-nonzero value: " +
+			"advertiser spend leaks to users who are not people.",
+		Population: bots,
+	})
+}

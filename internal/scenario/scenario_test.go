@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/weblog"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	want := []string{Baseline, FirstPrice, SoftFloorName, MobileHeavy, EncryptedSurge, BotNoise}
+	names := Names()
+	for _, n := range want {
+		found := false
+		for _, got := range names {
+			if got == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("builtin %q missing from registry (have %v)", n, names)
+		}
+		s, err := Get(n)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", n, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", n, err)
+		}
+		if s.Description == "" {
+			t.Errorf("builtin %q undocumented", n)
+		}
+	}
+	// Sorted listing.
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}
+
+func TestGetDefaults(t *testing.T) {
+	s, err := Get("")
+	if err != nil || s.Name != Baseline {
+		t.Fatalf("empty name resolved to %q, %v", s.Name, err)
+	}
+	if Default().Name != Baseline {
+		t.Fatal("Default is not baseline")
+	}
+	if _, err := Get("no-such-world"); err == nil ||
+		!strings.Contains(err.Error(), "no-such-world") {
+		t.Errorf("unknown scenario error = %v", err)
+	}
+}
+
+func TestRegisterRejects(t *testing.T) {
+	// Duplicate names.
+	if err := Register(Default()); err == nil {
+		t.Error("re-registering baseline accepted")
+	}
+	// Invalid scenarios.
+	bad := Default()
+	bad.Name = "bad-mechanism"
+	bad.Market.Mechanism = "dutch"
+	if err := Register(bad); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	bad = Default()
+	bad.Name = ""
+	if err := Register(bad); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = Default()
+	bad.Name = "bad-pop"
+	bad.Population.BotShare = 2
+	if err := Register(bad); err == nil {
+		t.Error("invalid population accepted")
+	}
+	// A soft-floor world without a floor would silently clear
+	// second-price; the label must not lie.
+	bad = Default()
+	bad.Name = "floorless"
+	bad.Market.Mechanism = "soft-floor"
+	if err := Register(bad); err == nil {
+		t.Error("soft-floor scenario without a floor accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := Get(name)
+		data, err := s.JSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("%s: JSON round trip altered the scenario", name)
+		}
+	}
+	if _, err := FromJSON([]byte(`{"name":""}`)); err == nil {
+		t.Error("FromJSON accepted an invalid document")
+	}
+	if _, err := FromJSON([]byte(`{broken`)); err == nil {
+		t.Error("FromJSON accepted broken JSON")
+	}
+}
+
+func TestBaselineMatchesHistoricalDefaults(t *testing.T) {
+	s := Default()
+	// The baseline ecosystem must be indistinguishable from the
+	// config-less default: same pairs, same adoption schedule, same
+	// second-price mechanism.
+	a := s.NewEcosystem(42)
+	b := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: 42})
+	if !reflect.DeepEqual(a.Pairs(), b.Pairs()) {
+		t.Fatal("baseline roster differs from historical default")
+	}
+	for m := 1; m <= 12; m++ {
+		if a.EncryptedPairShare(m) != b.EncryptedPairShare(m) {
+			t.Fatal("baseline adoption differs from historical default")
+		}
+	}
+	if a.Mechanism.Name() != "second-price" {
+		t.Fatalf("baseline mechanism = %q", a.Mechanism.Name())
+	}
+	// And the baseline population is the default one.
+	if !reflect.DeepEqual(s.Population, weblog.DefaultPopulation()) {
+		t.Fatal("baseline population drifted from weblog default")
+	}
+	cfg := s.WeblogConfig(1, 1)
+	def := weblog.DefaultConfig()
+	if cfg.Users != def.Users || cfg.Impressions != def.Impressions ||
+		cfg.BackgroundPerSession != def.BackgroundPerSession {
+		t.Fatal("baseline trace config drifted from weblog default")
+	}
+}
+
+func TestScenarioConfigs(t *testing.T) {
+	fp, _ := Get(FirstPrice)
+	if eco := fp.NewEcosystem(1); eco.Mechanism.Name() != "first-price" {
+		t.Errorf("first-price scenario mechanism = %q", eco.Mechanism.Name())
+	}
+	sf, _ := Get(SoftFloorName)
+	mech, err := sf.Mechanism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech.(rtb.SoftFloor).FloorCPM != 0.45 {
+		t.Error("soft floor parameter lost")
+	}
+	surge, _ := Get(EncryptedSurge)
+	base := Default()
+	se := surge.NewEcosystem(3)
+	be := base.NewEcosystem(3)
+	if se.EncryptedPairShare(6) <= be.EncryptedPairShare(6) {
+		t.Error("encrypted-surge does not lift mid-year adoption")
+	}
+	// TraceConfig attaches a scenario ecosystem.
+	tc := surge.TraceConfig(5, 0.02)
+	if tc.Ecosystem == nil || tc.Seed != 5 {
+		t.Fatal("TraceConfig wiring")
+	}
+	if tc.Ecosystem.EncryptedPairShare(6) != surge.NewEcosystem(6).EncryptedPairShare(6) {
+		t.Error("TraceConfig ecosystem not seeded seed+1")
+	}
+}
+
+// TestScenarioTracesDiffer: each non-baseline builtin produces a world
+// measurably different from baseline over the same seed.
+func TestScenarioTracesDiffer(t *testing.T) {
+	trace := func(name string) *weblog.Trace {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return weblog.Generate(s.TraceConfig(77, 0.03))
+	}
+	base := trace(Baseline)
+	meanCharge := func(tr *weblog.Trace) float64 {
+		sum := 0.0
+		for _, imp := range tr.Impressions {
+			sum += imp.ChargeCPM
+		}
+		return sum / float64(len(tr.Impressions))
+	}
+
+	if fp := trace(FirstPrice); meanCharge(fp) <= meanCharge(base) {
+		t.Error("first-price world should charge more than baseline")
+	}
+	encShare := func(tr *weblog.Trace) float64 {
+		n := 0
+		for _, imp := range tr.Impressions {
+			if imp.Encrypted {
+				n++
+			}
+		}
+		return float64(n) / float64(len(tr.Impressions))
+	}
+	if surge := trace(EncryptedSurge); encShare(surge) <= encShare(base) {
+		t.Error("encrypted-surge should raise the encrypted share")
+	}
+	bots := trace(BotNoise)
+	botUsers := 0
+	for _, u := range bots.Users {
+		if u.Bot {
+			botUsers++
+		}
+	}
+	if botUsers == 0 {
+		t.Error("bot-noise produced no bots")
+	}
+}

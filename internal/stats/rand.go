@@ -92,13 +92,24 @@ func (g *Rand) Bernoulli(p float64) bool { return g.r.Float64() < p }
 // which the trace generator relies on so a handful of top publishers (the
 // paper's MoPub/Adnxs skew, Fig 3) dominate.
 func (g *Rand) Zipf(s float64, n int) *Zipf {
+	z := NewZipf(s, n)
+	z.r = g
+	return z
+}
+
+// NewZipf builds the cumulative table of a Zipfian distribution over
+// [0, n) with exponent s > 1, unbound to any random stream. The table is
+// read-only after construction, so one NewZipf may be shared by any
+// number of concurrent samplers via Sample — the per-user substream
+// generators all draw from the same popularity table.
+func NewZipf(s float64, n int) *Zipf {
 	if n <= 0 {
 		n = 1
 	}
 	if s <= 1 {
 		s = 1.01
 	}
-	z := &Zipf{cum: make([]float64, n), r: g}
+	z := &Zipf{cum: make([]float64, n)}
 	total := 0.0
 	for i := 0; i < n; i++ {
 		total += 1 / math.Pow(float64(i+1), s)
@@ -116,9 +127,16 @@ type Zipf struct {
 	r   *Rand
 }
 
-// Next returns the next rank in [0, n).
-func (z *Zipf) Next() int {
-	u := z.r.Float64()
+// Next returns the next rank in [0, n), drawing from the stream the
+// sampler was built over. Panics on a NewZipf sampler (no bound stream);
+// use Sample there.
+func (z *Zipf) Next() int { return z.Sample(z.r) }
+
+// Sample returns the next rank in [0, n), drawing from r. The cumulative
+// table is never written, so concurrent Sample calls with distinct
+// streams are safe.
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
 	lo, hi := 0, len(z.cum)-1
 	for lo < hi {
 		mid := (lo + hi) / 2

@@ -1,0 +1,58 @@
+package stats
+
+import "math/rand"
+
+// This file implements keyed RNG substreams: independently seedable
+// random streams derived from a (master seed, stream id) pair. The trace
+// generator gives every synthetic user their own substream, which makes
+// each user's year of traffic derivable in isolation — the property the
+// parallel sharded generator relies on for its determinism contract
+// (same seed ⇒ bit-identical trace at any worker count).
+//
+// The generator is SplitMix64 (Steele, Lea, Flood — "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014): a 64-bit counter
+// advanced by an odd constant and passed through an avalanching
+// finalizer. Its guarantees fit the keying use case: every 64-bit state
+// produces a full-period stream, and the finalizer decorrelates streams
+// whose keys differ in a single bit.
+
+// splitmix64Gamma is the odd increment of the SplitMix64 counter
+// (the fractional part of the golden ratio in 64-bit fixed point).
+const splitmix64Gamma = 0x9e3779b97f4a7c15
+
+// Mix64 is the SplitMix64 finalizer: a bijective avalanching hash over
+// 64-bit values. Exposed so callers can derive secondary keys (e.g. an
+// auction-session seed from a user id) without constructing a stream.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// splitmix64 is a rand.Source64 over the SplitMix64 sequence.
+type splitmix64 struct {
+	state uint64
+}
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += splitmix64Gamma
+	return Mix64(s.state)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed re-keys the source (rand.Source interface).
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// NewSubstream returns the keyed substream (seed, streamID): a
+// deterministic Rand whose draws are decorrelated from every other
+// streamID under the same master seed. Substreams carry the full Rand
+// sampler surface (Poisson, log-normal, Zipf, weighted choice, …), so a
+// per-user generation loop runs entirely on its own stream.
+func NewSubstream(seed int64, streamID uint64) *Rand {
+	src := &splitmix64{state: Mix64(uint64(seed)) ^ Mix64(streamID^splitmix64Gamma)}
+	return &Rand{r: rand.New(src)}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMix64Avalanche(t *testing.T) {
+	// Single-bit input flips must change roughly half the output bits.
+	base := Mix64(0x12345678)
+	for bit := 0; bit < 64; bit++ {
+		flipped := Mix64(0x12345678 ^ (1 << bit))
+		diff := base ^ flipped
+		ones := 0
+		for d := diff; d != 0; d &= d - 1 {
+			ones++
+		}
+		if ones < 10 || ones > 54 {
+			t.Errorf("bit %d: only %d output bits changed", bit, ones)
+		}
+	}
+	if Mix64(0) == 0 && Mix64(1) == 0 {
+		t.Error("degenerate finalizer")
+	}
+}
+
+func TestSubstreamDeterministic(t *testing.T) {
+	a := NewSubstream(99, 1234)
+	b := NewSubstream(99, 1234)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed, id) substreams diverge")
+		}
+	}
+	// Different ids under the same master seed must decorrelate.
+	c := NewSubstream(99, 1235)
+	d := NewSubstream(99, 1234)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c.Intn(1000) == d.Intn(1000) {
+			same++
+		}
+	}
+	if same > 30 {
+		t.Errorf("neighbouring substreams agree on %d/1000 draws", same)
+	}
+}
+
+// TestSubstreamUniform is a coarse distribution smoke test: the keyed
+// source must still drive math/rand's samplers sensibly.
+func TestSubstreamUniform(t *testing.T) {
+	r := NewSubstream(7, 42)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ≈0.5", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("variance = %v, want ≈1/12", variance)
+	}
+}
+
+func TestSharedZipfSample(t *testing.T) {
+	z := NewZipf(1.15, 100)
+	// Sample with an explicit stream matches a bound sampler over the
+	// same stream: Next is Sample(bound stream).
+	g1 := NewRand(3)
+	g2 := NewRand(3)
+	bound := g1.Zipf(1.15, 100)
+	for i := 0; i < 500; i++ {
+		if bound.Next() != z.Sample(g2) {
+			t.Fatal("shared table diverges from bound sampler")
+		}
+	}
+	// Rank 0 must dominate.
+	r := NewSubstream(1, 2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Errorf("Zipf head not dominant: %d, %d, %d", counts[0], counts[1], counts[10])
+	}
+}

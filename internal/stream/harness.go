@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/hist"
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/pmeserver"
 	"yourandvalue/internal/useragent"
@@ -66,7 +67,7 @@ type LoadReport struct {
 	Errors      int64 // transport or non-2xx failures
 	// Hist keys: "model", "contribute", "estimate", "stream" (the last
 	// populated only under StreamEstimate).
-	Hist map[string]*Histogram
+	Hist map[string]*hist.Histogram
 }
 
 // Throughput returns completed operation cycles per second.
@@ -97,8 +98,8 @@ type clientStats struct {
 	ops, contributed, estimated   int64
 	modelPolls, notModified       int64
 	poolFull, errors              int64
-	model, contribute, estimateHG Histogram
-	streamHG                      Histogram
+	model, contribute, estimateHG hist.Histogram
+	streamHG                      hist.Histogram
 }
 
 // RunLoad executes the load test and reports throughput, latency
@@ -170,7 +171,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	report := &LoadReport{
 		Clients: cfg.Clients,
 		Elapsed: elapsed,
-		Hist: map[string]*Histogram{
+		Hist: map[string]*hist.Histogram{
 			"model": {}, "contribute": {}, "estimate": {}, "stream": {},
 		},
 	}

@@ -9,10 +9,11 @@ import (
 )
 
 // GeneratorSource synthesizes the weblog on the fly through
-// weblog.GenerateStream: users are generated one at a time, each user's
-// year of requests emitted in time order followed by an EventUserDone
-// marker, so peak memory stays bounded by a single user's records no
-// matter how large the configured population is.
+// weblog.GenerateStream: each user's year of requests is emitted in
+// time order followed by an EventUserDone marker, so peak memory stays
+// bounded by in-flight user records — one user when Config.Workers ≤ 1,
+// or the parallel driver's reorder window (~2×Workers user traces)
+// otherwise — no matter how large the configured population is.
 type GeneratorSource struct {
 	cfg     weblog.Config
 	catalog *weblog.Catalog

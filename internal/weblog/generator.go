@@ -3,10 +3,12 @@ package weblog
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"yourandvalue/internal/detect"
 	"yourandvalue/internal/geoip"
+	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/rtb"
 	"yourandvalue/internal/stats"
 	"yourandvalue/internal/useragent"
@@ -30,6 +32,14 @@ type Config struct {
 	BackgroundPerSession float64
 	// Ecosystem overrides the default RTB simulator when non-nil.
 	Ecosystem *rtb.Ecosystem
+	// Population overrides the default user-base mix when non-nil.
+	Population *Population
+	// Workers is the number of users generated concurrently; values
+	// below 2 generate serially. Because every user draws from their own
+	// keyed RNG substream, the emitted trace is bit-identical at any
+	// worker count — Workers trades memory (a bounded reorder window of
+	// ~2×Workers user traces) for wall-clock speed only.
+	Workers int
 }
 
 // DefaultConfig reproduces the paper's dataset-D scale.
@@ -60,10 +70,13 @@ func (c Config) Scaled(f float64) Config {
 // Normalized returns the configuration Generate actually runs: a config
 // without a positive population falls back to DefaultConfig wholesale
 // (the historical contract), and zero Year/Sites/Apps take their
-// defaults. Normalized is idempotent and does not touch Ecosystem.
+// defaults. Normalized is idempotent and does not touch Ecosystem,
+// Population or Workers.
 func (c Config) Normalized() Config {
 	if c.Users <= 0 || c.Impressions <= 0 {
+		eco, pop, workers := c.Ecosystem, c.Population, c.Workers
 		c = DefaultConfig()
+		c.Ecosystem, c.Population, c.Workers = eco, pop, workers
 	}
 	if c.Year == 0 {
 		c.Year = 2015
@@ -75,6 +88,14 @@ func (c Config) Normalized() Config {
 		c.Apps = 150
 	}
 	return c
+}
+
+// population resolves the configured population (default when nil).
+func (c Config) population() Population {
+	if c.Population != nil {
+		return *c.Population
+	}
+	return DefaultPopulation()
 }
 
 // diurnal weights the hour-of-day at which sessions start.
@@ -92,25 +113,30 @@ var (
 )
 
 // Generate materializes a synthetic year-long trace per the config. The
-// result is deterministic in Config.Seed. Generate is the batch form of
-// GenerateStream: it accumulates every user's records and applies the
-// global time sort.
+// result is deterministic in Config.Seed at any Config.Workers count.
+// Generate is the batch form of GenerateStream: it accumulates every
+// user's records and applies the global time sort.
 func Generate(cfg Config) *Trace {
 	cfg = cfg.Normalized()
 	catalog := NewCatalog(cfg.Sites, cfg.Apps)
 	trace := &Trace{Catalog: catalog, Year: cfg.Year}
-	// GenerateStream never fails when yield never fails.
-	_ = GenerateStream(cfg, catalog, func(ut UserTrace) error {
+	err := GenerateStream(cfg, catalog, func(ut UserTrace) error {
 		trace.Users = append(trace.Users, ut.User)
 		trace.Requests = append(trace.Requests, ut.Requests...)
 		trace.Impressions = append(trace.Impressions, ut.Impressions...)
 		trace.Symbols = ut.Symbols
 		return nil
 	})
+	if err != nil {
+		// The yield above never fails, so the only possible error is an
+		// invalid Config.Population — programmer error on this
+		// error-less batch API. Fail loudly rather than hand every
+		// downstream stage a silently empty trace.
+		panic("weblog: " + err.Error())
+	}
 	// Each user's records arrive pre-sorted, so the stable global sort
-	// reproduces exactly the order the historical single-pass generator
-	// produced: ties keep generation order within a user, and users keep
-	// their relative generation order across equal timestamps.
+	// keeps generation order within a user on ties, and users keep their
+	// relative id order across equal timestamps.
 	sort.SliceStable(trace.Requests, func(i, j int) bool {
 		return trace.Requests[i].Time.Before(trace.Requests[j].Time)
 	})
@@ -124,9 +150,9 @@ func Generate(cfg Config) *Trace {
 // emits it: requests stable-sorted by time (matching the user's relative
 // record order in the fully sorted batch trace) together with the
 // generator-side ground truth behind their RTB impressions. The slices
-// are owned by the callee. Symbols is the stream-wide interner behind
-// the records' dense ids — the same table instance on every yield, and
-// still being extended until the final yield returns.
+// are owned by the callee. Symbols is the trace-wide interner behind the
+// records' dense ids — frozen before generation starts, so the same
+// table instance is complete on every yield.
 type UserTrace struct {
 	User        User
 	Requests    []Request
@@ -135,19 +161,27 @@ type UserTrace struct {
 }
 
 // GenerateStream is the incremental form of Generate: it synthesizes the
-// same trace user by user, calling yield once per user with that user's
-// complete traffic, so peak memory stays bounded by a single user's
-// records instead of the whole population's. cat overrides the browsing
-// catalog when non-nil (it must be a NewCatalog of the config's sizes);
-// nil builds one. A non-nil error from yield stops generation and is
-// returned.
+// same trace user by user, calling yield once per user (in user-id
+// order) with that user's complete traffic, so peak memory stays bounded
+// by the reorder window's worth of user records instead of the whole
+// population's. cat overrides the browsing catalog when non-nil (it must
+// be a NewCatalog of the config's sizes); nil builds one. A non-nil
+// error from yield stops generation and is returned.
 //
-// Determinism: GenerateStream consumes the seeded RNG in exactly the
-// order the batch generator historically did, so concatenating every
-// yielded UserTrace and stable-sorting by time is bit-identical to
-// Generate(cfg) — Generate is implemented on top of this function.
+// Determinism contract: every user draws from their own keyed RNG
+// substream — NewSubstream(seed, userID) for traffic and an auction
+// Session keyed the same way for impressions — and the interned-symbol
+// vocabulary is frozen before generation starts. Each user's trace is
+// therefore derivable in isolation, and the emitted stream (hence
+// Generate's sorted batch trace) is bit-identical for a given
+// (seed, scenario) at ANY Config.Workers count. internal/weblog's
+// parallel determinism test pins this under -race.
 func GenerateStream(cfg Config, cat *Catalog, yield func(UserTrace) error) error {
 	cfg = cfg.Normalized()
+	pop := cfg.population()
+	if err := pop.Validate(); err != nil {
+		return err
+	}
 	rng := stats.NewRand(cfg.Seed)
 	eco := cfg.Ecosystem
 	if eco == nil {
@@ -157,7 +191,7 @@ func GenerateStream(cfg Config, cat *Catalog, yield func(UserTrace) error) error
 		cat = NewCatalog(cfg.Sites, cfg.Apps)
 	}
 
-	users := makeUsers(cfg, rng)
+	users := makeUsers(cfg, pop, rng)
 
 	// Auction probability per session calibrated so the expected RTB
 	// impression count meets the target.
@@ -171,85 +205,189 @@ func GenerateStream(cfg Config, cat *Catalog, yield func(UserTrace) error) error
 	}
 	adRate := float64(cfg.Impressions) / expectedSessions // may exceed 1
 
-	g := &generator{cfg: cfg, rng: rng, eco: eco, catalog: cat, syms: detect.NewSymbolTable()}
-	siteZipf := rng.Zipf(1.15, len(cat.Sites))
-	appZipf := rng.Zipf(1.15, len(cat.Apps))
+	shared := &sharedGen{
+		cfg:      cfg,
+		eco:      eco,
+		catalog:  cat,
+		syms:     preinternVocab(cat, eco),
+		siteZipf: stats.NewZipf(1.15, len(cat.Sites)),
+		appZipf:  stats.NewZipf(1.15, len(cat.Apps)),
+		adRate:   adRate,
+		days:     days,
+		start:    time.Date(cfg.Year, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
 
-	start := time.Date(cfg.Year, 1, 1, 0, 0, 0, 0, time.UTC)
-	for ui := range users {
-		u := &users[ui]
-		g.reqs, g.imps = nil, nil
-		webUA := useragent.Build(useragent.Spec{
-			OS: u.OS, Type: u.Device, Origin: useragent.MobileWeb,
-		})
-		appUA := useragent.Build(useragent.Spec{
-			OS: u.OS, Type: u.Device, Origin: useragent.MobileApp,
-			App: fmt.Sprintf("com.user%04d.app", u.ID),
-		})
-		for day := 0; day < days; day++ {
-			n := rng.Poisson(u.SessionsPerDay)
-			for s := 0; s < n; s++ {
-				hour := rng.WeightedChoice(diurnal[:])
-				ts := start.Add(time.Duration(day)*24*time.Hour +
-					time.Duration(hour)*time.Hour +
-					time.Duration(rng.Intn(3600))*time.Second)
-				inApp := rng.Float64() < u.AppAffinity
-				var prop Property
-				var ua string
-				if inApp {
-					prop = cat.Apps[appZipf.Next()]
-					ua = appUA
-				} else {
-					prop = cat.Sites[siteZipf.Next()]
-					ua = webUA
-				}
-				g.session(u, ts, prop, ua, inApp, adRate)
-			}
+	gen := func(u *User) UserTrace {
+		g := &userGen{
+			sharedGen: shared,
+			rng:       stats.NewSubstream(cfg.Seed, uint64(u.ID)),
+			ses: eco.NewSubstreamSession(cfg.Seed+1, uint64(u.ID),
+				fmt.Sprintf("u%04d-", u.ID)),
 		}
+		g.user(u)
 		sort.SliceStable(g.reqs, func(i, j int) bool {
 			return g.reqs[i].Time.Before(g.reqs[j].Time)
 		})
 		sort.SliceStable(g.imps, func(i, j int) bool {
 			return g.imps[i].Ctx.Time.Before(g.imps[j].Ctx.Time)
 		})
-		if err := yield(UserTrace{User: *u, Requests: g.reqs, Impressions: g.imps, Symbols: g.syms}); err != nil {
-			return err
-		}
+		return UserTrace{User: *u, Requests: g.reqs, Impressions: g.imps, Symbols: shared.syms}
 	}
-	return nil
+
+	workers := cfg.Workers
+	if workers > len(users) {
+		workers = len(users)
+	}
+	if workers < 2 {
+		for ui := range users {
+			if err := yield(gen(&users[ui])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return generateParallel(users, workers, gen, yield)
 }
 
-type generator struct {
-	cfg     Config
-	rng     *stats.Rand
-	eco     *rtb.Ecosystem
-	catalog *Catalog
-	syms    *detect.SymbolTable
-	// reqs and imps buffer the user currently being generated.
+// generateParallel is the sharded driver: workers generate users
+// concurrently while the emitter yields them strictly in user order
+// through a bounded reorder ring, so memory stays bounded by ~2×workers
+// user traces and the yield sequence is identical to the serial path.
+func generateParallel(users []User, workers int,
+	gen func(*User) UserTrace, yield func(UserTrace) error) error {
+	window := workers * 2
+	ring := make([]chan UserTrace, window)
+	for i := range ring {
+		ring[i] = make(chan UserTrace, 1)
+	}
+	sem := make(chan struct{}, window) // in-flight (dispatched, un-yielded) users
+	done := make(chan struct{})
+	jobs := make(chan int)
+
+	// Dispatcher: hands out user indices in order, never running more
+	// than `window` ahead of the emitter. That bound is what makes the
+	// ring slots single-writer: by the time user i+window is dispatched,
+	// user i's slot has been consumed.
+	go func() {
+		defer close(jobs)
+		for i := range users {
+			select {
+			case sem <- struct{}{}:
+			case <-done:
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ut := gen(&users[i])
+				select {
+				case ring[i%window] <- ut:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	var err error
+	for i := range users {
+		ut := <-ring[i%window]
+		if err = yield(ut); err != nil {
+			break
+		}
+		<-sem
+	}
+	close(done)
+	wg.Wait()
+	return err
+}
+
+// sharedGen is the read-only state every worker shares: the config, the
+// ecosystem (immutable roster/market/adoption), the catalog, the frozen
+// symbol table, and the popularity tables. Nothing here is written
+// during generation.
+type sharedGen struct {
+	cfg      Config
+	eco      *rtb.Ecosystem
+	catalog  *Catalog
+	syms     *detect.SymbolTable
+	siteZipf *stats.Zipf
+	appZipf  *stats.Zipf
+	adRate   float64
+	days     int
+	start    time.Time
+}
+
+// userGen generates exactly one user's year of traffic from that user's
+// private RNG substream and auction session.
+type userGen struct {
+	*sharedGen
+	rng  *stats.Rand
+	ses  *rtb.Session
 	reqs []Request
 	imps []ImpressionTruth
 }
 
-func (g *generator) emit(r Request) { g.reqs = append(g.reqs, r) }
+// user synthesizes the full year for u.
+func (g *userGen) user(u *User) {
+	webUA := useragent.Build(useragent.Spec{
+		OS: u.OS, Type: u.Device, Origin: useragent.MobileWeb,
+	})
+	appUA := useragent.Build(useragent.Spec{
+		OS: u.OS, Type: u.Device, Origin: useragent.MobileApp,
+		App: fmt.Sprintf("com.user%04d.app", u.ID),
+	})
+	for day := 0; day < g.days; day++ {
+		n := g.rng.Poisson(u.SessionsPerDay)
+		for s := 0; s < n; s++ {
+			hour := g.rng.WeightedChoice(diurnal[:])
+			ts := g.start.Add(time.Duration(day)*24*time.Hour +
+				time.Duration(hour)*time.Hour +
+				time.Duration(g.rng.Intn(3600))*time.Second)
+			inApp := g.rng.Float64() < u.AppAffinity
+			var prop Property
+			var ua string
+			if inApp {
+				prop = g.catalog.Apps[g.appZipf.Sample(g.rng)]
+				ua = appUA
+			} else {
+				prop = g.catalog.Sites[g.siteZipf.Sample(g.rng)]
+				ua = webUA
+			}
+			g.session(u, ts, prop, ua, inApp)
+		}
+	}
+}
 
-// request emits one record with its interned views. Only strings from
-// bounded vocabularies are interned — hosts (catalog plus fixed
-// third-party sets) and the shared web user agents. Per-user-unique
-// strings (the com.userNNNN.app UA, the client IP) stay string-typed:
-// interning them would grow the stream-wide SymbolTable linearly with
-// users streamed, breaking GenerateStream's bounded-memory contract,
-// and the detection engine's string-keyed caches evict them at user
-// boundaries anyway.
-func (g *generator) request(u *User, ts time.Time, rawURL, host, ua string, inApp bool, meanBytes float64) {
+func (g *userGen) emit(r Request) { g.reqs = append(g.reqs, r) }
+
+// request emits one record with its interned views. The symbol table is
+// frozen before generation, so these are pure lookups — only strings
+// from bounded vocabularies (hosts, shared web user agents) carry
+// symbols; per-user-unique strings (the com.userNNNN.app UA, the client
+// IP) stay string-typed, as interning them would grow the table linearly
+// with users and break the bounded-memory streaming contract.
+func (g *userGen) request(u *User, ts time.Time, rawURL, host, ua string, inApp bool, meanBytes float64) {
 	r := Request{
 		Time: ts, UserID: u.ID, URL: rawURL, Host: host,
 		UserAgent: ua, ClientIP: u.IP,
 		Bytes:      int64(g.rng.LogNormalMeanStd(meanBytes, meanBytes)),
 		DurationMS: g.rng.LogNormalMeanStd(180, 150),
-		HostSym:    g.syms.Hosts.Intern(host),
+		HostSym:    g.syms.Hosts.Lookup(host),
 	}
 	if !inApp {
-		r.AgentSym = g.syms.Agents.Intern(ua)
+		r.AgentSym = g.syms.Agents.Lookup(ua)
 	}
 	g.emit(r)
 }
@@ -258,7 +396,7 @@ func (g *generator) request(u *User, ts time.Time, rawURL, host, ua string, inAp
 // app API call), background third-party traffic, occasional cookie syncs
 // and beacons, and — with probability adRate — an RTB auction whose nURL
 // lands in the trace.
-func (g *generator) session(u *User, ts time.Time, prop Property, ua string, inApp bool, adRate float64) {
+func (g *userGen) session(u *User, ts time.Time, prop Property, ua string, inApp bool) {
 	rng := g.rng
 	pageURL := "http://" + prop.Domain + "/"
 	if prop.IsApp() {
@@ -299,8 +437,8 @@ func (g *generator) session(u *User, ts time.Time, prop Property, ua string, inA
 	}
 
 	// RTB auctions for this session's ad slots.
-	k := int(adRate)
-	if rng.Float64() < adRate-float64(k) {
+	k := int(g.adRate)
+	if rng.Float64() < g.adRate-float64(k) {
 		k++
 	}
 	for i := 0; i < k; i++ {
@@ -309,7 +447,7 @@ func (g *generator) session(u *User, ts time.Time, prop Property, ua string, inA
 	}
 }
 
-func (g *generator) auction(u *User, ts time.Time, prop Property, ua string, inApp bool) {
+func (g *userGen) auction(u *User, ts time.Time, prop Property, ua string, inApp bool) {
 	month := int(ts.Month())
 	origin := useragent.MobileWeb
 	if prop.IsApp() {
@@ -327,7 +465,7 @@ func (g *generator) auction(u *User, ts time.Time, prop Property, ua string, inA
 		UserValue: u.ValueMultiplier,
 		Year2016:  g.cfg.Year >= 2016,
 	}
-	res, ok := g.eco.Serve(ctx, monthIndex(g.cfg.Year, month))
+	res, ok := g.ses.Serve(ctx, monthIndex(g.cfg.Year, month))
 	if !ok {
 		return
 	}
@@ -338,10 +476,52 @@ func (g *generator) auction(u *User, ts time.Time, prop Property, ua string, inA
 		ADX: res.ADX.Name, DSP: res.Winner.Name,
 		ChargeCPM: res.ChargeCPM, Encrypted: res.Encrypted,
 		NURL:         res.NURL,
-		ADXSym:       g.syms.Names.Intern(res.ADX.Name),
-		DSPSym:       g.syms.Names.Intern(res.Winner.Name),
-		PublisherSym: g.syms.Hosts.Intern(prop.Domain),
+		ADXSym:       g.syms.Names.Lookup(res.ADX.Name),
+		DSPSym:       g.syms.Names.Lookup(res.Winner.Name),
+		PublisherSym: g.syms.Hosts.Lookup(prop.Domain),
 	})
+}
+
+// preinternVocab builds the trace's symbol table up front: every bounded
+// vocabulary the generator emits — catalog and third-party hosts, the
+// exchanges' notification hosts, the shared web user agents, and the ad
+// entity names — is interned in a deterministic order before any worker
+// starts. The table is read-only from then on, which is what lets the
+// parallel workers share it without locks and keeps symbol ids identical
+// at every worker count.
+func preinternVocab(cat *Catalog, eco *rtb.Ecosystem) *detect.SymbolTable {
+	syms := detect.NewSymbolTable()
+	for _, p := range cat.Sites {
+		syms.Hosts.Intern(p.Domain)
+	}
+	for _, p := range cat.Apps {
+		syms.Hosts.Intern(p.Domain)
+	}
+	for _, hosts := range [][]string{cdnHosts, analyticsHosts, socialHosts, syncHosts} {
+		for _, h := range hosts {
+			syms.Hosts.Intern(h)
+		}
+	}
+	for _, adx := range eco.ADXs {
+		// The notification host is however the exchange's descriptor
+		// renders it; derive it by building a throwaway notification
+		// rather than duplicating nurl's host table here.
+		syms.Hosts.Intern(hostOf(nurl.Build(adx.Exchange, nurl.BuildSpec{PriceCPM: 1})))
+		syms.Names.Intern(adx.Name)
+		for _, d := range adx.DSPs {
+			syms.Names.Intern(d.Name)
+		}
+	}
+	for _, os := range []useragent.OS{
+		useragent.Android, useragent.IOS, useragent.WindowsMobile, useragent.OSOther,
+	} {
+		for _, dev := range []useragent.DeviceType{useragent.Smartphone, useragent.Tablet} {
+			syms.Agents.Intern(useragent.Build(useragent.Spec{
+				OS: os, Type: dev, Origin: useragent.MobileWeb,
+			}))
+		}
+	}
+	return syms
 }
 
 // monthIndex converts a calendar month of the trace year into the
@@ -364,7 +544,7 @@ func hostOf(rawURL string) string {
 	return s
 }
 
-func makeUsers(cfg Config, rng *stats.Rand) []User {
+func makeUsers(cfg Config, pop Population, rng *stats.Rand) []User {
 	cities := geoip.AllCities()
 	cityWeights := make([]float64, len(cities))
 	for i, c := range cities {
@@ -373,36 +553,39 @@ func makeUsers(cfg Config, rng *stats.Rand) []User {
 	users := make([]User, cfg.Users)
 	for i := range users {
 		city := cities[rng.WeightedChoice(cityWeights)]
-		var os useragent.OS
-		switch r := rng.Float64(); {
-		case r < 0.62:
-			os = useragent.Android
-		case r < 0.93:
-			os = useragent.IOS
-		case r < 0.98:
-			os = useragent.WindowsMobile
-		default:
-			os = useragent.OSOther
-		}
+		os := pop.sampleOS(rng)
 		dev := useragent.Smartphone
-		if rng.Float64() < 0.18 {
+		if rng.Float64() < pop.TabletShare {
 			dev = useragent.Tablet
 		}
 		value := rng.LogNormal(-0.125, 0.5)
-		if rng.Float64() < 0.02 { // whales, §6.2's ~2% of users
+		if rng.Float64() < pop.WhaleShare { // whales, §6.2's ~2% of users
 			value *= 8 + rng.Float64()*32
 		}
-		users[i] = User{
+		u := User{
 			ID:              i,
 			City:            city,
 			OS:              os,
 			Device:          dev,
 			IP:              geoip.AddrFor(city, uint16(i)),
 			ValueMultiplier: value,
-			SessionsPerDay:  rng.LogNormal(-1.2, 0.9), // median ≈0.30/day
-			AppAffinity:     0.30 + 0.50*rng.Float64(),
+			SessionsPerDay:  rng.LogNormal(pop.SessionsMu, pop.SessionsSigma),
+			AppAffinity:     pop.AppAffinityBase + pop.AppAffinitySpan*rng.Float64(),
 			SyncID:          fmt.Sprintf("uid-%08x%08x", rng.Int63()&0xFFFFFFFF, i),
 		}
+		// The short-circuit keeps bot-free populations (the default)
+		// from consuming an extra draw per user.
+		if pop.BotShare > 0 && rng.Float64() < pop.BotShare {
+			// Automated traffic: many short sessions, almost never
+			// in-app, and a value the DMPs heavily discount without
+			// zeroing — undetected bots still cost advertisers money,
+			// which is exactly what the bot-noise scenario measures.
+			u.Bot = true
+			u.SessionsPerDay = rng.LogNormal(0.7, 0.4)
+			u.AppAffinity = 0.02 + 0.08*rng.Float64()
+			u.ValueMultiplier = value * 0.25
+		}
+		users[i] = u
 	}
 	return users
 }

@@ -1,0 +1,202 @@
+package weblog
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"yourandvalue/internal/useragent"
+)
+
+// TestGenerateParallelDeterminism is the determinism contract of the
+// sharded generator: the same seed and scenario produce a bit-identical
+// trace — users, requests, impression ground truth and symbol table —
+// at ANY worker count. Run under -race in CI, it also proves the
+// workers share no mutable state.
+func TestGenerateParallelDeterminism(t *testing.T) {
+	base := smallConfig(31)
+	var ref *Trace
+	for _, workers := range []int{1, 4, 7} {
+		cfg := base
+		cfg.Workers = workers
+		tr := Generate(cfg)
+		if ref == nil {
+			ref = tr
+			continue
+		}
+		if !reflect.DeepEqual(tr.Users, ref.Users) {
+			t.Fatalf("workers=%d: population differs from serial", workers)
+		}
+		if !reflect.DeepEqual(tr.Requests, ref.Requests) {
+			t.Fatalf("workers=%d: requests differ from serial (%d vs %d records)",
+				workers, len(tr.Requests), len(ref.Requests))
+		}
+		if !reflect.DeepEqual(tr.Impressions, ref.Impressions) {
+			t.Fatalf("workers=%d: impression truth differs from serial", workers)
+		}
+		if !reflect.DeepEqual(tr.Symbols, ref.Symbols) {
+			t.Fatalf("workers=%d: symbol tables differ from serial", workers)
+		}
+	}
+}
+
+// TestGenerateStreamParallelOrderAndError: the parallel driver yields
+// users strictly in id order, and a failing yield stops generation with
+// the callee's error without deadlocking the workers.
+func TestGenerateStreamParallelOrderAndError(t *testing.T) {
+	cfg := smallConfig(9)
+	cfg.Workers = 4
+
+	next := 0
+	if err := GenerateStream(cfg, nil, func(ut UserTrace) error {
+		if ut.User.ID != next {
+			t.Fatalf("yield out of order: got user %d, want %d", ut.User.ID, next)
+		}
+		next++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next == 0 {
+		t.Fatal("no users yielded")
+	}
+
+	wantErr := errors.New("stop")
+	calls := 0
+	err := GenerateStream(cfg, nil, func(UserTrace) error {
+		calls++
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if calls != 1 {
+		t.Fatalf("yield called %d times after error, want 1", calls)
+	}
+}
+
+// TestGenerateWorkersClamp: worker counts beyond the population and
+// below 1 both behave (serial fallback / clamp), still deterministically.
+func TestGenerateWorkersClamp(t *testing.T) {
+	cfg := smallConfig(12)
+	ref := Generate(cfg)
+	for _, workers := range []int{-3, 0, 1, 1000} {
+		cfg.Workers = workers
+		tr := Generate(cfg)
+		if !reflect.DeepEqual(tr.Requests, ref.Requests) {
+			t.Fatalf("workers=%d diverges", workers)
+		}
+	}
+}
+
+// TestPopulationValidate covers the scenario-facing validation surface.
+func TestPopulationValidate(t *testing.T) {
+	if err := DefaultPopulation().Validate(); err != nil {
+		t.Fatalf("default population invalid: %v", err)
+	}
+	bad := DefaultPopulation()
+	bad.BotShare = 1.5
+	if bad.Validate() == nil {
+		t.Error("bot share > 1 accepted")
+	}
+	bad = DefaultPopulation()
+	bad.AndroidShare, bad.IOSShare, bad.WindowsShare, bad.OtherOSShare = 0, 0, 0, 0
+	if bad.Validate() == nil {
+		t.Error("all-zero OS mix accepted")
+	}
+	bad = DefaultPopulation()
+	bad.AppAffinityBase, bad.AppAffinitySpan = 0.8, 0.5
+	if bad.Validate() == nil {
+		t.Error("app affinity range past 1 accepted")
+	}
+	bad = DefaultPopulation()
+	bad.SessionsSigma = -1
+	if bad.Validate() == nil {
+		t.Error("negative sessions sigma accepted")
+	}
+	// Generate surfaces the validation error.
+	cfg := smallConfig(1)
+	cfg.Population = &bad
+	if err := GenerateStream(cfg, nil, func(UserTrace) error { return nil }); err == nil {
+		t.Error("GenerateStream accepted an invalid population")
+	}
+}
+
+// TestBotPopulation: a bot-heavy population marks bots, gives them heavy
+// session rates, near-zero app usage and discounted value.
+func TestBotPopulation(t *testing.T) {
+	pop := DefaultPopulation()
+	pop.BotShare = 0.3
+	cfg := DefaultConfig().Scaled(0.15)
+	cfg.Seed = 21
+	cfg.Population = &pop
+	tr := Generate(cfg)
+
+	bots, humans := 0, 0
+	var botSessions, humanSessions float64
+	for _, u := range tr.Users {
+		if u.Bot {
+			bots++
+			botSessions += u.SessionsPerDay
+			if u.AppAffinity > 0.1 {
+				t.Fatalf("bot %d has app affinity %v", u.ID, u.AppAffinity)
+			}
+		} else {
+			humans++
+			humanSessions += u.SessionsPerDay
+		}
+	}
+	share := float64(bots) / float64(len(tr.Users))
+	if share < 0.2 || share > 0.4 {
+		t.Errorf("bot share = %v, want ≈0.3", share)
+	}
+	if botSessions/float64(bots) <= 2*humanSessions/float64(humans) {
+		t.Error("bots should browse much more than humans")
+	}
+}
+
+// TestMobileHeavyPopulation: an OS mix override shifts the generated
+// population accordingly.
+func TestMobileHeavyPopulation(t *testing.T) {
+	pop := DefaultPopulation()
+	pop.AndroidShare, pop.IOSShare, pop.WindowsShare, pop.OtherOSShare = 0.85, 0.13, 0.01, 0.01
+	pop.AppAffinityBase, pop.AppAffinitySpan = 0.6, 0.35
+	cfg := DefaultConfig().Scaled(0.15)
+	cfg.Seed = 22
+	cfg.Population = &pop
+	tr := Generate(cfg)
+
+	android := 0
+	for _, u := range tr.Users {
+		if u.OS == useragent.Android {
+			android++
+		}
+		if u.AppAffinity < 0.6 {
+			t.Fatalf("user %d app affinity %v below configured base", u.ID, u.AppAffinity)
+		}
+	}
+	if share := float64(android) / float64(len(tr.Users)); share < 0.75 {
+		t.Errorf("android share = %v under a 0.85 mix", share)
+	}
+}
+
+// BenchmarkGenerateParallel measures the sharded generator at 1/4/8
+// workers over the same seed; the 4-worker run is the acceptance
+// criterion's ≥2× speedup checkpoint.
+func BenchmarkGenerateParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig().Scaled(0.1)
+			cfg.Seed = 42
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr := Generate(cfg)
+				if len(tr.Requests) == 0 {
+					b.Fatal("empty trace")
+				}
+			}
+		})
+	}
+}

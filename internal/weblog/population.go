@@ -1,0 +1,108 @@
+package weblog
+
+import (
+	"fmt"
+
+	"yourandvalue/internal/stats"
+	"yourandvalue/internal/useragent"
+)
+
+// Population parameterizes the synthetic user base: the device/OS mix,
+// the whale share, bot-traffic contamination, and the traffic-shape
+// latents each user is drawn with. The zero value is invalid; start
+// from DefaultPopulation. Scenarios (internal/scenario) select
+// populations by name — the generator itself only sees this struct.
+type Population struct {
+	// OS mix shares; normalized over their sum when users are drawn.
+	AndroidShare float64 `json:"android_share"`
+	IOSShare     float64 `json:"ios_share"`
+	WindowsShare float64 `json:"windows_share"`
+	OtherOSShare float64 `json:"other_os_share"`
+
+	// TabletShare is the fraction of users on tablets rather than
+	// smartphones.
+	TabletShare float64 `json:"tablet_share"`
+
+	// WhaleShare is the fraction of users whose value multiplier is
+	// re-drawn 8–40× (paper §6.2's ~2%).
+	WhaleShare float64 `json:"whale_share"`
+
+	// BotShare is the fraction of the population that is automated
+	// traffic: headless fetchers with many short sessions, negligible
+	// app usage, and a heavily discounted (but nonzero — the DMPs have
+	// not caught them) advertiser value. Zero in the paper's world.
+	BotShare float64 `json:"bot_share"`
+
+	// SessionsMu and SessionsSigma parameterize the log-normal
+	// per-user browsing-session rate (sessions/day).
+	SessionsMu    float64 `json:"sessions_mu"`
+	SessionsSigma float64 `json:"sessions_sigma"`
+
+	// AppAffinityBase and AppAffinitySpan bound the per-user probability
+	// that a session happens in an app: affinity ∈ [Base, Base+Span).
+	AppAffinityBase float64 `json:"app_affinity_base"`
+	AppAffinitySpan float64 `json:"app_affinity_span"`
+}
+
+// DefaultPopulation reproduces the paper's dataset-D population: the
+// Figure 8 OS mix (Android ≈2× iOS), 18% tablets, 2% whales, no bots,
+// and a median session rate of ≈0.30/day.
+func DefaultPopulation() Population {
+	return Population{
+		AndroidShare: 0.62, IOSShare: 0.31, WindowsShare: 0.05, OtherOSShare: 0.02,
+		TabletShare:     0.18,
+		WhaleShare:      0.02,
+		SessionsMu:      -1.2,
+		SessionsSigma:   0.9,
+		AppAffinityBase: 0.30,
+		AppAffinitySpan: 0.50,
+	}
+}
+
+// Validate rejects populations no generator can draw from.
+func (p Population) Validate() error {
+	for _, s := range []struct {
+		name string
+		v    float64
+	}{
+		{"android_share", p.AndroidShare}, {"ios_share", p.IOSShare},
+		{"windows_share", p.WindowsShare}, {"other_os_share", p.OtherOSShare},
+		{"tablet_share", p.TabletShare}, {"whale_share", p.WhaleShare},
+		{"bot_share", p.BotShare},
+	} {
+		if s.v < 0 || s.v > 1 {
+			return fmt.Errorf("weblog: population %s %v out of [0,1]", s.name, s.v)
+		}
+	}
+	if p.AndroidShare+p.IOSShare+p.WindowsShare+p.OtherOSShare <= 0 {
+		return fmt.Errorf("weblog: population OS mix sums to zero")
+	}
+	if p.SessionsSigma < 0 {
+		return fmt.Errorf("weblog: negative sessions sigma")
+	}
+	if p.AppAffinityBase < 0 || p.AppAffinitySpan < 0 || p.AppAffinityBase+p.AppAffinitySpan > 1 {
+		return fmt.Errorf("weblog: app affinity range [%v, %v] out of [0,1]",
+			p.AppAffinityBase, p.AppAffinityBase+p.AppAffinitySpan)
+	}
+	return nil
+}
+
+// sampleOS draws an OS from the mix via a cumulative walk, consuming
+// exactly one uniform draw like the historical hardcoded thresholds
+// (r < 0.62 Android, < 0.93 iOS, < 0.98 Windows) did. The recomputed
+// cumulative sums can sit one ulp off those literals, so equivalence
+// with the pre-scenario generator is distributional, not bitwise.
+func (p Population) sampleOS(rng *stats.Rand) useragent.OS {
+	total := p.AndroidShare + p.IOSShare + p.WindowsShare + p.OtherOSShare
+	r := rng.Float64() * total
+	switch {
+	case r < p.AndroidShare:
+		return useragent.Android
+	case r < p.AndroidShare+p.IOSShare:
+		return useragent.IOS
+	case r < p.AndroidShare+p.IOSShare+p.WindowsShare:
+		return useragent.WindowsMobile
+	default:
+		return useragent.OSOther
+	}
+}

@@ -69,6 +69,9 @@ type User struct {
 	AppAffinity float64
 	// SyncID is the user identifier ad domains exchange in cookie syncs.
 	SyncID string
+	// Bot marks automated traffic (bot-noise scenarios): heavy session
+	// rates, near-zero app usage, and a discounted advertiser value.
+	Bot bool
 }
 
 // ImpressionTruth retains the generator-side ground truth for one RTB

@@ -167,7 +167,7 @@ func TestUserPopulationShape(t *testing.T) {
 func TestMakeUsersOSDistribution(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Users = 20000
-	users := makeUsers(cfg, stats.NewRand(17))
+	users := makeUsers(cfg, DefaultPopulation(), stats.NewRand(17))
 	counts := map[useragent.OS]int{}
 	for _, u := range users {
 		counts[u.OS]++

@@ -87,6 +87,18 @@ func WithSeed(seed int64) Option {
 	return func(p *Pipeline) { p.cfg.Seed = seed }
 }
 
+// WithScenario selects the simulated world by name from the
+// internal/scenario registry ("baseline", "first-price", "mobile-heavy",
+// "encrypted-surge", "bot-noise", …). The scenario parameterizes the
+// market (auction mechanism, floor policy, encryption adoption), the
+// population (OS/device mix, bot share) and the traffic shape; every
+// later stage — analysis, campaigns, training, estimation — runs
+// unchanged over the world it describes. Unknown names fail
+// NewPipeline's validation.
+func WithScenario(name string) Option {
+	return func(p *Pipeline) { p.cfg.Scenario = name }
+}
+
 // WithCampaignImpressions sets the per-setup delivery target of the
 // probing campaigns (§5.2 derives a 185 minimum at full rigor).
 func WithCampaignImpressions(n int) Option {
@@ -108,8 +120,11 @@ func WithProgress(fn func(StageEvent)) Option {
 	return func(p *Pipeline) { p.progress = fn }
 }
 
-// WithWorkers caps the goroutines the per-user estimation stage shards
-// across; the default is GOMAXPROCS.
+// WithWorkers caps the goroutines the sharded stages run: trace
+// generation (GenerateTrace's parallel per-user driver, whose reorder
+// window holds ~2×n user traces) and per-user cost estimation (batch
+// and streaming). The default is GOMAXPROCS. Stage outputs are
+// bit-identical at any worker count.
 func WithWorkers(n int) Option {
 	return func(p *Pipeline) { p.workers = n }
 }
@@ -192,15 +207,19 @@ type CampaignArtifact struct {
 	A2 *campaign.Report
 }
 
-// GenerateTrace runs stage 1: simulate the RTB ecosystem and generate the
-// weblog D through it.
+// GenerateTrace runs stage 1: simulate the configured scenario's RTB
+// ecosystem and generate the weblog D through it, sharding trace
+// generation across the pipeline's workers (the trace is bit-identical
+// at any worker count — per-user RNG substreams carry the determinism
+// contract).
 func (p *Pipeline) GenerateTrace(ctx context.Context) (*TraceArtifact, error) {
 	var art *TraceArtifact
 	err := p.runStage(ctx, StageGenerateTrace, func() error {
-		eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: p.cfg.Seed + 1})
-		wcfg := weblog.DefaultConfig().Scaled(p.cfg.Scale)
-		wcfg.Seed = p.cfg.Seed
+		sc := p.cfg.ResolvedScenario()
+		eco := sc.NewEcosystem(p.cfg.Seed + 1)
+		wcfg := sc.WeblogConfig(p.cfg.Seed, p.cfg.Scale)
 		wcfg.Ecosystem = eco
+		wcfg.Workers = p.workers
 		art = &TraceArtifact{Ecosystem: eco, Trace: weblog.Generate(wcfg)}
 		return nil
 	})

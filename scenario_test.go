@@ -1,0 +1,93 @@
+package yourandvalue
+
+import (
+	"context"
+	"testing"
+
+	"yourandvalue/internal/scenario"
+)
+
+// TestPipelineScenarios runs named worlds beyond baseline end to end —
+// trace, analysis, campaigns, training, per-user costs — pinning the
+// acceptance criterion that scenarios are selectable from every entry
+// point and flow through the whole stack.
+func TestPipelineScenarios(t *testing.T) {
+	for _, name := range []string{
+		scenario.FirstPrice, scenario.MobileHeavy,
+		scenario.EncryptedSurge, scenario.BotNoise,
+	} {
+		t.Run(name, func(t *testing.T) {
+			p, err := NewPipeline(
+				WithScenario(name),
+				WithScale(0.02),
+				WithSeed(11),
+				WithCampaignImpressions(15),
+				WithForestSize(8),
+				WithCrossValidation(4, 1),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Config().ResolvedScenario().Name != name {
+				t.Fatalf("resolved scenario = %q", p.Config().ResolvedScenario().Name)
+			}
+			study, err := p.Execute(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if study.Trace.RTBCount() == 0 {
+				t.Fatal("no impressions generated")
+			}
+			if len(study.Costs) == 0 {
+				t.Fatal("no user costs estimated")
+			}
+			if study.Config.Scenario != name {
+				t.Fatalf("study config scenario = %q", study.Config.Scenario)
+			}
+		})
+	}
+}
+
+// TestScenarioShiftsCosts: the same seed under first-price clears
+// strictly more advertiser spend than baseline — the scenario knob
+// reaches the ground-truth ledger, not just labels.
+func TestScenarioShiftsCosts(t *testing.T) {
+	spend := func(name string) float64 {
+		p, err := NewPipeline(
+			WithScenario(name), WithScale(0.02), WithSeed(5),
+			WithCampaignImpressions(15), WithForestSize(8), WithCrossValidation(4, 1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := p.GenerateTrace(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, imp := range tr.Trace.Impressions {
+			total += imp.ChargeCPM
+		}
+		return total
+	}
+	base := spend(scenario.Baseline)
+	first := spend(scenario.FirstPrice)
+	if first <= base {
+		t.Errorf("first-price ground-truth spend %v should exceed baseline %v", first, base)
+	}
+}
+
+// TestWithScenarioValidates: unknown worlds fail construction, and the
+// empty name resolves to baseline.
+func TestWithScenarioValidates(t *testing.T) {
+	if _, err := NewPipeline(WithScenario("marsnet")); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	p, err := NewPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Config().ResolvedScenario().Name; got != scenario.Baseline {
+		t.Fatalf("default scenario = %q", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
 	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/scenario"
 	"yourandvalue/internal/stream"
 	"yourandvalue/internal/weblog"
 )
@@ -41,6 +42,9 @@ type Config struct {
 	ForestSize int
 	// CVFolds and CVRuns control the §5.4 evaluation protocol.
 	CVFolds, CVRuns int
+	// Scenario names the simulated world (internal/scenario registry);
+	// empty selects "baseline", the paper's world.
+	Scenario string
 }
 
 // DefaultConfig returns a configuration matching the paper's scale.
@@ -56,24 +60,43 @@ func DefaultConfig() Config {
 }
 
 // QuickConfig returns a reduced configuration suitable for laptops and
-// benchmarks (~5% of paper scale).
+// benchmarks (~5% of paper scale). The campaign target stays closer to
+// full rigor than the trace scale: the PME's encrypted-price estimates
+// (Figure 19's premium) need ≈100 impressions per setup to stabilize at
+// this trace size.
 func QuickConfig() Config {
 	c := DefaultConfig()
 	c.Scale = 0.05
-	c.CampaignImpressionsPerSetup = 60
+	c.CampaignImpressionsPerSetup = 100
 	c.CVRuns = 1
 	return c
 }
 
 // Validate rejects configurations no stage can run under.
 func (c Config) Validate() error {
-	if c.Scale <= 0 || c.Scale > 1 {
+	// Negated form so NaN (which fails every comparison) is rejected too.
+	if !(c.Scale > 0 && c.Scale <= 1) {
 		return fmt.Errorf("yourandvalue: scale %v out of (0,1]", c.Scale)
 	}
 	if c.CampaignImpressionsPerSetup <= 0 {
 		return fmt.Errorf("yourandvalue: non-positive campaign target")
 	}
+	if _, err := scenario.Get(c.Scenario); err != nil {
+		return fmt.Errorf("yourandvalue: %w", err)
+	}
 	return nil
+}
+
+// ResolvedScenario returns the scenario the study runs under (baseline
+// when Config.Scenario is empty).
+func (c Config) ResolvedScenario() scenario.Scenario {
+	s, err := scenario.Get(c.Scenario)
+	if err != nil {
+		// Validate gates every pipeline; direct misuse still gets a
+		// runnable world.
+		return scenario.Default()
+	}
+	return s
 }
 
 // Study holds every artifact of one end-to-end run.

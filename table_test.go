@@ -1,0 +1,107 @@
+package yourandvalue
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableStringAlignment(t *testing.T) {
+	tab := &Table{
+		ID:     "Figure X",
+		Title:  "alignment check",
+		Header: []string{"name", "v"},
+	}
+	tab.AddRow("a", "1.5")
+	tab.AddRow("longer-label", "10000")
+	tab.Notes = append(tab.Notes, "a note")
+	out := tab.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5 (title, header, 2 rows, note):\n%s", len(lines), out)
+	}
+	if lines[0] != "== Figure X — alignment check ==" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Column 1 must start at the same offset on every body line: the
+	// first column pads to the widest cell ("longer-label").
+	col := strings.Index(lines[2], "1.5")
+	if col != len("longer-label")+2 {
+		t.Errorf("value column at offset %d, want %d:\n%s", col, len("longer-label")+2, out)
+	}
+	if strings.Index(lines[3], "10000") != col {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+	// Header cells align with body cells.
+	if strings.Index(lines[1], "v") != col {
+		t.Errorf("header not aligned with body:\n%s", out)
+	}
+	if lines[4] != "note: a note" {
+		t.Errorf("note line = %q", lines[4])
+	}
+}
+
+// TestTableStringRaggedRows: rows wider than the header must render
+// without panicking and keep the known columns aligned.
+func TestTableStringRaggedRows(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	tab.AddRow("x", "extra", "cells")
+	tab.AddRow("y")
+	out := tab.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "cells") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := &Table{Header: []string{"label", "v1", "v2"}}
+	tab.AddRowf("medians", 0.273, 12.5)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	if row[0] != "medians" || row[1] != FormatCPM(0.273) || row[2] != FormatCPM(12.5) {
+		t.Errorf("AddRowf row = %v", row)
+	}
+	// No values: just the label.
+	tab.AddRowf("empty")
+	if got := tab.Rows[1]; len(got) != 1 || got[0] != "empty" {
+		t.Errorf("label-only row = %v", got)
+	}
+}
+
+func TestFormatCPMEdges(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",       // exactly zero renders bare
+		0.0042:  "0.0042",  // sub-cent keeps four decimals
+		0.00999: "0.0100",  // rounds within the sub-cent band
+		0.01:    "0.010",   // cent boundary switches to three decimals
+		0.273:   "0.273",   // the paper's web median
+		1.0:     "1.000",   // ≥$1 CPM stays at three decimals until 10
+		9.999:   "9.999",   //
+		10:      "10.0",    // tens band: one decimal
+		999.9:   "999.9",   //
+		1000:    "1000",    // ≥1000 drops decimals entirely
+		12345.6: "12346",   // and rounds
+		-0.005:  "-0.0050", // negatives fall through to the smallest band
+	}
+	for in, want := range cases {
+		if got := FormatCPM(in); got != want {
+			t.Errorf("FormatCPM(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0.0%",
+		0.2612: "26.1%",
+		1:      "100.0%",
+		1.5:    "150.0%",
+	}
+	for in, want := range cases {
+		if got := FormatPct(in); got != want {
+			t.Errorf("FormatPct(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
