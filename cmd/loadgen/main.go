@@ -4,6 +4,13 @@
 // observations, and requesting batch estimates — and reports throughput,
 // latency histograms (p50/p95/p99), and error/507 counts.
 //
+// Deprecated: loadgen is now a thin compatibility wrapper over
+// internal/scaletest, kept so existing invocations (and the CI stream
+// smoke step) keep working unchanged. New work should use cmd/scaletest,
+// which adds named workload strategies, SLO gates with distinct exit
+// codes, concurrency ramps with knee detection, and the persisted
+// BENCH_*.json artifact.
+//
 // Against an already-running server:
 //
 //	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -clients 200 -duration 30s
@@ -23,8 +30,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -32,13 +37,8 @@ import (
 	"strings"
 	"time"
 
-	"yourandvalue/internal/campaign"
-	"yourandvalue/internal/core"
-	"yourandvalue/internal/pmeserver"
-	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/scaletest"
 	"yourandvalue/internal/scenario"
-	"yourandvalue/internal/stream"
-	"yourandvalue/internal/weblog"
 )
 
 func main() {
@@ -125,88 +125,57 @@ func run(o options) error {
 	}
 
 	base := o.addr
-	var srv *pmeserver.Server
+	var host *scaletest.SelfHost
 	if base == "" {
-		var shutdown func()
 		var err error
-		srv, base, shutdown, err = selfHost(o.seed, o.pool)
+		host, err = scaletest.StartSelfHost(o.seed, o.pool)
 		if err != nil {
 			return err
 		}
-		defer shutdown()
+		defer host.Close()
+		base = host.BaseURL
 		fmt.Fprintf(os.Stderr, "loadgen: in-process pmeserver at %s\n", base)
 	}
 
-	// The synthetic client fleet replays whatever world the scenario
-	// describes; generation shards across the available cores (the
-	// trace is bit-identical at any worker count).
-	sc, err := scenario.Get(o.scenario)
-	if err != nil {
-		return err
+	// The legacy loadgen workload expressed as a scaletest profile:
+	// contribute and estimate every cycle, conditional model poll every
+	// -poll cycles, estimates over the batch or stream endpoint per flag.
+	prof := scaletest.Profile{
+		Name:            "loadgen-compat",
+		Description:     "legacy cmd/loadgen workload (deprecated wrapper)",
+		PollEvery:       o.poll,
+		ContributeEvery: 1,
+		EstimateEvery:   1,
+		// Errors are handled below to preserve the historical exit
+		// behavior (exit 1 with a loadgen-prefixed message).
+		DefaultSLO: scaletest.SLO{MaxErrorRate: -1},
 	}
-	wcfg := sc.TraceConfig(o.seed, o.scale)
-	wcfg.Workers = runtime.GOMAXPROCS(0)
-	report, err := stream.RunLoad(ctx, stream.LoadConfig{
+	if o.streamEstimate {
+		prof.EstimateEvery, prof.StreamEvery = 0, 1
+	}
+
+	res, err := scaletest.Run(ctx, scaletest.Config{
 		BaseURL:   base,
+		Profile:   &prof,
 		Clients:   o.clients,
-		Source:    stream.NewGeneratorSource(wcfg),
+		Scenario:  o.scenario,
+		Scale:     o.scale,
+		Seed:      o.seed,
 		BatchSize: o.batch,
-		PollEvery: o.poll,
 		Duration:  o.duration,
 		MaxOps:    o.maxOps,
-
-		StreamEstimate: o.streamEstimate,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Print(report.String())
-	if srv != nil {
-		fmt.Printf("server pool: %d contributions retained\n", len(srv.Contributions()))
+	fmt.Print(res.String())
+	if host != nil {
+		fmt.Printf("server pool: %d contributions retained\n", len(host.Server.Contributions()))
 	}
 	// A load run that saw request failures must fail the process: the CI
 	// smoke steps rely on the exit code, not on a human reading the report.
-	if report.Errors > 0 {
-		return fmt.Errorf("loadgen: %d request errors during the run", report.Errors)
+	if res.Errors > 0 {
+		return fmt.Errorf("loadgen: %d request errors during the run", res.Errors)
 	}
 	return nil
-}
-
-// selfHost trains a small campaign-fit model and serves it on a loopback
-// listener, so the harness runs with zero external dependencies.
-func selfHost(seed int64, maxPool int) (*pmeserver.Server, string, func(), error) {
-	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: seed + 1})
-	cat := weblog.NewCatalog(60, 30)
-	cfg := campaign.A1Config(cat, 25, seed+2)
-	cfg.Setups = cfg.Setups[:36]
-	rep, err := campaign.NewEngine(eco).Run(cfg)
-	if err != nil {
-		return nil, "", nil, err
-	}
-	pme := core.NewPME(seed + 3)
-	pme.ForestSize = 10
-	pme.CVFolds, pme.CVRuns = 5, 1
-	model, err := pme.Train(rep.Records, core.TrainConfig{})
-	if err != nil {
-		return nil, "", nil, err
-	}
-	srv, err := pmeserver.New(model)
-	if err != nil {
-		return nil, "", nil, err
-	}
-	if maxPool > 0 {
-		srv.SetMaxPool(maxPool)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, "", nil, err
-	}
-	hs := &http.Server{Handler: srv.Handler()}
-	go func() { _ = hs.Serve(ln) }()
-	shutdown := func() {
-		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		_ = hs.Shutdown(shCtx)
-	}
-	return srv, "http://" + ln.Addr().String(), shutdown, nil
 }

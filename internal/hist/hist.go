@@ -93,7 +93,9 @@ func (h *Histogram) Mean() time.Duration {
 
 // Quantile returns the latency at quantile q in [0,1], resolved to the
 // containing bucket's upper bound (the last bucket reports the observed
-// maximum).
+// maximum). Edge cases, pinned by tests: an empty histogram returns 0
+// for every q, and out-of-range q is clamped — q <= 0 reports the
+// smallest populated bucket's bound, q >= 1 the observed maximum.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.total == 0 {
 		return 0
@@ -125,6 +127,60 @@ func (h *Histogram) String() string {
 }
 
 func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// Bucket is one populated bucket in export form.
+type Bucket struct {
+	// UpperNS is the bucket's inclusive upper bound in nanoseconds;
+	// -1 marks the unbounded overflow bucket.
+	UpperNS int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// Buckets exports the populated buckets in ascending bound order.
+// Empty buckets are omitted: the fixed 64-bucket layout is an
+// implementation detail, the populated ones are the data.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		upper := int64(-1)
+		if !math.IsInf(bounds[i], 1) {
+			upper = int64(bounds[i])
+		}
+		out = append(out, Bucket{UpperNS: upper, Count: c})
+	}
+	return out
+}
+
+// Summary is the histogram's exported JSON form: counts, the canonical
+// percentiles in nanoseconds, and the populated buckets. It is a plain
+// struct so artifact schemas embedding it round-trip through
+// encoding/json without custom marshalers.
+type Summary struct {
+	Count   int64    `json:"count"`
+	MeanNS  int64    `json:"mean_ns"`
+	MaxNS   int64    `json:"max_ns"`
+	P50NS   int64    `json:"p50_ns"`
+	P95NS   int64    `json:"p95_ns"`
+	P99NS   int64    `json:"p99_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Summary exports the histogram for persistence (the BENCH_*.json
+// artifact schema embeds it per endpoint).
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count:   h.Count(),
+		MeanNS:  int64(h.Mean()),
+		MaxNS:   int64(h.Max()),
+		P50NS:   int64(h.Quantile(0.50)),
+		P95NS:   int64(h.Quantile(0.95)),
+		P99NS:   int64(h.Quantile(0.99)),
+		Buckets: h.Buckets(),
+	}
+}
 
 // Sync is a mutex-guarded Histogram safe for concurrent Record calls —
 // the form server middleware uses, where every request goroutine records

@@ -1,6 +1,8 @@
 package hist
 
 import (
+	"encoding/json"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -41,5 +43,83 @@ func TestHistogramQuantiles(t *testing.T) {
 	var empty Histogram
 	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
 		t.Error("empty histogram must report zeros")
+	}
+}
+
+// TestQuantileEdgeCases pins the documented Quantile contract: an empty
+// histogram returns 0 for every q, and out-of-range q is clamped —
+// q <= 0 reports the smallest populated bucket's bound, q >= 1 the
+// observed maximum.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %s, want 0", q, got)
+		}
+	}
+
+	var h Histogram
+	h.Record(2 * time.Millisecond)
+	h.Record(900 * time.Millisecond)
+	low, high := h.Quantile(-0.5), h.Quantile(1.5)
+	if low != h.Quantile(0) {
+		t.Errorf("Quantile(-0.5) = %s, Quantile(0) = %s; want clamped equal", low, h.Quantile(0))
+	}
+	// q <= 0 resolves to the smallest populated bucket's bound: at or
+	// above the smallest sample, and well below the other sample.
+	if low < 2*time.Millisecond || low >= 900*time.Millisecond {
+		t.Errorf("Quantile(<=0) = %s, want the 2ms sample's bucket bound", low)
+	}
+	if high != 900*time.Millisecond {
+		t.Errorf("Quantile(>=1) = %s, want the exact observed max", high)
+	}
+}
+
+// TestBucketsAndSummary: the JSON export must carry only populated
+// buckets (overflow marked -1), conserve the total count, and
+// round-trip through encoding/json unchanged.
+func TestBucketsAndSummary(t *testing.T) {
+	var h Histogram
+	if h.Buckets() != nil {
+		t.Error("empty histogram exported buckets")
+	}
+	h.Record(5 * time.Microsecond)
+	h.Record(5 * time.Microsecond)
+	h.Record(3 * time.Second)
+	h.Record(10 * time.Minute) // overflow bucket (> ~80s)
+
+	bs := h.Buckets()
+	var total int64
+	for i, b := range bs {
+		total += b.Count
+		if i > 0 && bs[i-1].UpperNS != -1 && b.UpperNS != -1 && b.UpperNS <= bs[i-1].UpperNS {
+			t.Errorf("bucket bounds not ascending: %+v", bs)
+		}
+		if b.Count == 0 {
+			t.Errorf("empty bucket exported: %+v", b)
+		}
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts sum to %d, histogram holds %d", total, h.Count())
+	}
+	if last := bs[len(bs)-1]; last.UpperNS != -1 || last.Count != 1 {
+		t.Errorf("overflow bucket = %+v, want UpperNS=-1 Count=1", last)
+	}
+
+	s := h.Summary()
+	if s.Count != h.Count() || s.MaxNS != int64(h.Max()) ||
+		s.P50NS != int64(h.Quantile(0.50)) || s.P99NS != int64(h.Quantile(0.99)) {
+		t.Errorf("summary disagrees with the histogram: %+v", s)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Errorf("summary round trip:\n got %+v\nwant %+v", back, s)
 	}
 }

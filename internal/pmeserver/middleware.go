@@ -74,14 +74,19 @@ func requestLog(l *log.Logger, name string) middleware {
 }
 
 // instrument records per-endpoint request counts, error counts, and a
-// latency histogram.
-func instrument(ep *endpointMetrics) middleware {
+// latency histogram, then notifies the optional request observer (the
+// load-harness span hook).
+func instrument(ep *endpointMetrics, name string, observer func(RequestObservation)) middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			sw := &statusWriter{ResponseWriter: w}
 			start := time.Now()
 			next.ServeHTTP(sw, r)
-			ep.record(sw.status, time.Since(start))
+			d := time.Since(start)
+			ep.record(sw.status, d)
+			if observer != nil {
+				observer(RequestObservation{Route: name, Status: sw.status, Start: start, Duration: d})
+			}
 		})
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"yourandvalue/internal/core"
 	"yourandvalue/internal/pme"
@@ -43,6 +44,18 @@ type Server struct {
 	metrics  *Metrics
 	logger   *log.Logger
 	limiter  *tokenBucket
+	observer func(RequestObservation)
+}
+
+// RequestObservation is one finished request as the instrument
+// middleware saw it — the hook load harnesses use to record
+// server-side spans next to their client-side ones.
+type RequestObservation struct {
+	// Route is the endpoint name ("v2.estimate", ...).
+	Route    string
+	Status   int
+	Start    time.Time
+	Duration time.Duration
 }
 
 // Option configures a Server.
@@ -59,6 +72,15 @@ func WithLogger(l *log.Logger) Option {
 // 429 with a Retry-After hint. /healthz is exempt.
 func WithRateLimit(rps float64, burst int) Option {
 	return func(s *Server) { s.limiter = newTokenBucket(rps, burst) }
+}
+
+// WithRequestObserver calls fn once per finished request (after the
+// metrics middleware records it). fn runs on the request goroutine and
+// must be safe for concurrent use; internal/scaletest wires it to its
+// span recorder so SLO violations can be debugged request by request
+// from the server's side of the wire.
+func WithRequestObserver(fn func(RequestObservation)) Option {
+	return func(s *Server) { s.observer = fn }
 }
 
 // WithRegistry serves models from an externally owned registry — the
@@ -204,7 +226,7 @@ func (s *Server) route(name string, h http.HandlerFunc) http.Handler {
 	ep := s.metrics.endpoint(name)
 	return chain(h,
 		rateLimit(s.limiter, ep, strings.HasPrefix(name, "v1.")),
-		instrument(ep),
+		instrument(ep, name, s.observer),
 		requestLog(s.logger, name),
 	)
 }

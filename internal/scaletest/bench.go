@@ -1,0 +1,258 @@
+package scaletest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"yourandvalue/internal/hist"
+)
+
+// ArtifactSchema versions the BENCH_*.json layout. Consumers reject
+// unknown schemas instead of misreading them; additive changes keep the
+// version, field renames/removals bump it.
+const ArtifactSchema = "yourandvalue/bench/v1"
+
+// Artifact is the persisted perf-trajectory record one CI run emits
+// (BENCH_scaletest.json): per-strategy load results, ramp curves with
+// their knees, and `go test -bench` micro-benchmarks folded into the
+// same file — so "is the hot path still fast" is a diff of two
+// artifacts, not an archaeology dig through rotated CI logs.
+type Artifact struct {
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at,omitempty"` // RFC3339, stamped by the writer
+	GoVersion   string `json:"go_version,omitempty"`
+	GOOS        string `json:"goos,omitempty"`
+	GOARCH      string `json:"goarch,omitempty"`
+	CPUs        int    `json:"cpus,omitempty"`
+
+	Strategies []StrategyResult `json:"strategies,omitempty"`
+	Ramps      []RampReport     `json:"ramps,omitempty"`
+	GoBench    []GoBenchResult  `json:"go_bench,omitempty"`
+}
+
+// StrategyResult is one load run in export form.
+type StrategyResult struct {
+	Strategy    string  `json:"strategy"`
+	Scenario    string  `json:"scenario"`
+	Clients     int     `json:"clients"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	Ops         int64   `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	ErrorRate   float64 `json:"error_rate"`
+	Contributed int64   `json:"contributed"`
+	Estimated   int64   `json:"estimated"`
+	ModelPolls  int64   `json:"model_polls"`
+	NotModified int64   `json:"not_modified"`
+	PoolFull    int64   `json:"pool_full"`
+	Churns      int64   `json:"churns,omitempty"`
+
+	MaxHeapBytes uint64 `json:"max_heap_bytes"`
+
+	// Endpoints carries the per-endpoint latency export (p50/p95/p99 and
+	// populated buckets) for every endpoint that saw traffic.
+	Endpoints map[string]hist.Summary `json:"endpoints,omitempty"`
+
+	SLO *SLOReport `json:"slo,omitempty"`
+}
+
+// GoBenchResult is one parsed `go test -bench` line. B/op and allocs/op
+// are pointers because their absence (no -benchmem, no b.ReportAllocs)
+// must stay distinguishable from a genuine zero — zero allocs is this
+// repo's headline number.
+type GoBenchResult struct {
+	// Name is the benchmark name without the trailing -GOMAXPROCS
+	// suffix, e.g. "BenchmarkDetectEngine/estimate".
+	Name string `json:"name"`
+	// Procs is the -N suffix (GOMAXPROCS), 0 when absent.
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BPerOp      *int64  `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// NewArtifact returns an artifact stamped with the schema, the current
+// time, and the build/host facts.
+func NewArtifact() *Artifact {
+	return &Artifact{
+		Schema:      ArtifactSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+	}
+}
+
+// ExportResult renders a Result in artifact form.
+func ExportResult(r *Result) StrategyResult {
+	out := StrategyResult{
+		Strategy:     r.Strategy,
+		Scenario:     r.Scenario,
+		Clients:      r.Clients,
+		ElapsedSec:   r.Elapsed.Seconds(),
+		Ops:          r.Ops,
+		OpsPerSec:    r.OpsPerSec(),
+		Requests:     r.Requests,
+		Errors:       r.Errors,
+		ErrorRate:    r.ErrorRate(),
+		Contributed:  r.Contributed,
+		Estimated:    r.Estimated,
+		ModelPolls:   r.ModelPolls,
+		NotModified:  r.NotModified,
+		PoolFull:     r.PoolFull,
+		Churns:       r.Churns,
+		MaxHeapBytes: r.MaxHeapBytes,
+		SLO:          r.SLO,
+	}
+	for name, h := range r.Endpoints {
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if out.Endpoints == nil {
+			out.Endpoints = make(map[string]hist.Summary, len(r.Endpoints))
+		}
+		out.Endpoints[name] = h.Summary()
+	}
+	return out
+}
+
+// AddResult appends one load run.
+func (a *Artifact) AddResult(r *Result) { a.Strategies = append(a.Strategies, ExportResult(r)) }
+
+// AddRamp appends one ramp curve.
+func (a *Artifact) AddRamp(r *RampReport) { a.Ramps = append(a.Ramps, *r) }
+
+// Encode writes the artifact as indented JSON.
+func (a *Artifact) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteFile persists the artifact, replacing path atomically (write to
+// a sibling temp file, then rename) so a crashed run never leaves a
+// truncated artifact for CI to upload.
+func (a *Artifact) WriteFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := a.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return "."
+}
+
+// ReadArtifact loads and schema-checks a persisted artifact.
+func ReadArtifact(path string) (*Artifact, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(blob, &a); err != nil {
+		return nil, fmt.Errorf("scaletest: %s is not a bench artifact: %w", path, err)
+	}
+	if a.Schema != ArtifactSchema {
+		return nil, fmt.Errorf("scaletest: %s has schema %q, want %q", path, a.Schema, ArtifactSchema)
+	}
+	return &a, nil
+}
+
+// ParseGoBench extracts benchmark results from `go test -bench` output.
+// Non-benchmark lines (ok/PASS/warnings) are skipped; a malformed
+// Benchmark line is an error rather than a silent drop, so a format
+// drift in the toolchain cannot quietly empty the perf trajectory.
+func ParseGoBench(r io.Reader) ([]GoBenchResult, error) {
+	var out []GoBenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name-P  N  <value unit>... — at least name, iterations,
+		// and one value/unit pair.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return out, fmt.Errorf("scaletest: malformed bench line %q", line)
+		}
+		res := GoBenchResult{Name: fields[0]}
+		if name, procs, ok := splitProcs(fields[0]); ok {
+			res.Name, res.Procs = name, procs
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return out, fmt.Errorf("scaletest: bench line %q: bad iteration count: %w", line, err)
+		}
+		res.Iterations = iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+					return out, fmt.Errorf("scaletest: bench line %q: bad ns/op: %w", line, err)
+				}
+			case "MB/s":
+				if res.MBPerSec, err = strconv.ParseFloat(val, 64); err != nil {
+					return out, fmt.Errorf("scaletest: bench line %q: bad MB/s: %w", line, err)
+				}
+			case "B/op":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return out, fmt.Errorf("scaletest: bench line %q: bad B/op: %w", line, err)
+				}
+				res.BPerOp = &n
+			case "allocs/op":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return out, fmt.Errorf("scaletest: bench line %q: bad allocs/op: %w", line, err)
+				}
+				res.AllocsPerOp = &n
+			default:
+				// Custom b.ReportMetric units pass through unparsed.
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// splitProcs splits the trailing -GOMAXPROCS suffix off a benchmark
+// name; benchmark names may themselves contain dashes, so only a
+// purely numeric final segment counts.
+func splitProcs(name string) (string, int, bool) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name, 0, false
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0, false
+	}
+	return name[:i], procs, true
+}

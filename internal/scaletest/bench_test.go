@@ -1,0 +1,159 @@
+package scaletest
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"yourandvalue/internal/hist"
+)
+
+// TestArtifactRoundTrip: a written BENCH artifact must read back
+// byte-equivalent through the schema check — the perf trajectory is only
+// useful if every CI run's file parses the same way.
+func TestArtifactRoundTrip(t *testing.T) {
+	res := &Result{
+		Strategy: "estimate-heavy",
+		Scenario: "baseline",
+		Clients:  4,
+		Elapsed:  2 * time.Second,
+		Ops:      100, Requests: 120, Estimated: 90, Errors: 0,
+		MaxHeapBytes: 1 << 20,
+		Endpoints:    map[string]*hist.Histogram{"estimate": {}, "model": {}},
+	}
+	res.Endpoints["estimate"].Record(3 * time.Millisecond)
+	res.Endpoints["estimate"].Record(5 * time.Millisecond)
+	res.SLO = SLO{MaxErrorRate: 0}.Check(res)
+
+	a := NewArtifact()
+	a.AddResult(res)
+	a.AddRamp(&RampReport{
+		Strategy: "estimate-heavy", Scenario: "baseline",
+		Steps:       []StepResult{{Clients: 2, Ops: 50, OpsPerSec: 25, P99NS: 5e6}},
+		KneeClients: 2, KneeReason: "test",
+	})
+	n := int64(0)
+	a.GoBench = []GoBenchResult{{Name: "BenchmarkX", Procs: 4, Iterations: 100, NsPerOp: 12.5, BPerOp: &n, AllocsPerOp: &n}}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, a)
+	}
+	// The headline strategy fields survive with endpoint percentiles.
+	s := got.Strategies[0]
+	if s.Strategy != "estimate-heavy" || s.Endpoints["estimate"].Count != 2 || s.Endpoints["estimate"].P99NS == 0 {
+		t.Errorf("strategy export lost data: %+v", s)
+	}
+	// Empty endpoints are omitted, zero allocs stays a present zero.
+	if _, ok := s.Endpoints["model"]; ok {
+		t.Error("empty endpoint histogram was exported")
+	}
+	if got.GoBench[0].AllocsPerOp == nil || *got.GoBench[0].AllocsPerOp != 0 {
+		t.Error("explicit zero allocs/op did not survive the round trip")
+	}
+}
+
+// TestReadArtifactRejectsForeignSchema: a JSON file with the wrong (or
+// no) schema tag must be rejected, not half-parsed.
+func TestReadArtifactRejectsForeignSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "other.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"someone/else/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("foreign schema accepted: %v", err)
+	}
+	if err := os.WriteFile(path, []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(path); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestParseGoBench: the fold-in parser must read plain, -benchmem, and
+// MB/s lines, keep absent memory stats distinguishable from zero, skip
+// non-benchmark chatter, and reject malformed Benchmark lines loudly.
+func TestParseGoBench(t *testing.T) {
+	out := `
+goos: linux
+goarch: amd64
+pkg: yourandvalue/internal/detect
+BenchmarkEncode-8           1000000     1234 ns/op
+BenchmarkEncodeMem-8         500000     2500 ns/op       0 B/op       0 allocs/op
+BenchmarkThroughput-8         20000    60000 ns/op    123.45 MB/s    64 B/op    2 allocs/op
+BenchmarkSub/case-a-8         30000     4000 ns/op
+PASS
+ok  	yourandvalue/internal/detect	3.2s
+`
+	got, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(got), got)
+	}
+	b0 := got[0]
+	if b0.Name != "BenchmarkEncode" || b0.Procs != 8 || b0.Iterations != 1000000 || b0.NsPerOp != 1234 {
+		t.Errorf("plain line parsed as %+v", b0)
+	}
+	if b0.BPerOp != nil || b0.AllocsPerOp != nil {
+		t.Error("absent -benchmem stats must stay nil, not zero")
+	}
+	b1 := got[1]
+	if b1.BPerOp == nil || *b1.BPerOp != 0 || b1.AllocsPerOp == nil || *b1.AllocsPerOp != 0 {
+		t.Errorf("explicit zero allocs parsed as %+v", b1)
+	}
+	b2 := got[2]
+	if b2.MBPerSec != 123.45 || b2.BPerOp == nil || *b2.BPerOp != 64 {
+		t.Errorf("MB/s line parsed as %+v", b2)
+	}
+	// Sub-benchmark names keep their internal dashes; only the trailing
+	// numeric -GOMAXPROCS segment is split off.
+	if got[3].Name != "BenchmarkSub/case-a" || got[3].Procs != 8 {
+		t.Errorf("sub-benchmark name split as %q/%d", got[3].Name, got[3].Procs)
+	}
+
+	if _, err := ParseGoBench(strings.NewReader("BenchmarkBroken-8 12\n")); err == nil {
+		t.Error("malformed bench line silently accepted")
+	}
+	if _, err := ParseGoBench(strings.NewReader("BenchmarkBroken-8 notanumber 5 ns/op\n")); err == nil {
+		t.Error("bad iteration count silently accepted")
+	}
+}
+
+// TestSLOReportJSON: the SLO report embedded in the artifact must carry
+// the gate, the observed values, and the violations.
+func TestSLOReportJSON(t *testing.T) {
+	res := &Result{
+		Requests: 10, Errors: 2,
+		Endpoints: map[string]*hist.Histogram{"estimate": {}},
+	}
+	res.Endpoints["estimate"].Record(80 * time.Millisecond)
+	rep := SLO{MaxP99: 10 * time.Millisecond, MaxErrorRate: 0.1}.Check(res)
+	if rep.OK() || len(rep.Violations) != 2 {
+		t.Fatalf("violations = %+v, want p99 + error_budget", rep.Violations)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SLOReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OK() || back.Violations[0].Gate != "p99" || back.Violations[1].Gate != "error_budget" {
+		t.Errorf("round-tripped report = %+v", back)
+	}
+}

@@ -1,0 +1,98 @@
+package scaletest
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+
+	"yourandvalue/internal/campaign"
+	"yourandvalue/internal/core"
+	"yourandvalue/internal/pmeserver"
+	"yourandvalue/internal/rtb"
+	"yourandvalue/internal/weblog"
+)
+
+// SelfHost is an in-process pmeserver on a loopback listener, so the
+// harness runs with zero external dependencies — and so CPU/heap
+// measurements cover both sides of the load in one process.
+type SelfHost struct {
+	Server  *pmeserver.Server
+	BaseURL string
+	close   func()
+}
+
+// Close shuts the HTTP server down gracefully.
+func (s *SelfHost) Close() { s.close() }
+
+// StartSelfHost trains a small campaign-fit model and serves it on
+// 127.0.0.1. The extra pmeserver options let callers attach observers
+// (span hooks) or rate limits.
+func StartSelfHost(seed int64, maxPool int, opts ...pmeserver.Option) (*SelfHost, error) {
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: seed + 1})
+	cat := weblog.NewCatalog(60, 30)
+	cfg := campaign.A1Config(cat, 25, seed+2)
+	cfg.Setups = cfg.Setups[:36]
+	rep, err := campaign.NewEngine(eco).Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pme := core.NewPME(seed + 3)
+	pme.ForestSize = 10
+	pme.CVFolds, pme.CVRuns = 5, 1
+	model, err := pme.Train(rep.Records, core.TrainConfig{})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := pmeserver.New(model, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if maxPool > 0 {
+		srv.SetMaxPool(maxPool)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	return &SelfHost{
+		Server:  srv,
+		BaseURL: "http://" + ln.Addr().String(),
+		close: func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(shCtx)
+		},
+	}, nil
+}
+
+// StartModelChurn republishes the server's current model every interval
+// until ctx is cancelled, flipping the registry version and ETag each
+// time — the hot-swap churn the model-poll strategy exists to measure.
+// It returns a wait function that blocks until the churner has stopped.
+func StartModelChurn(ctx context.Context, srv *pmeserver.Server, every time.Duration) func() {
+	reg := srv.Registry()
+	model := srv.Model()
+	if reg == nil || model == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if _, err := reg.Publish(model); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() { <-done }
+}

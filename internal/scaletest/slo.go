@@ -1,0 +1,116 @@
+package scaletest
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SLO is a per-strategy service-level gate evaluated against a Result.
+// Zero/negative fields are unchecked, so the zero SLO passes everything
+// — except MaxErrorRate, where 0 is the meaningful "no errors allowed"
+// budget and negative disables the check.
+type SLO struct {
+	// MaxP99 caps the merged per-request p99 latency (0 = unchecked).
+	MaxP99 time.Duration `json:"max_p99_ns,omitempty"`
+	// MaxErrorRate caps Errors/Requests (0 = no errors allowed;
+	// negative = unchecked).
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MaxHeapBytes caps the peak sampled runtime.ReadMemStats HeapAlloc
+	// during the run (0 = unchecked). With an in-process server the
+	// sample covers both sides of the load, which is the deployment
+	// question that matters: can one box run this?
+	MaxHeapBytes uint64 `json:"max_heap_bytes,omitempty"`
+}
+
+// Unchecked reports whether every gate is disabled.
+func (s SLO) Unchecked() bool {
+	return s.MaxP99 <= 0 && s.MaxErrorRate < 0 && s.MaxHeapBytes == 0
+}
+
+// Violation is one failed gate in export form.
+type Violation struct {
+	Gate   string `json:"gate"`
+	Detail string `json:"detail"`
+}
+
+// SLOReport is the evaluated gate: the observed values next to the
+// configured ceilings, plus any violations. An empty Violations slice
+// means the run passed.
+type SLOReport struct {
+	SLO        SLO         `json:"slo"`
+	P99        int64       `json:"p99_ns"`
+	ErrorRate  float64     `json:"error_rate"`
+	MaxHeap    uint64      `json:"max_heap_bytes"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// OK reports whether every gate held.
+func (r *SLOReport) OK() bool { return r == nil || len(r.Violations) == 0 }
+
+// Check evaluates the gate against a finished run.
+func (s SLO) Check(res *Result) *SLOReport {
+	merged := res.MergedHist()
+	rep := &SLOReport{
+		SLO:       s,
+		P99:       int64(merged.Quantile(0.99)),
+		ErrorRate: res.ErrorRate(),
+		MaxHeap:   res.MaxHeapBytes,
+	}
+	if s.MaxP99 > 0 && time.Duration(rep.P99) > s.MaxP99 {
+		rep.Violations = append(rep.Violations, Violation{
+			Gate:   "p99",
+			Detail: fmt.Sprintf("p99 %s exceeds ceiling %s", time.Duration(rep.P99), s.MaxP99),
+		})
+	}
+	if s.MaxErrorRate >= 0 && rep.ErrorRate > s.MaxErrorRate {
+		rep.Violations = append(rep.Violations, Violation{
+			Gate: "error_budget",
+			Detail: fmt.Sprintf("error rate %.4f (%d/%d requests) exceeds budget %.4f",
+				rep.ErrorRate, res.Errors, res.Requests, s.MaxErrorRate),
+		})
+	}
+	if s.MaxHeapBytes > 0 && rep.MaxHeap > s.MaxHeapBytes {
+		rep.Violations = append(rep.Violations, Violation{
+			Gate:   "max_heap",
+			Detail: fmt.Sprintf("peak heap %d B exceeds ceiling %d B", rep.MaxHeap, s.MaxHeapBytes),
+		})
+	}
+	return rep
+}
+
+// String renders the violations for logs; empty when the gate held.
+func (r *SLOReport) String() string {
+	if r.OK() {
+		return ""
+	}
+	parts := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		parts[i] = v.Detail
+	}
+	return "SLO violated: " + strings.Join(parts, "; ")
+}
+
+// Process exit codes for cmd/scaletest (and anything else gating CI on
+// a load run): hard failures and SLO violations are distinguishable so
+// a pipeline can treat "the harness broke" differently from "the
+// service is too slow".
+const (
+	ExitOK           = 0
+	ExitError        = 1
+	ExitSLOViolation = 2
+)
+
+// ExitCode maps a run outcome onto the process exit code: a hard error
+// wins, then any SLO violation across the results.
+func ExitCode(hardErr error, results []*Result) int {
+	if hardErr != nil {
+		return ExitError
+	}
+	for _, r := range results {
+		if r != nil && !r.SLO.OK() {
+			return ExitSLOViolation
+		}
+	}
+	return ExitOK
+}

@@ -1,0 +1,90 @@
+package scaletest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestTracerNilSafety: a nil *Tracer must be a complete no-op recorder —
+// every method on it and on the nil spans it hands out must be callable.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("op", 0)
+	if sp != nil {
+		t.Fatalf("nil tracer returned a non-nil span")
+	}
+	if sp.ID() != 0 {
+		t.Errorf("nil span ID = %d, want 0", sp.ID())
+	}
+	sp.SetAttr("k", "v").SetAttr("k2", "v2")
+	sp.End()
+	tr.Record(Span{Name: "external"})
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Errorf("nil tracer Len/Dropped = %d/%d", tr.Len(), tr.Dropped())
+	}
+	if err := tr.WriteNDJSON(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil tracer WriteNDJSON: %v", err)
+	}
+}
+
+// TestTracerParentLinks: child spans must carry their parent's ID, and
+// the NDJSON export must round-trip every span with links intact.
+func TestTracerParentLinks(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start("op", 0).SetAttr("client", "c0")
+	child := tr.Start("estimate", root.ID())
+	if child.ID() == root.ID() {
+		t.Fatal("child and root share an ID")
+	}
+	child.End()
+	root.End()
+	tr.Record(Span{Name: "server.v2.estimate", Start: time.Now().UnixNano(), DurNS: 1})
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var spans []Span
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, s)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("exported %d spans, want 3", len(spans))
+	}
+	// Recording order: child ended first, then root, then the external span.
+	if spans[0].Name != "estimate" || spans[0].Parent != spans[1].ID {
+		t.Errorf("child span %+v does not link to root %+v", spans[0], spans[1])
+	}
+	if spans[1].Attrs["client"] != "c0" {
+		t.Errorf("root attrs = %v", spans[1].Attrs)
+	}
+	if spans[2].ID == 0 {
+		t.Error("externally recorded span was not assigned an ID")
+	}
+}
+
+// TestTracerDropBound: past the retention bound new spans are dropped
+// and counted, never silently lost.
+func TestTracerDropBound(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Start("op", 0).End()
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	}
+}

@@ -106,6 +106,11 @@ type clientStats struct {
 // histograms, and error/507 counts. It returns when the source drains,
 // the op budget or duration is spent, or ctx is cancelled (cancellation
 // is a normal end of test, not an error).
+//
+// Deprecated: internal/scaletest supersedes this harness with named
+// workload strategies, SLO gates, concurrency ramps, and a persisted
+// BENCH artifact; new callers should use scaletest.Run. RunLoad
+// remains for the frozen single-fleet API surface.
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.BaseURL == "" {
 		return nil, errors.New("stream: load test needs a BaseURL")
@@ -207,11 +212,11 @@ func runClient(ctx context.Context, cfg LoadConfig, st *clientStats, events <-ch
 		if budgetLeft.Add(-1) < 0 {
 			return
 		}
-		batch := nextBatch(ctx, events, cfg.BatchSize)
+		batch := NextBatch(ctx, events, cfg.BatchSize)
 		if len(batch) == 0 {
 			return // source drained or ctx cancelled
 		}
-		contributions, items := convert(batch, geo, registry)
+		contributions, items := Convert(batch, geo, registry)
 
 		if cycle%cfg.PollEvery == 0 {
 			st.modelPolls++
@@ -279,10 +284,12 @@ func runClient(ctx context.Context, cfg LoadConfig, st *clientStats, events <-ch
 	}
 }
 
-// nextBatch pulls up to n events: blocking for the first, then draining
+// NextBatch pulls up to n events: blocking for the first, then draining
 // whatever is immediately available, so slow sources still make
-// progress and fast sources fill whole batches.
-func nextBatch(ctx context.Context, events <-chan Event, n int) []Event {
+// progress and fast sources fill whole batches. It returns nil once the
+// channel closes or ctx is cancelled. Exported for internal/scaletest's
+// client loop, which shares this consumption discipline.
+func NextBatch(ctx context.Context, events <-chan Event, n int) []Event {
 	batch := make([]Event, 0, n)
 	select {
 	case ev, ok := <-events:
@@ -307,10 +314,12 @@ func nextBatch(ctx context.Context, events <-chan Event, n int) []Event {
 	return batch
 }
 
-// convert turns raw stream events into the anonymous payloads a real
+// Convert turns raw stream events into the anonymous payloads a real
 // client would upload: contributions for every detected price
-// notification and estimate queries for the encrypted ones.
-func convert(batch []Event, geo *geoip.DB, registry *nurl.Registry) ([]pmeserver.Contribution, []pmeserver.EstimateItem) {
+// notification and estimate queries for the encrypted ones. Exported
+// for internal/scaletest so every load harness builds bit-identical
+// payloads from the same events.
+func Convert(batch []Event, geo *geoip.DB, registry *nurl.Registry) ([]pmeserver.Contribution, []pmeserver.EstimateItem) {
 	var contributions []pmeserver.Contribution
 	var items []pmeserver.EstimateItem
 	for _, ev := range batch {
