@@ -6,14 +6,24 @@
 // each new version in atomically; clients observe refreshes as ETag
 // changes on their next conditional poll.
 //
+// The process serves first and trains second: the listener binds
+// immediately so /healthz, /readyz, and /metrics are reachable during
+// the bootstrap, and /readyz flips from 503 to 200 the moment the
+// pipeline publishes the first model. Telemetry — bootstrap stage
+// timings, model lifecycle, retrain loop, per-route request series —
+// flows through one obs registry scraped at GET /metrics.
+//
 // Usage:
 //
 //	pme [-listen :8700] [-scale 0.05] [-per-setup 60] [-seed 1] [-once]
 //	    [-retrain-count 500] [-retrain-interval 30s] [-rate 0] [-burst 256]
+//	    [-pprof] [-trace-spans 0] [-log-requests]
 //
 // With -once the trained model's metrics are printed and the process
 // exits without serving (useful in scripts). -rate enables the token-
-// bucket limiter (requests/second; 0 = unlimited).
+// bucket limiter (requests/second; 0 = unlimited). -pprof mounts
+// net/http/pprof under /debug/pprof/. -trace-spans > 0 records that
+// many server-side request spans, served at GET /debug/trace.
 package main
 
 import (
@@ -21,13 +31,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"yourandvalue"
+	"yourandvalue/internal/obs"
+	"yourandvalue/internal/obs/trace"
 	"yourandvalue/internal/pme"
 	"yourandvalue/internal/pmeserver"
 )
@@ -42,15 +55,23 @@ func main() {
 	retrainEvery := flag.Duration("retrain-interval", 30*time.Second, "how often the retrain trigger is checked")
 	rate := flag.Float64("rate", 0, "token-bucket request rate limit in req/s (0 = unlimited)")
 	burst := flag.Int("burst", 256, "token-bucket burst capacity")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	traceSpans := flag.Int("trace-spans", 0, "record up to this many server-side request spans (0 = off); GET /debug/trace exports them")
+	logRequests := flag.Bool("log-requests", false, "log one structured line per request (with trace IDs)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 	// The registry is the hand-off point between training and serving:
 	// the pipeline publishes into it, the server serves from it, and the
-	// retrain loop hot-swaps new versions through it.
+	// retrain loop hot-swaps new versions through it. The obs registry is
+	// the telemetry counterpart — pipeline, server, and retrainer all
+	// report through it onto one /metrics scrape.
 	registry := pme.NewRegistry()
+	telemetry := obs.NewRegistry()
 
 	pipe, err := yourandvalue.NewPipeline(
 		yourandvalue.WithScale(*scale),
@@ -58,13 +79,46 @@ func main() {
 		yourandvalue.WithCampaignImpressions(*perSetup),
 		yourandvalue.WithCrossValidation(10, 1),
 		yourandvalue.WithModelRegistry(registry),
+		yourandvalue.WithObservability(telemetry),
 		yourandvalue.WithProgress(func(ev yourandvalue.StageEvent) {
 			if ev.State == yourandvalue.StageCompleted {
-				fmt.Fprintf(os.Stderr, "stage %-15s done in %s\n", ev.Stage, ev.Elapsed.Round(1e6))
+				logger.Info("stage done", "stage", string(ev.Stage), "elapsed", ev.Elapsed.Round(1e6).String())
 			}
 		}),
 	)
 	exitOn(err)
+
+	var hs *http.Server
+	var srv *pmeserver.Server
+	if !*once {
+		// Serve before training: bind the listener now so orchestrators
+		// can watch /readyz flip once the bootstrap pipeline publishes.
+		opts := []pmeserver.Option{
+			pmeserver.WithRegistry(registry),
+			pmeserver.WithObsRegistry(telemetry),
+		}
+		if *rate > 0 {
+			opts = append(opts, pmeserver.WithRateLimit(*rate, *burst))
+		}
+		if *pprofOn {
+			opts = append(opts, pmeserver.WithPprof())
+		}
+		if *traceSpans > 0 {
+			opts = append(opts, pmeserver.WithTracer(trace.NewTracer(*traceSpans)))
+		}
+		if *logRequests {
+			opts = append(opts, pmeserver.WithLogger(logger))
+		}
+		srv, err = pmeserver.New(nil, opts...)
+		exitOn(err)
+
+		ln, err := net.Listen("tcp", *listen)
+		exitOn(err)
+		hs = &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		logger.Info("listening (not ready until the model is trained)",
+			"addr", ln.Addr().String(), "metrics", "/metrics", "ready", "/readyz")
+	}
 
 	// The model needs campaigns plus the analyzed weblog (its cleartext
 	// 2015 reference drives the §6.2 time-shift coefficient); the cost
@@ -73,12 +127,13 @@ func main() {
 	exitOn(err)
 	res, err := pipe.Analyze(ctx, tr)
 	exitOn(err)
-	fmt.Fprintln(os.Stderr, "running probing ad-campaigns (A1 encrypted, A2 cleartext, in parallel)...")
+	logger.Info("running probing ad-campaigns (A1 encrypted, A2 cleartext, in parallel)")
 	camps, err := pipe.RunCampaigns(ctx, tr)
 	exitOn(err)
-	fmt.Fprintf(os.Stderr, "A1: %d records ($%.2f); A2: %d records ($%.2f)\n",
-		len(camps.A1.Records), camps.A1.SpentUSD, len(camps.A2.Records), camps.A2.SpentUSD)
-	model, err := pipe.TrainModel(ctx, res, camps) // publishes into the registry
+	logger.Info("campaigns done",
+		"a1_records", len(camps.A1.Records), "a1_spent_usd", fmt.Sprintf("%.2f", camps.A1.SpentUSD),
+		"a2_records", len(camps.A2.Records), "a2_spent_usd", fmt.Sprintf("%.2f", camps.A2.SpentUSD))
+	model, err := pipe.TrainModel(ctx, res, camps) // publishes into the registry → /readyz flips
 	exitOn(err)
 
 	m := model.Metrics
@@ -93,34 +148,25 @@ func main() {
 		return
 	}
 
-	opts := []pmeserver.Option{pmeserver.WithRegistry(registry)}
-	if *rate > 0 {
-		opts = append(opts, pmeserver.WithRateLimit(*rate, *burst))
-	}
-	srv, err := pmeserver.New(nil, opts...)
-	exitOn(err)
-
 	// Close the crowdsourcing loop: drain contributions into retraining.
-	logger := log.New(os.Stderr, "", log.LstdFlags)
 	retrainer := pme.NewRetrainer(registry, srv.Pool(), pme.RetrainConfig{
 		MinSamples: *retrainCount,
 		Interval:   *retrainEvery,
 		Seed:       *seed + 100,
 	})
-	retrainer.Log = logger.Printf
+	retrainer.Log = func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
+	pme.InstrumentRetrainer(telemetry, retrainer)
 	go func() { _ = retrainer.Run(ctx) }()
 
-	fmt.Fprintf(os.Stderr,
-		"serving model on %s (GET /v1/model, GET /v2/model [ETag], POST /v2/contribute, POST /v2/estimate[/stream], GET /v2/stats)\n",
-		*listen)
-	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
-	go func() {
-		<-ctx.Done()
-		shCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		defer cancel()
-		_ = hs.Shutdown(shCtx)
-	}()
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	logger.Info("serving model",
+		"addr", *listen,
+		"routes", "GET /v1/model, GET /v2/model [ETag], POST /v2/contribute, POST /v2/estimate[/stream], GET /v2/stats, GET /metrics")
+	<-ctx.Done()
+	shCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		exitOn(err)
 	}
 }

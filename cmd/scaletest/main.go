@@ -190,19 +190,13 @@ func run(o options) (int, error) {
 	base := o.addr
 	var host *scaletest.SelfHost
 	if base == "" {
-		// Server-side spans ride the same tracer through the pmeserver
-		// request observer, so a client-visible p99 spike can be split
-		// into server time vs everything else.
+		// Server-side spans ride the same tracer via the server's trace
+		// middleware: clients inject traceparent, the middleware records
+		// a server span under the client's, so a client-visible p99 spike
+		// can be split into server time vs everything else — span by span.
 		var opts []pmeserver.Option
 		if tracer != nil {
-			opts = append(opts, pmeserver.WithRequestObserver(func(obs pmeserver.RequestObservation) {
-				tracer.Record(scaletest.Span{
-					Name:  "server." + obs.Route,
-					Start: obs.Start.UnixNano(),
-					DurNS: int64(obs.Duration),
-					Attrs: map[string]string{"status": strconv.Itoa(obs.Status)},
-				})
-			}))
+			opts = append(opts, pmeserver.WithTracer(tracer))
 		}
 		host, err = scaletest.StartSelfHost(o.seed, o.pool, opts...)
 		if err != nil {
@@ -293,6 +287,32 @@ func run(o options) (int, error) {
 		}
 		artifact.GoBench = gb
 		fmt.Fprintf(os.Stderr, "scaletest: folded %d go-bench results from %s\n", len(gb), o.benchIn)
+	}
+
+	// Fold the server's own post-run telemetry into the artifact: the
+	// /metrics exposition carries the registry/pool/retrain lifecycle
+	// series no client-side counter can see.
+	if fams, err := scaletest.ScrapeMetrics(ctx, base); err != nil {
+		fmt.Fprintf(os.Stderr, "scaletest: /metrics scrape skipped: %v\n", err)
+	} else {
+		artifact.ServerMetrics = fams
+		fmt.Fprintf(os.Stderr, "scaletest: scraped %d metric families from %s/metrics\n", len(fams), base)
+	}
+	// Against a remote server the tracer holds only client spans; merge
+	// the server's /debug/trace export so one NDJSON file still shows the
+	// full tree. Self-hosted runs share the tracer, so there is nothing
+	// to merge.
+	if tracer != nil && host == nil {
+		spans, err := scaletest.ScrapeTrace(ctx, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scaletest: /debug/trace scrape skipped: %v\n", err)
+		}
+		for _, sp := range spans {
+			tracer.Record(sp)
+		}
+		if len(spans) > 0 {
+			fmt.Fprintf(os.Stderr, "scaletest: merged %d server-side spans from %s/debug/trace\n", len(spans), base)
+		}
 	}
 
 	if o.out != "" {

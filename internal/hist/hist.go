@@ -80,6 +80,11 @@ func (h *Histogram) Merge(o *Histogram) {
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() int64 { return h.total }
 
+// Sum returns the exact sum of all recorded observations — the
+// numerator Prometheus-style exposition reports as `_sum` (the mean is
+// derived, the sum is the primary).
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
 // Max returns the largest recorded observation.
 func (h *Histogram) Max() time.Duration { return h.max }
 

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"yourandvalue/internal/hist"
+)
+
+// ContentType is the Prometheus text exposition format content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format: families sorted by name, series sorted by
+// label string, each family preceded by its # HELP and # TYPE lines.
+// Histograms expose cumulative le buckets (in seconds), _sum, and
+// _count from one consistent snapshot per series — a scrape never
+// observes a torn histogram.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriterSize(w, 16<<10)
+	for _, fam := range fams {
+		fam.mu.Lock()
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sers := make([]*series, len(keys))
+		for i, k := range keys {
+			sers[i] = fam.series[k]
+		}
+		fam.mu.Unlock()
+
+		if fam.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(fam.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.typ)
+		bw.WriteByte('\n')
+
+		for _, s := range sers {
+			if fam.typ == typeHistogram {
+				writeHistogramSeries(bw, fam.name, s)
+				continue
+			}
+			bw.WriteString(fam.name)
+			bw.WriteString(s.labelStr)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.value()))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogramSeries renders one histogram series from one snapshot.
+func writeHistogramSeries(bw *bufio.Writer, name string, s *series) {
+	snap := s.snapshot()
+	writeHistogram(bw, name, s.labelStr, snap)
+}
+
+// writeHistogram renders a hist.Histogram in Prometheus histogram form.
+// The fixed log-bucket layout only materializes populated buckets; the
+// cumulative le sequence therefore lists populated bounds in ascending
+// order and always ends with the +Inf bucket carrying the total count.
+func writeHistogram(bw *bufio.Writer, name, labelStr string, snap hist.Histogram) {
+	var cum int64
+	for _, b := range snap.Buckets() {
+		if b.UpperNS < 0 {
+			continue // overflow bucket folds into +Inf below
+		}
+		cum += b.Count
+		bw.WriteString(name)
+		bw.WriteString(mergeLabel(labelStr, `le="`+formatValue(float64(b.UpperNS)/1e9)+`"`))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString(mergeLabel(labelStr, `le="+Inf"`))
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(snap.Count(), 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	bw.WriteString(labelStr)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(snap.Sum().Seconds()))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	bw.WriteString(labelStr)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(snap.Count(), 10))
+	bw.WriteByte('\n')
+}
+
+// mergeLabel renders the "_bucket{...,le=...}" suffix for one bucket
+// sample by splicing the le pair into the series' pre-rendered label
+// string.
+func mergeLabel(labelStr, pair string) string {
+	if labelStr == "" {
+		return "_bucket{" + pair + "}"
+	}
+	// labelStr is "{...}"; insert before the closing brace.
+	return "_bucket" + labelStr[:len(labelStr)-1] + "," + pair + "}"
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, integral values without an exponent.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in text exposition format — the GET
+// /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the text exposition format end to end:
+// HELP/TYPE lines, family and series ordering, label escaping, and the
+// histogram's cumulative bucket sequence.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "sorted last", nil).Add(3)
+	c := r.Counter("app_requests_total", "Total requests.", Labels{"route": "v2.estimate"})
+	c.Inc()
+	c.Inc()
+	r.Counter("app_requests_total", "Total requests.", Labels{"route": "v1.model"}).Inc()
+	r.Gauge("app_temperature", "Value with\nnewline and \\ slash.", Labels{"site": `quo"te\n`}).Set(36.6)
+
+	h := r.Histogram("app_latency_seconds", "Latency.", Labels{"route": "v2.estimate"})
+	h.Observe(2 * time.Microsecond) // bucket ~1.33µs... lands in a low bucket
+	h.Observe(2 * time.Microsecond)
+	h.Observe(50 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	wantLines := []string{
+		"# HELP app_latency_seconds Latency.",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_count{route="v2.estimate"} 3`,
+		"# HELP app_requests_total Total requests.",
+		"# TYPE app_requests_total counter",
+		`app_requests_total{route="v1.model"} 1`,
+		`app_requests_total{route="v2.estimate"} 2`,
+		`# HELP app_temperature Value with\nnewline and \\ slash.`,
+		"# TYPE app_temperature gauge",
+		`app_temperature{site="quo\"te\\n"} 36.6`,
+		"# TYPE zz_last_total counter",
+		"zz_last_total 3",
+	}
+	pos := -1
+	for _, want := range wantLines {
+		idx := strings.Index(out, want+"\n")
+		if idx < 0 {
+			t.Fatalf("exposition missing line %q\n--- got:\n%s", want, out)
+		}
+		if idx < pos {
+			t.Errorf("line %q out of order", want)
+		}
+		pos = idx
+	}
+
+	// The +Inf bucket must exist and equal _count.
+	if !strings.Contains(out, `app_latency_seconds_bucket{route="v2.estimate",le="+Inf"} 3`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+
+	// The golden parser must accept everything the writer emits, and the
+	// round trip must preserve values.
+	fams, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("golden parser rejected own exposition: %v\n%s", err, out)
+	}
+	reqs, ok := FindFamily(fams, "app_requests_total")
+	if !ok {
+		t.Fatal("parsed families missing app_requests_total")
+	}
+	if v, ok := reqs.Sample(Labels{"route": "v2.estimate"}); !ok || v != 2 {
+		t.Errorf("parsed app_requests_total{route=v2.estimate} = %v, %v; want 2", v, ok)
+	}
+	temp, ok := FindFamily(fams, "app_temperature")
+	if !ok {
+		t.Fatal("parsed families missing app_temperature")
+	}
+	if v, ok := temp.Sample(Labels{"site": `quo"te\n`}); !ok || v != 36.6 {
+		t.Errorf("label escaping did not round-trip: %v, %v", v, ok)
+	}
+	if temp.Help != "Value with\nnewline and \\ slash." {
+		t.Errorf("help escaping did not round-trip: %q", temp.Help)
+	}
+}
+
+// TestHistogramCumulativity drives enough spread through a histogram to
+// populate several buckets and asserts the parsed bucket sequence is
+// strictly cumulative with +Inf == _count.
+func TestHistogramCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", Labels{"ep": "x"})
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * 731 * time.Microsecond)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, b.String())
+	}
+	fam, ok := FindFamily(fams, "lat_seconds")
+	if !ok || fam.Type != "histogram" {
+		t.Fatalf("lat_seconds family missing or mistyped: %+v", fam)
+	}
+	var buckets, infCount, count float64
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case "lat_seconds_bucket":
+			buckets++
+			if s.Labels["le"] == "+Inf" {
+				infCount = s.Value
+			}
+		case "lat_seconds_count":
+			count = s.Value
+		}
+	}
+	if buckets < 3 {
+		t.Errorf("only %v buckets populated; spread too narrow for the test to bite", buckets)
+	}
+	if infCount != 100 || count != 100 {
+		t.Errorf("+Inf bucket %v / count %v, want 100/100", infCount, count)
+	}
+}
+
+// TestParserRejectsMalformed: the golden parser is strict — samples
+// without TYPE, broken cumulativity, and duplicate series all fail.
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":        "foo_total 1\n",
+		"dup series":     "# TYPE a gauge\na 1\na 2\n",
+		"non-cumulative": "# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf":   "# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_sum 1\nh_count 5\n",
+		"inf != count":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+		"bad escape":     "# TYPE a gauge\na{l=\"x\\q\"} 1\n",
+		"trailing junk":  "# TYPE a gauge\na 1 171234\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parser accepted malformed input:\n%s", name, in)
+		}
+	}
+}
+
+// TestCounterGaugeSemantics: counters refuse to move backwards, gauges
+// move both ways, funcs are read-through, and handles are idempotent.
+func TestCounterGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", nil)
+	c.Add(5)
+	c.Add(-3) // ignored
+	c.Inc()
+	if c.Value() != 6 {
+		t.Errorf("counter = %v, want 6", c.Value())
+	}
+	if again := r.Counter("c_total", "", nil); again.Value() != 6 {
+		t.Errorf("re-registered counter lost state: %v", again.Value())
+	}
+	g := r.Gauge("g", "", nil)
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Errorf("gauge = %v, want 6", g.Value())
+	}
+	val := 41.5
+	r.GaugeFunc("gf", "", nil, func() float64 { return val })
+	val = 42.5
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "gf 42.5") {
+		t.Errorf("GaugeFunc not read-through:\n%s", b.String())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("c_total", "", nil)
+}
+
+// TestFormatValue pins the sample-value rendering edge cases.
+func TestFormatValue(t *testing.T) {
+	for v, want := range map[float64]string{
+		0:      "0",
+		42:     "42",
+		-3:     "-3",
+		36.6:   "36.6",
+		1.5e-5: "1.5e-05",
+	} {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatValue(math.Inf(1)); got != "+Inf" {
+		t.Errorf("formatValue(+Inf) = %q", got)
+	}
+}

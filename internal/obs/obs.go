@@ -1,0 +1,327 @@
+// Package obs is the repo's unified, dependency-free telemetry layer:
+// a concurrent registry of counters, gauges, and histograms with
+// Prometheus text exposition, plus (in the trace subpackage) request
+// tracing with W3C-style propagation.
+//
+// The paper's PME exists so users can audit a system only the ad
+// ecosystem can otherwise see; a reproduction that operates that model
+// at fleet scale needs the same auditability turned inward. Before this
+// package, observability was fragmented — pmeserver kept private
+// per-endpoint JSON stats, scaletest had a client-side-only tracer, and
+// the model lifecycle (registry hot-swaps, pool pressure, retrains)
+// emitted nothing. Every subsystem now reports through one registry and
+// one scrape endpoint.
+//
+// Design constraints, in order:
+//
+//   - Zero third-party dependencies. The whole layer is stdlib plus
+//     internal/hist, whose log-bucketed layout backs every histogram so
+//     server-side series aggregate identically to the load harness's
+//     client-side reports.
+//   - Cheap hot paths. Counters and gauges are single atomics;
+//     histograms are the existing hist.Sync (one mutex, no per-sample
+//     allocation). Exposition cost is paid by the scraper, not the
+//     request path.
+//   - Readable without a Prometheus server. The text format is the
+//     interchange; ParseText is the golden parser CI and tests use to
+//     assert the exposition stays well-formed.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yourandvalue/internal/hist"
+)
+
+// Labels is one series' label set. Label values may contain any UTF-8;
+// exposition escapes them. Label names must be valid Prometheus label
+// names ([a-zA-Z_][a-zA-Z0-9_]*); the registry panics on invalid names
+// because a bad metric identity is a programming error, not a runtime
+// condition.
+type Labels map[string]string
+
+// Metric types in exposition order of declaration.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Registry is a concurrent collection of metric families. All methods
+// are safe for concurrent use; registration methods are idempotent —
+// asking for the same (name, labels) series twice returns the same
+// handle, so packages can instrument without coordinating "who creates
+// what".
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help, typ string
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one (name, labels) time series. Exactly one of the value
+// fields is active, selected by the family type and the fn/histFn
+// overrides.
+type series struct {
+	labelStr string // pre-rendered {k="v",...}, "" when unlabeled
+
+	bits   atomic.Uint64 // float64 bits for counter/gauge values
+	hist   *hist.Sync
+	fn     func() float64        // read-through gauge/counter
+	histFn func() hist.Histogram // read-through histogram
+}
+
+func (s *series) value() float64 {
+	if s.fn != nil {
+		return s.fn()
+	}
+	return math.Float64frombits(s.bits.Load())
+}
+
+func (s *series) add(delta float64) {
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (s *series) snapshot() hist.Histogram {
+	if s.histFn != nil {
+		return s.histFn()
+	}
+	return s.hist.Snapshot()
+}
+
+// Counter is a monotonically increasing series handle.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.add(1) }
+
+// Add increases the counter by delta; negative deltas are ignored (a
+// counter can only move forward).
+func (c *Counter) Add(delta float64) {
+	if delta > 0 {
+		c.s.add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.s.value() }
+
+// Gauge is a series handle that can move both ways.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta float64) { g.s.add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.s.value() }
+
+// Histogram is a latency-distribution series handle backed by the
+// shared internal/hist bucket layout.
+type Histogram struct{ s *series }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.s.hist.Record(d) }
+
+// Snapshot returns a consistent copy of the underlying histogram.
+func (h *Histogram) Snapshot() hist.Histogram { return h.s.snapshot() }
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.register(name, help, typeCounter, labels, nil, nil)
+	return &Counter{s: s}
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.register(name, help, typeGauge, labels, nil, nil)
+	return &Gauge{s: s}
+}
+
+// Histogram registers (or returns the existing) histogram series.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	return &Histogram{s: r.register(name, help, typeHistogram, labels, nil, nil)}
+}
+
+// GaugeFunc registers a read-through gauge: every exposition calls fn
+// for the current value. Use for state owned elsewhere (pool depth,
+// goroutine counts, model version) so no write path needs to exist.
+// fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, typeGauge, labels, fn, nil)
+}
+
+// CounterFunc registers a read-through counter over an externally
+// maintained monotonic count (lifetime accepted/dropped totals an owner
+// already tracks). fn must be safe for concurrent use and must never
+// decrease.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, typeCounter, labels, fn, nil)
+}
+
+// HistogramFunc registers a read-through histogram: every exposition
+// calls fn for a consistent snapshot (typically hist.Sync.Snapshot of a
+// histogram an owner already maintains).
+func (r *Registry) HistogramFunc(name, help string, labels Labels, fn func() hist.Histogram) {
+	r.register(name, help, typeHistogram, labels, nil, fn)
+}
+
+// register resolves (name, labels) to its series, creating family and
+// series as needed. Type mismatches on an existing family panic: two
+// packages disagreeing about what a metric *is* cannot be reconciled at
+// runtime.
+func (r *Registry) register(name, help, typ string, labels Labels, fn func() float64, histFn func() hist.Histogram) *series {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for k := range labels {
+		if !validLabelName(k) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", k, name))
+		}
+	}
+	r.mu.Lock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = fam
+	}
+	r.mu.Unlock()
+	if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, fam.typ, typ))
+	}
+
+	key := renderLabels(labels)
+	fam.mu.Lock()
+	defer fam.mu.Unlock()
+	s, ok := fam.series[key]
+	if !ok {
+		s = &series{labelStr: key, fn: fn, histFn: histFn}
+		if typ == typeHistogram && histFn == nil {
+			s.hist = &hist.Sync{}
+		}
+		fam.series[key] = s
+	}
+	return s
+}
+
+// renderLabels pre-renders a canonical, escaped {k="v",...} string
+// (sorted by label name) that doubles as the series identity key.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes for label
+// values: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the HELP-line escapes: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

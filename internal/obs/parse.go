@@ -1,0 +1,407 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The golden parser: a strict reader of the subset of the Prometheus
+// text exposition format this package emits. Tests and CI parse every
+// scrape through it, so a malformed exposition (missing TYPE, broken
+// escaping, non-cumulative histogram buckets) fails loudly instead of
+// silently confusing a real scraper. scaletest also uses it to fold a
+// post-run /metrics scrape into the BENCH artifact.
+
+// Sample is one parsed series sample. For histograms the Name keeps the
+// full sample name (metric_bucket / metric_sum / metric_count) and
+// bucket samples keep their le label.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string   `json:"name"`
+	Type    string   `json:"type"`
+	Help    string   `json:"help,omitempty"`
+	Samples []Sample `json:"samples,omitempty"`
+}
+
+// Sample returns the family's first sample matching the given labels
+// exactly (nil matches the unlabeled series), or false.
+func (f *Family) Sample(labels Labels) (float64, bool) {
+	for _, s := range f.Samples {
+		if len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// FindFamily returns the named family from a parse result.
+func FindFamily(fams []Family, name string) (*Family, bool) {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i], true
+		}
+	}
+	return nil, false
+}
+
+// ParseText reads a text exposition and validates it: every sample must
+// belong to a # TYPE-declared family, label values must unescape
+// cleanly, duplicate series are rejected, and histogram bucket counts
+// must be cumulative with the +Inf bucket equal to _count. Families are
+// returned in input order.
+func ParseText(r io.Reader) ([]Family, error) {
+	var (
+		fams  []Family
+		index = make(map[string]int)
+		seen  = make(map[string]bool) // duplicate-series guard
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			if kind == "" {
+				continue // free-form comment
+			}
+			i, ok := index[name]
+			if !ok {
+				index[name] = len(fams)
+				i = len(fams)
+				fams = append(fams, Family{Name: name})
+			}
+			switch kind {
+			case "HELP":
+				fams[i].Help = rest
+			case "TYPE":
+				if len(fams[i].Samples) > 0 {
+					return nil, fmt.Errorf("obs: line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				if fams[i].Type != "" {
+					return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch rest {
+				case typeCounter, typeGauge, typeHistogram, "untyped", "summary":
+					fams[i].Type = rest
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown type %q for %s", lineNo, rest, name)
+				}
+			}
+			continue
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		famName := familyNameOf(s.Name)
+		i, ok := index[famName]
+		if !ok || fams[i].Type == "" {
+			return nil, fmt.Errorf("obs: line %d: sample %s has no preceding # TYPE", lineNo, s.Name)
+		}
+		key := s.Name + renderLabels(s.Labels)
+		if seen[key] {
+			return nil, fmt.Errorf("obs: line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		fams[i].Samples = append(fams[i].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if fams[i].Type == typeHistogram {
+			if err := validateHistogram(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// parseComment splits a # HELP / # TYPE line; kind "" means free-form.
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(strings.TrimPrefix(line, "#"), " ", 4)
+	// After TrimPrefix the line starts with " HELP"/" TYPE" → fields[0]=="".
+	var parts []string
+	for _, f := range fields {
+		if f != "" {
+			parts = append(parts, f)
+		}
+	}
+	if len(parts) == 0 || (parts[0] != "HELP" && parts[0] != "TYPE") {
+		return "", "", "", nil
+	}
+	if len(parts) < 2 {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind, name = parts[0], parts[1]
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if idx := strings.Index(line, name); idx >= 0 {
+		rest = strings.TrimSpace(line[idx+len(name):])
+	}
+	if kind == "HELP" {
+		rest = unescapeHelp(rest)
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample parses `name{l="v",...} value` or `name value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		labels, after, err := parseLabelSet(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = after
+	}
+	valStr := strings.TrimSpace(rest)
+	if valStr == "" {
+		return s, fmt.Errorf("sample %s has no value", s.Name)
+	}
+	// Timestamps are not emitted by this exporter; reject extra fields.
+	if strings.ContainsAny(valStr, " \t") {
+		return s, fmt.Errorf("sample %s has trailing fields %q", s.Name, valStr)
+	}
+	v, err := parseFloat(valStr)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, valStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabelSet parses a {k="v",...} block, unescaping values, and
+// returns the remainder of the line.
+func parseLabelSet(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		// Label name.
+		start := i
+		for i < len(in) && in[i] != '=' {
+			i++
+		}
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		name := in[start:i]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		i++ // '='
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("label %s: expected quoted value", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", name, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = b.String()
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		switch in[i] {
+		case ',':
+			i++
+			continue
+		case '}':
+			return labels, in[i+1:], nil
+		default:
+			return nil, "", fmt.Errorf("unexpected %q in label set", in[i])
+		}
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyNameOf strips the histogram sample suffixes back to the family
+// name. Non-histogram names pass through (a family literally named with
+// a _bucket suffix would be ambiguous; this exporter never emits one).
+func familyNameOf(sample string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok {
+			return base
+		}
+	}
+	return sample
+}
+
+// validateHistogram checks cumulativity per label set: bucket counts
+// must be non-decreasing in le order, the +Inf bucket must exist, and
+// it must equal the _count sample.
+func validateHistogram(f *Family) error {
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	buckets := make(map[string][]bucket) // key: labels minus le
+	counts := make(map[string]float64)
+	hasCount := make(map[string]bool)
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("obs: histogram %s: bucket without le", f.Name)
+			}
+			le, err := parseFloat(leStr)
+			if err != nil {
+				return fmt.Errorf("obs: histogram %s: bad le %q", f.Name, leStr)
+			}
+			key := labelsKeyWithoutLe(s.Labels)
+			buckets[key] = append(buckets[key], bucket{le: le, count: s.Value})
+		case f.Name + "_count":
+			counts[labelsKeyWithoutLe(s.Labels)] = s.Value
+			hasCount[labelsKeyWithoutLe(s.Labels)] = true
+		case f.Name + "_sum":
+			// No structural constraint beyond being a sample.
+		default:
+			return fmt.Errorf("obs: histogram %s: unexpected sample %s", f.Name, s.Name)
+		}
+	}
+	for key, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := math.Inf(-1)
+		prev := -1.0
+		for _, b := range bs {
+			if b.le <= last {
+				return fmt.Errorf("obs: histogram %s%s: duplicate le %g", f.Name, key, b.le)
+			}
+			if b.count < prev {
+				return fmt.Errorf("obs: histogram %s%s: bucket counts not cumulative at le=%g", f.Name, key, b.le)
+			}
+			last, prev = b.le, b.count
+		}
+		if len(bs) == 0 || !math.IsInf(bs[len(bs)-1].le, 1) {
+			return fmt.Errorf("obs: histogram %s%s: missing +Inf bucket", f.Name, key)
+		}
+		if !hasCount[key] {
+			return fmt.Errorf("obs: histogram %s%s: missing _count", f.Name, key)
+		}
+		if inf := bs[len(bs)-1].count; inf != counts[key] {
+			return fmt.Errorf("obs: histogram %s%s: +Inf bucket %g != _count %g", f.Name, key, inf, counts[key])
+		}
+	}
+	return nil
+}
+
+// labelsKeyWithoutLe canonicalizes a label set minus the le label.
+func labelsKeyWithoutLe(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	cp := make(Labels, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			cp[k] = v
+		}
+	}
+	return renderLabels(cp)
+}
+
+// unescapeHelp reverses escapeHelp.
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// memReader caches one runtime.ReadMemStats per short window so a
+// scrape hitting several memory gauges pays for one stop-the-world
+// sample, not five.
+type memReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	ttl  time.Duration
+	now  func() time.Time
+	read func(*runtime.MemStats)
+}
+
+func (m *memReader) stats() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := m.now(); m.at.IsZero() || now.Sub(m.at) > m.ttl {
+		m.read(&m.ms)
+		m.at = now
+	}
+	return m.ms
+}
+
+// RegisterRuntime registers the Go runtime collector on r: goroutine
+// and heap gauges, GC counters, process uptime, and a constant
+// build-info series — the baseline every /metrics scrape carries
+// regardless of which subsystems are instrumented.
+func RegisterRuntime(r *Registry) {
+	start := time.Now()
+	mem := &memReader{ttl: 100 * time.Millisecond, now: time.Now, read: runtime.ReadMemStats}
+
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		func() float64 { return float64(mem.stats().HeapAlloc) })
+	r.GaugeFunc("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", nil,
+		func() float64 { return float64(mem.stats().HeapSys) })
+	r.CounterFunc("go_gc_runs_total", "Completed GC cycles.", nil,
+		func() float64 { return float64(mem.stats().NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil,
+		func() float64 { return float64(mem.stats().PauseTotalNs) / 1e9 })
+	r.GaugeFunc("process_uptime_seconds", "Seconds since the process registered its telemetry.", nil,
+		func() float64 { return time.Since(start).Seconds() })
+
+	labels := Labels{"go_version": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		labels["module"] = bi.Main.Path
+	}
+	r.Gauge("go_build_info", "Build information for the running binary; the value is always 1.", labels).Set(1)
+}

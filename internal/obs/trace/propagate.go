@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"net/http"
+)
+
+// W3C Trace Context propagation (https://www.w3.org/TR/trace-context/),
+// restricted to the parts this system needs: version 00, the sampled
+// flag always set, tracestate ignored. The contract is the header
+// itself — any W3C-compliant system on either side of the wire will
+// parse what this package injects and vice versa.
+
+// TraceparentHeader is the W3C propagation header name.
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders the header value for sc:
+// "00-<32 hex trace-id>-<16 hex parent-id>-01". Invalid contexts render
+// "" (callers skip injection).
+func Traceparent(sc SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.Trace.String() + "-" + sc.Span.String() + "-01"
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version except the invalid "ff", requires the 32+16 hex IDs, and
+// rejects the all-zero IDs the spec marks invalid.
+func ParseTraceparent(v string) (SpanContext, bool) {
+	// Layout: 2 (version) + 1 + 32 (trace-id) + 1 + 16 (parent-id) + 1 + 2 (flags).
+	if len(v) < 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return SpanContext{}, false
+	}
+	if v[:2] == "ff" || !isHex(v[:2]) {
+		return SpanContext{}, false
+	}
+	traceHex, spanHex := v[3:35], v[36:52]
+	rawTrace, err := hex.DecodeString(traceHex)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	rawSpan, err := hex.DecodeString(spanHex)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	copy(sc.Trace[:], rawTrace)
+	sc.Span = SpanID(binary.BigEndian.Uint64(rawSpan))
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject sets the traceparent header for sc; invalid contexts inject
+// nothing.
+func Inject(h http.Header, sc SpanContext) {
+	if v := Traceparent(sc); v != "" {
+		h.Set(TraceparentHeader, v)
+	}
+}
+
+// Extract reads the traceparent header from an inbound request.
+func Extract(r *http.Request) (SpanContext, bool) {
+	return ParseTraceparent(r.Header.Get(TraceparentHeader))
+}
+
+// ctxKey keys the span context in a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc; an invalid sc returns ctx
+// unchanged.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext returns the span context carried by ctx, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// Transport is an http.RoundTripper that injects the traceparent header
+// from the request context — the one hook that makes every client in
+// the repo propagate traces without changing a single call signature.
+// Requests whose context carries no span context pass through
+// untouched.
+type Transport struct {
+	// Base performs the round trip (http.DefaultTransport when nil).
+	Base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if sc, ok := FromContext(req.Context()); ok {
+		req = req.Clone(req.Context())
+		Inject(req.Header, sc)
+	}
+	return base.RoundTrip(req)
+}

@@ -1,0 +1,359 @@
+// Package trace is the repo's dependency-free request tracer, promoted
+// from internal/scaletest so both sides of the wire record into the
+// same model: spans carry a W3C-style 16-byte trace ID, a 64-bit span
+// ID, start/end times, attributes, and parent links, and export as
+// NDJSON (one span object per line). Propagation across the HTTP
+// boundary uses the standard `traceparent` header (see propagate.go):
+// clients inject it, the pmeserver middleware extracts it and records
+// server-side spans with client parents, so a single export shows the
+// full client → middleware → Service request tree.
+//
+// Recording is in-memory and bounded (drops counted) so the hot path
+// never blocks on I/O; the export happens once after the run. A nil
+// *Tracer is a valid no-op recorder throughout — call sites never
+// branch on whether tracing is enabled.
+package trace
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end request tree (W3C trace-id: 16
+// bytes, rendered as 32 lowercase hex digits). The zero value is "no
+// trace".
+type TraceID [16]byte
+
+// IsZero reports whether the ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the 32-hex form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// MarshalJSON renders the ID as a hex string; the zero ID as "".
+func (t TraceID) MarshalJSON() ([]byte, error) {
+	if t.IsZero() {
+		return []byte(`""`), nil
+	}
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON accepts the hex string form ("" for the zero ID).
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s == "" {
+		*t = TraceID{}
+		return nil
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 16 {
+		return fmt.Errorf("trace: bad trace id %q", s)
+	}
+	copy(t[:], raw)
+	return nil
+}
+
+// SpanID identifies one span (W3C parent-id: 8 bytes, rendered as 16
+// hex digits). Zero is "no span" — the root parent and every method on
+// a nil span. IDs are drawn from a per-tracer random sequence, so spans
+// recorded by different tracers (client and server processes) can be
+// merged into one export without collisions.
+type SpanID uint64
+
+// String renders the 16-hex form.
+func (s SpanID) String() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(s))
+	return hex.EncodeToString(b[:])
+}
+
+// MarshalJSON renders the ID as a hex string; zero as "".
+func (s SpanID) MarshalJSON() ([]byte, error) {
+	if s == 0 {
+		return []byte(`""`), nil
+	}
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the hex string form ("" for zero) and, for
+// compatibility with pre-promotion exports, a plain JSON number.
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] != '"' {
+		var n uint64
+		if err := json.Unmarshal(b, &n); err != nil {
+			return err
+		}
+		*s = SpanID(n)
+		return nil
+	}
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	if str == "" {
+		*s = 0
+		return nil
+	}
+	raw, err := hex.DecodeString(str)
+	if err != nil || len(raw) != 8 {
+		return fmt.Errorf("trace: bad span id %q", str)
+	}
+	*s = SpanID(binary.BigEndian.Uint64(raw))
+	return nil
+}
+
+// SpanContext is the propagated identity of an in-flight span: which
+// trace it belongs to and which span is the parent of any work done on
+// its behalf. The zero value means "not traced".
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a real trace and span.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && sc.Span != 0 }
+
+// Span is one finished operation in export form.
+type Span struct {
+	Trace  TraceID           `json:"trace,omitempty"`
+	ID     SpanID            `json:"id"`
+	Parent SpanID            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Start  int64             `json:"start_unix_nano"`
+	DurNS  int64             `json:"duration_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer collects spans from many goroutines. A nil *Tracer is a valid
+// no-op recorder: every method no-ops and Start/Root return nil (no-op)
+// spans.
+type Tracer struct {
+	base    uint64 // random per-tracer key for collision-free IDs
+	next    atomic.Uint64
+	dropped atomic.Int64
+	max     int
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// DefaultMaxSpans bounds an unbounded-looking run: past it new spans
+// are dropped (and counted) rather than growing the heap the harness
+// itself is supposed to be measuring.
+const DefaultMaxSpans = 1 << 18
+
+// NewTracer returns a Tracer retaining at most maxSpans spans
+// (DefaultMaxSpans when maxSpans <= 0).
+func NewTracer(maxSpans int) *Tracer {
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	var seed [8]byte
+	_, _ = rand.Read(seed[:])
+	return &Tracer{max: maxSpans, base: binary.BigEndian.Uint64(seed[:])}
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective 64-bit
+// mixer, so distinct inputs give distinct pseudo-random IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// newSpanID draws the next unique pseudo-random span ID.
+func (t *Tracer) newSpanID() SpanID {
+	for {
+		if id := SpanID(splitmix64(t.base + t.next.Add(1))); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewTraceID draws a fresh random trace ID. Safe on nil (returns the
+// zero ID, which propagation treats as "not traced").
+func (t *Tracer) NewTraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], splitmix64(t.base^0xa5a5a5a5a5a5a5a5+t.next.Add(1)))
+	binary.BigEndian.PutUint64(id[8:], splitmix64(t.base+t.next.Add(1)))
+	return id
+}
+
+// ActiveSpan is an in-flight span; End records it.
+type ActiveSpan struct {
+	t     *Tracer
+	start time.Time
+	span  Span
+}
+
+// Root opens a root span under a fresh trace ID. Safe on a nil Tracer,
+// which returns a nil (no-op) span.
+func (t *Tracer) Root(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, SpanContext{Trace: t.NewTraceID()})
+}
+
+// Child opens a span under parent (same trace; parent.Span may be zero
+// for a root within an existing trace). Safe on a nil Tracer.
+func (t *Tracer) Child(name string, parent SpanContext) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, parent)
+}
+
+func (t *Tracer) start(name string, parent SpanContext) *ActiveSpan {
+	return &ActiveSpan{
+		t:     t,
+		start: time.Now(),
+		span: Span{
+			Trace:  parent.Trace,
+			ID:     t.newSpanID(),
+			Parent: parent.Span,
+			Name:   name,
+		},
+	}
+}
+
+// Context returns the span's propagation context (zero on a nil span)
+// so children — local or across the wire — can link to it.
+func (s *ActiveSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.span.Trace, Span: s.span.ID}
+}
+
+// ID returns the span's ID (zero on a nil span).
+func (s *ActiveSpan) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.span.ID
+}
+
+// SetAttr attaches one attribute; it returns the span for chaining and
+// no-ops on nil.
+func (s *ActiveSpan) SetAttr(k, v string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	if s.span.Attrs == nil {
+		s.span.Attrs = make(map[string]string, 4)
+	}
+	s.span.Attrs[k] = v
+	return s
+}
+
+// End stamps the duration and records the span; no-op on nil.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.Start = s.start.UnixNano()
+	s.span.DurNS = int64(time.Since(s.start))
+	s.t.Record(s.span)
+}
+
+// Record appends one externally built span (server middleware and
+// export merging use this). A zero ID is assigned one. Safe on nil.
+func (t *Tracer) Record(span Span) {
+	if t == nil {
+		return
+	}
+	if span.ID == 0 {
+		span.ID = t.newSpanID()
+	}
+	t.mu.Lock()
+	if len(t.spans) >= t.max {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.spans = append(t.spans, span)
+	t.mu.Unlock()
+}
+
+// Len reports how many spans are retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped reports how many spans the retention bound discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Snapshot returns a copy of the retained spans in recording order.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// WriteNDJSON exports every retained span, one JSON object per line,
+// in recording order.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans := t.Snapshot()
+	bw := bufio.NewWriterSize(w, 32<<10)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON decodes an NDJSON span stream (the inverse of
+// WriteNDJSON) — what a harness uses to merge a server's exported
+// spans into its own tracer.
+func ReadNDJSON(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return out, fmt.Errorf("trace: bad NDJSON span line: %w", err)
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}

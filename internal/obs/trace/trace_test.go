@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestTracerNilSafety: a nil *Tracer must be a complete no-op recorder —
+// every method on it and on the nil spans it hands out must be callable.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Root("op")
+	if sp != nil {
+		t.Fatalf("nil tracer returned a non-nil span")
+	}
+	if sp.ID() != 0 || sp.Context().Valid() {
+		t.Errorf("nil span has identity: id=%v ctx=%v", sp.ID(), sp.Context())
+	}
+	sp.SetAttr("k", "v").SetAttr("k2", "v2")
+	sp.End()
+	tr.Child("child", SpanContext{})
+	tr.Record(Span{Name: "external"})
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Errorf("nil tracer Len/Dropped = %d/%d", tr.Len(), tr.Dropped())
+	}
+	if err := tr.WriteNDJSON(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil tracer WriteNDJSON: %v", err)
+	}
+	if tr.NewTraceID() != (TraceID{}) {
+		t.Error("nil tracer minted a trace ID")
+	}
+}
+
+// TestTracerParentLinks: child spans must share the root's trace ID,
+// carry its span ID as parent, and round-trip through NDJSON intact.
+func TestTracerParentLinks(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Root("op").SetAttr("client", "c0")
+	child := tr.Child("estimate", root.Context())
+	if child.ID() == root.ID() || child.ID() == 0 {
+		t.Fatalf("bad child ID %v (root %v)", child.ID(), root.ID())
+	}
+	if child.Context().Trace != root.Context().Trace {
+		t.Fatal("child does not share the root's trace ID")
+	}
+	child.End()
+	root.End()
+	tr.Record(Span{Name: "server.v2.estimate", Trace: root.Context().Trace, Parent: child.ID()})
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("exported %d spans, want 3", len(spans))
+	}
+	// Recording order: child ended first, then root, then the external span.
+	if spans[0].Name != "estimate" || spans[0].Parent != spans[1].ID {
+		t.Errorf("child span %+v does not link to root %+v", spans[0], spans[1])
+	}
+	if spans[0].Trace != spans[1].Trace || spans[2].Trace != spans[1].Trace {
+		t.Error("trace IDs did not survive the round trip")
+	}
+	if spans[1].Attrs["client"] != "c0" {
+		t.Errorf("root attrs = %v", spans[1].Attrs)
+	}
+	if spans[2].ID == 0 {
+		t.Error("externally recorded span was not assigned an ID")
+	}
+}
+
+// TestTracerDropBound: past the retention bound new spans are dropped
+// and counted, never silently lost.
+func TestTracerDropBound(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Root("op").End()
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+// TestTraceparentRoundTrip: the header form must parse back to the
+// same context, and the documented invalid forms must be rejected.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(0)
+	sp := tr.Root("op")
+	sc := sp.Context()
+	hdr := Traceparent(sc)
+	if len(hdr) != 55 {
+		t.Fatalf("traceparent %q has length %d, want 55", hdr, len(hdr))
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // invalid version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span
+		"00-ZZf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // non-hex
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent accepted %q", bad)
+		}
+	}
+	if Traceparent(SpanContext{}) != "" {
+		t.Error("invalid context rendered a traceparent")
+	}
+}
+
+// TestTransportInjection: the round-tripper must inject traceparent
+// from the request context, and leave untraced requests untouched.
+func TestTransportInjection(t *testing.T) {
+	var got string
+	var present bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(TraceparentHeader)
+		_, present = Extract(r)
+	}))
+	defer ts.Close()
+
+	tr := NewTracer(0)
+	sp := tr.Root("op")
+	client := &http.Client{Transport: &Transport{}}
+
+	ctx := ContextWith(context.Background(), sp.Context())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got != Traceparent(sp.Context()) || !present {
+		t.Errorf("server saw traceparent %q (extracted=%v), want %q", got, present, Traceparent(sp.Context()))
+	}
+
+	req2, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, ts.URL, nil)
+	resp2, err := client.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got != "" {
+		t.Errorf("untraced request carried traceparent %q", got)
+	}
+}

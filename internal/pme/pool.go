@@ -12,6 +12,8 @@ type Pool struct {
 	max       int
 	trainable int   // pooled entries with a usable cleartext label
 	dropped   int64 // lifetime count of at-capacity rejections
+	accepted  int64 // lifetime count of pooled contributions
+	drained   int64 // lifetime count of entries handed to Drain callers
 }
 
 // DefaultMaxPool bounds the pool when no explicit bound is configured.
@@ -37,6 +39,13 @@ func (p *Pool) SetMax(n int) {
 	p.mu.Unlock()
 }
 
+// Max reports the pool's current capacity bound.
+func (p *Pool) Max() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.max
+}
+
 // Add validates and pools batch, reporting how many entries were
 // accepted, dropped at the pool bound, and structurally invalid.
 func (p *Pool) Add(batch []Contribution) (accepted, dropped, invalid int) {
@@ -58,6 +67,7 @@ func (p *Pool) Add(batch []Contribution) (accepted, dropped, invalid int) {
 		accepted++
 	}
 	p.dropped += int64(dropped)
+	p.accepted += int64(accepted)
 	return accepted, dropped, invalid
 }
 
@@ -85,6 +95,22 @@ func (p *Pool) Dropped() int64 {
 	return p.dropped
 }
 
+// Accepted returns the lifetime count of contributions pooled.
+func (p *Pool) Accepted() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted
+}
+
+// Drained returns the lifetime count of entries transferred to Drain
+// callers. Restored entries are not subtracted — the counter records
+// consumption attempts, which is what retrain-loop dashboards watch.
+func (p *Pool) Drained() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drained
+}
+
 // Snapshot returns a deep copy of the pooled observations: Contribution
 // holds only value fields, so copying the backing array fully detaches
 // the result — callers may mutate it freely without racing the pool.
@@ -105,6 +131,7 @@ func (p *Pool) Drain() []Contribution {
 	out := p.buf
 	p.buf = nil
 	p.trainable = 0
+	p.drained += int64(len(out))
 	return out
 }
 

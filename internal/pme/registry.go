@@ -47,6 +47,7 @@ type Registry struct {
 	history    []*Snapshot
 	maxHistory int
 	now        func() time.Time
+	publishes  atomic.Int64 // lifetime hot-swaps, including rollbacks
 }
 
 // RegistryOption configures a Registry.
@@ -122,7 +123,15 @@ func (r *Registry) Publish(m *core.Model) (*Snapshot, error) {
 		r.history = append(r.history[:0], r.history[len(r.history)-r.maxHistory:]...)
 	}
 	r.cur.Store(snap)
+	r.publishes.Add(1)
 	return snap, nil
+}
+
+// Publishes returns the lifetime count of hot-swaps (every Publish,
+// including rollbacks — each is a version change serving clients
+// observe).
+func (r *Registry) Publishes() int64 {
+	return r.publishes.Load()
 }
 
 // Rollback re-publishes the serving snapshot's predecessor as a new

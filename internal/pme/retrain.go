@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/hist"
 	"yourandvalue/internal/mlkit"
 )
 
@@ -70,7 +71,10 @@ type Retrainer struct {
 	// Log, when set, receives one line per loop decision.
 	Log func(format string, args ...any)
 
-	retrains atomic.Int64
+	retrains  atomic.Int64 // successful publishes
+	attempts  atomic.Int64 // RetrainOnce calls that passed the trigger
+	failures  atomic.Int64 // attempts whose training errored
+	durations hist.Sync    // wall time of actual training runs
 }
 
 // NewRetrainer wires a retrain loop over a registry and pool.
@@ -80,6 +84,18 @@ func NewRetrainer(reg *Registry, pool *Pool, cfg RetrainConfig) *Retrainer {
 
 // Retrains returns how many model versions this retrainer has published.
 func (r *Retrainer) Retrains() int64 { return r.retrains.Load() }
+
+// Attempts returns how many retrain attempts ran past the count trigger
+// (each drained the pool and started a training run).
+func (r *Retrainer) Attempts() int64 { return r.attempts.Load() }
+
+// Failures returns how many attempts errored (their trainable samples
+// were restored to the pool).
+func (r *Retrainer) Failures() int64 { return r.failures.Load() }
+
+// TrainDurations returns a consistent snapshot of the training-run
+// wall-time distribution.
+func (r *Retrainer) TrainDurations() hist.Histogram { return r.durations.Snapshot() }
 
 // Run is the retrain loop: every Interval it checks the count trigger
 // and retrains when met. It returns nil when ctx is cancelled (normal
@@ -140,8 +156,12 @@ func (r *Retrainer) RetrainOnce(ctx context.Context) (*Snapshot, error) {
 		r.pool.restore(trainable)
 		return nil, ErrNotEnoughSamples
 	}
+	r.attempts.Add(1)
+	start := time.Now()
 	snap, err := r.train(ctx, base, trainable)
+	r.durations.Record(time.Since(start))
 	if err != nil {
+		r.failures.Add(1)
 		r.pool.restore(trainable)
 		return nil, err
 	}

@@ -2,12 +2,12 @@ package pmeserver
 
 import (
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"yourandvalue/internal/hist"
+	"yourandvalue/internal/obs"
 )
 
 // endpointMetrics is one route's live counters and latency histogram.
@@ -35,10 +35,40 @@ func (e *endpointMetrics) record(status int, d time.Duration) {
 type Metrics struct {
 	mu  sync.Mutex
 	eps map[string]*endpointMetrics
+	obs *obs.Registry // when bound, each endpoint mirrors onto it
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{eps: make(map[string]*endpointMetrics)}
+}
+
+// bind mirrors every endpoint's series — existing and future — onto an
+// obs registry as read-through Prometheus-style families. The endpoint
+// counters stay the single source of truth; /v2/stats and /metrics are
+// two views over the same atomics.
+func (m *Metrics) bind(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.mu.Lock()
+	m.obs = reg
+	for name, ep := range m.eps {
+		m.export(name, ep)
+	}
+	m.mu.Unlock()
+}
+
+// export registers one endpoint's read-through series. Caller holds mu.
+func (m *Metrics) export(name string, ep *endpointMetrics) {
+	labels := obs.Labels{"route": name}
+	m.obs.CounterFunc("pme_http_requests_total", "HTTP requests finished, by route (shed requests included).", labels,
+		func() float64 { return float64(ep.requests.Load()) })
+	m.obs.CounterFunc("pme_http_errors_total", "HTTP responses with status >= 400, by route.", labels,
+		func() float64 { return float64(ep.errors.Load()) })
+	m.obs.CounterFunc("pme_http_rate_limited_total", "Requests shed by the token bucket (429), by route.", labels,
+		func() float64 { return float64(ep.rateLimited.Load()) })
+	m.obs.HistogramFunc("pme_http_request_duration_seconds", "Server-side request latency, by route.", labels,
+		ep.latency.Snapshot)
 }
 
 // endpoint returns (creating once) the named endpoint's series.
@@ -49,6 +79,9 @@ func (m *Metrics) endpoint(name string) *endpointMetrics {
 	if !ok {
 		ep = &endpointMetrics{}
 		m.eps[name] = ep
+		if m.obs != nil {
+			m.export(name, ep)
+		}
 	}
 	return ep
 }
@@ -69,19 +102,15 @@ type EndpointStats struct {
 	P99         time.Duration `json:"-"`
 }
 
-// snapshot exports every endpoint's current stats.
+// snapshot exports every endpoint's current stats in one pass under one
+// lock hold — the previous version re-acquired the mutex per endpoint
+// via endpoint(name), so a scrape racing route registration could
+// interleave map growth between reads.
 func (m *Metrics) snapshot() map[string]EndpointStats {
 	m.mu.Lock()
-	names := make([]string, 0, len(m.eps))
-	for name := range m.eps {
-		names = append(names, name)
-	}
-	m.mu.Unlock()
-	sort.Strings(names)
-
-	out := make(map[string]EndpointStats, len(names))
-	for _, name := range names {
-		ep := m.endpoint(name)
+	defer m.mu.Unlock()
+	out := make(map[string]EndpointStats, len(m.eps))
+	for name, ep := range m.eps {
 		h := ep.latency.Snapshot()
 		st := EndpointStats{
 			Requests:    ep.requests.Load(),
@@ -102,12 +131,45 @@ func (m *Metrics) snapshot() map[string]EndpointStats {
 	return out
 }
 
-// handleStats serves the middleware metrics as JSON — the ops view of
-// what the chain observed per endpoint.
+// ModelStats is the serving-model summary /v2/stats reports.
+type ModelStats struct {
+	Version        int     `json:"version"`
+	ETag           string  `json:"etag"`
+	ETagAgeSeconds float64 `json:"etag_age_seconds"`
+}
+
+// StatsResponse is the /v2/stats body: process uptime, the serving
+// model's identity and age, tracer drop pressure, and the per-endpoint
+// middleware series.
+type StatsResponse struct {
+	UptimeSeconds      float64                  `json:"uptime_seconds"`
+	Model              *ModelStats              `json:"model,omitempty"`
+	TracerDroppedSpans int64                    `json:"tracer_dropped_spans"`
+	Endpoints          map[string]EndpointStats `json:"endpoints"`
+}
+
+// handleStats serves the ops view as JSON: what the middleware chain
+// observed per endpoint, plus uptime, model identity, and trace-drop
+// pressure. The numbers are the same atomics /metrics exposes —
+// different rendering, one source of truth.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeV2Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	writeV2JSON(w, http.StatusOK, s.metrics.snapshot())
+	resp := StatsResponse{
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		TracerDroppedSpans: s.tracer.Dropped(),
+		Endpoints:          s.metrics.snapshot(),
+	}
+	if s.registry != nil {
+		if snap := s.registry.Current(); snap != nil {
+			resp.Model = &ModelStats{
+				Version:        snap.Version,
+				ETag:           snap.ETag,
+				ETagAgeSeconds: time.Since(snap.PublishedAt).Seconds(),
+			}
+		}
+	}
+	writeV2JSON(w, http.StatusOK, resp)
 }

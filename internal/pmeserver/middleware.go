@@ -1,17 +1,20 @@
 package pmeserver
 
 import (
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
+
+	"yourandvalue/internal/obs/trace"
 )
 
 // middleware wraps a handler with one cross-cutting concern. The chain
-// for every route is fixed: request-log → metrics → rate-limit →
-// handler (outermost first), so a shed request is still logged and
-// counted, and the latency histogram sees every response the client
-// sees.
+// for every route is fixed: trace-extract → request-log → metrics →
+// rate-limit → handler (outermost first), so a shed request is still
+// traced, logged, and counted, and the latency histogram sees every
+// response the client sees.
 type middleware func(http.Handler) http.Handler
 
 // chain applies middlewares around h; the last argument becomes the
@@ -57,8 +60,46 @@ func (w *statusWriter) Flush() {
 // NDJSON endpoint enables full-duplex through it).
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// requestLog emits one line per request when a logger is attached.
-func requestLog(l *log.Logger, name string) middleware {
+// traceExtract is the server half of W3C trace propagation: it parses
+// an inbound traceparent header, stores the span context in the request
+// context (so the request logger and any downstream code see the trace
+// identity even when span recording is off), and — when a tracer is
+// attached — records one server-side span per request whose parent is
+// the client's span. Requests arriving without a header get a fresh
+// trace ID, so server-only tracing still produces linkable trees.
+func traceExtract(tr *trace.Tracer, name string) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			parent, ok := trace.Extract(r)
+			if !ok && tr != nil {
+				parent = trace.SpanContext{Trace: tr.NewTraceID()}
+			}
+			if parent.Trace.IsZero() {
+				// No header and no tracer: nothing to propagate or record.
+				next.ServeHTTP(w, r)
+				return
+			}
+			span := tr.Child("server."+name, parent)
+			ctx := trace.ContextWith(r.Context(), trace.SpanContext{Trace: parent.Trace, Span: span.ID()})
+			if !span.Context().Valid() {
+				// Recording off (nil tracer) but a client trace arrived:
+				// propagate the client's context for log correlation.
+				ctx = trace.ContextWith(r.Context(), parent)
+			}
+			sw := &statusWriter{ResponseWriter: w}
+			next.ServeHTTP(sw, r.WithContext(ctx))
+			span.SetAttr("route", name).
+				SetAttr("method", r.Method).
+				SetAttr("status", strconv.Itoa(sw.status)).
+				End()
+		})
+	}
+}
+
+// requestLog emits one structured line per request when a logger is
+// attached, carrying the trace ID (when the request is traced) so log
+// lines correlate with exported spans.
+func requestLog(l *slog.Logger, name string) middleware {
 	if l == nil {
 		return nil
 	}
@@ -67,8 +108,17 @@ func requestLog(l *log.Logger, name string) middleware {
 			sw := &statusWriter{ResponseWriter: w}
 			start := time.Now()
 			next.ServeHTTP(sw, r)
-			l.Printf("%s %s %s → %d in %s",
-				r.Method, r.URL.Path, name, sw.status, time.Since(start).Round(time.Microsecond))
+			attrs := []any{
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", name,
+				"status", sw.status,
+				"duration", time.Since(start).Round(time.Microsecond).String(),
+			}
+			if sc, ok := trace.FromContext(r.Context()); ok {
+				attrs = append(attrs, "trace_id", sc.Trace.String())
+			}
+			l.Info("request", attrs...)
 		})
 	}
 }

@@ -17,12 +17,15 @@ package pmeserver
 
 import (
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/obs"
+	"yourandvalue/internal/obs/trace"
 	"yourandvalue/internal/pme"
 )
 
@@ -42,9 +45,13 @@ type Server struct {
 	registry *pme.Registry // nil when a custom Service is injected
 	pool     *pme.Pool     // nil when a custom Service is injected
 	metrics  *Metrics
-	logger   *log.Logger
+	obs      *obs.Registry
+	tracer   *trace.Tracer // nil = spans off; propagation still works
+	logger   *slog.Logger
 	limiter  *tokenBucket
 	observer func(RequestObservation)
+	pprof    bool
+	start    time.Time
 }
 
 // RequestObservation is one finished request as the instrument
@@ -61,10 +68,38 @@ type RequestObservation struct {
 // Option configures a Server.
 type Option func(*Server)
 
-// WithLogger attaches a request logger (one line per request) to the
+// WithLogger attaches a structured request logger (one slog line per
+// request, carrying the trace ID when the request is traced) to the
 // middleware chain.
-func WithLogger(l *log.Logger) Option {
+func WithLogger(l *slog.Logger) Option {
 	return func(s *Server) { s.logger = l }
+}
+
+// WithObsRegistry serves telemetry through an externally owned obs
+// registry — the handle a process shares between the server, the model
+// lifecycle, and its own collectors so one /metrics scrape covers
+// everything. Without it the server creates a private registry.
+func WithObsRegistry(r *obs.Registry) Option {
+	return func(s *Server) {
+		if r != nil {
+			s.obs = r
+		}
+	}
+}
+
+// WithTracer records one server-side span per request into tr. Combined
+// with clients that inject traceparent (trace.Transport), the exported
+// spans parent onto the callers' — one NDJSON file shows the full
+// client → middleware → Service tree. The tracer's spans are served on
+// GET /debug/trace.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = tr }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ — opt-in because
+// profiles expose internals no public deployment should serve.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
 }
 
 // WithRateLimit installs a global token-bucket limiter: rps sustained
@@ -107,7 +142,7 @@ func WithService(svc pme.Service) Option {
 // New creates a Server distributing the given model (may be nil until
 // SetModel is called or a model is published into the registry).
 func New(model *core.Model, opts ...Option) (*Server, error) {
-	s := &Server{metrics: newMetrics()}
+	s := &Server{metrics: newMetrics(), start: time.Now()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -119,6 +154,20 @@ func New(model *core.Model, opts ...Option) (*Server, error) {
 			s.pool = pme.NewPool(0)
 		}
 		s.svc = pme.NewCore(s.registry, s.pool)
+	}
+	if s.obs == nil {
+		s.obs = obs.NewRegistry()
+	}
+	// Registration is idempotent, so sharing a registry with a process
+	// that already registered its collectors is harmless.
+	obs.RegisterRuntime(s.obs)
+	s.metrics.bind(s.obs)
+	pme.Instrument(s.obs, s.registry, s.pool)
+	if s.tracer != nil {
+		tr := s.tracer
+		s.obs.CounterFunc("pme_trace_dropped_spans_total",
+			"Spans discarded at the tracer's retention bound.", nil,
+			func() float64 { return float64(tr.Dropped()) })
 	}
 	if model != nil {
 		if err := s.SetModel(model); err != nil {
@@ -182,6 +231,13 @@ func (s *Server) Contributions() []Contribution {
 // counters and latency histograms.
 func (s *Server) Metrics() map[string]EndpointStats { return s.metrics.snapshot() }
 
+// Obs returns the server's telemetry registry — the one GET /metrics
+// scrapes.
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// Tracer returns the span recorder (nil unless WithTracer was given).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
 // Handler returns the HTTP mux. Every route runs behind the middleware
 // chain request-log → metrics → rate-limit → handler, and every handler
 // body is a thin adapter over the pme.Service.
@@ -200,7 +256,16 @@ func (s *Server) Metrics() map[string]EndpointStats { return s.metrics.snapshot(
 //	POST /v2/contribute      → {"accepted":N,"dropped":M,"invalid":K}; 507 when full
 //	POST /v2/estimate        → batch price estimation for thin clients
 //	POST /v2/estimate/stream → NDJSON streaming estimation (see stream.go)
-//	GET  /v2/stats           → per-endpoint middleware metrics
+//	GET  /v2/stats           → ops JSON: uptime, model identity, per-endpoint metrics
+//
+// Operational surface (outside the metrics/rate-limit chain — scrapes
+// and probes must never perturb or be perturbed by the series they
+// read):
+//
+//	GET  /metrics      → Prometheus text exposition of the obs registry
+//	GET  /readyz       → 200 once a model snapshot is loaded, 503 before
+//	GET  /debug/trace  → NDJSON dump of recorded spans (404 when tracing is off)
+//	GET  /debug/pprof/ → net/http/pprof (only with WithPprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/model", s.route("v1.model", s.handleModel))
@@ -212,13 +277,49 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v2/estimate", s.route("v2.estimate", s.handleEstimateV2))
 	mux.Handle("/v2/estimate/stream", s.route("v2.estimate_stream", s.handleEstimateStreamV2))
 	mux.Handle("/v2/stats", s.route("v2.stats", s.handleStats))
-	// Health stays outside metrics and rate limiting: orchestrators must
-	// always see it, and it would only pollute the latency series.
+	// Health and the ops surface stay outside metrics and rate limiting:
+	// orchestrators must always see them, and they would only pollute
+	// the latency series.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok"))
 	})
+	mux.Handle("/metrics", s.obs.Handler())
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/trace", s.handleTraceDump)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleReadyz is the readiness probe: 200 once a model snapshot is
+// published (the server can actually answer /v2/model and /v2/estimate),
+// 503 before. Liveness stays /healthz — a booting server is alive but
+// not ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.svc.ModelSnapshot(r.Context()); err != nil {
+		http.Error(w, "no model published", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready"))
+}
+
+// handleTraceDump exports the recorded spans as NDJSON — the endpoint a
+// load harness scrapes after a run to merge server-side spans into its
+// own export. 404 when no tracer is attached.
+func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.tracer.WriteNDJSON(w)
 }
 
 // route composes the middleware chain for one named endpoint.
@@ -228,5 +329,6 @@ func (s *Server) route(name string, h http.HandlerFunc) http.Handler {
 		rateLimit(s.limiter, ep, strings.HasPrefix(name, "v1.")),
 		instrument(ep, name, s.observer),
 		requestLog(s.logger, name),
+		traceExtract(s.tracer, name),
 	)
 }

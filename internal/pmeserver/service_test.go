@@ -254,12 +254,18 @@ func TestMetricsMiddleware(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var body map[string]EndpointStats
+	var body StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if body["v2.version"].Requests != 3 {
-		t.Errorf("/v2/stats v2.version requests = %d, want 3", body["v2.version"].Requests)
+	if body.Endpoints["v2.version"].Requests != 3 {
+		t.Errorf("/v2/stats v2.version requests = %d, want 3", body.Endpoints["v2.version"].Requests)
+	}
+	if body.UptimeSeconds < 0 {
+		t.Errorf("uptime_seconds = %v, want >= 0", body.UptimeSeconds)
+	}
+	if body.Model == nil || body.Model.Version < 1 || body.Model.ETag == "" {
+		t.Errorf("/v2/stats model = %+v, want published version with ETag", body.Model)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"yourandvalue/internal/hist"
+	"yourandvalue/internal/obs"
 )
 
 // ArtifactSchema versions the BENCH_*.json layout. Consumers reject
@@ -35,6 +36,11 @@ type Artifact struct {
 	Strategies []StrategyResult `json:"strategies,omitempty"`
 	Ramps      []RampReport     `json:"ramps,omitempty"`
 	GoBench    []GoBenchResult  `json:"go_bench,omitempty"`
+
+	// ServerMetrics is the server's post-run /metrics exposition in
+	// parsed form (registry/pool/retrain/request series), scraped once
+	// after every load run finishes. Additive: the schema version stays.
+	ServerMetrics []obs.Family `json:"server_metrics,omitempty"`
 }
 
 // StrategyResult is one load run in export form.

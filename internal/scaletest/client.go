@@ -12,6 +12,7 @@ import (
 	"yourandvalue/internal/geoip"
 	"yourandvalue/internal/hist"
 	"yourandvalue/internal/nurl"
+	"yourandvalue/internal/obs/trace"
 	"yourandvalue/internal/pmeserver"
 	"yourandvalue/internal/stream"
 )
@@ -56,6 +57,15 @@ func (e *clientEnv) runClient(ctx context.Context, idx int, id string, st *clien
 	pc := pmeserver.NewClient(cfg.BaseURL)
 	if cfg.HTTPClient != nil {
 		pc.HTTP = cfg.HTTPClient
+	}
+	if e.tracer != nil {
+		// Propagate trace context over the wire: a shallow copy of the
+		// HTTP client gets a traceparent-injecting transport, so every
+		// request whose context carries a span links the server's span to
+		// this client's. The caller's shared HTTPClient is not mutated.
+		httpc := *pc.HTTP
+		httpc.Transport = &trace.Transport{Base: pc.HTTP.Transport}
+		pc.HTTP = &httpc
 	}
 
 	// Churn lifetimes come from a per-slot substream so runs with the
@@ -108,7 +118,7 @@ func (e *clientEnv) runClient(ctx context.Context, idx int, id string, st *clien
 			contributions, items = stream.Convert(batch, e.geo, e.registry)
 		}
 
-		root := e.tracer.Start("op", 0).
+		root := e.tracer.Root("op").
 			SetAttr("client", id).
 			SetAttr("gen", strconv.Itoa(gen)).
 			SetAttr("strategy", prof.Name)
@@ -116,9 +126,9 @@ func (e *clientEnv) runClient(ctx context.Context, idx int, id string, st *clien
 		if due(prof.PollEvery, cycle) {
 			st.modelPolls++
 			st.requests++
-			sp := e.tracer.Start("model_poll", root.ID())
+			sp := e.tracer.Child("model_poll", root.Context())
 			t0 := time.Now()
-			_, newTag, err := pc.FetchModelV2(ctx, etag)
+			_, newTag, err := pc.FetchModelV2(trace.ContextWith(ctx, sp.Context()), etag)
 			st.model.Record(time.Since(t0))
 			switch {
 			case errors.Is(err, pmeserver.ErrNotModified):
@@ -141,10 +151,10 @@ func (e *clientEnv) runClient(ctx context.Context, idx int, id string, st *clien
 
 		if due(prof.ContributeEvery, cycle) && len(contributions) > 0 {
 			st.requests++
-			sp := e.tracer.Start("contribute", root.ID()).
+			sp := e.tracer.Child("contribute", root.Context()).
 				SetAttr("batch", strconv.Itoa(len(contributions)))
 			t0 := time.Now()
-			out, err := pc.ContributeV2(ctx, contributions)
+			out, err := pc.ContributeV2(trace.ContextWith(ctx, sp.Context()), contributions)
 			st.contribute.Record(time.Since(t0))
 			switch {
 			case errors.Is(err, pmeserver.ErrPoolFull):
@@ -167,10 +177,10 @@ func (e *clientEnv) runClient(ctx context.Context, idx int, id string, st *clien
 
 		if due(prof.StreamEvery, cycle) && len(items) > 0 {
 			st.requests++
-			sp := e.tracer.Start("estimate_stream", root.ID()).
+			sp := e.tracer.Child("estimate_stream", root.Context()).
 				SetAttr("items", strconv.Itoa(len(items)))
 			t0 := time.Now()
-			sum, err := pc.EstimateStreamV2(ctx, pmeserver.SliceIter(items), nil)
+			sum, err := pc.EstimateStreamV2(trace.ContextWith(ctx, sp.Context()), pmeserver.SliceIter(items), nil)
 			st.streamEst.Record(time.Since(t0))
 			if err != nil {
 				if ctx.Err() != nil {
@@ -187,10 +197,10 @@ func (e *clientEnv) runClient(ctx context.Context, idx int, id string, st *clien
 			sp.End()
 		} else if due(prof.EstimateEvery, cycle) && len(items) > 0 {
 			st.requests++
-			sp := e.tracer.Start("estimate", root.ID()).
+			sp := e.tracer.Child("estimate", root.Context()).
 				SetAttr("items", strconv.Itoa(len(items)))
 			t0 := time.Now()
-			out, err := pc.EstimateV2(ctx, items)
+			out, err := pc.EstimateV2(trace.ContextWith(ctx, sp.Context()), items)
 			st.estimate.Record(time.Since(t0))
 			if err != nil {
 				if ctx.Err() != nil {

@@ -1,0 +1,66 @@
+package scaletest
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"yourandvalue/internal/obs"
+	"yourandvalue/internal/obs/trace"
+)
+
+// Post-run scraping: after a load run the harness pulls the server's
+// own telemetry — the /metrics exposition and, when server-side tracing
+// is on, the /debug/trace span export — so one BENCH artifact and one
+// NDJSON file hold both sides of the wire even against a remote server.
+
+// scrapeClient bounds scrape requests independently of the load run's
+// client settings.
+var scrapeClient = &http.Client{Timeout: 10 * time.Second}
+
+// ScrapeMetrics fetches and parses baseURL's /metrics exposition
+// through the obs golden parser, so a malformed exposition fails the
+// scrape instead of persisting garbage into the artifact.
+func ScrapeMetrics(ctx context.Context, baseURL string) ([]obs.Family, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := scrapeClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scaletest: GET /metrics: status %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scaletest: parsing /metrics exposition: %w", err)
+	}
+	return fams, nil
+}
+
+// ScrapeTrace fetches baseURL's recorded server-side spans from
+// /debug/trace. A 404 (tracing disabled server-side) returns nil spans
+// and no error — absence of server spans is a valid outcome, not a
+// scrape failure.
+func ScrapeTrace(ctx context.Context, baseURL string) ([]trace.Span, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/debug/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := scrapeClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scaletest: GET /debug/trace: status %d", resp.StatusCode)
+	}
+	return trace.ReadNDJSON(resp.Body)
+}

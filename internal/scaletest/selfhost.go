@@ -8,6 +8,7 @@ import (
 
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/pme"
 	"yourandvalue/internal/pmeserver"
 	"yourandvalue/internal/rtb"
 	"yourandvalue/internal/weblog"
@@ -37,10 +38,10 @@ func StartSelfHost(seed int64, maxPool int, opts ...pmeserver.Option) (*SelfHost
 	if err != nil {
 		return nil, err
 	}
-	pme := core.NewPME(seed + 3)
-	pme.ForestSize = 10
-	pme.CVFolds, pme.CVRuns = 5, 1
-	model, err := pme.Train(rep.Records, core.TrainConfig{})
+	eng := core.NewPME(seed + 3)
+	eng.ForestSize = 10
+	eng.CVFolds, eng.CVRuns = 5, 1
+	model, err := eng.Train(rep.Records, core.TrainConfig{})
 	if err != nil {
 		return nil, err
 	}
@@ -51,8 +52,23 @@ func StartSelfHost(seed int64, maxPool int, opts ...pmeserver.Option) (*SelfHost
 	if maxPool > 0 {
 		srv.SetMaxPool(maxPool)
 	}
+	// A live retrain loop makes the self-host an honest miniature of the
+	// real deployment: contribute traffic drains into forest retrains and
+	// hot-swaps mid-run, and the pme_retrain_* series land in the
+	// post-run /metrics scrape. A full pool is the trigger, so short
+	// estimate-only smokes never pay for a retrain they don't exercise.
+	rtCtx, rtCancel := context.WithCancel(context.Background())
+	retrainer := pme.NewRetrainer(srv.Registry(), srv.Pool(), pme.RetrainConfig{
+		MinSamples: srv.Pool().Max(),
+		Interval:   500 * time.Millisecond,
+		Seed:       seed + 4,
+	})
+	pme.InstrumentRetrainer(srv.Obs(), retrainer)
+	go func() { _ = retrainer.Run(rtCtx) }()
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		rtCancel()
 		return nil, err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
@@ -61,6 +77,7 @@ func StartSelfHost(seed int64, maxPool int, opts ...pmeserver.Option) (*SelfHost
 		Server:  srv,
 		BaseURL: "http://" + ln.Addr().String(),
 		close: func() {
+			rtCancel()
 			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
 			_ = hs.Shutdown(shCtx)

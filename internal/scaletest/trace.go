@@ -1,167 +1,29 @@
 package scaletest
 
-import (
-	"bufio"
-	"encoding/json"
-	"io"
-	"sync"
-	"sync/atomic"
-	"time"
-)
+import "yourandvalue/internal/obs/trace"
 
-// The tracer is a dependency-free OpenTelemetry-style span recorder:
-// spans carry start/end times, attributes, and parent links, and export
-// as NDJSON (one span object per line) for request-level debugging of
-// SLO violations — which op cycle blew the p99, and which of its
-// requests was the slow one. It records into memory (bounded, drops
-// counted) so the hot path never blocks on I/O; the export happens once
-// after the run.
+// The harness's span recorder was promoted to internal/obs/trace so the
+// server records into the same model and spans propagate across the
+// HTTP boundary via the W3C traceparent header. These aliases keep the
+// historical scaletest surface (scaletest.Tracer, scaletest.NewTracer,
+// Config.Tracer) stable for existing callers; new code should import
+// internal/obs/trace directly.
 
-// SpanID identifies one recorded span within a Tracer. Zero is "no
-// span" — the root parent and every method on a nil span.
-type SpanID uint64
+// Tracer records spans; see internal/obs/trace.
+type Tracer = trace.Tracer
 
 // Span is one finished operation in export form.
-type Span struct {
-	ID     SpanID            `json:"id"`
-	Parent SpanID            `json:"parent,omitempty"`
-	Name   string            `json:"name"`
-	Start  int64             `json:"start_unix_nano"`
-	DurNS  int64             `json:"duration_ns"`
-	Attrs  map[string]string `json:"attrs,omitempty"`
-}
+type Span = trace.Span
 
-// Tracer collects spans from many goroutines. A nil *Tracer is a valid
-// no-op recorder: Start returns a nil *ActiveSpan whose methods all
-// no-op, so call sites never branch on whether tracing is enabled.
-type Tracer struct {
-	next    atomic.Uint64
-	dropped atomic.Int64
-	max     int
+// SpanID identifies one recorded span.
+type SpanID = trace.SpanID
 
-	mu    sync.Mutex
-	spans []Span
-}
+// ActiveSpan is an in-flight span; End records it.
+type ActiveSpan = trace.ActiveSpan
 
-// DefaultMaxSpans bounds an unbounded-looking load run: past it new
-// spans are dropped (and counted) rather than growing the heap the
-// harness itself is supposed to be measuring.
-const DefaultMaxSpans = 1 << 18
+// DefaultMaxSpans bounds a tracer's retention.
+const DefaultMaxSpans = trace.DefaultMaxSpans
 
 // NewTracer returns a Tracer retaining at most maxSpans spans
 // (DefaultMaxSpans when maxSpans <= 0).
-func NewTracer(maxSpans int) *Tracer {
-	if maxSpans <= 0 {
-		maxSpans = DefaultMaxSpans
-	}
-	return &Tracer{max: maxSpans}
-}
-
-// ActiveSpan is an in-flight span; End records it.
-type ActiveSpan struct {
-	t     *Tracer
-	start time.Time
-	span  Span
-}
-
-// Start opens a span under parent (zero for a root span). Safe on a nil
-// Tracer, which returns a nil (no-op) span.
-func (t *Tracer) Start(name string, parent SpanID) *ActiveSpan {
-	if t == nil {
-		return nil
-	}
-	return &ActiveSpan{
-		t:     t,
-		start: time.Now(),
-		span:  Span{ID: SpanID(t.next.Add(1)), Parent: parent, Name: name},
-	}
-}
-
-// ID returns the span's ID (zero on a nil span) so children can link to it.
-func (s *ActiveSpan) ID() SpanID {
-	if s == nil {
-		return 0
-	}
-	return s.span.ID
-}
-
-// SetAttr attaches one attribute; it returns the span for chaining and
-// no-ops on nil.
-func (s *ActiveSpan) SetAttr(k, v string) *ActiveSpan {
-	if s == nil {
-		return nil
-	}
-	if s.span.Attrs == nil {
-		s.span.Attrs = make(map[string]string, 4)
-	}
-	s.span.Attrs[k] = v
-	return s
-}
-
-// End stamps the duration and records the span; no-op on nil.
-func (s *ActiveSpan) End() {
-	if s == nil {
-		return
-	}
-	s.span.Start = s.start.UnixNano()
-	s.span.DurNS = int64(time.Since(s.start))
-	s.t.Record(s.span)
-}
-
-// Record appends one externally built span (the pmeserver request
-// observer uses this for server-side spans). Safe on nil.
-func (t *Tracer) Record(span Span) {
-	if t == nil {
-		return
-	}
-	t.mu.Lock()
-	if len(t.spans) >= t.max {
-		t.mu.Unlock()
-		t.dropped.Add(1)
-		return
-	}
-	if span.ID == 0 {
-		span.ID = SpanID(t.next.Add(1))
-	}
-	t.spans = append(t.spans, span)
-	t.mu.Unlock()
-}
-
-// Len reports how many spans are retained.
-func (t *Tracer) Len() int {
-	if t == nil {
-		return 0
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.spans)
-}
-
-// Dropped reports how many spans the retention bound discarded.
-func (t *Tracer) Dropped() int64 {
-	if t == nil {
-		return 0
-	}
-	return t.dropped.Load()
-}
-
-// WriteNDJSON exports every retained span, one JSON object per line,
-// in recording order.
-func (t *Tracer) WriteNDJSON(w io.Writer) error {
-	if t == nil {
-		return nil
-	}
-	t.mu.Lock()
-	spans := make([]Span, len(t.spans))
-	copy(spans, t.spans)
-	t.mu.Unlock()
-
-	bw := bufio.NewWriterSize(w, 32<<10)
-	enc := json.NewEncoder(bw)
-	for i := range spans {
-		if err := enc.Encode(&spans[i]); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
-}
+func NewTracer(maxSpans int) *Tracer { return trace.NewTracer(maxSpans) }

@@ -1,90 +1,80 @@
 package scaletest
 
 import (
-	"bufio"
 	"bytes"
-	"encoding/json"
+	"context"
 	"testing"
 	"time"
+
+	"yourandvalue/internal/obs/trace"
+	"yourandvalue/internal/pmeserver"
 )
 
-// TestTracerNilSafety: a nil *Tracer must be a complete no-op recorder —
-// every method on it and on the nil spans it hands out must be callable.
-func TestTracerNilSafety(t *testing.T) {
-	var tr *Tracer
-	sp := tr.Start("op", 0)
-	if sp != nil {
-		t.Fatalf("nil tracer returned a non-nil span")
+// TestTracePropagationEndToEnd: a shared tracer between the client
+// fleet and a self-hosted server must produce one export where
+// server-side spans carry client parents — same trace ID across the
+// HTTP boundary, server span parented on the client's request span.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-host run in -short")
 	}
-	if sp.ID() != 0 {
-		t.Errorf("nil span ID = %d, want 0", sp.ID())
-	}
-	sp.SetAttr("k", "v").SetAttr("k2", "v2")
-	sp.End()
-	tr.Record(Span{Name: "external"})
-	if tr.Len() != 0 || tr.Dropped() != 0 {
-		t.Errorf("nil tracer Len/Dropped = %d/%d", tr.Len(), tr.Dropped())
-	}
-	if err := tr.WriteNDJSON(&bytes.Buffer{}); err != nil {
-		t.Errorf("nil tracer WriteNDJSON: %v", err)
-	}
-}
-
-// TestTracerParentLinks: child spans must carry their parent's ID, and
-// the NDJSON export must round-trip every span with links intact.
-func TestTracerParentLinks(t *testing.T) {
-	tr := NewTracer(0)
-	root := tr.Start("op", 0).SetAttr("client", "c0")
-	child := tr.Start("estimate", root.ID())
-	if child.ID() == root.ID() {
-		t.Fatal("child and root share an ID")
-	}
-	child.End()
-	root.End()
-	tr.Record(Span{Name: "server.v2.estimate", Start: time.Now().UnixNano(), DurNS: 1})
-
-	if tr.Len() != 3 {
-		t.Fatalf("Len = %d, want 3", tr.Len())
-	}
-	var buf bytes.Buffer
-	if err := tr.WriteNDJSON(&buf); err != nil {
+	tracer := NewTracer(0)
+	host, err := StartSelfHost(7, 1000, pmeserver.WithTracer(tracer))
+	if err != nil {
 		t.Fatal(err)
 	}
-	var spans []Span
-	sc := bufio.NewScanner(&buf)
-	for sc.Scan() {
-		var s Span
-		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
-			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
-		}
-		spans = append(spans, s)
-	}
-	if len(spans) != 3 {
-		t.Fatalf("exported %d spans, want 3", len(spans))
-	}
-	// Recording order: child ended first, then root, then the external span.
-	if spans[0].Name != "estimate" || spans[0].Parent != spans[1].ID {
-		t.Errorf("child span %+v does not link to root %+v", spans[0], spans[1])
-	}
-	if spans[1].Attrs["client"] != "c0" {
-		t.Errorf("root attrs = %v", spans[1].Attrs)
-	}
-	if spans[2].ID == 0 {
-		t.Error("externally recorded span was not assigned an ID")
-	}
-}
+	defer host.Close()
 
-// TestTracerDropBound: past the retention bound new spans are dropped
-// and counted, never silently lost.
-func TestTracerDropBound(t *testing.T) {
-	tr := NewTracer(2)
-	for i := 0; i < 5; i++ {
-		tr.Start("op", 0).End()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err = Run(ctx, Config{
+		BaseURL:  host.BaseURL,
+		Strategy: "model-poll",
+		Clients:  2,
+		Seed:     7,
+		MaxOps:   20,
+		Tracer:   tracer,
+		SLO:      &SLO{MaxErrorRate: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if tr.Len() != 2 {
-		t.Errorf("Len = %d, want 2", tr.Len())
+
+	var buf bytes.Buffer
+	if err := tracer.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
 	}
-	if tr.Dropped() != 3 {
-		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	spans, err := trace.ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Index client-side request spans by ID; a server span must parent
+	// onto one of them within the same trace.
+	clientSpans := make(map[trace.SpanID]trace.Span)
+	for _, s := range spans {
+		if s.Name == "model_poll" {
+			clientSpans[s.ID] = s
+		}
+	}
+	if len(clientSpans) == 0 {
+		t.Fatal("no client model_poll spans recorded")
+	}
+	linked := 0
+	for _, s := range spans {
+		if s.Name != "server.v2.model" && s.Name != "server.v2.version" {
+			continue
+		}
+		parent, ok := clientSpans[s.Parent]
+		if !ok {
+			continue
+		}
+		if s.Trace != parent.Trace {
+			t.Fatalf("server span %v carries trace %v, client parent has %v", s.ID, s.Trace, parent.Trace)
+		}
+		linked++
+	}
+	if linked == 0 {
+		t.Fatalf("no server span parented on a client span; %d spans total", len(spans))
 	}
 }

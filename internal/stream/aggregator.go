@@ -60,8 +60,9 @@ type Aggregator struct {
 	snapEvery int
 	topK      int
 
-	latest atomic.Pointer[Snapshot]
-	snaps  atomic.Int64
+	latest      atomic.Pointer[Snapshot]
+	snaps       atomic.Int64
+	distributed atomic.Int64
 }
 
 // NewAggregator builds an aggregator estimating encrypted prices with
@@ -101,6 +102,27 @@ func NewAggregator(model *core.Model, dir *iab.Directory, opts ...AggregatorOpti
 // Latest returns the most recent snapshot (nil before the first barrier
 // completes). Safe to call concurrently with Run.
 func (a *Aggregator) Latest() *Snapshot { return a.latest.Load() }
+
+// Distributed returns how many events have been routed to shards so
+// far. Safe to call concurrently with Run.
+func (a *Aggregator) Distributed() int64 { return a.distributed.Load() }
+
+// SnapshotLag reports how many distributed events the latest published
+// snapshot is behind the live stream — the staleness anyone reading
+// Latest() mid-run is looking at. Before the first barrier completes
+// the lag is everything distributed so far.
+func (a *Aggregator) SnapshotLag() int64 {
+	lag := a.distributed.Load()
+	if snap := a.latest.Load(); snap != nil {
+		lag -= snap.Events
+	}
+	if lag < 0 {
+		// Distributed is read first, so a barrier publishing between the
+		// two loads can transiently run ahead.
+		return 0
+	}
+	return lag
+}
 
 // Result is Run's output.
 type Result struct {
@@ -248,6 +270,7 @@ func (a *Aggregator) distribute(ctx context.Context, in <-chan Event, chans []ch
 				return events, ctx.Err()
 			}
 			events++
+			a.distributed.Store(events)
 			if a.snapEvery > 0 && events%int64(a.snapEvery) == 0 {
 				bar := &barrier{
 					events: events,

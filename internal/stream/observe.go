@@ -1,0 +1,30 @@
+package stream
+
+import "yourandvalue/internal/obs"
+
+// Instrument registers the aggregator's progress series on an obs
+// registry — all read-through, so a scrape observes a live Run without
+// touching its hot path:
+//
+//	stream_events_distributed_total  counter  events routed to shards
+//	stream_snapshots_total           counter  barrier snapshots published (incl. final)
+//	stream_snapshot_lag_events       gauge    events the latest snapshot trails the stream by
+//	stream_snapshot_users            gauge    users in the latest snapshot
+func (a *Aggregator) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("stream_events_distributed_total", "Events routed to aggregator shards.", nil,
+		func() float64 { return float64(a.Distributed()) })
+	r.CounterFunc("stream_snapshots_total", "Barrier-consistent snapshots published, including the final one.", nil,
+		func() float64 { return float64(a.snaps.Load()) })
+	r.GaugeFunc("stream_snapshot_lag_events", "Events the latest published snapshot trails the live stream by.", nil,
+		func() float64 { return float64(a.SnapshotLag()) })
+	r.GaugeFunc("stream_snapshot_users", "Users covered by the latest published snapshot.", nil,
+		func() float64 {
+			if snap := a.Latest(); snap != nil {
+				return float64(snap.Users)
+			}
+			return 0
+		})
+}

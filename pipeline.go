@@ -11,6 +11,7 @@ import (
 	"yourandvalue/internal/baseline"
 	"yourandvalue/internal/campaign"
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/obs"
 	"yourandvalue/internal/pme"
 	"yourandvalue/internal/rtb"
 	"yourandvalue/internal/stream"
@@ -120,6 +121,16 @@ func WithProgress(fn func(StageEvent)) Option {
 	return func(p *Pipeline) { p.progress = fn }
 }
 
+// WithObservability records every stage run on an obs registry —
+// pipeline_stage_duration_seconds{stage} for wall time and
+// pipeline_stage_failures_total{stage} for errors — and instruments the
+// streaming cost stage's aggregator (snapshot lag, distributed events)
+// on the same registry, so a serving process scraping /metrics sees its
+// bootstrap pipeline's progress alongside the request series.
+func WithObservability(r *obs.Registry) Option {
+	return func(p *Pipeline) { p.obs = r }
+}
+
 // WithWorkers caps the goroutines the sharded stages run: trace
 // generation (GenerateTrace's parallel per-user driver, whose reorder
 // window holds ~2×n user traces) and per-user cost estimation (batch
@@ -148,6 +159,7 @@ type Pipeline struct {
 	progress func(StageEvent)
 	workers  int
 	registry *pme.Registry
+	obs      *obs.Registry
 }
 
 // NewPipeline builds a Pipeline from DefaultConfig plus options,
@@ -184,11 +196,28 @@ func (p *Pipeline) runStage(ctx context.Context, stage Stage, fn func() error) e
 	p.emit(StageEvent{Stage: stage, State: StageStarted})
 	start := time.Now()
 	if err := fn(); err != nil {
-		p.emit(StageEvent{Stage: stage, State: StageFailed, Elapsed: time.Since(start), Err: err})
+		elapsed := time.Since(start)
+		p.observeStage(stage, elapsed, err)
+		p.emit(StageEvent{Stage: stage, State: StageFailed, Elapsed: elapsed, Err: err})
 		return err
 	}
-	p.emit(StageEvent{Stage: stage, State: StageCompleted, Elapsed: time.Since(start)})
+	elapsed := time.Since(start)
+	p.observeStage(stage, elapsed, nil)
+	p.emit(StageEvent{Stage: stage, State: StageCompleted, Elapsed: elapsed})
 	return nil
+}
+
+// observeStage records one stage run's wall time (and failure, if any)
+// when an obs registry is attached.
+func (p *Pipeline) observeStage(stage Stage, elapsed time.Duration, err error) {
+	if p.obs == nil {
+		return
+	}
+	labels := obs.Labels{"stage": string(stage)}
+	p.obs.Histogram("pipeline_stage_duration_seconds", "Wall time of pipeline stage runs.", labels).Observe(elapsed)
+	if err != nil {
+		p.obs.Counter("pipeline_stage_failures_total", "Pipeline stage runs that ended in error.", labels).Inc()
+	}
 }
 
 // TraceArtifact is StageGenerateTrace's output: the simulated RTB
@@ -366,6 +395,7 @@ func (p *Pipeline) EstimateCostsStreaming(ctx context.Context, src stream.Source
 	var res *stream.Result
 	err := p.runStage(ctx, StageStreamCosts, func() error {
 		agg := stream.NewAggregator(model, src.Directory(), stream.WithShards(p.workers))
+		agg.Instrument(p.obs)
 		var err error
 		res, err = agg.Run(ctx, src)
 		return err
