@@ -426,6 +426,58 @@ func BenchmarkDetectEngine(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(reqs)), "requests/op")
 	})
+
+	// The estimate leg in isolation: same encoded vectors, three walks.
+	// "pointer" is the pre-flat baseline (heap-scattered *Node chase per
+	// tree), "flat" the SoA walk EstimateCPM now routes through, and
+	// "flat-batch" the tree-major batch walk the server paths use.
+	b.Run("estimate", func(b *testing.B) {
+		eng := detect.NewEngine(detect.Config{Directory: dir})
+		var vecs [][]float64
+		for _, r := range reqs {
+			em := eng.Step(r.Detect())
+			if em.Detected && em.Impression.Encrypted() {
+				vec := make([]float64, model.Features.Dim())
+				model.Features.EncodeImpressionInto(vec, em.Impression)
+				vecs = append(vecs, vec)
+			}
+		}
+		if len(vecs) == 0 {
+			b.Fatal("no encrypted impressions in the bench trace")
+		}
+		forest, binner := model.Forest, model.Binner
+		flat := model.FlatForest()
+		sink := 0.0
+
+		b.Run("pointer", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink += binner.Representative(forest.Predict(vecs[i%len(vecs)]))
+			}
+			_ = sink
+		})
+		b.Run("flat", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink += model.EstimateCPM(vecs[i%len(vecs)])
+			}
+			_ = sink
+		})
+		b.Run("flat-batch", func(b *testing.B) {
+			cls := make([]int, len(vecs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				flat.PredictInto(cls, vecs)
+			}
+			b.StopTimer()
+			for _, c := range cls {
+				sink += binner.Representative(c)
+			}
+			_ = sink
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(vecs)), "ns/vec")
+		})
+	})
 }
 
 // --- Hot-path micro-benchmarks ---

@@ -1,0 +1,72 @@
+// Command benchfold folds raw `go test -bench` output into a persisted
+// bench artifact (the BENCH_*.json trajectory files CI commits and
+// uploads). It reads benchmark lines from stdin or -in, parses them with
+// the same strict parser internal/scaletest uses for its own artifacts,
+// and writes a schema-stamped artifact — so the inference perf numbers
+// live next to the load-harness numbers in one diffable format.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkForestPredict -benchmem ./internal/mlkit | benchfold -out BENCH_inference.json
+//	benchfold -in bench.txt -out BENCH_inference.json
+//
+// Exit codes: 0 artifact written, 1 no benchmark lines found or a
+// parse/write failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"yourandvalue/internal/scaletest"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "BENCH_inference.json", "artifact path to write")
+	flag.Parse()
+
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfold:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	art, err := fold(r)
+	if err != nil {
+		return err
+	}
+	if err := art.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("benchfold: %d benchmarks -> %s\n", len(art.GoBench), out)
+	return nil
+}
+
+// fold parses bench lines into a fresh artifact, rejecting empty input:
+// a bench step that produced nothing must fail CI, not commit an empty
+// trajectory point.
+func fold(r io.Reader) (*scaletest.Artifact, error) {
+	results, err := scaletest.ParseGoBench(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input")
+	}
+	art := scaletest.NewArtifact()
+	art.GoBench = results
+	return art, nil
+}

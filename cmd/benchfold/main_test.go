@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"yourandvalue/internal/scaletest"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: yourandvalue/internal/mlkit
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkForestPredict/pointer-8         	  500000	      2100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkForestPredict/flat-8            	 2000000	       400 ns/op	       0 B/op	       0 allocs/op
+BenchmarkForestPredict/flat-batch-512-8  	   10000	    110000 ns/op	       215 ns/vec	       0 B/op	       0 allocs/op
+PASS
+ok  	yourandvalue/internal/mlkit	12.3s
+`
+
+func TestFold(t *testing.T) {
+	art, err := fold(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != scaletest.ArtifactSchema {
+		t.Errorf("schema %q", art.Schema)
+	}
+	if len(art.GoBench) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(art.GoBench))
+	}
+	flat := art.GoBench[1]
+	if flat.Name != "BenchmarkForestPredict/flat" || flat.Procs != 8 {
+		t.Errorf("parsed %+v", flat)
+	}
+	if flat.AllocsPerOp == nil || *flat.AllocsPerOp != 0 {
+		t.Errorf("allocs/op = %v, want explicit 0", flat.AllocsPerOp)
+	}
+}
+
+func TestFoldRejectsEmpty(t *testing.T) {
+	if _, err := fold(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestRunWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH_test.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out); err != nil {
+		t.Fatal(err)
+	}
+	art, err := scaletest.ReadArtifact(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.GoBench) != 3 {
+		t.Errorf("round-tripped %d benchmarks", len(art.GoBench))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"yourandvalue/internal/analyzer"
 	"yourandvalue/internal/geoip"
 	"yourandvalue/internal/iab"
+	"yourandvalue/internal/mlkit"
 	"yourandvalue/internal/nurl"
 	"yourandvalue/internal/trafficclass"
 	"yourandvalue/internal/useragent"
@@ -201,11 +202,79 @@ func BatchEstimate(res *analyzer.Result, model *Model) map[int]*UserCost {
 	return out
 }
 
+// estimateChunk is the batch estimator's flush size: large enough that
+// the tree-major batch walk amortizes the forest across many vectors,
+// small enough that one worker's scratch matrix stays L2-resident.
+const estimateChunk = 128
+
+// batchEstimator is one worker's reusable estimate scratch: encrypted
+// impressions are encoded into a fixed row matrix and classified in
+// chunks through the flat forest's tree-major PredictInto, with the
+// per-class representative CPMs precomputed. Accumulation happens in
+// stream order at each flush, so totals are bit-identical to the
+// impression-at-a-time path. Not safe for concurrent use — each worker
+// owns one.
+type batchEstimator struct {
+	model *Model
+	flat  *mlkit.FlatForest
+	reps  []float64 // per-class representative CPM
+	rows  [][]float64
+	cls   []int
+	n     int // pending rows
+}
+
+// newBatchEstimator builds one worker's scratch (nil for a nil model,
+// which never estimates).
+func newBatchEstimator(model *Model) *batchEstimator {
+	if model == nil {
+		return nil
+	}
+	dim := model.Features.Dim()
+	backing := make([]float64, estimateChunk*dim)
+	be := &batchEstimator{
+		model: model,
+		flat:  model.FlatForest(),
+		rows:  make([][]float64, estimateChunk),
+		cls:   make([]int, estimateChunk),
+	}
+	for i := range be.rows {
+		be.rows[i] = backing[i*dim : (i+1)*dim]
+	}
+	be.reps = make([]float64, be.flat.Classes)
+	for c := range be.reps {
+		be.reps[c] = model.Binner.Representative(c)
+	}
+	return be
+}
+
+// add encodes one encrypted impression into the next pending row,
+// flushing into uc when the chunk fills.
+func (be *batchEstimator) add(imp analyzer.Impression, uc *UserCost) {
+	be.model.Features.EncodeImpressionInto(be.rows[be.n], imp)
+	be.n++
+	if be.n == len(be.rows) {
+		be.flush(uc)
+	}
+}
+
+// flush classifies the pending rows in one batch and accumulates their
+// representative CPMs into uc, preserving stream order.
+func (be *batchEstimator) flush(uc *UserCost) {
+	if be.n == 0 {
+		return
+	}
+	be.flat.PredictInto(be.cls[:be.n], be.rows[:be.n])
+	for _, c := range be.cls[:be.n] {
+		uc.EncryptedCPM += be.reps[c]
+	}
+	be.n = 0
+}
+
 // estimateUser accumulates one user's impressions (given by index into
-// res.Impressions, in stream order) into uc. vec is the worker's reused
-// encode scratch (length Features.Dim), so the per-impression loop
-// allocates nothing.
-func estimateUser(res *analyzer.Result, model *Model, uc *UserCost, idxs []int, vec []float64) {
+// res.Impressions, in stream order) into uc. be is the worker's reused
+// batch scratch, so the per-impression loop allocates nothing and the
+// forest walks chunk-at-a-time.
+func estimateUser(res *analyzer.Result, model *Model, uc *UserCost, idxs []int, be *batchEstimator) {
 	for _, i := range idxs {
 		imp := res.Impressions[i]
 		switch imp.Notification.Kind {
@@ -213,22 +282,15 @@ func estimateUser(res *analyzer.Result, model *Model, uc *UserCost, idxs []int, 
 			uc.CleartextCPM += imp.Notification.PriceCPM
 			uc.CleartextCount++
 		case nurl.Encrypted:
-			if model != nil {
-				model.Features.EncodeImpressionInto(vec, imp)
-				uc.EncryptedCPM += model.EstimateCPM(vec)
+			if be != nil {
+				be.add(imp, uc)
 			}
 			uc.EncryptedCount++
 		}
 	}
-}
-
-// encodeScratch returns one worker's reusable encode buffer (nil for a
-// nil model, which never encodes).
-func encodeScratch(model *Model) []float64 {
-	if model == nil {
-		return nil
+	if be != nil {
+		be.flush(uc)
 	}
-	return make([]float64, model.Features.Dim())
 }
 
 // BatchEstimateContext is BatchEstimate with cancellation and sharding:
@@ -261,14 +323,14 @@ func BatchEstimateContext(ctx context.Context, res *analyzer.Result, model *Mode
 	}
 
 	if workers == 1 || len(ids) < 2 {
-		vec := encodeScratch(model)
+		be := newBatchEstimator(model)
 		for n, id := range ids {
 			if n%64 == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
 			}
-			estimateUser(res, model, out[id], byUser[id], vec)
+			estimateUser(res, model, out[id], byUser[id], be)
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -284,7 +346,7 @@ func BatchEstimateContext(ctx context.Context, res *analyzer.Result, model *Mode
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			vec := encodeScratch(model)
+			be := newBatchEstimator(model)
 			for {
 				n := int(cursor.Add(1)) - 1
 				if n >= len(ids) {
@@ -294,7 +356,7 @@ func BatchEstimateContext(ctx context.Context, res *analyzer.Result, model *Mode
 					return
 				}
 				id := ids[n]
-				estimateUser(res, model, out[id], byUser[id], vec)
+				estimateUser(res, model, out[id], byUser[id], be)
 			}
 		}()
 	}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestCompactModelRoundTrip(t *testing.T) {
+	f := pipeline(t)
+	blob, err := f.model.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCompactModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Forest != nil || back.Tree != nil {
+		t.Fatal("compact decode materialized pointer nodes")
+	}
+	// Estimates must be bit-identical through the flat-only model.
+	for _, rec := range f.a1.Records[:300] {
+		x1 := f.model.Features.FromRecord(rec)
+		x2 := back.Features.FromRecord(rec)
+		if f.model.EstimateCPM(x1) != back.EstimateCPM(x2) {
+			t.Fatal("estimate diverged through compact round trip")
+		}
+		if f.model.EstimateCPMTree(x1) != back.EstimateCPMTree(x2) {
+			t.Fatal("tree estimate diverged through compact round trip")
+		}
+	}
+	if back.Version != f.model.Version {
+		t.Errorf("version %d != %d", back.Version, f.model.Version)
+	}
+	if back.TimeShift != f.model.TimeShift {
+		t.Error("time shift lost")
+	}
+	if !back.TrainedAt.Equal(f.model.TrainedAt) {
+		t.Error("trained-at lost")
+	}
+	if back.Metrics.TrainSize != f.model.Metrics.TrainSize {
+		t.Error("metrics lost")
+	}
+}
+
+func TestCompactModelShrinksBlob(t *testing.T) {
+	f := pipeline(t)
+	jsonBlob, err := f.model.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatBlob, err := f.model.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 bytes/node vs JSON node objects (the JSON already uses one-letter
+	// keys, so the gap is real but not tenfold): require at least a 25%
+	// reduction and report the actual ratio.
+	if len(flatBlob)*4 > len(jsonBlob)*3 {
+		t.Errorf("compact blob %d bytes vs JSON %d — expected <= 75%%", len(flatBlob), len(jsonBlob))
+	}
+	t.Logf("blob sizes: json=%d flat=%d (%.1f%%)",
+		len(jsonBlob), len(flatBlob), 100*float64(len(flatBlob))/float64(len(jsonBlob)))
+}
+
+func TestDecodeCompactModelRejectsCorruption(t *testing.T) {
+	f := pipeline(t)
+	blob, err := f.model.EncodeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, b []byte) {
+		if _, err := DecodeCompactModel(b); !errors.Is(err, ErrBadCompactModel) {
+			t.Errorf("%s: err = %v, want ErrBadCompactModel", name, err)
+		}
+	}
+	check("empty", nil)
+	check("bad magic", append([]byte("XXXX"), blob[4:]...))
+	{
+		b := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint16(b[4:], 99)
+		check("future version", b)
+	}
+	check("truncated header", blob[:8])
+	check("truncated body", blob[:len(blob)-3])
+	check("trailing bytes", append(append([]byte(nil), blob...), 0xAB))
+	{
+		// Grow a split feature index past the feature space.
+		ff := f.model.FlatForest()
+		for i, ft := range ff.Feats {
+			_ = i
+			if ft >= 0 {
+				b := append([]byte(nil), blob...)
+				// Find the forest section: magic+2, skip header section.
+				off := len(compactMagic) + 2
+				hlen := int(binary.LittleEndian.Uint32(b[off:]))
+				off += 4 + hlen + 4 // header + forest length prefix
+				featOff := off + 12 + 4*len(ff.Roots) + 4*i
+				binary.LittleEndian.PutUint32(b[featOff:], uint32(1<<20))
+				check("feature out of range", b)
+				break
+			}
+		}
+	}
+}
+
+func TestEncodeCompactNeedsForest(t *testing.T) {
+	m := &Model{Features: &SFeatures{Names: []string{"a"}}}
+	if _, err := m.EncodeCompact(); err == nil {
+		t.Error("forest-less model encoded")
+	}
+}

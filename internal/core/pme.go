@@ -30,6 +30,15 @@ type Model struct {
 	TimeShift float64 `json:"time_shift"`
 	// Metrics records the cross-validated §5.4 evaluation of the model.
 	Metrics ModelMetrics `json:"metrics"`
+
+	// flatForest/flatTree carry the inference engines of a compact-blob
+	// decode, which ships no pointer nodes at all. Models that do have a
+	// pointer Forest/Tree always compile through it instead (the cache
+	// lives on the forest, see FlatForest), so a clone whose forest was
+	// replaced — the retrain loop does exactly that — can never serve a
+	// stale flat form.
+	flatForest *mlkit.FlatForest
+	flatTree   *mlkit.FlatForest
 }
 
 // ModelMetrics is the §5.4 metric bundle in serializable form.
@@ -56,16 +65,38 @@ func (m *Model) CloneWithVersion(version int, trainedAt time.Time) *Model {
 	return &c
 }
 
+// FlatForest returns the model's compiled SoA inference engine: the
+// pointer forest's cached flat form when one exists (compiled once at
+// train time, or lazily after a JSON decode — the same once-guarded
+// pattern as the feature encoder), else the engine a compact-blob
+// decode shipped. Nil only for models with no forest at all.
+func (m *Model) FlatForest() *mlkit.FlatForest {
+	if m.Forest != nil {
+		return m.Forest.Flat()
+	}
+	return m.flatForest
+}
+
+// FlatTree is FlatForest for the representative single tree.
+func (m *Model) FlatTree() *mlkit.FlatForest {
+	if m.Tree != nil {
+		return m.Tree.Flat()
+	}
+	return m.flatTree
+}
+
 // EstimateCPM estimates an encrypted charge price from its S vector using
-// the forest's predicted class representative.
+// the forest's predicted class representative. Prediction runs on the
+// flat-compiled forest (bit-identical to the pointer walk, an order of
+// magnitude cheaper).
 func (m *Model) EstimateCPM(x []float64) float64 {
-	return m.Binner.Representative(m.Forest.Predict(x))
+	return m.Binner.Representative(m.FlatForest().Predict(x))
 }
 
 // EstimateCPMTree is the single-tree variant clients can run when the
 // forest is too heavy.
 func (m *Model) EstimateCPMTree(x []float64) float64 {
-	return m.Binner.Representative(m.Tree.Predict(x))
+	return m.Binner.Representative(m.FlatTree().Predict(x))
 }
 
 // MarshalJSON-compatible round trip: Decode restores internal indices.

@@ -66,7 +66,12 @@ func CrossValidateForest(X [][]float64, y []int, classes, k, runs int,
 			if err != nil {
 				return Report{}, err
 			}
-			rep := Evaluate(teX, teY, classes, forest.Predict, forest.PredictProba)
+			// Score through the flat engine: per-fold evaluation is most
+			// of CV's inference cost, and the flat walk plus the Into-style
+			// proba keep it allocation-free per row. Predictions and
+			// probabilities are bit-identical to the pointer walk.
+			flat := forest.Flat()
+			rep := EvaluateInto(teX, teY, classes, flat.Predict, flat.PredictProbaInto)
 			agg.Accuracy += rep.Accuracy
 			agg.FPRate += rep.FPRate
 			agg.Precision += rep.Precision

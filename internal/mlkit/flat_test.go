@@ -1,0 +1,283 @@
+package mlkit
+
+import (
+	"math"
+	"testing"
+
+	"yourandvalue/internal/stats"
+)
+
+// fuzzVectors builds adversarial test vectors for equivalence checks:
+// uniform random rows, rows salted with NaN/±Inf, and rows sitting
+// exactly on thresholds harvested from the trained forest (the x ==
+// Threshold boundary is where a flat/pointer comparison divergence
+// would hide).
+func fuzzVectors(f *Forest, dim, n int, seed int64) [][]float64 {
+	rng := stats.NewRand(seed)
+	var thresholds []float64
+	var collect func(nd *Node)
+	collect = func(nd *Node) {
+		if nd == nil || nd.Leaf {
+			return
+		}
+		thresholds = append(thresholds, nd.Threshold)
+		collect(nd.Left)
+		collect(nd.Right)
+	}
+	for _, t := range f.Trees {
+		collect(t.Root)
+	}
+	X := make([][]float64, n)
+	for i := range X {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.Float64() * 2
+		}
+		switch i % 5 {
+		case 1:
+			row[rng.Intn(dim)] = math.NaN()
+		case 2:
+			row[rng.Intn(dim)] = math.Inf(1)
+			row[rng.Intn(dim)] = math.Inf(-1)
+		case 3:
+			if len(thresholds) > 0 {
+				// Land exactly on a real split threshold.
+				for k := 0; k < 3; k++ {
+					row[rng.Intn(dim)] = thresholds[rng.Intn(len(thresholds))]
+				}
+			}
+		}
+		X[i] = row
+	}
+	return X
+}
+
+func TestFlatForestEquivalence(t *testing.T) {
+	X, y := noisyData(800, 21)
+	f, err := TrainForest(X, y, 3, ForestConfig{Trees: 25, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := f.Flat()
+	if ff.NumTrees() != len(f.Trees) {
+		t.Fatalf("NumTrees = %d, want %d", ff.NumTrees(), len(f.Trees))
+	}
+	vecs := fuzzVectors(f, 10, 500, 23)
+	for vi, x := range vecs {
+		if got, want := ff.Predict(x), f.Predict(x); got != want {
+			t.Fatalf("vec %d: flat Predict = %d, pointer = %d", vi, got, want)
+		}
+		for ti, tr := range f.Trees {
+			if got, want := ff.PredictTree(ti, x), tr.Predict(x); got != want {
+				t.Fatalf("vec %d tree %d: flat = %d, pointer = %d", vi, ti, got, want)
+			}
+		}
+	}
+}
+
+func TestFlatForestProbaEquivalence(t *testing.T) {
+	X, y := noisyData(500, 31)
+	f, _ := TrainForest(X, y, 3, ForestConfig{Trees: 17, Seed: 32})
+	ff := f.Flat()
+	dst := make([]float64, 3)
+	for _, x := range fuzzVectors(f, 10, 200, 33) {
+		want := f.PredictProba(x)
+		ff.PredictProbaInto(dst, x)
+		for c := range want {
+			// Bit-identical, not approximately equal: same counts, same division.
+			if dst[c] != want[c] {
+				t.Fatalf("proba class %d: flat %v, pointer %v", c, dst[c], want[c])
+			}
+		}
+	}
+}
+
+func TestFlatForestBatchMatchesSingle(t *testing.T) {
+	X, y := noisyData(400, 41)
+	f, _ := TrainForest(X, y, 3, ForestConfig{Trees: 12, Seed: 42})
+	ff := f.Flat()
+	for _, n := range []int{0, 1, 7, 256, 391} {
+		vecs := fuzzVectors(f, 10, n, int64(50+n))
+		dst := make([]int, n)
+		ff.PredictInto(dst, vecs)
+		for i, x := range vecs {
+			if want := ff.Predict(x); dst[i] != want {
+				t.Fatalf("batch n=%d row %d: %d != %d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestFlatTreeEquivalence(t *testing.T) {
+	X, y := noisyData(400, 51)
+	tr, err := TrainTree(X, y, 3, TreeConfig{MaxDepth: 8, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := tr.Flat()
+	if ft.NumTrees() != 1 {
+		t.Fatalf("tree flat has %d roots", ft.NumTrees())
+	}
+	for _, x := range X {
+		if got, want := ft.Predict(x), tr.Predict(x); got != want {
+			t.Fatalf("flat tree %d != pointer %d", got, want)
+		}
+	}
+}
+
+// TestFlatNilChildren pins the synthetic-leaf fallback: a hand-built
+// tree with nil children (possible after a hand-edited JSON decode)
+// must compile to the same class-0 fallback the pointer walk computes.
+func TestFlatNilChildren(t *testing.T) {
+	tr := &Tree{
+		Classes: 3,
+		Root: &Node{
+			Feature:   0,
+			Threshold: 0.5,
+			Left:      nil, // pointer walk: nil → zero counts → class 0
+			Right:     &Node{Leaf: true, Counts: []int{1, 5, 2}},
+		},
+	}
+	ff := tr.Flat()
+	for _, x := range [][]float64{{0.1}, {0.5}, {0.9}, {math.NaN()}} {
+		if got, want := ff.Predict(x), tr.Predict(x); got != want {
+			t.Fatalf("x=%v: flat %d, pointer %d", x, got, want)
+		}
+	}
+}
+
+func TestFlatForestBinaryRoundTrip(t *testing.T) {
+	X, y := noisyData(600, 61)
+	f, _ := TrainForest(X, y, 3, ForestConfig{Trees: 15, Seed: 62})
+	ff := f.Flat()
+	blob := ff.AppendBinary(nil)
+	if len(blob) != ff.BinarySize() {
+		t.Fatalf("encoded %d bytes, BinarySize says %d", len(blob), ff.BinarySize())
+	}
+	dec, n, err := DecodeFlatForest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(blob) {
+		t.Fatalf("consumed %d of %d bytes", n, len(blob))
+	}
+	for _, x := range fuzzVectors(f, 10, 300, 63) {
+		if got, want := dec.Predict(x), ff.Predict(x); got != want {
+			t.Fatalf("decoded %d != original %d", got, want)
+		}
+	}
+}
+
+func TestDecodeFlatForestRejectsCorruption(t *testing.T) {
+	X, y := noisyData(200, 71)
+	f, _ := TrainForest(X, y, 3, ForestConfig{Trees: 5, Seed: 72})
+	blob := f.Flat().AppendBinary(nil)
+
+	// Truncations at every boundary must error, never panic.
+	for _, n := range []int{0, 4, 11, 12, 20, len(blob) - 1} {
+		if _, _, err := DecodeFlatForest(blob[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	corrupt := func(mutate func(b []byte)) error {
+		b := append([]byte(nil), blob...)
+		mutate(b)
+		_, _, err := DecodeFlatForest(b)
+		return err
+	}
+	if err := corrupt(func(b []byte) { b[0] = 0xFF; b[1] = 0xFF; b[2] = 0xFF; b[3] = 0xFF }); err == nil {
+		t.Error("absurd class count accepted")
+	}
+	if err := corrupt(func(b []byte) { b[4] = 0xFF; b[5] = 0xFF; b[6] = 0xFF; b[7] = 0xFF }); err == nil {
+		t.Error("negative tree count accepted")
+	}
+	if err := corrupt(func(b []byte) { b[12] = 0xFF; b[13] = 0xFF; b[14] = 0xFF; b[15] = 0xFF }); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	// A backward child pointer would make the walk loop forever.
+	if err := corrupt(func(b []byte) {
+		ff := f.Flat()
+		// First internal node's kid → itself.
+		for i, ft := range ff.Feats {
+			if ft >= 0 {
+				off := 12 + 4*len(ff.Roots) + 4*len(ff.Feats) + 4*i
+				b[off], b[off+1], b[off+2], b[off+3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+				return
+			}
+		}
+	}); err == nil {
+		t.Error("backward child pointer accepted")
+	}
+}
+
+func TestFlatPredictZeroAlloc(t *testing.T) {
+	X, y := noisyData(300, 81)
+	f, _ := TrainForest(X, y, 3, ForestConfig{Trees: 10, Seed: 82})
+	ff := f.Flat()
+	x := X[0]
+	if n := testing.AllocsPerRun(100, func() { ff.Predict(x) }); n != 0 {
+		t.Errorf("Predict allocates %.1f per op", n)
+	}
+	dst := make([]int, 128)
+	batch := X[:128]
+	if n := testing.AllocsPerRun(100, func() { ff.PredictInto(dst, batch) }); n != 0 {
+		t.Errorf("PredictInto allocates %.1f per op", n)
+	}
+	proba := make([]float64, 3)
+	if n := testing.AllocsPerRun(100, func() { ff.PredictProbaInto(proba, x) }); n != 0 {
+		t.Errorf("PredictProbaInto allocates %.1f per op", n)
+	}
+}
+
+func TestForestPredictProbaInto(t *testing.T) {
+	X, y := noisyData(300, 91)
+	f, _ := TrainForest(X, y, 3, ForestConfig{Trees: 10, Seed: 92})
+	dst := make([]float64, 3)
+	for _, x := range X[:50] {
+		f.PredictProbaInto(dst, x)
+		want := f.PredictProba(x)
+		for c := range want {
+			if dst[c] != want[c] {
+				t.Fatalf("PredictProbaInto class %d: %v != %v", c, dst[c], want[c])
+			}
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	X, y := noisyData(2000, 101)
+	f, err := TrainForest(X, y, 3, ForestConfig{Trees: 50, Seed: 102})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ff := f.Flat()
+	vecs := fuzzVectors(f, 10, 512, 103)
+	b.Run("pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += f.Predict(vecs[i%len(vecs)])
+		}
+		_ = sink
+	})
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += ff.Predict(vecs[i%len(vecs)])
+		}
+		_ = sink
+	})
+	// Named without a trailing numeric segment: bench parsers strip a
+	// final "-N" as the GOMAXPROCS suffix.
+	b.Run("flat-batch512", func(b *testing.B) {
+		b.ReportAllocs()
+		dst := make([]int, len(vecs))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ff.PredictInto(dst, vecs)
+		}
+		// Normalize to per-vector cost for cross-sub comparison.
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(vecs)), "ns/vec")
+	})
+}

@@ -55,6 +55,7 @@ type Forest struct {
 
 	oobError   float64
 	importance []float64
+	flat       flatOnce
 }
 
 // TrainForest trains a random forest on X with labels y in [0, classes).
@@ -67,17 +68,17 @@ func TrainForest(X [][]float64, y []int, classes int, cfg ForestConfig) (*Forest
 	rng := stats.NewRand(cfg.Seed)
 
 	f := &Forest{Classes: classes, importance: make([]float64, d)}
-	oobVotes := make([][]int, len(X))
-	for i := range oobVotes {
-		oobVotes[i] = make([]int, classes)
-	}
+	f.Trees = make([]*Tree, 0, cfg.Trees)
 
+	// The bootstrap buffers are hoisted out of the tree loop and reused;
+	// only the per-tree in-bag rows (one packed bitset for the whole
+	// ensemble, consumed again by the OOB pass below) survive it.
 	n := len(X)
+	sampleX := make([][]float64, n)
+	sampleY := make([]int, n)
+	bags := make([]bool, cfg.Trees*n)
 	for t := 0; t < cfg.Trees; t++ {
-		// Bootstrap sample.
-		sampleX := make([][]float64, n)
-		sampleY := make([]int, n)
-		inBag := make([]bool, n)
+		inBag := bags[t*n : (t+1)*n]
 		for i := 0; i < n; i++ {
 			j := rng.Intn(n)
 			sampleX[i] = X[j]
@@ -97,10 +98,18 @@ func TrainForest(X [][]float64, y []int, classes int, cfg ForestConfig) (*Forest
 		for i, v := range tree.importance {
 			f.importance[i] += v
 		}
-		// Out-of-bag votes.
+	}
+
+	// Out-of-bag votes, walked through the flat form — compiling here
+	// means every trained forest leaves TrainForest with its inference
+	// engine already built and cached.
+	flat := f.Flat()
+	oobVotes := make([]int, n*classes)
+	for t := 0; t < cfg.Trees; t++ {
+		inBag := bags[t*n : (t+1)*n]
 		for i := 0; i < n; i++ {
 			if !inBag[i] {
-				oobVotes[i][tree.Predict(X[i])]++
+				oobVotes[i*classes+flat.PredictTree(t, X[i])]++
 			}
 		}
 	}
@@ -108,7 +117,8 @@ func TrainForest(X [][]float64, y []int, classes int, cfg ForestConfig) (*Forest
 	// OOB error: fraction of rows (with ≥1 OOB vote) misclassified by the
 	// OOB majority.
 	wrong, counted := 0, 0
-	for i, votes := range oobVotes {
+	for i := 0; i < n; i++ {
+		votes := oobVotes[i*classes : (i+1)*classes]
 		total := 0
 		best, bestN := 0, -1
 		for c, v := range votes {
@@ -157,16 +167,27 @@ func (f *Forest) Predict(x []float64) int {
 // PredictProba returns the vote-share class distribution for x.
 func (f *Forest) PredictProba(x []float64) []float64 {
 	p := make([]float64, f.Classes)
+	f.PredictProbaInto(p, x)
+	return p
+}
+
+// PredictProbaInto writes the vote-share class distribution for x into
+// dst[:Classes] — the allocation-free form hot loops reuse a buffer
+// with.
+func (f *Forest) PredictProbaInto(dst []float64, x []float64) {
+	dst = dst[:f.Classes]
+	for c := range dst {
+		dst[c] = 0
+	}
 	if len(f.Trees) == 0 {
-		return p
+		return
 	}
 	for _, t := range f.Trees {
-		p[t.Predict(x)]++
+		dst[t.Predict(x)]++
 	}
-	for c := range p {
-		p[c] /= float64(len(f.Trees))
+	for c := range dst {
+		dst[c] /= float64(len(f.Trees))
 	}
-	return p
 }
 
 // OOBError returns the out-of-bag misclassification estimate, one of the

@@ -65,6 +65,7 @@ type Tree struct {
 	// importance accumulates per-feature impurity decrease during
 	// induction (unnormalized).
 	importance []float64
+	flat       flatOnce
 }
 
 // ErrBadTrainingData reports shape problems.

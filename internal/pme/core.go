@@ -75,9 +75,7 @@ func (c *Core) EstimateBatch(ctx context.Context, items []EstimateItem) (*Estima
 		ETag:         sess.Snapshot().ETag,
 		EstimatesCPM: make([]float64, len(items)),
 	}
-	for i := range items {
-		res.EstimatesCPM[i] = sess.Estimate(&items[i])
-	}
+	sess.EstimateInto(res.EstimatesCPM, items)
 	return res, nil
 }
 
@@ -113,6 +111,13 @@ func (c *Core) MaxBatch() int { return c.maxBatch }
 type EstimateSession struct {
 	snap *Snapshot
 	vec  []float64
+
+	// Batch scratch (EstimateInto), built on first use: an encode matrix
+	// flushed chunk-at-a-time through the flat forest's tree-major walk,
+	// plus the per-class representative CPMs.
+	rows [][]float64
+	cls  []int
+	reps []float64
 }
 
 // Snapshot returns the pinned model snapshot.
@@ -129,4 +134,47 @@ func (s *EstimateSession) Estimate(it *EstimateItem) float64 {
 		Hour: hour, Weekday: weekday,
 	})
 	return m.EstimateCPM(s.vec)
+}
+
+// estimateBatchChunk bounds EstimateInto's encode matrix: items are
+// classified in chunks of this many through one tree-major batch walk.
+const estimateBatchChunk = 256
+
+// EstimateInto estimates every item into dst[:len(items)], encoding a
+// chunk of items and classifying the whole chunk through the flat
+// forest's batch path — item-for-item identical to Estimate, but the
+// forest is walked tree-major across the chunk instead of being
+// re-fetched per item. dst must have length >= len(items).
+func (s *EstimateSession) EstimateInto(dst []float64, items []EstimateItem) {
+	m := s.snap.Model
+	ff := m.FlatForest()
+	if s.rows == nil {
+		dim := m.Features.Dim()
+		backing := make([]float64, estimateBatchChunk*dim)
+		s.rows = make([][]float64, estimateBatchChunk)
+		for i := range s.rows {
+			s.rows[i] = backing[i*dim : (i+1)*dim]
+		}
+		s.cls = make([]int, estimateBatchChunk)
+		s.reps = make([]float64, ff.Classes)
+		for c := range s.reps {
+			s.reps[c] = m.Binner.Representative(c)
+		}
+	}
+	for base := 0; base < len(items); base += estimateBatchChunk {
+		k := min(estimateBatchChunk, len(items)-base)
+		for i := 0; i < k; i++ {
+			it := &items[base+i]
+			hour, weekday := it.timeFeatures()
+			m.Features.EncodeStringsInto(s.rows[i], core.StringContext{
+				ADX: it.ADX, City: it.City, OS: it.OS, Device: it.Device,
+				Origin: it.Origin, Slot: it.Slot, IAB: it.IAB,
+				Hour: hour, Weekday: weekday,
+			})
+		}
+		ff.PredictInto(s.cls[:k], s.rows[:k])
+		for i := 0; i < k; i++ {
+			dst[base+i] = s.reps[s.cls[i]]
+		}
+	}
 }

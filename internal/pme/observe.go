@@ -14,6 +14,8 @@ import (
 //	pme_model_version             gauge    serving model version (0 before first publish)
 //	pme_model_etag_age_seconds    gauge    seconds since the serving snapshot was published
 //	pme_model_publishes_total     counter  lifetime hot-swaps (publishes + rollbacks)
+//	pme_model_nodes               gauge    flat-forest node count of the serving model
+//	pme_model_blob_bytes{format}  gauge    serving blob size per representation (json|flat)
 //	pme_pool_depth                gauge    current pool occupancy
 //	pme_pool_trainable            gauge    pooled entries with a usable cleartext label
 //	pme_pool_accepted_total       counter  lifetime accepted contributions
@@ -40,6 +42,29 @@ func Instrument(r *obs.Registry, reg *Registry, pool *Pool) {
 			})
 		r.CounterFunc("pme_model_publishes_total", "Model hot-swaps performed (publishes and rollbacks).", nil,
 			func() float64 { return float64(reg.Publishes()) })
+		r.GaugeFunc("pme_model_nodes", "Total flat-forest nodes in the serving model (0 before the first publish or when the model has no forest).", nil,
+			func() float64 {
+				if snap := reg.Current(); snap != nil && snap.Model != nil {
+					if ff := snap.Model.FlatForest(); ff != nil {
+						return float64(ff.NodeCount())
+					}
+				}
+				return 0
+			})
+		r.GaugeFunc("pme_model_blob_bytes", "Size of the serving model blob, per distribution format.", obs.Labels{"format": "json"},
+			func() float64 {
+				if snap := reg.Current(); snap != nil {
+					return float64(len(snap.Blob))
+				}
+				return 0
+			})
+		r.GaugeFunc("pme_model_blob_bytes", "Size of the serving model blob, per distribution format.", obs.Labels{"format": "flat"},
+			func() float64 {
+				if snap := reg.Current(); snap != nil {
+					return float64(len(snap.FlatBlob))
+				}
+				return 0
+			})
 	}
 	if pool != nil {
 		r.GaugeFunc("pme_pool_depth", "Contributions currently pooled awaiting retrain.", nil,

@@ -17,10 +17,15 @@ import (
 // the whole lifetime of a request (or an unbounded estimate stream) and
 // see a single consistent version regardless of concurrent hot-swaps.
 type Snapshot struct {
-	Model       *core.Model
-	Version     int
-	ETag        string // strong ETag over Blob, quoted
-	Blob        []byte // the exact bytes GET /model distributes; read-only
+	Model   *core.Model
+	Version int
+	ETag    string // strong ETag over Blob, quoted
+	Blob    []byte // the exact bytes GET /model distributes; read-only
+	// FlatBlob is the compact flat encoding GET /v2/model/flat serves —
+	// the same model in 16-byte-per-node binary form, under the same
+	// ETag (one version, two representations). Nil when the model has
+	// no compilable forest.
+	FlatBlob    []byte
 	PublishedAt time.Time
 }
 
@@ -111,11 +116,15 @@ func (r *Registry) Publish(m *core.Model) (*Snapshot, error) {
 		return nil, err
 	}
 	sum := sha256.Sum256(blob)
+	// Best-effort: a model without a forest (possible in tests) still
+	// publishes, it just serves no flat representation.
+	flatBlob, _ := clone.EncodeCompact()
 	snap := &Snapshot{
 		Model:       clone,
 		Version:     version,
 		ETag:        `"` + hex.EncodeToString(sum[:8]) + `"`,
 		Blob:        blob,
+		FlatBlob:    flatBlob,
 		PublishedAt: clone.TrainedAt,
 	}
 	r.history = append(r.history, snap)

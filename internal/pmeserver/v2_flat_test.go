@@ -1,0 +1,114 @@
+package pmeserver
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"yourandvalue/internal/core"
+)
+
+func TestV2FlatModelFetch(t *testing.T) {
+	srv, err := New(testModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	jm, jsonETag, err := client.FetchModelV2(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, flatETag, err := client.FetchModelFlatV2(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One version, two representations: the ETag must be shared.
+	if flatETag != jsonETag {
+		t.Errorf("flat etag %q != json etag %q", flatETag, jsonETag)
+	}
+	if fm.Version != jm.Version {
+		t.Errorf("flat version %d != json version %d", fm.Version, jm.Version)
+	}
+
+	// Both decoded models must estimate bit-identically.
+	ctxs := []core.StringContext{
+		{ADX: "DoubleClick", City: "Madrid", OS: "Android", Origin: "app", Slot: "300x250", Hour: 14, Weekday: 2},
+		{ADX: "MoPub", City: "Berlin", Origin: "web", Hour: 9, Weekday: 5},
+		{ADX: "Rubicon", Hour: 0, Weekday: 0},
+	}
+	for i, sc := range ctxs {
+		want := jm.EstimateCPM(jm.Features.FromStrings(sc))
+		got := fm.EstimateCPM(fm.Features.FromStrings(sc))
+		if got != want {
+			t.Errorf("ctx %d: flat model %v, json model %v", i, got, want)
+		}
+	}
+
+	// Conditional refetch: matching ETag answers 304.
+	if _, _, err := client.FetchModelFlatV2(ctx, flatETag); !errors.Is(err, ErrNotModified) {
+		t.Errorf("matching etag: %v, want ErrNotModified", err)
+	}
+
+	// Raw transport checks: binary content type, shared ETag header.
+	resp, err := http.Get(ts.URL + "/v2/model/flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content type %q", ct)
+	}
+	if et := resp.Header.Get("ETag"); et != jsonETag {
+		t.Errorf("raw etag %q, want %q", et, jsonETag)
+	}
+}
+
+func TestV2FlatModelErrors(t *testing.T) {
+	// No model at all → the shared no_model error.
+	srv, _ := New(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, _, err := NewClient(ts.URL).FetchModelFlatV2(context.Background(), "")
+	if err == nil || !strings.Contains(err.Error(), "no_model") {
+		t.Errorf("no published model: %v, want no_model", err)
+	}
+
+	// A published model without a forest has no flat representation.
+	forestless := &core.Model{
+		Version:  1,
+		Features: &core.SFeatures{Names: []string{"f0"}},
+	}
+	if err := srv.SetModel(forestless); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = NewClient(ts.URL).FetchModelFlatV2(context.Background(), "")
+	if err == nil || !strings.Contains(err.Error(), "no_flat_model") {
+		t.Errorf("forest-less model: %v, want no_flat_model", err)
+	}
+	// The JSON route still serves it.
+	resp, err := http.Get(ts.URL + "/v2/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/v2/model status %d for forest-less model", resp.StatusCode)
+	}
+
+	// Method discipline.
+	resp, err = http.Post(ts.URL+"/v2/model/flat", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status %d", resp.StatusCode)
+	}
+}
