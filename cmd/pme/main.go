@@ -13,17 +13,26 @@
 // timings, model lifecycle, retrain loop, per-route request series —
 // flows through one obs registry scraped at GET /metrics.
 //
+// With -store the process becomes one replica of a fleet: model
+// lineage, the contribution pool, and the retrainer-singleton lease
+// live in the shared store (redis://host:port, or mem:// for one-process
+// testing). Exactly one replica wins the bootstrap lease and trains;
+// the others adopt the published model through the store's hot-swap
+// notifications and /readyz additionally reflects store health.
+//
 // Usage:
 //
 //	pme [-listen :8700] [-scale 0.05] [-per-setup 60] [-seed 1] [-once]
 //	    [-retrain-count 500] [-retrain-interval 30s] [-rate 0] [-burst 256]
+//	    [-store redis://127.0.0.1:6379] [-replica-id pme-1] [-lease-ttl 10s]
 //	    [-pprof] [-trace-spans 0] [-log-requests]
 //
 // With -once the trained model's metrics are printed and the process
-// exits without serving (useful in scripts). -rate enables the token-
-// bucket limiter (requests/second; 0 = unlimited). -pprof mounts
-// net/http/pprof under /debug/pprof/. -trace-spans > 0 records that
-// many server-side request spans, served at GET /debug/trace.
+// exits without serving (useful in scripts; with -store it seeds the
+// shared store). -rate enables the token-bucket limiter (requests/
+// second; 0 = unlimited). -pprof mounts net/http/pprof under
+// /debug/pprof/. -trace-spans > 0 records that many server-side request
+// spans, served at GET /debug/trace.
 package main
 
 import (
@@ -39,10 +48,16 @@ import (
 	"time"
 
 	"yourandvalue"
+	"yourandvalue/internal/core"
 	"yourandvalue/internal/obs"
 	"yourandvalue/internal/obs/trace"
 	"yourandvalue/internal/pme"
 	"yourandvalue/internal/pmeserver"
+	"yourandvalue/internal/store"
+
+	// Store backends register their URL schemes on import.
+	_ "yourandvalue/internal/store/memstore"
+	_ "yourandvalue/internal/store/redisstore"
 )
 
 func main() {
@@ -55,6 +70,9 @@ func main() {
 	retrainEvery := flag.Duration("retrain-interval", 30*time.Second, "how often the retrain trigger is checked")
 	rate := flag.Float64("rate", 0, "token-bucket request rate limit in req/s (0 = unlimited)")
 	burst := flag.Int("burst", 256, "token-bucket burst capacity")
+	storeURL := flag.String("store", "", "shared persistence store URL (redis://host:port or mem://); empty = single-process in-memory")
+	replicaID := flag.String("replica-id", "", "stable replica identity for fleet leases and logs (default: random)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "fleet retrain-lease TTL (renewed at a third of it)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	traceSpans := flag.Int("trace-spans", 0, "record up to this many server-side request spans (0 = off); GET /debug/trace exports them")
 	logRequests := flag.Bool("log-requests", false, "log one structured line per request (with trace IDs)")
@@ -67,18 +85,43 @@ func main() {
 
 	// The registry is the hand-off point between training and serving:
 	// the pipeline publishes into it, the server serves from it, and the
-	// retrain loop hot-swaps new versions through it. The obs registry is
-	// the telemetry counterpart — pipeline, server, and retrainer all
-	// report through it onto one /metrics scrape.
+	// retrain loop hot-swaps new versions through it. In fleet mode the
+	// registry becomes a read-through cache of the shared store, fed by
+	// the replica's watch loop. The obs registry is the telemetry
+	// counterpart — pipeline, server, store, and retrainer all report
+	// through it onto one /metrics scrape.
 	registry := pme.NewRegistry()
 	telemetry := obs.NewRegistry()
+
+	fleet := *storeURL != ""
+	var replica *pme.Replica
+	publishOpt := yourandvalue.WithModelRegistry(registry)
+	if fleet {
+		raw, err := store.Open(*storeURL)
+		exitOn(err)
+		st := store.Instrumented(raw, telemetry)
+		defer st.Close()
+		ropts := []pme.ReplicaOption{
+			pme.WithLeaseTTL(*leaseTTL),
+			pme.WithReplicaLog(func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			}),
+		}
+		if *replicaID != "" {
+			ropts = append(ropts, pme.WithReplicaID(*replicaID))
+		}
+		replica = pme.NewReplica(st, registry, ropts...)
+		pme.InstrumentReplica(telemetry, replica)
+		publishOpt = yourandvalue.WithModelPublisher(replica)
+		logger.Info("fleet mode", "store", st.Name(), "replica", replica.ID(), "lease_ttl", leaseTTL.String())
+	}
 
 	pipe, err := yourandvalue.NewPipeline(
 		yourandvalue.WithScale(*scale),
 		yourandvalue.WithSeed(*seed),
 		yourandvalue.WithCampaignImpressions(*perSetup),
 		yourandvalue.WithCrossValidation(10, 1),
-		yourandvalue.WithModelRegistry(registry),
+		publishOpt,
 		yourandvalue.WithObservability(telemetry),
 		yourandvalue.WithProgress(func(ev yourandvalue.StageEvent) {
 			if ev.State == yourandvalue.StageCompleted {
@@ -96,6 +139,16 @@ func main() {
 		opts := []pmeserver.Option{
 			pmeserver.WithRegistry(registry),
 			pmeserver.WithObsRegistry(telemetry),
+		}
+		if fleet {
+			// Contributions pool in the shared store, and readiness
+			// additionally tracks store health: an unreachable store (or
+			// no version seen yet) reads 503 and recovers without a
+			// restart.
+			opts = append(opts,
+				pmeserver.WithPoolBackend(replica.Pool()),
+				pmeserver.WithReadiness(replica.Ready),
+			)
 		}
 		if *rate > 0 {
 			opts = append(opts, pmeserver.WithRateLimit(*rate, *burst))
@@ -116,49 +169,72 @@ func main() {
 		exitOn(err)
 		hs = &http.Server{Handler: srv.Handler()}
 		go func() { _ = hs.Serve(ln) }()
-		logger.Info("listening (not ready until the model is trained)",
+		logger.Info("listening (not ready until a model is published)",
 			"addr", ln.Addr().String(), "metrics", "/metrics", "ready", "/readyz")
 	}
 
 	// The model needs campaigns plus the analyzed weblog (its cleartext
 	// 2015 reference drives the §6.2 time-shift coefficient); the cost
 	// stage is not needed to serve, so run the stages individually.
-	tr, err := pipe.GenerateTrace(ctx)
-	exitOn(err)
-	res, err := pipe.Analyze(ctx, tr)
-	exitOn(err)
-	logger.Info("running probing ad-campaigns (A1 encrypted, A2 cleartext, in parallel)")
-	camps, err := pipe.RunCampaigns(ctx, tr)
-	exitOn(err)
-	logger.Info("campaigns done",
-		"a1_records", len(camps.A1.Records), "a1_spent_usd", fmt.Sprintf("%.2f", camps.A1.SpentUSD),
-		"a2_records", len(camps.A2.Records), "a2_spent_usd", fmt.Sprintf("%.2f", camps.A2.SpentUSD))
-	model, err := pipe.TrainModel(ctx, res, camps) // publishes into the registry → /readyz flips
-	exitOn(err)
+	runPipeline := func(pctx context.Context) (*core.Model, error) {
+		tr, err := pipe.GenerateTrace(pctx)
+		if err != nil {
+			return nil, err
+		}
+		res, err := pipe.Analyze(pctx, tr)
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("running probing ad-campaigns (A1 encrypted, A2 cleartext, in parallel)")
+		camps, err := pipe.RunCampaigns(pctx, tr)
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("campaigns done",
+			"a1_records", len(camps.A1.Records), "a1_spent_usd", fmt.Sprintf("%.2f", camps.A1.SpentUSD),
+			"a2_records", len(camps.A2.Records), "a2_spent_usd", fmt.Sprintf("%.2f", camps.A2.SpentUSD))
+		return pipe.TrainModel(pctx, res, camps) // publishes → /readyz flips
+	}
 
-	m := model.Metrics
-	fmt.Printf("model trained: %d classes, %d records (published as version %d)\n",
-		m.Classes, m.TrainSize, model.Version)
-	fmt.Printf("  accuracy  %.1f%%   (paper 82.9%%)\n", 100*m.Accuracy)
-	fmt.Printf("  FP rate   %.1f%%   (paper 6.8%%)\n", 100*m.FPRate)
-	fmt.Printf("  precision %.1f%%   (paper 83.5%%)\n", 100*m.Precision)
-	fmt.Printf("  AUC-ROC   %.3f   (paper 0.964)\n", m.AUCROC)
-	fmt.Printf("  time-shift coefficient %.3f\n", model.TimeShift)
+	if fleet {
+		replica.Start(ctx) // watch the store: adopt published versions
+		exitOn(bootstrapFleet(ctx, replica, logger, runPipeline))
+		if snap := replica.Current(); snap != nil {
+			printModel(snap.Model)
+		}
+	} else {
+		model, err := runPipeline(ctx)
+		exitOn(err)
+		printModel(model)
+	}
 	if *once {
 		return
 	}
 
 	// Close the crowdsourcing loop: drain contributions into retraining.
-	retrainer := pme.NewRetrainer(registry, srv.Pool(), pme.RetrainConfig{
+	// In fleet mode the retrainer runs only while this replica holds the
+	// store's lease, so exactly one replica trains at a time and a
+	// deposed holder's late publish is fenced out by the store.
+	cfg := pme.RetrainConfig{
 		MinSamples: *retrainCount,
 		Interval:   *retrainEvery,
 		Seed:       *seed + 100,
-	})
-	retrainer.Log = func(format string, args ...any) {
-		logger.Info(fmt.Sprintf(format, args...))
 	}
-	pme.InstrumentRetrainer(telemetry, retrainer)
-	go func() { _ = retrainer.Run(ctx) }()
+	if fleet {
+		retrainer := pme.NewRetrainerWith(replica, replica.Pool(), cfg)
+		retrainer.Log = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
+		pme.InstrumentRetrainer(telemetry, retrainer)
+		go func() { _ = replica.RunWithLease(ctx, retrainer.Run) }()
+	} else {
+		retrainer := pme.NewRetrainerWith(registry, srv.Pool(), cfg)
+		retrainer.Log = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
+		pme.InstrumentRetrainer(telemetry, retrainer)
+		go func() { _ = retrainer.Run(ctx) }()
+	}
 
 	logger.Info("serving model",
 		"addr", *listen,
@@ -171,9 +247,63 @@ func main() {
 	}
 }
 
+// errBootstrapDone ends the lease loop once a model is available.
+var errBootstrapDone = errors.New("bootstrap complete")
+
+// bootstrapFleet makes sure a model exists in the store: adopt one if a
+// peer already published it, otherwise race for the lease — the winner
+// runs the training pipeline (publishing through the replica, fenced),
+// the losers keep cycling until the watch loop adopts the result. The
+// expensive bootstrap runs at most once per fleet, not once per
+// replica.
+func bootstrapFleet(ctx context.Context, replica *pme.Replica, logger *slog.Logger, train func(context.Context) (*core.Model, error)) error {
+	if err := replica.SyncOnce(ctx); err == nil && replica.Current() != nil {
+		logger.Info("adopted existing fleet model, skipping bootstrap training",
+			"version", replica.Current().Version, "etag", replica.Current().ETag)
+		return nil
+	}
+	err := replica.RunWithLease(ctx, func(lctx context.Context) error {
+		// Double-check under the lease: a peer may have finished while
+		// this replica waited to acquire.
+		_ = replica.SyncOnce(lctx)
+		if replica.Current() != nil {
+			return errBootstrapDone
+		}
+		logger.Info("won the bootstrap lease, training the initial model", "replica", replica.ID())
+		if _, err := train(lctx); err != nil {
+			return err
+		}
+		return errBootstrapDone
+	})
+	if err != nil && !errors.Is(err, errBootstrapDone) {
+		return err
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	// Not the trainer: wait for the watch loop to adopt the winner's
+	// publish (RunWithLease returned because fn saw a model, so this is
+	// immediate in practice).
+	for replica.Current() == nil && ctx.Err() == nil {
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil
+}
+
 func exitOn(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		fmt.Fprintln(os.Stderr, "pme:", err)
 		os.Exit(1)
 	}
+}
+
+func printModel(model *core.Model) {
+	m := model.Metrics
+	fmt.Printf("model trained: %d classes, %d records (published as version %d)\n",
+		m.Classes, m.TrainSize, model.Version)
+	fmt.Printf("  accuracy  %.1f%%   (paper 82.9%%)\n", 100*m.Accuracy)
+	fmt.Printf("  FP rate   %.1f%%   (paper 6.8%%)\n", 100*m.FPRate)
+	fmt.Printf("  precision %.1f%%   (paper 83.5%%)\n", 100*m.Precision)
+	fmt.Printf("  AUC-ROC   %.3f   (paper 0.964)\n", m.AUCROC)
+	fmt.Printf("  time-shift coefficient %.3f\n", model.TimeShift)
 }

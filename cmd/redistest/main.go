@@ -1,0 +1,43 @@
+// Command redistest serves the in-process mini RESP2 server on a TCP
+// listener — the hermetic stand-in for a real Redis that the fleet
+// smoke tests and local multi-replica experiments point their
+// -store redis:// URLs at. It implements exactly the command subset the
+// redisstore backend uses (strings, lists, SET NX PX leases, pub/sub)
+// with no persistence and no external dependencies.
+//
+// Usage:
+//
+//	redistest [-listen 127.0.0.1:6379]
+//
+// The resolved store URL is printed on stdout once the listener is
+// bound, so scripts can capture it:
+//
+//	URL=$(redistest -listen 127.0.0.1:0 | head -1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"yourandvalue/internal/store/redistest"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:6379", "TCP listen address (port 0 picks a free port)")
+	flag.Parse()
+
+	srv, err := redistest.Serve(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redistest:", err)
+		os.Exit(1)
+	}
+	fmt.Println(srv.URL())
+	fmt.Fprintf(os.Stderr, "redistest: serving RESP2 on %s (ctrl-c to stop)\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}

@@ -36,15 +36,22 @@ import (
 	"strings"
 	"time"
 
+	"yourandvalue/internal/pme"
 	"yourandvalue/internal/pmeserver"
 	"yourandvalue/internal/scaletest"
 	"yourandvalue/internal/scenario"
+	"yourandvalue/internal/store"
+
+	// Store backends register their URL schemes on import.
+	_ "yourandvalue/internal/store/memstore"
+	_ "yourandvalue/internal/store/redisstore"
 )
 
 func main() {
-	addr := flag.String("addr", "", "base URL of a running pmeserver; empty starts one in-process")
+	addr := flag.String("addr", "", "base URL of a running pmeserver (comma-separated list for -strategy fleet); empty starts in-process")
 	strategy := flag.String("strategy", "mixed",
-		"comma-separated workload strategies, or 'all'; one of: "+strings.Join(scaletest.Strategies(), ", "))
+		"comma-separated workload strategies, or 'all'; one of: "+strings.Join(scaletest.Strategies(), ", ")+
+			"; or 'fleet' for the multi-replica consistency/propagation run (see -store, -fleet-replicas)")
 	list := flag.Bool("list", false, "list workload strategies and exit")
 	clients := flag.Int("clients", 16, "fleet size for fixed (non-ramp) runs")
 	duration := flag.Duration("duration", 10*time.Second, "wall-clock cap for fixed runs")
@@ -64,6 +71,10 @@ func main() {
 	sloP99 := flag.Duration("slo-p99", 0, "SLO: per-request p99 ceiling (0 = strategy default)")
 	sloErr := flag.Float64("slo-error-rate", -2, "SLO: error budget as a fraction of requests (0 = none allowed, -1 = unchecked; default: strategy default)")
 	sloHeap := flag.Int64("slo-max-heap", 0, "SLO: peak sampled heap bytes (0 = strategy default)")
+	storeURL := flag.String("store", "", "fleet: shared store URL (redis://host:port or mem://; default mem://) — also enables swap churn against an external fleet")
+	fleetReplicas := flag.Int("fleet-replicas", 2, "fleet: self-hosted replica count when -addr is empty")
+	propBound := flag.Duration("propagation-bound", 5*time.Second, "fleet: publish→replica flip lag ceiling (violation = exit 2)")
+	workload := flag.String("workload", "mixed", "fleet: per-client workload profile driven round-robin across the replicas")
 	out := flag.String("out", "BENCH_scaletest.json", "write the BENCH artifact here ('' = skip)")
 	benchIn := flag.String("bench-in", "", "fold `go test -bench` output from this file into the artifact")
 	traceOut := flag.String("trace-out", "", "write request-level spans as NDJSON to this file")
@@ -79,6 +90,7 @@ func main() {
 		ramp: *ramp, rampTo: *rampTo, stepDur: *stepDur, stepOps: *stepOps,
 		maxOps: *maxOps, batch: *batch, scenario: *scen, scale: *scale,
 		seed: *seed, pool: *pool, swapEvery: *swapEvery,
+		storeURL: *storeURL, fleetReplicas: *fleetReplicas, propBound: *propBound, workload: *workload,
 		sloP99: *sloP99, sloErr: *sloErr, sloHeap: *sloHeap,
 		out: *out, benchIn: *benchIn, traceOut: *traceOut,
 	})
@@ -106,12 +118,18 @@ type options struct {
 	seed      int64
 	pool      int
 	swapEvery time.Duration
-	sloP99    time.Duration
-	sloErr    float64
-	sloHeap   int64
-	out       string
-	benchIn   string
-	traceOut  string
+
+	storeURL      string
+	fleetReplicas int
+	propBound     time.Duration
+	workload      string
+
+	sloP99   time.Duration
+	sloErr   float64
+	sloHeap  int64
+	out      string
+	benchIn  string
+	traceOut string
 }
 
 // strategies expands the -strategy flag.
@@ -172,6 +190,10 @@ func (o options) slo() *scaletest.SLO {
 func run(o options) (int, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if o.strategy == "fleet" {
+		return runFleet(ctx, o)
+	}
 
 	names, err := o.strategies()
 	if err != nil {
@@ -348,4 +370,99 @@ func run(o options) (int, error) {
 		return code, nil
 	}
 	return scaletest.ExitOK, nil
+}
+
+// runFleet is the -strategy fleet path: a client fleet round-robined
+// across N pmeserver replicas on one shared store, with per-replica
+// version watchers asserting forward-only consistency and bounding
+// publish→flip propagation. With -addr empty it self-hosts the replicas
+// (over -store, default one shared in-memory store); against external
+// replicas -store additionally enables swap churn through the store.
+func runFleet(ctx context.Context, o options) (int, error) {
+	addrs := splitAddrs(o.addr)
+	var publisher *pme.Replica
+	if len(addrs) == 0 {
+		host, err := scaletest.StartFleet(o.storeURL, o.fleetReplicas, o.seed)
+		if err != nil {
+			return scaletest.ExitError, err
+		}
+		defer host.Close()
+		addrs = host.Addrs
+		publisher = host.Publisher
+		fmt.Fprintf(os.Stderr, "scaletest: in-process fleet of %d replicas at %s\n",
+			len(addrs), strings.Join(addrs, ", "))
+	} else if o.storeURL != "" {
+		st, err := store.Open(o.storeURL)
+		if err != nil {
+			return scaletest.ExitError, err
+		}
+		defer st.Close()
+		publisher = pme.NewReplica(st, nil, pme.WithReplicaID("scaletest-publisher"))
+		if err := publisher.SyncOnce(ctx); err != nil || publisher.Current() == nil {
+			fmt.Fprintf(os.Stderr, "scaletest: store at %s has no model yet; running without swap churn\n", o.storeURL)
+			publisher = nil
+		}
+	}
+
+	res, err := scaletest.RunFleet(ctx, scaletest.FleetConfig{
+		Addrs:            addrs,
+		Clients:          o.clients,
+		Strategy:         o.workload,
+		Scenario:         o.scenario,
+		Scale:            o.scale,
+		Seed:             o.seed,
+		BatchSize:        o.batch,
+		Duration:         o.duration,
+		MaxOps:           o.maxOps,
+		SLO:              o.slo(),
+		Publisher:        publisher,
+		SwapEvery:        o.swapEvery,
+		PropagationBound: o.propBound,
+	})
+	if err != nil {
+		return scaletest.ExitError, err
+	}
+	fmt.Print(res.String())
+
+	artifact := scaletest.NewArtifact()
+	artifact.AddFleet(res)
+	if res.Result != nil {
+		artifact.AddResult(res.Result)
+	}
+	// Every replica's post-run /metrics lands in the artifact — the fleet
+	// series (lease, adoptions, propagation, store ops) live there.
+	for _, addr := range addrs {
+		if fams, err := scaletest.ScrapeMetrics(ctx, addr); err != nil {
+			fmt.Fprintf(os.Stderr, "scaletest: /metrics scrape of %s skipped: %v\n", addr, err)
+		} else {
+			artifact.ServerMetrics = append(artifact.ServerMetrics, fams...)
+		}
+	}
+	if o.out != "" {
+		if err := artifact.WriteFile(o.out); err != nil {
+			return scaletest.ExitError, err
+		}
+		fmt.Fprintf(os.Stderr, "scaletest: wrote %s\n", o.out)
+	}
+
+	if !res.OK() {
+		fmt.Fprintf(os.Stderr, "scaletest: fleet invariants violated (violations=%d laggards=%d max-propagation=%s bound=%s)\n",
+			res.ConsistencyViolations, len(res.LaggardReplicas), res.MaxPropagation, res.PropagationBound)
+		if res.Result != nil && !res.Result.SLO.OK() {
+			fmt.Fprintf(os.Stderr, "scaletest: %s\n", res.Result.SLO)
+		}
+		return scaletest.ExitSLOViolation, nil
+	}
+	return scaletest.ExitOK, nil
+}
+
+// splitAddrs expands the comma-separated -addr list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

@@ -133,7 +133,7 @@ func main() {
 
 	// --- Close the loop: retrain on the pooled contributions and watch
 	// the client observe the hot-swap. ---
-	retrainer := pme.NewRetrainer(registry, srv.Pool(), pme.RetrainConfig{
+	retrainer := pme.NewRetrainerWith(registry, srv.Pool(), pme.RetrainConfig{
 		MinSamples: 50, // one user's year of cleartext traffic suffices here
 		ForestSize: 10,
 		Seed:       42,

@@ -1,0 +1,49 @@
+package pme
+
+import "yourandvalue/internal/core"
+
+// ModelSource abstracts where models come from and go to: the local
+// *Registry (single-binary deployment, exactly the pre-fleet behavior)
+// or a *Replica (fleet deployment — publishes land in the shared store
+// first, then flow back into every replica's local registry). The
+// retrainer and the boot pipeline publish through this interface so
+// they are deployment-agnostic.
+type ModelSource interface {
+	// Current returns the serving snapshot, or nil before the first
+	// publish. Must be cheap — it sits on the estimation path.
+	Current() *Snapshot
+	// Publish makes m the next model version and returns its snapshot.
+	Publish(m *core.Model) (*Snapshot, error)
+}
+
+// PoolBackend abstracts where contributions pool: in-process (*Pool) or
+// the fleet's shared store (*StorePool). The service core and the
+// retrainer only speak this interface.
+type PoolBackend interface {
+	// Add validates and pools batch, reporting accepted/dropped/invalid.
+	Add(batch []Contribution) (accepted, dropped, invalid int)
+	// Len is the current occupancy; TrainableLen counts pooled entries
+	// with a usable cleartext label (the retrain trigger's cheap check).
+	Len() int
+	TrainableLen() int
+	// Max/SetMax expose the capacity bound.
+	Max() int
+	SetMax(n int)
+	// Drain transfers every pooled entry to the caller; Restore is the
+	// retrain loop's undo, returning entries to the front of the pool.
+	Drain() []Contribution
+	Restore(batch []Contribution)
+	// Snapshot returns a detached copy of the pooled entries.
+	Snapshot() []Contribution
+	// Lifetime accounting for dashboards.
+	Accepted() int64
+	Dropped() int64
+	Drained() int64
+}
+
+var (
+	_ ModelSource = (*Registry)(nil)
+	_ ModelSource = (*Replica)(nil)
+	_ PoolBackend = (*Pool)(nil)
+	_ PoolBackend = (*StorePool)(nil)
+)

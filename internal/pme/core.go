@@ -15,12 +15,13 @@ const DefaultMaxBatch = 4096
 // concurrent use.
 type Core struct {
 	registry *Registry
-	pool     *Pool
+	pool     PoolBackend
 	maxBatch int
 }
 
-// NewCore builds the service over a registry and a contribution pool.
-func NewCore(reg *Registry, pool *Pool) *Core {
+// NewCore builds the service over a registry and a contribution pool
+// backend (nil selects an in-process pool with the default bound).
+func NewCore(reg *Registry, pool PoolBackend) *Core {
 	if reg == nil {
 		reg = NewRegistry()
 	}
@@ -41,8 +42,8 @@ func (c *Core) SetMaxBatch(n int) {
 // Registry exposes the model lineage for publish/rollback wiring.
 func (c *Core) Registry() *Registry { return c.registry }
 
-// Pool exposes the contribution pool for retrain-loop wiring.
-func (c *Core) Pool() *Pool { return c.pool }
+// Pool exposes the contribution pool backend for retrain-loop wiring.
+func (c *Core) Pool() PoolBackend { return c.pool }
 
 // ModelSnapshot implements Service.
 func (c *Core) ModelSnapshot(ctx context.Context) (*Snapshot, error) {

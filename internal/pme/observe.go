@@ -21,7 +21,7 @@ import (
 //	pme_pool_accepted_total       counter  lifetime accepted contributions
 //	pme_pool_dropped_total        counter  lifetime at-capacity rejections
 //	pme_pool_drained_total        counter  lifetime entries consumed by Drain
-func Instrument(r *obs.Registry, reg *Registry, pool *Pool) {
+func Instrument(r *obs.Registry, reg *Registry, pool PoolBackend) {
 	if r == nil {
 		return
 	}
@@ -99,4 +99,30 @@ func InstrumentRetrainer(r *obs.Registry, rt *Retrainer) {
 		func() float64 { return float64(rt.Failures()) })
 	r.HistogramFunc("pme_retrain_duration_seconds", "Wall time of retrain training runs.", nil,
 		rt.TrainDurations)
+}
+
+// InstrumentReplica registers the fleet-replica series on an obs
+// registry:
+//
+//	pme_store_retries_total       counter    transient store-op retries (model fetch, pool ops, publish)
+//	pme_fleet_lease_held          gauge      1 while this replica holds the retrain lease
+//	pme_fleet_adoptions_total     counter    remotely published versions adopted locally
+//	pme_swap_propagation_seconds  histogram  publish → local registry flip lag for remote publishes
+func InstrumentReplica(r *obs.Registry, rep *Replica) {
+	if r == nil || rep == nil {
+		return
+	}
+	r.CounterFunc("pme_store_retries_total", "Transient persistence-store operation retries.", nil,
+		func() float64 { return float64(rep.Retries()) })
+	r.GaugeFunc("pme_fleet_lease_held", "Whether this replica currently holds the fleet retrain lease.", nil,
+		func() float64 {
+			if rep.LeaseHeld() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("pme_fleet_adoptions_total", "Remotely published model versions adopted by this replica.", nil,
+		func() float64 { return float64(rep.Adoptions()) })
+	r.HistogramFunc("pme_swap_propagation_seconds", "Lag between a fleet publish and this replica's local hot-swap.", nil,
+		rep.PropagationDurations)
 }

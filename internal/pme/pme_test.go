@@ -161,7 +161,7 @@ func TestPoolAccountingAndDeepCopy(t *testing.T) {
 		t.Error("post-drain Add overwrote the drained slice")
 	}
 
-	p.restore(drained)
+	p.Restore(drained)
 	if p.Len() != 4 {
 		t.Errorf("restore left pool at %d, want 4", p.Len())
 	}

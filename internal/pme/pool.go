@@ -135,11 +135,11 @@ func (p *Pool) Drain() []Contribution {
 	return out
 }
 
-// restore puts drained entries back at the front of the pool — the
+// Restore puts drained entries back at the front of the pool — the
 // retrain loop's undo when a drained batch turns out to be untrainable.
 // Entries re-enter without re-validation or accounting and may
 // transiently exceed the bound (they were within it when accepted).
-func (p *Pool) restore(batch []Contribution) {
+func (p *Pool) Restore(batch []Contribution) {
 	if len(batch) == 0 {
 		return
 	}

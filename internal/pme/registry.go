@@ -110,7 +110,20 @@ func (r *Registry) Publish(m *core.Model) (*Snapshot, error) {
 	} else if m.Version > 0 {
 		version = m.Version
 	}
-	clone := m.CloneWithVersion(version, r.now())
+	snap, err := makeSnapshot(m, version, r.now())
+	if err != nil {
+		return nil, err
+	}
+	r.installLocked(snap)
+	return snap, nil
+}
+
+// makeSnapshot clones m stamped with version/at and builds the full
+// immutable snapshot: canonical JSON blob, strong ETag, and best-effort
+// compact flat blob. Shared by the local publish path and the fleet
+// replica (which allocates versions from the store instead of locally).
+func makeSnapshot(m *core.Model, version int, at time.Time) (*Snapshot, error) {
+	clone := m.CloneWithVersion(version, at)
 	blob, err := clone.Encode()
 	if err != nil {
 		return nil, err
@@ -119,21 +132,44 @@ func (r *Registry) Publish(m *core.Model) (*Snapshot, error) {
 	// Best-effort: a model without a forest (possible in tests) still
 	// publishes, it just serves no flat representation.
 	flatBlob, _ := clone.EncodeCompact()
-	snap := &Snapshot{
+	return &Snapshot{
 		Model:       clone,
 		Version:     version,
 		ETag:        `"` + hex.EncodeToString(sum[:8]) + `"`,
 		Blob:        blob,
 		FlatBlob:    flatBlob,
 		PublishedAt: clone.TrainedAt,
-	}
+	}, nil
+}
+
+// installLocked hot-swaps snap in as the serving snapshot and appends
+// it to the bounded history. Callers must hold mu.
+func (r *Registry) installLocked(snap *Snapshot) {
 	r.history = append(r.history, snap)
 	if len(r.history) > r.maxHistory {
 		r.history = append(r.history[:0], r.history[len(r.history)-r.maxHistory:]...)
 	}
 	r.cur.Store(snap)
 	r.publishes.Add(1)
-	return snap, nil
+}
+
+// Adopt installs an externally published snapshot (one a fleet replica
+// fetched from the shared store) as the serving model. Adoption is
+// strictly monotonic: a snapshot whose version is not ahead of the
+// current one is ignored and false is returned — so a served ETag never
+// regresses on this replica no matter how reordered or duplicated the
+// notifications that triggered the fetch were.
+func (r *Registry) Adopt(snap *Snapshot) bool {
+	if snap == nil || snap.Model == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur := r.cur.Load(); cur != nil && snap.Version <= cur.Version {
+		return false
+	}
+	r.installLocked(snap)
+	return true
 }
 
 // Publishes returns the lifetime count of hot-swaps (every Publish,

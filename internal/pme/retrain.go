@@ -65,9 +65,9 @@ var ErrNotEnoughSamples = errors.New("pme: not enough trainable contributions to
 // serving paths: training happens off to the side and lands through the
 // registry's atomic hot-swap.
 type Retrainer struct {
-	registry *Registry
-	pool     *Pool
-	cfg      RetrainConfig
+	src  ModelSource
+	pool PoolBackend
+	cfg  RetrainConfig
 	// Log, when set, receives one line per loop decision.
 	Log func(format string, args ...any)
 
@@ -77,9 +77,17 @@ type Retrainer struct {
 	durations hist.Sync    // wall time of actual training runs
 }
 
-// NewRetrainer wires a retrain loop over a registry and pool.
+// NewRetrainer wires a retrain loop over a local registry and pool —
+// the single-binary deployment.
 func NewRetrainer(reg *Registry, pool *Pool, cfg RetrainConfig) *Retrainer {
-	return &Retrainer{registry: reg, pool: pool, cfg: cfg.withDefaults()}
+	return NewRetrainerWith(reg, pool, cfg)
+}
+
+// NewRetrainerWith wires a retrain loop over any model source and pool
+// backend — a fleet replica publishing through the shared store uses
+// this with (*Replica, *StorePool).
+func NewRetrainerWith(src ModelSource, pool PoolBackend, cfg RetrainConfig) *Retrainer {
+	return &Retrainer{src: src, pool: pool, cfg: cfg.withDefaults()}
 }
 
 // Retrains returns how many model versions this retrainer has published.
@@ -137,7 +145,7 @@ func (r *Retrainer) Run(ctx context.Context) error {
 // loop behind a bound that never clears. On failure only the trainable
 // samples return to the pool.
 func (r *Retrainer) RetrainOnce(ctx context.Context) (*Snapshot, error) {
-	base := r.registry.Current()
+	base := r.src.Current()
 	if base == nil {
 		return nil, ErrNoModel
 	}
@@ -153,7 +161,7 @@ func (r *Retrainer) RetrainOnce(ctx context.Context) (*Snapshot, error) {
 		}
 	}
 	if len(trainable) < r.cfg.MinSamples {
-		r.pool.restore(trainable)
+		r.pool.Restore(trainable)
 		return nil, ErrNotEnoughSamples
 	}
 	r.attempts.Add(1)
@@ -162,7 +170,7 @@ func (r *Retrainer) RetrainOnce(ctx context.Context) (*Snapshot, error) {
 	r.durations.Record(time.Since(start))
 	if err != nil {
 		r.failures.Add(1)
-		r.pool.restore(trainable)
+		r.pool.Restore(trainable)
 		return nil, err
 	}
 	r.retrains.Add(1)
@@ -212,7 +220,7 @@ func (r *Retrainer) train(ctx context.Context, base *Snapshot, trainable []Contr
 		Classes:   binner.Classes(),
 		TrainSize: len(X),
 	}
-	return r.registry.Publish(next)
+	return r.src.Publish(next)
 }
 
 // logf writes one loop decision line when a logger is attached.

@@ -1,0 +1,95 @@
+package pme
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"yourandvalue/internal/store"
+)
+
+// RetryPolicy is capped exponential backoff with jitter for transient
+// store errors on the replica read/append path. Semantic store errors
+// (ErrNoModel, ErrStalePublish, ErrLeaseLost, context cancellation) are
+// never retried — retrying those can only repeat the answer.
+type RetryPolicy struct {
+	// Attempts bounds total tries, the first included (default 3).
+	Attempts int
+	// Base is the first backoff delay (default 25ms); each retry doubles
+	// it up to Max (default 500ms).
+	Base time.Duration
+	Max  time.Duration
+	// Sleep overrides the waiter (tests). Defaults to a ctx-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// withDefaults resolves zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 25 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 500 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// jitterRand spreads concurrent retriers apart; the global lock is fine
+// at retry frequencies.
+var jitterRand = struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+func jitter() float64 {
+	jitterRand.mu.Lock()
+	defer jitterRand.mu.Unlock()
+	return jitterRand.r.Float64()
+}
+
+// Do runs op, retrying transient failures with backoff. onRetry (may be
+// nil) fires once per retry — the hook pme_store_retries_total hangs
+// off. The last error is returned when attempts are exhausted.
+func (p RetryPolicy) Do(ctx context.Context, onRetry func(), op func() error) error {
+	p = p.withDefaults()
+	delay := p.Base
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			if onRetry != nil {
+				onRetry()
+			}
+			// Full jitter: anywhere in (0.5, 1.5] of the nominal delay.
+			d := time.Duration(float64(delay) * (0.5 + jitter()))
+			if err := p.Sleep(ctx, d); err != nil {
+				return err
+			}
+			delay *= 2
+			if delay > p.Max {
+				delay = p.Max
+			}
+		}
+		if err = op(); err == nil || !store.IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}

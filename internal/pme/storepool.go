@@ -1,0 +1,223 @@
+package pme
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yourandvalue/internal/store"
+)
+
+// storePoolOpTimeout bounds each store round trip made on behalf of the
+// ctx-less PoolBackend interface.
+const storePoolOpTimeout = 10 * time.Second
+
+// StorePool is the fleet-shared PoolBackend: contributions pool in the
+// store (visible to every replica, drained by whichever one holds the
+// retrain lease) instead of process memory. Transient store errors are
+// retried with the replica's backoff policy; a contribution that cannot
+// be persisted after retries is counted as dropped — the contribute
+// path degrades, the estimate path (registry cache) does not.
+type StorePool struct {
+	st      store.Store
+	retry   RetryPolicy
+	onRetry func()
+
+	mu  sync.Mutex
+	max int
+
+	accepted atomic.Int64
+	dropped  atomic.Int64
+	drained  atomic.Int64
+}
+
+// StorePoolOption configures a StorePool.
+type StorePoolOption func(*StorePool)
+
+// WithStorePoolRetry overrides the backoff policy for transient errors.
+func WithStorePoolRetry(p RetryPolicy) StorePoolOption {
+	return func(sp *StorePool) { sp.retry = p }
+}
+
+// withStorePoolRetryHook wires the replica's retry counter.
+func withStorePoolRetryHook(fn func()) StorePoolOption {
+	return func(sp *StorePool) { sp.onRetry = fn }
+}
+
+// NewStorePool builds a pool backend over st bounded at max entries
+// (n <= 0 selects DefaultMaxPool).
+func NewStorePool(st store.Store, max int, opts ...StorePoolOption) *StorePool {
+	if max <= 0 {
+		max = DefaultMaxPool
+	}
+	sp := &StorePool{st: st, max: max}
+	for _, o := range opts {
+		o(sp)
+	}
+	return sp
+}
+
+func (sp *StorePool) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), storePoolOpTimeout)
+}
+
+// Add implements PoolBackend. Validation and trainability are resolved
+// locally; the store only sees opaque payloads plus the trainable bit
+// it needs for the cheap trigger counter.
+func (sp *StorePool) Add(batch []Contribution) (accepted, dropped, invalid int) {
+	entries := make([]store.PoolEntry, 0, len(batch))
+	for i := range batch {
+		if batch[i].Validate() != nil {
+			invalid++
+			continue
+		}
+		payload, err := json.Marshal(&batch[i])
+		if err != nil {
+			invalid++
+			continue
+		}
+		entries = append(entries, store.PoolEntry{Payload: payload, Trainable: batch[i].Trainable()})
+	}
+	if len(entries) == 0 {
+		return 0, 0, invalid
+	}
+	ctx, cancel := sp.ctx()
+	defer cancel()
+	err := sp.retry.Do(ctx, sp.onRetry, func() error {
+		var err error
+		accepted, dropped, err = sp.st.AppendPool(ctx, entries, sp.Max())
+		return err
+	})
+	if err != nil {
+		// The store is unreachable: the batch is lost, and saying so
+		// (dropped) beats pretending it pooled.
+		accepted, dropped = 0, len(entries)
+	}
+	sp.accepted.Add(int64(accepted))
+	sp.dropped.Add(int64(dropped))
+	return accepted, dropped, invalid
+}
+
+// Len implements PoolBackend. Outages read as empty — an unreachable
+// pool cannot trigger a retrain anyway.
+func (sp *StorePool) Len() int {
+	n, _ := sp.lens()
+	return n
+}
+
+// TrainableLen implements PoolBackend.
+func (sp *StorePool) TrainableLen() int {
+	_, t := sp.lens()
+	return t
+}
+
+func (sp *StorePool) lens() (int, int) {
+	ctx, cancel := sp.ctx()
+	defer cancel()
+	var n, t int
+	err := sp.retry.Do(ctx, sp.onRetry, func() error {
+		var err error
+		n, t, err = sp.st.PoolLen(ctx)
+		return err
+	})
+	if err != nil {
+		return 0, 0
+	}
+	return n, t
+}
+
+// Max implements PoolBackend.
+func (sp *StorePool) Max() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.max
+}
+
+// SetMax implements PoolBackend; n <= 0 is ignored.
+func (sp *StorePool) SetMax(n int) {
+	if n <= 0 {
+		return
+	}
+	sp.mu.Lock()
+	sp.max = n
+	sp.mu.Unlock()
+}
+
+// Drain implements PoolBackend. Corrupt payloads (a foreign writer, a
+// truncated value) are skipped rather than wedging the retrain loop.
+func (sp *StorePool) Drain() []Contribution {
+	ctx, cancel := sp.ctx()
+	defer cancel()
+	var entries []store.PoolEntry
+	err := sp.retry.Do(ctx, sp.onRetry, func() error {
+		var err error
+		entries, err = sp.st.DrainPool(ctx)
+		return err
+	})
+	if err != nil {
+		return nil
+	}
+	out := make([]Contribution, 0, len(entries))
+	for _, e := range entries {
+		var c Contribution
+		if json.Unmarshal(e.Payload, &c) == nil {
+			out = append(out, c)
+		}
+	}
+	sp.drained.Add(int64(len(out)))
+	return out
+}
+
+// Restore implements PoolBackend.
+func (sp *StorePool) Restore(batch []Contribution) {
+	if len(batch) == 0 {
+		return
+	}
+	entries := make([]store.PoolEntry, 0, len(batch))
+	for i := range batch {
+		payload, err := json.Marshal(&batch[i])
+		if err != nil {
+			continue
+		}
+		entries = append(entries, store.PoolEntry{Payload: payload, Trainable: batch[i].Trainable()})
+	}
+	ctx, cancel := sp.ctx()
+	defer cancel()
+	_ = sp.retry.Do(ctx, sp.onRetry, func() error {
+		return sp.st.RestorePool(ctx, entries)
+	})
+}
+
+// Snapshot implements PoolBackend.
+func (sp *StorePool) Snapshot() []Contribution {
+	ctx, cancel := sp.ctx()
+	defer cancel()
+	var entries []store.PoolEntry
+	err := sp.retry.Do(ctx, sp.onRetry, func() error {
+		var err error
+		entries, err = sp.st.PeekPool(ctx)
+		return err
+	})
+	if err != nil {
+		return nil
+	}
+	out := make([]Contribution, 0, len(entries))
+	for _, e := range entries {
+		var c Contribution
+		if json.Unmarshal(e.Payload, &c) == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Accepted implements PoolBackend (lifetime, this replica's view).
+func (sp *StorePool) Accepted() int64 { return sp.accepted.Load() }
+
+// Dropped implements PoolBackend (lifetime, this replica's view).
+func (sp *StorePool) Dropped() int64 { return sp.dropped.Load() }
+
+// Drained implements PoolBackend (lifetime, this replica's view).
+func (sp *StorePool) Drained() int64 { return sp.drained.Load() }

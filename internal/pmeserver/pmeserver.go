@@ -16,6 +16,7 @@
 package pmeserver
 
 import (
+	"context"
 	"errors"
 	"log/slog"
 	"net/http"
@@ -42,8 +43,9 @@ type EstimateItem = pme.EstimateItem
 // concurrent use.
 type Server struct {
 	svc      pme.Service
-	registry *pme.Registry // nil when a custom Service is injected
-	pool     *pme.Pool     // nil when a custom Service is injected
+	registry *pme.Registry   // nil when a custom Service is injected
+	pool     pme.PoolBackend // nil when a custom Service is injected
+	ready    func(ctx context.Context) error
 	metrics  *Metrics
 	obs      *obs.Registry
 	tracer   *trace.Tracer // nil = spans off; propagation still works
@@ -128,7 +130,35 @@ func WithRegistry(reg *pme.Registry) Option {
 // WithPool pools contributions into an externally owned pool — the
 // handle a retrain loop drains.
 func WithPool(p *pme.Pool) Option {
-	return func(s *Server) { s.pool = p }
+	return func(s *Server) {
+		if p != nil {
+			s.pool = p
+		}
+	}
+}
+
+// WithPoolBackend pools contributions into any PoolBackend — the fleet
+// deployment passes the replica's store-backed pool so every replica
+// contributes into (and the lease holder retrains from) one shared
+// pool.
+func WithPoolBackend(p pme.PoolBackend) Option {
+	return func(s *Server) {
+		if p != nil {
+			s.pool = p
+		}
+	}
+}
+
+// WithReadiness overrides what GET /readyz checks. The default is
+// model-presence only; a fleet replica installs its store-aware check
+// (unreachable store or never-seen model version → 503, recovering to
+// 200 without a restart when the store returns).
+func WithReadiness(fn func(ctx context.Context) error) Option {
+	return func(s *Server) {
+		if fn != nil {
+			s.ready = fn
+		}
+	}
 }
 
 // WithService replaces the whole service core. The compat accessors
@@ -184,9 +214,9 @@ func (s *Server) Service() pme.Service { return s.svc }
 // custom Service was injected without one).
 func (s *Server) Registry() *pme.Registry { return s.registry }
 
-// Pool returns the contribution pool behind the server (nil when a
-// custom Service was injected without one).
-func (s *Server) Pool() *pme.Pool { return s.pool }
+// Pool returns the contribution pool backend behind the server (nil
+// when a custom Service was injected without one).
+func (s *Server) Pool() pme.PoolBackend { return s.pool }
 
 // SetModel publishes m as the next distributed model version via the
 // registry's atomic hot-swap. The caller's model is never mutated.
@@ -304,7 +334,12 @@ func (s *Server) Handler() http.Handler {
 // 503 before. Liveness stays /healthz — a booting server is alive but
 // not ready.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if _, err := s.svc.ModelSnapshot(r.Context()); err != nil {
+	if s.ready != nil {
+		if err := s.ready(r.Context()); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	} else if _, err := s.svc.ModelSnapshot(r.Context()); err != nil {
 		http.Error(w, "no model published", http.StatusServiceUnavailable)
 		return
 	}

@@ -35,6 +35,7 @@ type Artifact struct {
 
 	Strategies []StrategyResult `json:"strategies,omitempty"`
 	Ramps      []RampReport     `json:"ramps,omitempty"`
+	Fleets     []FleetReport    `json:"fleets,omitempty"`
 	GoBench    []GoBenchResult  `json:"go_bench,omitempty"`
 
 	// ServerMetrics is the server's post-run /metrics exposition in
@@ -132,6 +133,47 @@ func ExportResult(r *Result) StrategyResult {
 	}
 	return out
 }
+
+// FleetReport is one multi-replica fleet run in export form: the
+// consistency/propagation record next to the merged workload numbers.
+type FleetReport struct {
+	Addrs                 []string             `json:"addrs"`
+	Clients               int                  `json:"clients"`
+	Swaps                 int64                `json:"swaps"`
+	ConsistencyViolations int64                `json:"consistency_violations"`
+	PropagationBoundSec   float64              `json:"propagation_bound_sec"`
+	MaxPropagationSec     float64              `json:"max_propagation_sec"`
+	Propagation           *hist.Summary        `json:"propagation,omitempty"`
+	Laggards              []string             `json:"laggards,omitempty"`
+	Replicas              []FleetReplicaResult `json:"replicas"`
+	Workload              *StrategyResult      `json:"workload,omitempty"`
+}
+
+// ExportFleet renders a FleetResult in artifact form.
+func ExportFleet(r *FleetResult) FleetReport {
+	out := FleetReport{
+		Addrs:                 r.Addrs,
+		Swaps:                 r.Swaps,
+		ConsistencyViolations: r.ConsistencyViolations,
+		PropagationBoundSec:   r.PropagationBound.Seconds(),
+		MaxPropagationSec:     r.MaxPropagation.Seconds(),
+		Laggards:              r.LaggardReplicas,
+		Replicas:              r.Replicas,
+	}
+	if r.Propagation.Count() > 0 {
+		s := r.Propagation.Summary()
+		out.Propagation = &s
+	}
+	if r.Result != nil {
+		out.Clients = r.Result.Clients
+		w := ExportResult(r.Result)
+		out.Workload = &w
+	}
+	return out
+}
+
+// AddFleet appends one fleet run.
+func (a *Artifact) AddFleet(r *FleetResult) { a.Fleets = append(a.Fleets, ExportFleet(r)) }
 
 // AddResult appends one load run.
 func (a *Artifact) AddResult(r *Result) { a.Strategies = append(a.Strategies, ExportResult(r)) }

@@ -1,0 +1,128 @@
+package scaletest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"yourandvalue/internal/store/redistest"
+)
+
+// runFleetTest brings up an in-process fleet over the given store URL
+// and runs a short churny fleet check against it, asserting the
+// consistency and propagation invariants the strategy exists to gate.
+func runFleetTest(t *testing.T, storeURL string) {
+	t.Helper()
+	host, err := StartFleet(storeURL, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	res, err := RunFleet(context.Background(), FleetConfig{
+		Addrs:            host.Addrs,
+		Clients:          4,
+		Strategy:         "model-poll",
+		Scale:            0.02,
+		Seed:             11,
+		Duration:         1500 * time.Millisecond,
+		Publisher:        host.Publisher,
+		SwapEvery:        150 * time.Millisecond,
+		WatchEvery:       20 * time.Millisecond,
+		PropagationBound: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if res.ConsistencyViolations != 0 {
+		t.Fatalf("%d version-consistency violations", res.ConsistencyViolations)
+	}
+	if len(res.LaggardReplicas) != 0 {
+		t.Fatalf("laggard replicas: %v", res.LaggardReplicas)
+	}
+	if res.Swaps == 0 {
+		t.Fatal("publisher performed no swaps")
+	}
+	for _, rep := range res.Replicas {
+		if rep.Flips == 0 {
+			t.Fatalf("replica %s observed no version flips across %d swaps", rep.Addr, res.Swaps)
+		}
+		if rep.EndVersion <= rep.StartVersion {
+			t.Fatalf("replica %s version did not advance: %d -> %d", rep.Addr, rep.StartVersion, rep.EndVersion)
+		}
+	}
+	if res.Propagation.Count() == 0 {
+		t.Fatal("no propagation samples recorded")
+	}
+	if res.MaxPropagation > res.PropagationBound {
+		t.Fatalf("propagation %s exceeds bound %s", res.MaxPropagation, res.PropagationBound)
+	}
+	if res.Result == nil || res.Result.Ops == 0 || res.Result.ModelPolls == 0 {
+		t.Fatalf("workload did no polling: %+v", res.Result)
+	}
+	if res.Result.Errors != 0 {
+		t.Fatalf("%d request errors", res.Result.Errors)
+	}
+	if !res.OK() {
+		t.Fatalf("fleet invariants reported as violated: %s", res.String())
+	}
+}
+
+// TestFleetSharedMemStore: two in-process replicas over one shared
+// in-memory store must serve a round-robined fleet with forward-only
+// versions on every replica and bounded swap propagation.
+func TestFleetSharedMemStore(t *testing.T) {
+	runFleetTest(t, "")
+}
+
+// TestFleetOverRedis: the same topology over the RESP2 backend against
+// the in-process redistest server — the hermetic stand-in for the CI
+// fleet smoke job's real multi-process deployment.
+func TestFleetOverRedis(t *testing.T) {
+	srv, err := redistest.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	runFleetTest(t, srv.URL())
+}
+
+// TestFleetMergesWorkloads: the merged result must account for every
+// per-replica group's traffic and the artifact export must carry the
+// fleet record.
+func TestFleetMergesWorkloads(t *testing.T) {
+	host, err := StartFleet("", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	res, err := RunFleet(context.Background(), FleetConfig{
+		Addrs:      host.Addrs,
+		Clients:    2,
+		Strategy:   "estimate-heavy",
+		Scale:      0.02,
+		Seed:       11,
+		BatchSize:  16,
+		Duration:   10 * time.Second,
+		MaxOps:     64,
+		WatchEvery: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.Estimated == 0 {
+		t.Fatalf("merged workload saw no estimates: %+v", res.Result)
+	}
+	if res.Result.Clients != 2 {
+		t.Fatalf("merged clients = %d, want 2", res.Result.Clients)
+	}
+	a := NewArtifact()
+	a.AddFleet(res)
+	if len(a.Fleets) != 1 || len(a.Fleets[0].Replicas) != 2 {
+		t.Fatalf("artifact fleet export malformed: %+v", a.Fleets)
+	}
+	if a.Fleets[0].Workload == nil || a.Fleets[0].Workload.Estimated == 0 {
+		t.Fatalf("artifact fleet workload missing: %+v", a.Fleets[0].Workload)
+	}
+}

@@ -30,18 +30,7 @@ func (s *SelfHost) Close() { s.close() }
 // 127.0.0.1. The extra pmeserver options let callers attach observers
 // (span hooks) or rate limits.
 func StartSelfHost(seed int64, maxPool int, opts ...pmeserver.Option) (*SelfHost, error) {
-	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: seed + 1})
-	cat := weblog.NewCatalog(60, 30)
-	cfg := campaign.A1Config(cat, 25, seed+2)
-	cfg.Setups = cfg.Setups[:36]
-	rep, err := campaign.NewEngine(eco).Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	eng := core.NewPME(seed + 3)
-	eng.ForestSize = 10
-	eng.CVFolds, eng.CVRuns = 5, 1
-	model, err := eng.Train(rep.Records, core.TrainConfig{})
+	model, err := trainSeedModel(seed)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +47,7 @@ func StartSelfHost(seed int64, maxPool int, opts ...pmeserver.Option) (*SelfHost
 	// post-run /metrics scrape. A full pool is the trigger, so short
 	// estimate-only smokes never pay for a retrain they don't exercise.
 	rtCtx, rtCancel := context.WithCancel(context.Background())
-	retrainer := pme.NewRetrainer(srv.Registry(), srv.Pool(), pme.RetrainConfig{
+	retrainer := pme.NewRetrainerWith(srv.Registry(), srv.Pool(), pme.RetrainConfig{
 		MinSamples: srv.Pool().Max(),
 		Interval:   500 * time.Millisecond,
 		Seed:       seed + 4,
@@ -83,6 +72,24 @@ func StartSelfHost(seed int64, maxPool int, opts ...pmeserver.Option) (*SelfHost
 			_ = hs.Shutdown(shCtx)
 		},
 	}, nil
+}
+
+// trainSeedModel trains the small campaign-fit model every self-hosted
+// harness serves: a real forest over real probing-campaign records, but
+// sized for sub-second training.
+func trainSeedModel(seed int64) (*core.Model, error) {
+	eco := rtb.NewEcosystem(rtb.EcosystemConfig{Seed: seed + 1})
+	cat := weblog.NewCatalog(60, 30)
+	cfg := campaign.A1Config(cat, 25, seed+2)
+	cfg.Setups = cfg.Setups[:36]
+	rep, err := campaign.NewEngine(eco).Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewPME(seed + 3)
+	eng.ForestSize = 10
+	eng.CVFolds, eng.CVRuns = 5, 1
+	return eng.Train(rep.Records, core.TrainConfig{})
 }
 
 // StartModelChurn republishes the server's current model every interval

@@ -1,0 +1,416 @@
+// Package memstore is the in-process store backend — the zero-config
+// default that keeps a single pme binary behaving exactly as it did
+// before the persistence backbone existed. Everything lives in one
+// mutex-guarded struct; pub/sub is an in-process channel fan-out, so
+// hot-swap propagation is effectively instant.
+//
+// The package also carries the store test hooks the networked backends
+// cannot offer hermetically: an injected clock (lease expiry without
+// sleeping) and fault injection (every operation fails until healed) so
+// outage/retry behavior is testable in-process.
+package memstore
+
+import (
+	"context"
+	"net/url"
+	"sync"
+	"time"
+
+	"yourandvalue/internal/store"
+)
+
+func init() {
+	store.Register("mem", func(*url.URL) (store.Store, error) { return New(), nil })
+}
+
+// defaultLineage bounds how many published records are retained beyond
+// the latest — mirrors the registry's default rollback history.
+const defaultLineage = 8
+
+// Store is the in-process store.Store implementation. Safe for
+// concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	seq       int
+	latest    *store.ModelRecord
+	lineage   []*store.ModelRecord
+	maxLin    int
+	pool      []store.PoolEntry
+	trainable int
+	leases    map[string]leaseState
+	subs      map[*subscription]struct{}
+	now       func() time.Time
+	fail      error
+	closed    bool
+}
+
+type leaseState struct {
+	owner   string
+	expires time.Time
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithClock injects the time source lease expiry is judged against —
+// the hook lease edge-case tests use to expire a lease mid-retrain or
+// model clock skew without sleeping.
+func WithClock(now func() time.Time) Option {
+	return func(s *Store) {
+		if now != nil {
+			s.now = now
+		}
+	}
+}
+
+// WithLineage bounds how many published records are retained (minimum 1).
+func WithLineage(n int) Option {
+	return func(s *Store) {
+		if n >= 1 {
+			s.maxLin = n
+		}
+	}
+}
+
+// New creates an empty in-process store.
+func New(opts ...Option) *Store {
+	s := &Store{
+		leases: make(map[string]leaseState),
+		subs:   make(map[*subscription]struct{}),
+		now:    time.Now,
+		maxLin: defaultLineage,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// SetFailure makes every subsequent operation fail with err until
+// called again with nil — the outage switch retry/backoff and readiness
+// tests flip. Subscriptions already open keep their channels.
+func (s *Store) SetFailure(err error) {
+	s.mu.Lock()
+	s.fail = err
+	s.mu.Unlock()
+}
+
+// check gates every operation on ctx, injected failure, and closure.
+// Callers must hold mu.
+func (s *Store) check(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.closed {
+		return store.ErrClosed
+	}
+	return s.fail
+}
+
+// Name implements store.Store.
+func (s *Store) Name() string { return "mem" }
+
+// NextVersion implements store.Store.
+func (s *Store) NextVersion(ctx context.Context) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return 0, err
+	}
+	s.seq++
+	return s.seq, nil
+}
+
+// SeedVersion advances the allocator to at least v — the publish path
+// uses it so explicitly versioned records (a pre-trained model keeping
+// its own version) never collide with later allocations.
+func (s *Store) seedVersionLocked(v int) {
+	if v > s.seq {
+		s.seq = v
+	}
+}
+
+// PublishModel implements store.Store.
+func (s *Store) PublishModel(ctx context.Context, rec store.ModelRecord, fence *store.Fence) error {
+	s.mu.Lock()
+	if err := s.check(ctx); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if fence != nil {
+		ls, ok := s.leases[fence.Lease]
+		if !ok || ls.owner != fence.Owner || !s.now().Before(ls.expires) {
+			s.mu.Unlock()
+			return store.ErrLeaseLost
+		}
+	}
+	if s.latest != nil && rec.Version <= s.latest.Version {
+		s.mu.Unlock()
+		return store.ErrStalePublish
+	}
+	cp := rec
+	s.latest = &cp
+	s.seedVersionLocked(rec.Version)
+	s.lineage = append(s.lineage, &cp)
+	if len(s.lineage) > s.maxLin {
+		s.lineage = append(s.lineage[:0], s.lineage[len(s.lineage)-s.maxLin:]...)
+	}
+	notice := store.SwapNotice{Version: cp.Version, ETag: cp.ETag, PublishedAt: cp.PublishedAt}
+	subs := make([]*subscription, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.send(notice)
+	}
+	return nil
+}
+
+// LoadModel implements store.Store.
+func (s *Store) LoadModel(ctx context.Context) (*store.ModelRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	if s.latest == nil {
+		return nil, store.ErrNoModel
+	}
+	cp := *s.latest
+	return &cp, nil
+}
+
+// LatestVersion implements store.Store.
+func (s *Store) LatestVersion(ctx context.Context) (int, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return 0, "", err
+	}
+	if s.latest == nil {
+		return 0, "", store.ErrNoModel
+	}
+	return s.latest.Version, s.latest.ETag, nil
+}
+
+// AppendPool implements store.Store.
+func (s *Store) AppendPool(ctx context.Context, entries []store.PoolEntry, max int) (accepted, dropped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		if max > 0 && len(s.pool) >= max {
+			dropped++
+			continue
+		}
+		s.pool = append(s.pool, e)
+		if e.Trainable {
+			s.trainable++
+		}
+		accepted++
+	}
+	return accepted, dropped, nil
+}
+
+// DrainPool implements store.Store.
+func (s *Store) DrainPool(ctx context.Context) ([]store.PoolEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	out := s.pool
+	s.pool = nil
+	s.trainable = 0
+	return out, nil
+}
+
+// RestorePool implements store.Store.
+func (s *Store) RestorePool(ctx context.Context, entries []store.PoolEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	s.pool = append(append([]store.PoolEntry{}, entries...), s.pool...)
+	for _, e := range entries {
+		if e.Trainable {
+			s.trainable++
+		}
+	}
+	return nil
+}
+
+// PeekPool implements store.Store.
+func (s *Store) PeekPool(ctx context.Context) ([]store.PoolEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	out := make([]store.PoolEntry, len(s.pool))
+	copy(out, s.pool)
+	return out, nil
+}
+
+// PoolLen implements store.Store.
+func (s *Store) PoolLen(ctx context.Context) (int, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return 0, 0, err
+	}
+	return len(s.pool), s.trainable, nil
+}
+
+// AcquireLease implements store.Store.
+func (s *Store) AcquireLease(ctx context.Context, name, owner string, ttl time.Duration) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return false, err
+	}
+	now := s.now()
+	if ls, ok := s.leases[name]; ok && ls.owner != owner && now.Before(ls.expires) {
+		return false, nil
+	}
+	s.leases[name] = leaseState{owner: owner, expires: now.Add(ttl)}
+	return true, nil
+}
+
+// RenewLease implements store.Store.
+func (s *Store) RenewLease(ctx context.Context, name, owner string, ttl time.Duration) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return false, err
+	}
+	now := s.now()
+	ls, ok := s.leases[name]
+	if !ok || ls.owner != owner || !now.Before(ls.expires) {
+		return false, nil
+	}
+	s.leases[name] = leaseState{owner: owner, expires: now.Add(ttl)}
+	return true, nil
+}
+
+// ReleaseLease implements store.Store.
+func (s *Store) ReleaseLease(ctx context.Context, name, owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	if ls, ok := s.leases[name]; ok && ls.owner == owner {
+		delete(s.leases, name)
+	}
+	return nil
+}
+
+// LeaseHolder implements store.Store.
+func (s *Store) LeaseHolder(ctx context.Context, name string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return "", err
+	}
+	ls, ok := s.leases[name]
+	if !ok || !s.now().Before(ls.expires) {
+		return "", nil
+	}
+	return ls.owner, nil
+}
+
+// Ping implements store.Store.
+func (s *Store) Ping(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.check(ctx)
+}
+
+// Close implements store.Store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	subs := make([]*subscription, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subs = make(map[*subscription]struct{})
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.closeChan()
+	}
+	return nil
+}
+
+// SubscribeSwaps implements store.Store.
+func (s *Store) SubscribeSwaps(ctx context.Context) (store.Subscription, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	sub := &subscription{st: s, ch: make(chan store.SwapNotice, 8)}
+	s.subs[sub] = struct{}{}
+	return sub, nil
+}
+
+// subscription is one in-process swap feed. Sends never block the
+// publisher: under backpressure the oldest undelivered notice is
+// displaced, so a slow subscriber always wakes to the newest publish.
+type subscription struct {
+	st     *Store
+	ch     chan store.SwapNotice
+	mu     sync.Mutex
+	closed bool
+}
+
+func (sub *subscription) C() <-chan store.SwapNotice { return sub.ch }
+
+func (sub *subscription) send(n store.SwapNotice) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	for {
+		select {
+		case sub.ch <- n:
+			return
+		default:
+			select {
+			case <-sub.ch: // displace the oldest notice
+			default:
+			}
+		}
+	}
+}
+
+func (sub *subscription) closeChan() {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if !sub.closed {
+		sub.closed = true
+		close(sub.ch)
+	}
+}
+
+// Close implements store.Subscription.
+func (sub *subscription) Close() error {
+	sub.st.mu.Lock()
+	delete(sub.st.subs, sub)
+	sub.st.mu.Unlock()
+	sub.closeChan()
+	return nil
+}

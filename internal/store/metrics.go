@@ -1,0 +1,150 @@
+package store
+
+import (
+	"context"
+	"time"
+
+	"yourandvalue/internal/obs"
+)
+
+// Instrumented decorates a Store with per-operation telemetry on an obs
+// registry:
+//
+//	pme_store_op_seconds{op,backend}  histogram  latency of each store operation
+//	pme_store_errors_total{op}        counter    failed operations (transient and semantic alike)
+//
+// The wrapper times every interface call; the inner backend stays
+// metric-free. Registration is idempotent, so fleets of replicas in one
+// process (tests, self-hosted scaletest) can all wrap the same way.
+func Instrumented(s Store, r *obs.Registry) Store {
+	if r == nil {
+		return s
+	}
+	return &instrumented{inner: s, obs: r}
+}
+
+type instrumented struct {
+	inner Store
+	obs   *obs.Registry
+}
+
+// observe records one finished operation.
+func (m *instrumented) observe(op string, start time.Time, err error) {
+	m.obs.Histogram("pme_store_op_seconds",
+		"Latency of persistence-store operations.",
+		obs.Labels{"op": op, "backend": m.inner.Name()}).Observe(time.Since(start))
+	if err != nil {
+		m.obs.Counter("pme_store_errors_total",
+			"Failed persistence-store operations.",
+			obs.Labels{"op": op}).Inc()
+	}
+}
+
+func (m *instrumented) Name() string { return m.inner.Name() }
+
+func (m *instrumented) NextVersion(ctx context.Context) (int, error) {
+	start := time.Now()
+	v, err := m.inner.NextVersion(ctx)
+	m.observe("next_version", start, err)
+	return v, err
+}
+
+func (m *instrumented) PublishModel(ctx context.Context, rec ModelRecord, fence *Fence) error {
+	start := time.Now()
+	err := m.inner.PublishModel(ctx, rec, fence)
+	m.observe("publish", start, err)
+	return err
+}
+
+func (m *instrumented) LoadModel(ctx context.Context) (*ModelRecord, error) {
+	start := time.Now()
+	rec, err := m.inner.LoadModel(ctx)
+	m.observe("load", start, err)
+	return rec, err
+}
+
+func (m *instrumented) LatestVersion(ctx context.Context) (int, string, error) {
+	start := time.Now()
+	v, etag, err := m.inner.LatestVersion(ctx)
+	m.observe("latest", start, err)
+	return v, etag, err
+}
+
+func (m *instrumented) AppendPool(ctx context.Context, entries []PoolEntry, max int) (int, int, error) {
+	start := time.Now()
+	a, d, err := m.inner.AppendPool(ctx, entries, max)
+	m.observe("append", start, err)
+	return a, d, err
+}
+
+func (m *instrumented) DrainPool(ctx context.Context) ([]PoolEntry, error) {
+	start := time.Now()
+	out, err := m.inner.DrainPool(ctx)
+	m.observe("drain", start, err)
+	return out, err
+}
+
+func (m *instrumented) RestorePool(ctx context.Context, entries []PoolEntry) error {
+	start := time.Now()
+	err := m.inner.RestorePool(ctx, entries)
+	m.observe("restore", start, err)
+	return err
+}
+
+func (m *instrumented) PeekPool(ctx context.Context) ([]PoolEntry, error) {
+	start := time.Now()
+	out, err := m.inner.PeekPool(ctx)
+	m.observe("peek", start, err)
+	return out, err
+}
+
+func (m *instrumented) PoolLen(ctx context.Context) (int, int, error) {
+	start := time.Now()
+	n, t, err := m.inner.PoolLen(ctx)
+	m.observe("pool_len", start, err)
+	return n, t, err
+}
+
+func (m *instrumented) SubscribeSwaps(ctx context.Context) (Subscription, error) {
+	start := time.Now()
+	sub, err := m.inner.SubscribeSwaps(ctx)
+	m.observe("subscribe", start, err)
+	return sub, err
+}
+
+func (m *instrumented) AcquireLease(ctx context.Context, name, owner string, ttl time.Duration) (bool, error) {
+	start := time.Now()
+	ok, err := m.inner.AcquireLease(ctx, name, owner, ttl)
+	m.observe("lease_acquire", start, err)
+	return ok, err
+}
+
+func (m *instrumented) RenewLease(ctx context.Context, name, owner string, ttl time.Duration) (bool, error) {
+	start := time.Now()
+	ok, err := m.inner.RenewLease(ctx, name, owner, ttl)
+	m.observe("lease_renew", start, err)
+	return ok, err
+}
+
+func (m *instrumented) ReleaseLease(ctx context.Context, name, owner string) error {
+	start := time.Now()
+	err := m.inner.ReleaseLease(ctx, name, owner)
+	m.observe("lease_release", start, err)
+	return err
+}
+
+func (m *instrumented) LeaseHolder(ctx context.Context, name string) (string, error) {
+	start := time.Now()
+	h, err := m.inner.LeaseHolder(ctx, name)
+	m.observe("lease_holder", start, err)
+	return h, err
+}
+
+func (m *instrumented) Ping(ctx context.Context) error {
+	start := time.Now()
+	err := m.inner.Ping(ctx)
+	m.observe("ping", start, err)
+	return err
+}
+
+func (m *instrumented) Close() error { return m.inner.Close() }

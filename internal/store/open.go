@@ -1,0 +1,68 @@
+package store
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Driver builds a Store from a parsed URL. Backends register themselves
+// in init (database/sql style) so the interface package never imports
+// an implementation — importing a backend package is what makes its
+// scheme resolvable.
+type Driver func(u *url.URL) (Store, error)
+
+var (
+	driversMu sync.RWMutex
+	drivers   = map[string]Driver{}
+)
+
+// Register makes a backend available under a URL scheme ("mem",
+// "redis"). Registering the same scheme twice panics: two backends
+// disagreeing about a scheme is a programming error.
+func Register(scheme string, d Driver) {
+	driversMu.Lock()
+	defer driversMu.Unlock()
+	if _, dup := drivers[scheme]; dup {
+		panic(fmt.Sprintf("store: driver %q registered twice", scheme))
+	}
+	drivers[scheme] = d
+}
+
+// Schemes lists the registered backend schemes, sorted.
+func Schemes() []string {
+	driversMu.RLock()
+	defer driversMu.RUnlock()
+	out := make([]string, 0, len(drivers))
+	for s := range drivers {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open resolves a store URL to a backend. "" and "mem" select the
+// in-process default (zero config keeps the single-binary deployment
+// working); anything else must be scheme://... with a registered
+// scheme, e.g. redis://127.0.0.1:6379/0.
+func Open(rawurl string) (Store, error) {
+	if rawurl == "" || rawurl == "mem" {
+		rawurl = "mem://"
+	}
+	if !strings.Contains(rawurl, "://") {
+		return nil, fmt.Errorf("store: URL %q has no scheme (have: %v)", rawurl, Schemes())
+	}
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return nil, fmt.Errorf("store: parsing URL: %w", err)
+	}
+	driversMu.RLock()
+	d, ok := drivers[u.Scheme]
+	driversMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: unknown backend scheme %q (have: %v)", u.Scheme, Schemes())
+	}
+	return d(u)
+}

@@ -1,0 +1,702 @@
+// Package redisstore is the networked store backend: a dependency-free
+// RESP2 client over net.Conn speaking to any Redis-compatible server
+// (including internal/store/redistest for hermetic tests). It is what
+// turns a set of pme processes into a fleet — model lineage in string
+// keys, the contribution pool in a list, hot-swap fan-out over
+// PUBLISH/SUBSCRIBE, and the retrainer singleton as a SET NX PX lease.
+//
+// Commands are pipelined per logical operation (a publish is one
+// round trip of writes after one round trip of checks), and
+// connections are pooled and re-dialed transparently.
+//
+// The fenced publish is check-then-write rather than atomic (no Lua,
+// no WATCH): the lease serializes legitimate publishers, the version
+// check rejects late writers that lost an allocation race, and every
+// replica enforces local version monotonicity as a backstop — see the
+// consistency contract in package store.
+package redisstore
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"yourandvalue/internal/store"
+)
+
+func init() {
+	store.Register("redis", func(u *url.URL) (store.Store, error) { return Open(u) })
+}
+
+const (
+	defaultPrefix  = "pme:"
+	dialTimeout    = 5 * time.Second
+	defaultOpTime  = 10 * time.Second
+	maxIdleConns   = 4
+	drainBatchMax  = 1 << 20 // LPOP count cap per drain round trip
+	resubscribeGap = 250 * time.Millisecond
+)
+
+// Store is the Redis-backed store.Store implementation.
+type Store struct {
+	addr   string
+	db     string // "" when default
+	prefix string
+
+	mu     sync.Mutex
+	idle   []*poolConn
+	subs   map[*subscription]struct{}
+	closed bool
+}
+
+// Open builds a Store from a redis:// URL: redis://host:port[/db][?prefix=pme:].
+func Open(u *url.URL) (*Store, error) {
+	if u.Host == "" {
+		return nil, fmt.Errorf("redisstore: URL %q has no host", u.String())
+	}
+	addr := u.Host
+	if u.Port() == "" {
+		addr = net.JoinHostPort(u.Host, "6379")
+	}
+	db := strings.Trim(u.Path, "/")
+	if db != "" {
+		if _, err := strconv.Atoi(db); err != nil {
+			return nil, fmt.Errorf("redisstore: URL path %q is not a database index", u.Path)
+		}
+	}
+	prefix := defaultPrefix
+	if p := u.Query().Get("prefix"); p != "" {
+		prefix = p
+	}
+	return &Store{addr: addr, db: db, prefix: prefix, subs: make(map[*subscription]struct{})}, nil
+}
+
+// Name implements store.Store.
+func (s *Store) Name() string { return "redis" }
+
+func (s *Store) key(parts ...string) string { return s.prefix + strings.Join(parts, ":") }
+
+// --- connection pool ---
+
+type poolConn struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+func (s *Store) dial() (*poolConn, error) {
+	nc, err := net.DialTimeout("tcp", s.addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &poolConn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+	if s.db != "" {
+		_ = nc.SetDeadline(time.Now().Add(dialTimeout))
+		if err := writeCommand(c.w, "SELECT", s.db); err == nil {
+			err = c.w.Flush()
+		}
+		if err != nil {
+			_ = nc.Close()
+			return nil, err
+		}
+		if _, err := readReply(c.r); err != nil {
+			_ = nc.Close()
+			return nil, err
+		}
+		_ = nc.SetDeadline(time.Time{})
+	}
+	return c, nil
+}
+
+func (s *Store) getConn() (*poolConn, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, store.ErrClosed
+	}
+	if n := len(s.idle); n > 0 {
+		c := s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+	return s.dial()
+}
+
+// putConn returns a healthy connection to the idle pool.
+func (s *Store) putConn(c *poolConn) {
+	s.mu.Lock()
+	if !s.closed && len(s.idle) < maxIdleConns {
+		s.idle = append(s.idle, c)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	_ = c.nc.Close()
+}
+
+// do pipelines cmds on one connection and returns one reply per
+// command. Server-side -ERR replies surface as the returned error (the
+// first one) with the connection kept healthy; protocol or I/O failures
+// discard the connection.
+func (s *Store) do(ctx context.Context, cmds ...[]string) ([]reply, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, err := s.getConn()
+	if err != nil {
+		return nil, err
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(defaultOpTime)
+	}
+	_ = c.nc.SetDeadline(deadline)
+	for _, cmd := range cmds {
+		if err := writeCommand(c.w, cmd...); err != nil {
+			_ = c.nc.Close()
+			return nil, fmt.Errorf("redisstore: write: %w", err)
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		_ = c.nc.Close()
+		return nil, fmt.Errorf("redisstore: flush: %w", err)
+	}
+	replies := make([]reply, 0, len(cmds))
+	var srvErr error
+	for range cmds {
+		rep, err := readReply(c.r)
+		if err != nil {
+			var re *respError
+			if errors.As(err, &re) {
+				if srvErr == nil {
+					srvErr = err
+				}
+				replies = append(replies, rep)
+				continue
+			}
+			_ = c.nc.Close()
+			return nil, fmt.Errorf("redisstore: read: %w", err)
+		}
+		replies = append(replies, rep)
+	}
+	_ = c.nc.SetDeadline(time.Time{})
+	s.putConn(c)
+	return replies, srvErr
+}
+
+// --- model lineage ---
+
+// NextVersion implements store.Store.
+func (s *Store) NextVersion(ctx context.Context) (int, error) {
+	reps, err := s.do(ctx, []string{"INCR", s.key("seq")})
+	if err != nil {
+		return 0, err
+	}
+	return int(reps[0].n), nil
+}
+
+// swapPayload encodes a SwapNotice for the pub/sub channel.
+func swapPayload(v int, etag string, at time.Time) string {
+	return strconv.Itoa(v) + " " + etag + " " + strconv.FormatInt(at.UnixNano(), 10)
+}
+
+func parseSwapPayload(p string) (store.SwapNotice, bool) {
+	parts := strings.SplitN(p, " ", 3)
+	if len(parts) != 3 {
+		return store.SwapNotice{}, false
+	}
+	v, err1 := strconv.Atoi(parts[0])
+	nano, err2 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		return store.SwapNotice{}, false
+	}
+	return store.SwapNotice{Version: v, ETag: parts[1], PublishedAt: time.Unix(0, nano).UTC()}, true
+}
+
+// PublishModel implements store.Store. Round trip 1 checks the fence
+// and the version; round trip 2 pipelines the writes and the fan-out.
+func (s *Store) PublishModel(ctx context.Context, rec store.ModelRecord, fence *store.Fence) error {
+	checks := [][]string{
+		{"GET", s.key("version")},
+		{"GET", s.key("seq")},
+	}
+	if fence != nil {
+		checks = append(checks, []string{"GET", s.key("lease", fence.Lease)})
+	}
+	reps, err := s.do(ctx, checks...)
+	if err != nil {
+		return err
+	}
+	if fence != nil {
+		if reps[2].nil_ || reps[2].str != fence.Owner {
+			return store.ErrLeaseLost
+		}
+	}
+	if !reps[0].nil_ {
+		cur, _, perr := parseVersionValue(reps[0].str)
+		if perr != nil {
+			return perr
+		}
+		if rec.Version <= cur {
+			return store.ErrStalePublish
+		}
+	}
+	writes := [][]string{
+		{"SET", s.key("current"), string(store.MarshalRecord(&rec))},
+		{"SET", s.key("version"), strconv.Itoa(rec.Version) + " " + rec.ETag},
+	}
+	// Seed the allocator past explicitly versioned publishes so later
+	// INCR allocations cannot collide.
+	if seq, _ := strconv.Atoi(strings.TrimSpace(reps[1].str)); reps[1].nil_ || seq < rec.Version {
+		writes = append(writes, []string{"SET", s.key("seq"), strconv.Itoa(rec.Version)})
+	}
+	writes = append(writes, []string{"PUBLISH", s.key("swaps"), swapPayload(rec.Version, rec.ETag, rec.PublishedAt)})
+	_, err = s.do(ctx, writes...)
+	return err
+}
+
+func parseVersionValue(v string) (int, string, error) {
+	parts := strings.SplitN(v, " ", 2)
+	n, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, "", fmt.Errorf("redisstore: corrupt version value %q", v)
+	}
+	etag := ""
+	if len(parts) == 2 {
+		etag = parts[1]
+	}
+	return n, etag, nil
+}
+
+// LoadModel implements store.Store.
+func (s *Store) LoadModel(ctx context.Context) (*store.ModelRecord, error) {
+	reps, err := s.do(ctx, []string{"GET", s.key("current")})
+	if err != nil {
+		return nil, err
+	}
+	if reps[0].nil_ {
+		return nil, store.ErrNoModel
+	}
+	return store.UnmarshalRecord([]byte(reps[0].str))
+}
+
+// LatestVersion implements store.Store.
+func (s *Store) LatestVersion(ctx context.Context) (int, string, error) {
+	reps, err := s.do(ctx, []string{"GET", s.key("version")})
+	if err != nil {
+		return 0, "", err
+	}
+	if reps[0].nil_ {
+		return 0, "", store.ErrNoModel
+	}
+	return parseVersionValue(reps[0].str)
+}
+
+// --- contribution pool ---
+
+// encodeEntry prefixes the payload with a one-byte trainable marker so
+// PoolLen's trainable counter never has to decode contribution JSON.
+func encodeEntry(e store.PoolEntry) string {
+	if e.Trainable {
+		return "T" + string(e.Payload)
+	}
+	return "N" + string(e.Payload)
+}
+
+func decodeEntry(v string) store.PoolEntry {
+	if v == "" {
+		return store.PoolEntry{}
+	}
+	return store.PoolEntry{Payload: []byte(v[1:]), Trainable: v[0] == 'T'}
+}
+
+// AppendPool implements store.Store. The bound is best-effort: occupancy
+// is read once, then the admitted slice is pushed — concurrent appenders
+// can transiently overshoot by one batch, matching the documented
+// contract.
+func (s *Store) AppendPool(ctx context.Context, entries []store.PoolEntry, max int) (int, int, error) {
+	if len(entries) == 0 {
+		return 0, 0, nil
+	}
+	reps, err := s.do(ctx, []string{"LLEN", s.key("pool")})
+	if err != nil {
+		return 0, 0, err
+	}
+	room := len(entries)
+	if max > 0 {
+		room = max - int(reps[0].n)
+		if room < 0 {
+			room = 0
+		}
+		if room > len(entries) {
+			room = len(entries)
+		}
+	}
+	accepted, dropped := room, len(entries)-room
+	if accepted == 0 {
+		return 0, dropped, nil
+	}
+	push := make([]string, 0, accepted+2)
+	push = append(push, "RPUSH", s.key("pool"))
+	trainable := 0
+	for _, e := range entries[:accepted] {
+		push = append(push, encodeEntry(e))
+		if e.Trainable {
+			trainable++
+		}
+	}
+	cmds := [][]string{push}
+	if trainable > 0 {
+		cmds = append(cmds, []string{"INCRBY", s.key("pool", "trainable"), strconv.Itoa(trainable)})
+	}
+	if _, err := s.do(ctx, cmds...); err != nil {
+		return 0, 0, err
+	}
+	return accepted, dropped, nil
+}
+
+// DrainPool implements store.Store.
+func (s *Store) DrainPool(ctx context.Context) ([]store.PoolEntry, error) {
+	var out []store.PoolEntry
+	trainable := 0
+	for {
+		reps, err := s.do(ctx, []string{"LPOP", s.key("pool"), strconv.Itoa(drainBatchMax)})
+		if err != nil {
+			return nil, err
+		}
+		if reps[0].nil_ || len(reps[0].arr) == 0 {
+			break
+		}
+		for _, el := range reps[0].arr {
+			e := decodeEntry(el.str)
+			out = append(out, e)
+			if e.Trainable {
+				trainable++
+			}
+		}
+		if len(reps[0].arr) < drainBatchMax {
+			break
+		}
+	}
+	if trainable > 0 {
+		if _, err := s.do(ctx, []string{"DECRBY", s.key("pool", "trainable"), strconv.Itoa(trainable)}); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// RestorePool implements store.Store. LPUSH prepends one element at a
+// time, so entries go in reversed to land in original order at the
+// front of the list.
+func (s *Store) RestorePool(ctx context.Context, entries []store.PoolEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	push := make([]string, 0, len(entries)+2)
+	push = append(push, "LPUSH", s.key("pool"))
+	trainable := 0
+	for i := len(entries) - 1; i >= 0; i-- {
+		push = append(push, encodeEntry(entries[i]))
+		if entries[i].Trainable {
+			trainable++
+		}
+	}
+	cmds := [][]string{push}
+	if trainable > 0 {
+		cmds = append(cmds, []string{"INCRBY", s.key("pool", "trainable"), strconv.Itoa(trainable)})
+	}
+	_, err := s.do(ctx, cmds...)
+	return err
+}
+
+// PeekPool implements store.Store.
+func (s *Store) PeekPool(ctx context.Context) ([]store.PoolEntry, error) {
+	reps, err := s.do(ctx, []string{"LRANGE", s.key("pool"), "0", "-1"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]store.PoolEntry, 0, len(reps[0].arr))
+	for _, el := range reps[0].arr {
+		out = append(out, decodeEntry(el.str))
+	}
+	return out, nil
+}
+
+// PoolLen implements store.Store.
+func (s *Store) PoolLen(ctx context.Context) (int, int, error) {
+	reps, err := s.do(ctx,
+		[]string{"LLEN", s.key("pool")},
+		[]string{"GET", s.key("pool", "trainable")},
+	)
+	if err != nil {
+		return 0, 0, err
+	}
+	trainable := 0
+	if !reps[1].nil_ {
+		trainable, _ = strconv.Atoi(reps[1].str)
+	}
+	if trainable < 0 {
+		trainable = 0
+	}
+	return int(reps[0].n), trainable, nil
+}
+
+// --- singleton lease ---
+
+// AcquireLease implements store.Store: SET NX PX, with a same-owner
+// refresh path (Redis's NX refuses even the current holder).
+func (s *Store) AcquireLease(ctx context.Context, name, owner string, ttl time.Duration) (bool, error) {
+	ms := strconv.FormatInt(ttl.Milliseconds(), 10)
+	key := s.key("lease", name)
+	reps, err := s.do(ctx, []string{"SET", key, owner, "NX", "PX", ms})
+	if err != nil {
+		return false, err
+	}
+	if !reps[0].nil_ {
+		return true, nil
+	}
+	reps, err = s.do(ctx, []string{"GET", key})
+	if err != nil {
+		return false, err
+	}
+	if reps[0].nil_ || reps[0].str != owner {
+		return false, nil
+	}
+	_, err = s.do(ctx, []string{"SET", key, owner, "XX", "PX", ms})
+	return err == nil, err
+}
+
+// RenewLease implements store.Store: read-check-extend. Non-atomic
+// without Lua, but the only competing writer for a held lease is its
+// own expiry, and a renewal that races expiry simply fails on the next
+// renewal — the holder stops, which is the safe direction.
+func (s *Store) RenewLease(ctx context.Context, name, owner string, ttl time.Duration) (bool, error) {
+	key := s.key("lease", name)
+	reps, err := s.do(ctx, []string{"GET", key})
+	if err != nil {
+		return false, err
+	}
+	if reps[0].nil_ || reps[0].str != owner {
+		return false, nil
+	}
+	ms := strconv.FormatInt(ttl.Milliseconds(), 10)
+	reps, err = s.do(ctx, []string{"SET", key, owner, "XX", "PX", ms})
+	if err != nil {
+		return false, err
+	}
+	return !reps[0].nil_, nil
+}
+
+// ReleaseLease implements store.Store.
+func (s *Store) ReleaseLease(ctx context.Context, name, owner string) error {
+	key := s.key("lease", name)
+	reps, err := s.do(ctx, []string{"GET", key})
+	if err != nil {
+		return err
+	}
+	if reps[0].nil_ || reps[0].str != owner {
+		return nil
+	}
+	_, err = s.do(ctx, []string{"DEL", key})
+	return err
+}
+
+// LeaseHolder implements store.Store.
+func (s *Store) LeaseHolder(ctx context.Context, name string) (string, error) {
+	reps, err := s.do(ctx, []string{"GET", s.key("lease", name)})
+	if err != nil {
+		return "", err
+	}
+	if reps[0].nil_ {
+		return "", nil
+	}
+	return reps[0].str, nil
+}
+
+// --- health / lifecycle ---
+
+// Ping implements store.Store.
+func (s *Store) Ping(ctx context.Context) error {
+	_, err := s.do(ctx, []string{"PING"})
+	return err
+}
+
+// Close implements store.Store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	idle := s.idle
+	s.idle = nil
+	subs := make([]*subscription, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subs = make(map[*subscription]struct{})
+	s.mu.Unlock()
+	for _, c := range idle {
+		_ = c.nc.Close()
+	}
+	for _, sub := range subs {
+		sub.shutdown()
+	}
+	return nil
+}
+
+// --- hot-swap fan-out ---
+
+// SubscribeSwaps implements store.Store. The subscription owns a
+// dedicated connection and re-dials with a short backoff if the feed
+// breaks; notices lost during the gap are covered by the caller's
+// coarse LatestVersion poll per the interface contract.
+func (s *Store) SubscribeSwaps(ctx context.Context) (store.Subscription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, store.ErrClosed
+	}
+	sub := &subscription{st: s, ch: make(chan store.SwapNotice, 8), done: make(chan struct{})}
+	s.subs[sub] = struct{}{}
+	s.mu.Unlock()
+	go sub.run()
+	return sub, nil
+}
+
+type subscription struct {
+	st   *Store
+	ch   chan store.SwapNotice
+	done chan struct{}
+
+	mu     sync.Mutex
+	nc     net.Conn
+	closed bool
+}
+
+func (sub *subscription) C() <-chan store.SwapNotice { return sub.ch }
+
+// Close implements store.Subscription.
+func (sub *subscription) Close() error {
+	sub.st.mu.Lock()
+	delete(sub.st.subs, sub)
+	sub.st.mu.Unlock()
+	sub.shutdown()
+	return nil
+}
+
+func (sub *subscription) shutdown() {
+	sub.mu.Lock()
+	if sub.closed {
+		sub.mu.Unlock()
+		return
+	}
+	sub.closed = true
+	nc := sub.nc
+	sub.mu.Unlock()
+	close(sub.done)
+	if nc != nil {
+		_ = nc.Close()
+	}
+	close(sub.ch)
+}
+
+func (sub *subscription) isClosed() bool {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.closed
+}
+
+func (sub *subscription) run() {
+	for {
+		if sub.isClosed() {
+			return
+		}
+		sub.listenOnce()
+		select {
+		case <-sub.done:
+			return
+		case <-time.After(resubscribeGap):
+		}
+	}
+}
+
+// listenOnce dials, subscribes, and pumps messages until the connection
+// breaks or the subscription closes.
+func (sub *subscription) listenOnce() {
+	c, err := sub.st.dial()
+	if err != nil {
+		return
+	}
+	sub.mu.Lock()
+	if sub.closed {
+		sub.mu.Unlock()
+		_ = c.nc.Close()
+		return
+	}
+	sub.nc = c.nc
+	sub.mu.Unlock()
+	defer func() {
+		sub.mu.Lock()
+		sub.nc = nil
+		sub.mu.Unlock()
+		_ = c.nc.Close()
+	}()
+	_ = c.nc.SetDeadline(time.Now().Add(dialTimeout))
+	if err := writeCommand(c.w, "SUBSCRIBE", sub.st.key("swaps")); err != nil {
+		return
+	}
+	if err := c.w.Flush(); err != nil {
+		return
+	}
+	_ = c.nc.SetDeadline(time.Time{})
+	for {
+		rep, err := readReply(c.r)
+		if err != nil {
+			return
+		}
+		if rep.kind != '*' || len(rep.arr) != 3 || rep.arr[0].str != "message" {
+			continue // subscribe confirmations etc.
+		}
+		notice, ok := parseSwapPayload(rep.arr[2].str)
+		if !ok {
+			continue
+		}
+		sub.send(notice)
+	}
+}
+
+// send delivers without ever blocking the pump: under backpressure the
+// oldest undelivered notice is displaced so the newest publish wins.
+func (sub *subscription) send(n store.SwapNotice) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	for {
+		select {
+		case sub.ch <- n:
+			return
+		default:
+			select {
+			case <-sub.ch:
+			default:
+			}
+		}
+	}
+}

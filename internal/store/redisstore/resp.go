@@ -1,0 +1,119 @@
+package redisstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// reply is one decoded RESP2 reply frame.
+type reply struct {
+	kind byte // '+', '-', ':', '$', '*'
+	str  string
+	n    int64
+	arr  []reply
+	nil_ bool // null bulk/array
+}
+
+// respError is a server-side -ERR reply. It is not one of the store's
+// semantic sentinels, so IsTransient treats it as retryable.
+type respError struct{ msg string }
+
+func (e *respError) Error() string { return "redisstore: server error: " + e.msg }
+
+// writeCommand encodes one command as a RESP array of bulk strings.
+func writeCommand(w *bufio.Writer, args ...string) error {
+	if _, err := w.WriteString("*" + strconv.Itoa(len(args)) + "\r\n"); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if _, err := w.WriteString("$" + strconv.Itoa(len(a)) + "\r\n"); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(a); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxBulk bounds a single bulk string on decode (512 MiB, Redis's own cap).
+const maxBulk = 512 << 20
+
+// readReply decodes one RESP2 reply frame. A -ERR reply is returned as
+// a *respError so callers can distinguish server rejections from
+// protocol failures, which corrupt the connection.
+func readReply(r *bufio.Reader) (reply, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return reply{}, err
+	}
+	if len(line) == 0 {
+		return reply{}, errors.New("redisstore: empty reply line")
+	}
+	kind, body := line[0], line[1:]
+	switch kind {
+	case '+':
+		return reply{kind: kind, str: body}, nil
+	case '-':
+		return reply{kind: kind, str: body}, &respError{msg: body}
+	case ':':
+		n, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return reply{}, fmt.Errorf("redisstore: bad integer reply %q", body)
+		}
+		return reply{kind: kind, n: n}, nil
+	case '$':
+		n, err := strconv.ParseInt(body, 10, 64)
+		if err != nil || n > maxBulk {
+			return reply{}, fmt.Errorf("redisstore: bad bulk length %q", body)
+		}
+		if n < 0 {
+			return reply{kind: kind, nil_: true}, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return reply{}, err
+		}
+		return reply{kind: kind, str: string(buf[:n])}, nil
+	case '*':
+		n, err := strconv.ParseInt(body, 10, 64)
+		if err != nil || n > 1<<20 {
+			return reply{}, fmt.Errorf("redisstore: bad array length %q", body)
+		}
+		if n < 0 {
+			return reply{kind: kind, nil_: true}, nil
+		}
+		arr := make([]reply, 0, n)
+		for i := int64(0); i < n; i++ {
+			el, err := readReply(r)
+			if err != nil {
+				// A -ERR element is data inside an array, not a failure.
+				var re *respError
+				if !errors.As(err, &re) {
+					return reply{}, err
+				}
+			}
+			arr = append(arr, el)
+		}
+		return reply{kind: kind, arr: arr}, nil
+	default:
+		return reply{}, fmt.Errorf("redisstore: unknown reply type %q", kind)
+	}
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return "", errors.New("redisstore: malformed reply line terminator")
+	}
+	return line[:len(line)-2], nil
+}

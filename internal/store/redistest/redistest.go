@@ -1,0 +1,625 @@
+// Package redistest is a miniature in-process RESP2 server implementing
+// just enough of the Redis command surface for the redisstore backend:
+// string keys with millisecond expiry (GET/SET NX|PX/DEL/INCR/INCRBY/
+// DECRBY/PEXPIRE/PTTL), lists (LPUSH/RPUSH/LRANGE/LLEN/LPOP count), and
+// pub/sub (SUBSCRIBE/UNSUBSCRIBE/PUBLISH). Unit tests and CI run the
+// whole fleet stack against it hermetically — no Redis installation,
+// no network beyond loopback.
+//
+// It is deliberately not a general Redis: unsupported commands return
+// -ERR, blocking commands do not exist, and persistence is process
+// memory. The protocol itself is honest RESP2, so a real Redis can be
+// swapped in behind the same client unchanged.
+package redistest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server is one in-process RESP server instance.
+type Server struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	strings map[string]string
+	expiry  map[string]time.Time
+	lists   map[string][]string
+	subs    map[string]map[*conn]struct{}
+	conns   map[*conn]struct{}
+	closed  bool
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" picks a free port).
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:      ln,
+		strings: make(map[string]string),
+		expiry:  make(map[string]time.Time),
+		lists:   make(map[string][]string),
+		subs:    make(map[string]map[*conn]struct{}),
+		conns:   make(map[*conn]struct{}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address ("host:port").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the store URL for this server ("redis://host:port").
+func (s *Server) URL() string { return "redis://" + s.Addr() }
+
+// Close stops the listener and drops every connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.nc.Close()
+	}
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := &conn{srv: s, nc: nc, w: bufio.NewWriter(nc), r: bufio.NewReader(nc)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go c.serve()
+	}
+}
+
+// conn is one client connection. Writes are serialized through wmu so
+// pub/sub pushes never interleave with command replies mid-frame.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	r   *bufio.Reader
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+func (c *conn) serve() {
+	defer func() {
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		for _, subs := range c.srv.subs {
+			delete(subs, c)
+		}
+		c.srv.mu.Unlock()
+		_ = c.nc.Close()
+	}()
+	for {
+		args, err := readCommand(c.r)
+		if err != nil {
+			return
+		}
+		if len(args) == 0 {
+			continue
+		}
+		if quit := c.dispatch(args); quit {
+			return
+		}
+	}
+}
+
+// dispatch runs one command; true means the connection should close.
+func (c *conn) dispatch(args []string) bool {
+	cmd := strings.ToUpper(args[0])
+	switch cmd {
+	case "QUIT":
+		c.reply("+OK\r\n")
+		return true
+	case "PING":
+		c.reply("+PONG\r\n")
+	case "ECHO":
+		if len(args) == 2 {
+			c.reply(bulk(args[1]))
+		} else {
+			c.errf("wrong number of arguments for 'echo'")
+		}
+	case "SELECT":
+		c.reply("+OK\r\n")
+	case "GET":
+		c.cmdGet(args)
+	case "SET":
+		c.cmdSet(args)
+	case "DEL":
+		c.cmdDel(args)
+	case "INCR":
+		c.cmdIncrBy(args[1:], 1, args)
+	case "INCRBY":
+		c.cmdIncrByArg(args, 1)
+	case "DECRBY":
+		c.cmdIncrByArg(args, -1)
+	case "PEXPIRE":
+		c.cmdPexpire(args)
+	case "PTTL":
+		c.cmdPttl(args)
+	case "LPUSH", "RPUSH":
+		c.cmdPush(args, cmd == "LPUSH")
+	case "LRANGE":
+		c.cmdLrange(args)
+	case "LLEN":
+		c.cmdLlen(args)
+	case "LPOP":
+		c.cmdLpop(args)
+	case "SUBSCRIBE":
+		c.cmdSubscribe(args)
+	case "UNSUBSCRIBE":
+		c.cmdUnsubscribe(args)
+	case "PUBLISH":
+		c.cmdPublish(args)
+	default:
+		c.errf("unknown command '%s'", args[0])
+	}
+	return false
+}
+
+// --- string commands ---
+
+// getLocked resolves a live string value, expiring lazily.
+func (s *Server) getLocked(key string) (string, bool) {
+	if exp, ok := s.expiry[key]; ok && !time.Now().Before(exp) {
+		delete(s.strings, key)
+		delete(s.expiry, key)
+		return "", false
+	}
+	v, ok := s.strings[key]
+	return v, ok
+}
+
+func (c *conn) cmdGet(args []string) {
+	if len(args) != 2 {
+		c.errf("wrong number of arguments for 'get'")
+		return
+	}
+	c.srv.mu.Lock()
+	v, ok := c.srv.getLocked(args[1])
+	c.srv.mu.Unlock()
+	if !ok {
+		c.reply("$-1\r\n")
+		return
+	}
+	c.reply(bulk(v))
+}
+
+func (c *conn) cmdSet(args []string) {
+	if len(args) < 3 {
+		c.errf("wrong number of arguments for 'set'")
+		return
+	}
+	key, val := args[1], args[2]
+	var nx, xx bool
+	var px time.Duration
+	for i := 3; i < len(args); i++ {
+		switch strings.ToUpper(args[i]) {
+		case "NX":
+			nx = true
+		case "XX":
+			xx = true
+		case "PX":
+			if i+1 >= len(args) {
+				c.errf("syntax error")
+				return
+			}
+			ms, err := strconv.ParseInt(args[i+1], 10, 64)
+			if err != nil || ms <= 0 {
+				c.errf("invalid expire time")
+				return
+			}
+			px = time.Duration(ms) * time.Millisecond
+			i++
+		default:
+			c.errf("syntax error")
+			return
+		}
+	}
+	c.srv.mu.Lock()
+	_, exists := c.srv.getLocked(key)
+	if (nx && exists) || (xx && !exists) {
+		c.srv.mu.Unlock()
+		c.reply("$-1\r\n")
+		return
+	}
+	c.srv.strings[key] = val
+	if px > 0 {
+		c.srv.expiry[key] = time.Now().Add(px)
+	} else {
+		delete(c.srv.expiry, key)
+	}
+	c.srv.mu.Unlock()
+	c.reply("+OK\r\n")
+}
+
+func (c *conn) cmdDel(args []string) {
+	if len(args) < 2 {
+		c.errf("wrong number of arguments for 'del'")
+		return
+	}
+	n := 0
+	c.srv.mu.Lock()
+	for _, key := range args[1:] {
+		if _, ok := c.srv.getLocked(key); ok {
+			delete(c.srv.strings, key)
+			delete(c.srv.expiry, key)
+			n++
+		}
+		if _, ok := c.srv.lists[key]; ok {
+			delete(c.srv.lists, key)
+			n++
+		}
+	}
+	c.srv.mu.Unlock()
+	c.replyInt(n)
+}
+
+func (c *conn) cmdIncrByArg(args []string, sign int64) {
+	if len(args) != 3 {
+		c.errf("wrong number of arguments")
+		return
+	}
+	delta, err := strconv.ParseInt(args[2], 10, 64)
+	if err != nil {
+		c.errf("value is not an integer or out of range")
+		return
+	}
+	c.cmdIncrBy(args[1:2], sign*delta, args)
+}
+
+// cmdIncrBy applies delta to the integer at keyArgs[0].
+func (c *conn) cmdIncrBy(keyArgs []string, delta int64, orig []string) {
+	if len(keyArgs) < 1 {
+		c.errf("wrong number of arguments")
+		return
+	}
+	key := keyArgs[0]
+	c.srv.mu.Lock()
+	cur := int64(0)
+	if v, ok := c.srv.getLocked(key); ok {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			c.srv.mu.Unlock()
+			c.errf("value is not an integer or out of range")
+			return
+		}
+		cur = n
+	}
+	cur += delta
+	c.srv.strings[key] = strconv.FormatInt(cur, 10)
+	c.srv.mu.Unlock()
+	c.replyInt(int(cur))
+}
+
+func (c *conn) cmdPexpire(args []string) {
+	if len(args) != 3 {
+		c.errf("wrong number of arguments for 'pexpire'")
+		return
+	}
+	ms, err := strconv.ParseInt(args[2], 10, 64)
+	if err != nil {
+		c.errf("value is not an integer or out of range")
+		return
+	}
+	c.srv.mu.Lock()
+	_, ok := c.srv.getLocked(args[1])
+	if ok {
+		c.srv.expiry[args[1]] = time.Now().Add(time.Duration(ms) * time.Millisecond)
+	}
+	c.srv.mu.Unlock()
+	if ok {
+		c.replyInt(1)
+	} else {
+		c.replyInt(0)
+	}
+}
+
+func (c *conn) cmdPttl(args []string) {
+	if len(args) != 2 {
+		c.errf("wrong number of arguments for 'pttl'")
+		return
+	}
+	c.srv.mu.Lock()
+	defer c.srv.mu.Unlock()
+	if _, ok := c.srv.getLocked(args[1]); !ok {
+		c.replyInt(-2)
+		return
+	}
+	exp, ok := c.srv.expiry[args[1]]
+	if !ok {
+		c.replyInt(-1)
+		return
+	}
+	c.replyInt(int(time.Until(exp) / time.Millisecond))
+}
+
+// --- list commands ---
+
+func (c *conn) cmdPush(args []string, left bool) {
+	if len(args) < 3 {
+		c.errf("wrong number of arguments")
+		return
+	}
+	key := args[1]
+	c.srv.mu.Lock()
+	l := c.srv.lists[key]
+	for _, v := range args[2:] {
+		if left {
+			l = append([]string{v}, l...)
+		} else {
+			l = append(l, v)
+		}
+	}
+	c.srv.lists[key] = l
+	n := len(l)
+	c.srv.mu.Unlock()
+	c.replyInt(n)
+}
+
+func (c *conn) cmdLrange(args []string) {
+	if len(args) != 4 {
+		c.errf("wrong number of arguments for 'lrange'")
+		return
+	}
+	start, err1 := strconv.Atoi(args[2])
+	stop, err2 := strconv.Atoi(args[3])
+	if err1 != nil || err2 != nil {
+		c.errf("value is not an integer or out of range")
+		return
+	}
+	c.srv.mu.Lock()
+	l := c.srv.lists[args[1]]
+	n := len(l)
+	if start < 0 {
+		start = max(0, n+start)
+	}
+	if stop < 0 {
+		stop = n + stop
+	}
+	stop = min(stop, n-1)
+	var out []string
+	if start <= stop && start < n {
+		out = append(out, l[start:stop+1]...)
+	}
+	c.srv.mu.Unlock()
+	c.replyArray(out)
+}
+
+func (c *conn) cmdLlen(args []string) {
+	if len(args) != 2 {
+		c.errf("wrong number of arguments for 'llen'")
+		return
+	}
+	c.srv.mu.Lock()
+	n := len(c.srv.lists[args[1]])
+	c.srv.mu.Unlock()
+	c.replyInt(n)
+}
+
+func (c *conn) cmdLpop(args []string) {
+	if len(args) != 2 && len(args) != 3 {
+		c.errf("wrong number of arguments for 'lpop'")
+		return
+	}
+	count, hasCount := 1, false
+	if len(args) == 3 {
+		n, err := strconv.Atoi(args[2])
+		if err != nil || n < 0 {
+			c.errf("value is out of range, must be positive")
+			return
+		}
+		count, hasCount = n, true
+	}
+	c.srv.mu.Lock()
+	l := c.srv.lists[args[1]]
+	k := min(count, len(l))
+	popped := append([]string{}, l[:k]...)
+	rest := l[k:]
+	if len(rest) == 0 {
+		delete(c.srv.lists, args[1])
+	} else {
+		c.srv.lists[args[1]] = rest
+	}
+	c.srv.mu.Unlock()
+	if hasCount {
+		if len(popped) == 0 {
+			c.reply("*-1\r\n")
+			return
+		}
+		c.replyArray(popped)
+		return
+	}
+	if len(popped) == 0 {
+		c.reply("$-1\r\n")
+		return
+	}
+	c.reply(bulk(popped[0]))
+}
+
+// --- pub/sub ---
+
+func (c *conn) cmdSubscribe(args []string) {
+	if len(args) < 2 {
+		c.errf("wrong number of arguments for 'subscribe'")
+		return
+	}
+	c.srv.mu.Lock()
+	count := 0
+	for _, subs := range c.srv.subs {
+		if _, ok := subs[c]; ok {
+			count++
+		}
+	}
+	var replies []string
+	for _, ch := range args[1:] {
+		subs := c.srv.subs[ch]
+		if subs == nil {
+			subs = make(map[*conn]struct{})
+			c.srv.subs[ch] = subs
+		}
+		if _, ok := subs[c]; !ok {
+			subs[c] = struct{}{}
+			count++
+		}
+		replies = append(replies, fmt.Sprintf("*3\r\n%s%s:%d\r\n", bulk("subscribe"), bulk(ch), count))
+	}
+	c.srv.mu.Unlock()
+	c.reply(strings.Join(replies, ""))
+}
+
+func (c *conn) cmdUnsubscribe(args []string) {
+	c.srv.mu.Lock()
+	channels := args[1:]
+	if len(channels) == 0 {
+		for ch, subs := range c.srv.subs {
+			if _, ok := subs[c]; ok {
+				channels = append(channels, ch)
+			}
+		}
+	}
+	count := 0
+	for _, subs := range c.srv.subs {
+		if _, ok := subs[c]; ok {
+			count++
+		}
+	}
+	var replies []string
+	for _, ch := range channels {
+		if subs := c.srv.subs[ch]; subs != nil {
+			if _, ok := subs[c]; ok {
+				delete(subs, c)
+				count--
+			}
+		}
+		replies = append(replies, fmt.Sprintf("*3\r\n%s%s:%d\r\n", bulk("unsubscribe"), bulk(ch), count))
+	}
+	if len(replies) == 0 {
+		replies = append(replies, fmt.Sprintf("*3\r\n%s$-1\r\n:0\r\n", bulk("unsubscribe")))
+	}
+	c.srv.mu.Unlock()
+	c.reply(strings.Join(replies, ""))
+}
+
+func (c *conn) cmdPublish(args []string) {
+	if len(args) != 3 {
+		c.errf("wrong number of arguments for 'publish'")
+		return
+	}
+	ch, payload := args[1], args[2]
+	c.srv.mu.Lock()
+	targets := make([]*conn, 0, len(c.srv.subs[ch]))
+	for sub := range c.srv.subs[ch] {
+		targets = append(targets, sub)
+	}
+	c.srv.mu.Unlock()
+	msg := fmt.Sprintf("*3\r\n%s%s%s", bulk("message"), bulk(ch), bulk(payload))
+	for _, t := range targets {
+		t.reply(msg)
+	}
+	c.replyInt(len(targets))
+}
+
+// --- protocol helpers ---
+
+func (c *conn) reply(s string) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, _ = c.w.WriteString(s)
+	_ = c.w.Flush()
+}
+
+func (c *conn) replyInt(n int) { c.reply(":" + strconv.Itoa(n) + "\r\n") }
+
+func (c *conn) replyArray(items []string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "*%d\r\n", len(items))
+	for _, it := range items {
+		b.WriteString(bulk(it))
+	}
+	c.reply(b.String())
+}
+
+func (c *conn) errf(format string, args ...any) {
+	c.reply("-ERR " + fmt.Sprintf(format, args...) + "\r\n")
+}
+
+func bulk(s string) string {
+	return "$" + strconv.Itoa(len(s)) + "\r\n" + s + "\r\n"
+}
+
+// readCommand parses one RESP array-of-bulk-strings command frame.
+func readCommand(r *bufio.Reader) ([]string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, nil
+	}
+	if line[0] != '*' {
+		// Inline command (redis-cli style): whitespace-split.
+		return strings.Fields(line), nil
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 || n > 1024*1024 {
+		return nil, errors.New("redistest: bad array header")
+	}
+	args := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		hdr, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, errors.New("redistest: expected bulk string")
+		}
+		ln, err := strconv.Atoi(hdr[1:])
+		if err != nil || ln < 0 || ln > 512*1024*1024 {
+			return nil, errors.New("redistest: bad bulk length")
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		args = append(args, string(buf[:ln]))
+	}
+	return args, nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

@@ -1,0 +1,133 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"yourandvalue/internal/store"
+	_ "yourandvalue/internal/store/memstore"
+	_ "yourandvalue/internal/store/redisstore"
+)
+
+func TestOpenDefaults(t *testing.T) {
+	for _, raw := range []string{"", "mem", "mem://"} {
+		st, err := store.Open(raw)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", raw, err)
+		}
+		if st.Name() != "mem" {
+			t.Fatalf("Open(%q).Name() = %q, want mem", raw, st.Name())
+		}
+		_ = st.Close()
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want string
+	}{
+		{"localhost:6379", "no scheme"},
+		{"bolt://x", `unknown backend scheme "bolt"`},
+		{"redis://", "no host"},
+		{"redis://host/notanumber", "not a database index"},
+	}
+	for _, tc := range cases {
+		_, err := store.Open(tc.raw)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Open(%q): err = %v, want containing %q", tc.raw, err, tc.want)
+		}
+	}
+}
+
+func TestSchemesRegistered(t *testing.T) {
+	got := store.Schemes()
+	for _, want := range []string{"mem", "redis"} {
+		found := false
+		for _, s := range got {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Schemes() = %v, missing %q", got, want)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := &store.ModelRecord{
+		Version:     17,
+		ETag:        `"deadbeefcafe0123"`,
+		Blob:        []byte(`{"forest":[1,2,3]}`),
+		FlatBlob:    []byte{0x00, 0xff, 0x10, 0x80},
+		PublishedAt: time.Unix(1699999999, 123456789).UTC(),
+		TrainSize:   4096,
+	}
+	data := store.MarshalRecord(in)
+	out, err := store.UnmarshalRecord(data)
+	if err != nil {
+		t.Fatalf("UnmarshalRecord: %v", err)
+	}
+	if out.Version != in.Version || out.ETag != in.ETag ||
+		!bytes.Equal(out.Blob, in.Blob) || !bytes.Equal(out.FlatBlob, in.FlatBlob) ||
+		!out.PublishedAt.Equal(in.PublishedAt) || out.TrainSize != in.TrainSize {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestRecordRoundTripEmptyFields(t *testing.T) {
+	in := &store.ModelRecord{Version: 1, PublishedAt: time.Unix(0, 0).UTC()}
+	out, err := store.UnmarshalRecord(store.MarshalRecord(in))
+	if err != nil {
+		t.Fatalf("UnmarshalRecord: %v", err)
+	}
+	if out.Version != 1 || out.ETag != "" || len(out.Blob) != 0 || len(out.FlatBlob) != 0 {
+		t.Fatalf("empty-field round trip mismatch: %+v", out)
+	}
+}
+
+func TestRecordRejectsCorruption(t *testing.T) {
+	good := store.MarshalRecord(&store.ModelRecord{
+		Version: 3, ETag: "x", Blob: []byte("b"), PublishedAt: time.Now(),
+	})
+	cases := map[string][]byte{
+		"bad magic":      append([]byte("NOPE"), good[4:]...),
+		"truncated":      good[:len(good)-2],
+		"trailing bytes": append(append([]byte{}, good...), 0x00),
+		"empty":          {},
+	}
+	for name, data := range cases {
+		if _, err := store.UnmarshalRecord(data); err == nil {
+			t.Errorf("%s: UnmarshalRecord accepted corrupt input", name)
+		}
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	transient := []error{
+		errors.New("dial tcp: connection refused"),
+		io.EOF,
+	}
+	for _, err := range transient {
+		if !store.IsTransient(err) {
+			t.Errorf("IsTransient(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		store.ErrNoModel,
+		store.ErrStalePublish,
+		store.ErrLeaseLost,
+		store.ErrClosed,
+	}
+	for _, err := range permanent {
+		if store.IsTransient(err) {
+			t.Errorf("IsTransient(%v) = true, want false", err)
+		}
+	}
+}

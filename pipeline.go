@@ -146,7 +146,19 @@ func WithWorkers(n int) Option {
 // serving from the same registry hot-swaps to it atomically and clients
 // observe the refresh as an ETag change.
 func WithModelRegistry(reg *pme.Registry) Option {
-	return func(p *Pipeline) { p.registry = reg }
+	return WithModelPublisher(reg)
+}
+
+// WithModelPublisher generalizes WithModelRegistry to any model source:
+// a fleet deployment passes its pme.Replica so the trained model lands
+// in the shared store (and fans out to every replica) instead of one
+// process's registry.
+func WithModelPublisher(src pme.ModelSource) Option {
+	return func(p *Pipeline) {
+		if src != nil {
+			p.publisher = src
+		}
+	}
 }
 
 // Pipeline is the staged form of the study: each stage is a context-aware
@@ -155,11 +167,11 @@ func WithModelRegistry(reg *pme.Registry) Option {
 // existing trace without regenerating it). A zero Pipeline is invalid;
 // use NewPipeline.
 type Pipeline struct {
-	cfg      Config
-	progress func(StageEvent)
-	workers  int
-	registry *pme.Registry
-	obs      *obs.Registry
+	cfg       Config
+	progress  func(StageEvent)
+	workers   int
+	publisher pme.ModelSource
+	obs       *obs.Registry
 }
 
 // NewPipeline builds a Pipeline from DefaultConfig plus options,
@@ -345,8 +357,8 @@ func (p *Pipeline) TrainModel(ctx context.Context, res *analyzer.Result, camps *
 		if err != nil {
 			return fmt.Errorf("training PME: %w", err)
 		}
-		if p.registry != nil {
-			snap, err := p.registry.Publish(m)
+		if p.publisher != nil {
+			snap, err := p.publisher.Publish(m)
 			if err != nil {
 				return fmt.Errorf("publishing model: %w", err)
 			}
