@@ -39,6 +39,11 @@ type Model struct {
 	// stale flat form.
 	flatForest *mlkit.FlatForest
 	flatTree   *mlkit.FlatForest
+	// quantForest is the eagerly quantized engine of a compact-blob
+	// decode (models with a pointer Forest cache theirs on the forest,
+	// see QuantizedForest). A plain pointer, so CloneWithVersion's
+	// struct copy shares it safely.
+	quantForest *mlkit.QuantizedForest
 }
 
 // ModelMetrics is the §5.4 metric bundle in serializable form.
@@ -75,6 +80,18 @@ func (m *Model) FlatForest() *mlkit.FlatForest {
 		return m.Forest.Flat()
 	}
 	return m.flatForest
+}
+
+// QuantizedForest returns the model's 8-byte-per-node inference
+// engine, or nil when the forest is outside the quantized encoding's
+// exact range (callers stay on FlatForest; predictions are
+// bit-identical either way). Cached on the pointer forest like Flat;
+// compact-blob decodes quantize eagerly at decode time.
+func (m *Model) QuantizedForest() *mlkit.QuantizedForest {
+	if m.Forest != nil {
+		return m.Forest.Quantized()
+	}
+	return m.quantForest
 }
 
 // FlatTree is FlatForest for the representative single tree.

@@ -1,0 +1,229 @@
+package mlkit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// QuantizedForest is a FlatForest recompiled into half the bytes: one
+// uint16 feature index, one uint16 child delta and one float32
+// threshold per node — 8 bytes against the flat form's 16 — so the
+// merged matrices the inference batcher walks keep twice as many nodes
+// cache-resident. Layout mirrors FlatForest (breadth-first trees,
+// right sibling = left + 1):
+//
+//   - Feats[i] != quantLeaf: internal node splitting on
+//     x[Feats[i]] <= Thrs[i]; the left child is i + Kids[i] (a forward
+//     delta — breadth-first layout keeps children within uint16 range
+//     for every forest the trainer emits), the right child one past it.
+//   - Feats[i] == quantLeaf: leaf; Kids[i] holds the class.
+//
+// Quantization is exact, not approximate: Quantize refuses any forest
+// whose thresholds do not round-trip float64→float32→float64 bit-for-
+// bit, and the walk widens the stored float32 back to float64 before
+// comparing. The trainer splits on binned/one-hot features, so its
+// thresholds are midpoints of small integers — always exactly
+// representable — and every prediction is bit-identical to the
+// FlatForest it was compiled from, for all inputs including NaN
+// (fails <=, branches right) and ±Inf. Immutable after Quantize and
+// safe for concurrent use.
+type QuantizedForest struct {
+	Classes int
+	Roots   []int32
+	Feats   []uint16 // split feature, or quantLeaf for a leaf
+	Kids    []uint16 // left-child delta (internal) or class (leaf)
+	Thrs    []float32
+}
+
+// quantLeaf is the Feats sentinel marking a leaf node. Feature index
+// 0xFFFF itself is therefore unusable, which Quantize checks.
+const quantLeaf = ^uint16(0)
+
+// ErrNotQuantizable reports a forest outside the quantized encoding's
+// range: a feature index or leaf class beyond uint16, a child further
+// than 65535 nodes ahead, or a threshold that is not exactly
+// representable in float32. Callers fall back to the FlatForest.
+var ErrNotQuantizable = errors.New("mlkit: forest not exactly quantizable")
+
+// NumTrees returns the ensemble size.
+func (qf *QuantizedForest) NumTrees() int { return len(qf.Roots) }
+
+// NodeCount returns the total node count across all trees.
+func (qf *QuantizedForest) NodeCount() int { return len(qf.Feats) }
+
+// NumClasses implements BatchClassifier.
+func (qf *QuantizedForest) NumClasses() int { return qf.Classes }
+
+// WorkingSetBytes returns the traversal working set: every byte the
+// walk can touch (roots + the three node arrays).
+func (qf *QuantizedForest) WorkingSetBytes() int {
+	return 4*len(qf.Roots) + 8*len(qf.Feats)
+}
+
+// Quantize compiles ff into the 8-byte-per-node form, or reports
+// ErrNotQuantizable (with the offending node) when the result could
+// not be bit-identical. It never approximates.
+func (ff *FlatForest) Quantize() (*QuantizedForest, error) {
+	if ff.Classes > int(quantLeaf) {
+		return nil, fmt.Errorf("%w: %d classes exceed uint16", ErrNotQuantizable, ff.Classes)
+	}
+	qf := &QuantizedForest{
+		Classes: ff.Classes,
+		Roots:   ff.Roots,
+		Feats:   make([]uint16, len(ff.Feats)),
+		Kids:    make([]uint16, len(ff.Kids)),
+		Thrs:    make([]float32, len(ff.Thrs)),
+	}
+	for i, ft := range ff.Feats {
+		k := ff.Kids[i]
+		if ft < 0 {
+			if k < 0 || k >= int32(quantLeaf) {
+				return nil, fmt.Errorf("%w: leaf %d class %d exceeds uint16", ErrNotQuantizable, i, k)
+			}
+			qf.Feats[i] = quantLeaf
+			qf.Kids[i] = uint16(k)
+			continue
+		}
+		if ft >= int32(quantLeaf) {
+			return nil, fmt.Errorf("%w: node %d feature %d exceeds uint16", ErrNotQuantizable, i, ft)
+		}
+		delta := int64(k) - int64(i)
+		if delta < 1 || delta > int64(^uint16(0)) {
+			return nil, fmt.Errorf("%w: node %d child delta %d outside [1, 65535]", ErrNotQuantizable, i, delta)
+		}
+		thr := ff.Thrs[i]
+		narrow := float32(thr)
+		if float64(narrow) != thr {
+			return nil, fmt.Errorf("%w: node %d threshold %v not float32-exact", ErrNotQuantizable, i, thr)
+		}
+		qf.Feats[i] = uint16(ft)
+		qf.Kids[i] = uint16(delta)
+		qf.Thrs[i] = narrow
+	}
+	return qf, nil
+}
+
+// walk descends from node i to a leaf and returns its class. The
+// float32 threshold is widened to float64 before the comparison, so
+// branching — NaN fails <= and goes right — is bit-identical to
+// FlatForest.walk.
+func (qf *QuantizedForest) walk(i int32, x []float64) int32 {
+	feats, kids, thrs := qf.Feats, qf.Kids, qf.Thrs
+	for {
+		ft := feats[i]
+		if ft == quantLeaf {
+			return int32(kids[i])
+		}
+		if x[ft] <= float64(thrs[i]) {
+			i += int32(kids[i])
+		} else {
+			i += int32(kids[i]) + 1
+		}
+	}
+}
+
+// Predict returns the majority-vote class for x (ties to the lower
+// class index), exactly like FlatForest.Predict.
+func (qf *QuantizedForest) Predict(x []float64) int {
+	var buf [16]int32
+	var votes []int32
+	if qf.Classes <= len(buf) {
+		votes = buf[:qf.Classes]
+	} else {
+		votes = make([]int32, qf.Classes)
+	}
+	for _, root := range qf.Roots {
+		votes[qf.walk(root, x)]++
+	}
+	best, bestN := 0, int32(-1)
+	for c, v := range votes {
+		if v > bestN {
+			best, bestN = c, v
+		}
+	}
+	return best
+}
+
+// PredictTree returns tree t's class for x.
+func (qf *QuantizedForest) PredictTree(t int, x []float64) int {
+	return int(qf.walk(qf.Roots[t], x))
+}
+
+// PredictInto classifies every row of X into dst[:len(X)] with the
+// same tree-major traversal and vote accumulator as
+// FlatForest.PredictInto. dst must have length >= len(X). Zero
+// allocations on the warm path.
+func (qf *QuantizedForest) PredictInto(dst []int, X [][]float64) {
+	n := len(X)
+	if n == 0 {
+		return
+	}
+	classes := qf.Classes
+	need := n * classes
+	vp := votesPool.Get().(*[]int32)
+	votes := *vp
+	if cap(votes) < need {
+		votes = make([]int32, need)
+	} else {
+		votes = votes[:need]
+		clear(votes)
+	}
+	for _, root := range qf.Roots {
+		for vi, x := range X {
+			votes[vi*classes+int(qf.walk(root, x))]++
+		}
+	}
+	for vi := 0; vi < n; vi++ {
+		row := votes[vi*classes : (vi+1)*classes]
+		best, bestN := 0, int32(-1)
+		for c, v := range row {
+			if v > bestN {
+				best, bestN = c, v
+			}
+		}
+		dst[vi] = best
+	}
+	*vp = votes
+	votesPool.Put(vp)
+}
+
+// BatchClassifier is the interface both forest engines satisfy: the
+// estimate paths pick one (flat by default, quantized when routed and
+// representable) and treat it uniformly.
+type BatchClassifier interface {
+	Predict(x []float64) int
+	PredictInto(dst []int, X [][]float64)
+	NumClasses() int
+}
+
+// NumClasses implements BatchClassifier.
+func (ff *FlatForest) NumClasses() int { return ff.Classes }
+
+// WorkingSetBytes returns the flat walk's working set, the baseline
+// the quantized form is measured against.
+func (ff *FlatForest) WorkingSetBytes() int {
+	return 4*len(ff.Roots) + 16*len(ff.Feats)
+}
+
+var (
+	_ BatchClassifier = (*FlatForest)(nil)
+	_ BatchClassifier = (*QuantizedForest)(nil)
+)
+
+// quantOnce caches the quantized form next to the flat cache, on the
+// trained structure itself, for the same staleness-safety reason as
+// flatOnce.
+type quantOnce struct {
+	once sync.Once
+	qf   *QuantizedForest
+}
+
+// Quantized returns the forest's quantized form, compiling (via Flat)
+// on first use, or nil when the forest is outside the quantized
+// encoding's exact range — callers must then stay on Flat. Safe for
+// concurrent use.
+func (f *Forest) Quantized() *QuantizedForest {
+	f.quant.once.Do(func() { f.quant.qf, _ = f.Flat().Quantize() })
+	return f.quant.qf
+}

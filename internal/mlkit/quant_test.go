@@ -1,0 +1,212 @@
+package mlkit
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"yourandvalue/internal/stats"
+)
+
+// binnedData synthesizes training data shaped like the repo's real
+// feature space: every value is a small multiple of 0.25 (one-hot and
+// binned features), so split thresholds — midpoints of adjacent values
+// — are exactly representable in float32 and the forest quantizes.
+func binnedData(n int, seed int64) ([][]float64, []int) {
+	rng := stats.NewRand(seed)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, 10)
+		for j := range row {
+			row[j] = float64(rng.Intn(9)) * 0.25
+		}
+		X[i] = row
+		switch {
+		case row[0]+row[3] > 2.5:
+			y[i] = 2
+		case row[1] > 1.0 || row[7] > 1.5:
+			y[i] = 1
+		}
+		if rng.Float64() < 0.08 { // label noise keeps trees non-trivial
+			y[i] = rng.Intn(3)
+		}
+	}
+	return X, y
+}
+
+func trainQuantizable(t testing.TB, n int, trees int, seed int64) (*Forest, *FlatForest, *QuantizedForest) {
+	t.Helper()
+	X, y := binnedData(n, seed)
+	f, err := TrainForest(X, y, 3, ForestConfig{Trees: trees, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := f.Flat()
+	qf, err := ff.Quantize()
+	if err != nil {
+		t.Fatalf("Quantize on binned features: %v", err)
+	}
+	return f, ff, qf
+}
+
+// TestQuantizedForestEquivalence is the differential suite: fuzzed
+// vectors (uniform, NaN-salted, ±Inf-salted, threshold-edge) must
+// classify identically through the flat and quantized walks, per
+// forest, per tree, and through the batch path.
+func TestQuantizedForestEquivalence(t *testing.T) {
+	f, ff, qf := trainQuantizable(t, 900, 25, 210)
+	if qf.NumTrees() != ff.NumTrees() || qf.NodeCount() != ff.NodeCount() {
+		t.Fatalf("shape mismatch: trees %d/%d nodes %d/%d",
+			qf.NumTrees(), ff.NumTrees(), qf.NodeCount(), ff.NodeCount())
+	}
+	vecs := fuzzVectors(f, 10, 600, 211)
+	for vi, x := range vecs {
+		if got, want := qf.Predict(x), ff.Predict(x); got != want {
+			t.Fatalf("vec %d: quantized Predict = %d, flat = %d", vi, got, want)
+		}
+		for ti := 0; ti < ff.NumTrees(); ti++ {
+			if got, want := qf.PredictTree(ti, x), ff.PredictTree(ti, x); got != want {
+				t.Fatalf("vec %d tree %d: quantized = %d, flat = %d", vi, ti, got, want)
+			}
+		}
+	}
+	gotB := make([]int, len(vecs))
+	wantB := make([]int, len(vecs))
+	qf.PredictInto(gotB, vecs)
+	ff.PredictInto(wantB, vecs)
+	for i := range gotB {
+		if gotB[i] != wantB[i] {
+			t.Fatalf("batch vec %d: quantized = %d, flat = %d", i, gotB[i], wantB[i])
+		}
+	}
+}
+
+// TestQuantizedWorkingSetShrink pins the point of the exercise: the
+// traversal working set shrinks by at least 40% (8 vs 16 bytes per
+// node; the shared per-tree root array is the only overhead).
+func TestQuantizedWorkingSetShrink(t *testing.T) {
+	_, ff, qf := trainQuantizable(t, 900, 25, 220)
+	flat, quant := ff.WorkingSetBytes(), qf.WorkingSetBytes()
+	if flat <= 0 || quant <= 0 {
+		t.Fatalf("degenerate working sets: flat=%d quant=%d", flat, quant)
+	}
+	shrink := 1 - float64(quant)/float64(flat)
+	if shrink < 0.40 {
+		t.Fatalf("working set shrank only %.1f%% (flat %d B → quant %d B); want >= 40%%",
+			100*shrink, flat, quant)
+	}
+	t.Logf("working set: flat %d B → quantized %d B (%.1f%% shrink, %d nodes)",
+		flat, quant, 100*shrink, ff.NodeCount())
+}
+
+// TestQuantizeRejectsInexact verifies Quantize never approximates: any
+// structure outside the exact 8-byte encoding is refused, not rounded.
+func TestQuantizeRejectsInexact(t *testing.T) {
+	leaf := func(class int32) (int32, int32, float64) { return -1, class, 0 }
+	build := func(feat, kid int32, thr float64) *FlatForest {
+		ff := &FlatForest{Classes: 3, Roots: []int32{0}}
+		f0, k0, t0 := feat, kid, thr
+		ff.Feats = append(ff.Feats, f0)
+		ff.Kids = append(ff.Kids, k0)
+		ff.Thrs = append(ff.Thrs, t0)
+		lf, lk, lt := leaf(0)
+		ff.Feats = append(ff.Feats, lf, lf)
+		ff.Kids = append(ff.Kids, lk, lk)
+		ff.Thrs = append(ff.Thrs, lt, lt)
+		return ff
+	}
+
+	cases := map[string]*FlatForest{
+		// 0.1 has no exact float32 representation.
+		"inexact threshold": build(0, 1, 0.1),
+		// Feature index at the leaf sentinel.
+		"feature overflow": build(int32(^uint16(0)), 1, 0.5),
+	}
+	for name, ff := range cases {
+		if _, err := ff.Quantize(); !errors.Is(err, ErrNotQuantizable) {
+			t.Errorf("%s: err = %v, want ErrNotQuantizable", name, err)
+		}
+	}
+
+	// A threshold that IS exact must pass, as a control.
+	if _, err := build(0, 1, 0.5).Quantize(); err != nil {
+		t.Errorf("exact threshold rejected: %v", err)
+	}
+
+	// NaN thresholds round-trip float32 in bit-pattern terms but compare
+	// unequal; the guard must reject them (float64(float32(NaN)) != NaN).
+	if _, err := build(0, 1, math.NaN()).Quantize(); !errors.Is(err, ErrNotQuantizable) {
+		t.Errorf("NaN threshold: want ErrNotQuantizable")
+	}
+
+	// Child delta beyond uint16: a synthetic 70k-node left-comb.
+	big := &FlatForest{Classes: 2}
+	const span = 70000
+	big.Roots = []int32{0}
+	big.Feats = append(big.Feats, 0)
+	big.Kids = append(big.Kids, span) // left child 70000 nodes ahead
+	big.Thrs = append(big.Thrs, 0.5)
+	for i := 1; i < span+2; i++ {
+		big.Feats = append(big.Feats, -1)
+		big.Kids = append(big.Kids, 0)
+		big.Thrs = append(big.Thrs, 0)
+	}
+	if _, err := big.Quantize(); !errors.Is(err, ErrNotQuantizable) {
+		t.Errorf("wide delta: err = %v, want ErrNotQuantizable", err)
+	}
+}
+
+// TestForestQuantizedCache verifies the once-cache returns a stable
+// handle and that an unquantizable forest caches nil instead of
+// recompiling per call.
+func TestForestQuantizedCache(t *testing.T) {
+	f, _, _ := trainQuantizable(t, 400, 8, 230)
+	q1, q2 := f.Quantized(), f.Quantized()
+	if q1 == nil || q1 != q2 {
+		t.Fatalf("Quantized cache unstable: %p vs %p", q1, q2)
+	}
+
+	X, y := noisyData(400, 231) // continuous features → inexact midpoints
+	nf, err := TrainForest(X, y, 3, ForestConfig{Trees: 8, Seed: 232})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.Quantized() != nil {
+		// Astronomically unlikely that every random-float midpoint is
+		// float32-exact; if it happens the cache is still correct.
+		t.Skip("noisy forest happened to be exactly quantizable")
+	}
+}
+
+// BenchmarkQuantizedForest measures the quantized walk against the
+// flat baseline, single-vector and tree-major batch.
+func BenchmarkQuantizedForest(b *testing.B) {
+	f, ff, qf := trainQuantizable(b, 2000, 50, 240)
+	vecs := fuzzVectors(f, 10, 512, 241)
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += ff.Predict(vecs[i%len(vecs)])
+		}
+		_ = sink
+	})
+	b.Run("quant", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += qf.Predict(vecs[i%len(vecs)])
+		}
+		_ = sink
+	})
+	b.Run("quant-batch512", func(b *testing.B) {
+		b.ReportAllocs()
+		dst := make([]int, len(vecs))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qf.PredictInto(dst, vecs)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(vecs)), "ns/vec")
+	})
+}

@@ -2,8 +2,12 @@ package pme
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
 
 	"yourandvalue/internal/core"
+	"yourandvalue/internal/mlkit"
 )
 
 // DefaultMaxBatch bounds one EstimateBatch call; unbounded workloads
@@ -11,39 +15,90 @@ import (
 const DefaultMaxBatch = 4096
 
 // Core is the canonical Service implementation: a Registry for the
-// model lineage and a Pool for contributed observations. Safe for
-// concurrent use.
+// model lineage and a Pool for contributed observations, optionally
+// fronted by a cross-request inference Batcher. Safe for concurrent
+// use.
 type Core struct {
-	registry *Registry
-	pool     PoolBackend
-	maxBatch int
+	registry  *Registry
+	pool      PoolBackend
+	maxBatch  atomic.Int64
+	batcher   *Batcher
+	quantized bool
+}
+
+// CoreOption configures a Core at construction.
+type CoreOption func(*Core)
+
+// WithBatcher routes EstimateBatch and session chunk estimates through
+// a cross-request micro-batching scheduler (see Batcher). Results are
+// bit-identical to the unbatched path.
+func WithBatcher(cfg BatcherConfig) CoreOption {
+	return func(c *Core) { c.batcher = newBatcher(cfg) }
+}
+
+// WithQuantizedInference routes forest walks through the 8-byte-node
+// mlkit.QuantizedForest when the model is exactly representable in it
+// (always true for the binned features this repo trains on), halving
+// the traversal working set. Predictions are bit-identical; models
+// outside the exact range silently stay on the flat engine.
+func WithQuantizedInference() CoreOption {
+	return func(c *Core) { c.quantized = true }
 }
 
 // NewCore builds the service over a registry and a contribution pool
 // backend (nil selects an in-process pool with the default bound).
-func NewCore(reg *Registry, pool PoolBackend) *Core {
+func NewCore(reg *Registry, pool PoolBackend, opts ...CoreOption) *Core {
 	if reg == nil {
 		reg = NewRegistry()
 	}
 	if pool == nil {
 		pool = NewPool(0)
 	}
-	return &Core{registry: reg, pool: pool, maxBatch: DefaultMaxBatch}
+	c := &Core{registry: reg, pool: pool}
+	c.maxBatch.Store(DefaultMaxBatch)
+	for _, o := range opts {
+		o(c)
+	}
+	if c.batcher != nil {
+		c.batcher.quant = c.quantized
+	}
+	return c
 }
 
-// SetMaxBatch re-bounds EstimateBatch (n <= 0 is ignored). Not safe to
-// call concurrently with serving; configure before traffic starts.
-func (c *Core) SetMaxBatch(n int) {
-	if n > 0 {
-		c.maxBatch = n
+// SetMaxBatch re-bounds EstimateBatch. The bound is atomic, so it is
+// safe to re-tune under live traffic; n <= 0 is rejected (a service
+// that can accept no batch at all is a configuration error, not a
+// tuning choice).
+func (c *Core) SetMaxBatch(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("pme: SetMaxBatch(%d): bound must be positive", n)
 	}
+	c.maxBatch.Store(int64(n))
+	return nil
 }
+
+// MaxBatch returns the per-call EstimateBatch bound.
+func (c *Core) MaxBatch() int { return int(c.maxBatch.Load()) }
 
 // Registry exposes the model lineage for publish/rollback wiring.
 func (c *Core) Registry() *Registry { return c.registry }
 
 // Pool exposes the contribution pool backend for retrain-loop wiring.
 func (c *Core) Pool() PoolBackend { return c.pool }
+
+// Batcher returns the attached inference batcher, or nil when the core
+// runs unbatched.
+func (c *Core) Batcher() *Batcher { return c.batcher }
+
+// Close drains the attached batcher, if any: queued estimates complete
+// and later ones fall back to the direct per-session walk, so no
+// caller is ever stranded by shutdown.
+func (c *Core) Close() error {
+	if c.batcher != nil {
+		c.batcher.Close()
+	}
+	return nil
+}
 
 // ModelSnapshot implements Service.
 func (c *Core) ModelSnapshot(ctx context.Context) (*Snapshot, error) {
@@ -58,14 +113,16 @@ func (c *Core) ModelSnapshot(ctx context.Context) (*Snapshot, error) {
 }
 
 // EstimateBatch implements Service: every item is estimated against the
-// single snapshot resolved at entry, with one scratch vector reused
-// across the whole batch.
+// single snapshot resolved at entry. With a batcher attached the rows
+// join the shared submission queue and ride a merged tree-major walk;
+// without one (or after batcher shutdown) they run the session-local
+// chunk walk. Either way the results are bit-identical.
 func (c *Core) EstimateBatch(ctx context.Context, items []EstimateItem) (*EstimateResult, error) {
 	if len(items) == 0 {
 		return nil, ErrEmptyBatch
 	}
-	if len(items) > c.maxBatch {
-		return nil, &BatchTooLargeError{N: len(items), Max: c.maxBatch}
+	if maxB := c.MaxBatch(); len(items) > maxB {
+		return nil, &BatchTooLargeError{N: len(items), Max: maxB}
 	}
 	sess, err := c.OpenEstimateSession(ctx)
 	if err != nil {
@@ -76,7 +133,9 @@ func (c *Core) EstimateBatch(ctx context.Context, items []EstimateItem) (*Estima
 		ETag:         sess.Snapshot().ETag,
 		EstimatesCPM: make([]float64, len(items)),
 	}
-	sess.EstimateInto(res.EstimatesCPM, items)
+	if err := sess.EstimateChunk(ctx, res.EstimatesCPM, items); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -86,9 +145,12 @@ func (c *Core) OpenEstimateSession(ctx context.Context) (*EstimateSession, error
 	if err != nil {
 		return nil, err
 	}
+	// vec is allocated lazily by Estimate: batched chunk estimates never
+	// touch it.
 	return &EstimateSession{
-		snap: snap,
-		vec:  make([]float64, snap.Model.Features.Dim()),
+		snap:  snap,
+		b:     c.batcher,
+		quant: c.quantized,
 	}, nil
 }
 
@@ -101,20 +163,23 @@ func (c *Core) Contribute(ctx context.Context, batch []Contribution) (Contribute
 	return ContributeResult{Accepted: accepted, Dropped: dropped, Invalid: invalid}, nil
 }
 
-// MaxBatch returns the per-call EstimateBatch bound.
-func (c *Core) MaxBatch() int { return c.maxBatch }
-
 // EstimateSession pins one model snapshot and one scratch vector for a
 // sequence of estimates: under an unbounded NDJSON stream the memory
 // cost stays one vector and one snapshot pointer no matter how many
 // items flow through, and a concurrent registry hot-swap never changes
 // the version mid-stream. Not safe for concurrent use.
 type EstimateSession struct {
-	snap *Snapshot
-	vec  []float64
+	snap  *Snapshot
+	vec   []float64
+	b     *Batcher
+	quant bool
+
+	// eng is the forest walk the session settled on (flat, or quantized
+	// when routed and representable), resolved once per session.
+	eng mlkit.BatchClassifier
 
 	// Batch scratch (EstimateInto), built on first use: an encode matrix
-	// flushed chunk-at-a-time through the flat forest's tree-major walk,
+	// flushed chunk-at-a-time through the engine's tree-major walk,
 	// plus the per-class representative CPMs.
 	rows [][]float64
 	cls  []int
@@ -124,17 +189,38 @@ type EstimateSession struct {
 // Snapshot returns the pinned model snapshot.
 func (s *EstimateSession) Snapshot() *Snapshot { return s.snap }
 
+// engine resolves the session's forest walk once: quantized when
+// routing is on and the pinned model is exactly representable, flat
+// otherwise. Bit-identical either way.
+func (s *EstimateSession) engine() mlkit.BatchClassifier {
+	if s.eng == nil {
+		m := s.snap.Model
+		if s.quant {
+			if qf := m.QuantizedForest(); qf != nil {
+				s.eng = qf
+			}
+		}
+		if s.eng == nil {
+			s.eng = m.FlatForest()
+		}
+	}
+	return s.eng
+}
+
 // Estimate encodes one item into the reused scratch vector through the
 // shared zero-allocation detect.Encoder path and returns its CPM.
 func (s *EstimateSession) Estimate(it *EstimateItem) float64 {
 	hour, weekday := it.timeFeatures()
 	m := s.snap.Model
+	if s.vec == nil {
+		s.vec = make([]float64, m.Features.Dim())
+	}
 	m.Features.EncodeStringsInto(s.vec, core.StringContext{
 		ADX: it.ADX, City: it.City, OS: it.OS, Device: it.Device,
 		Origin: it.Origin, Slot: it.Slot, IAB: it.IAB,
 		Hour: hour, Weekday: weekday,
 	})
-	return m.EstimateCPM(s.vec)
+	return m.Binner.Representative(s.engine().Predict(s.vec))
 }
 
 // estimateBatchChunk bounds EstimateInto's encode matrix: items are
@@ -142,13 +228,13 @@ func (s *EstimateSession) Estimate(it *EstimateItem) float64 {
 const estimateBatchChunk = 256
 
 // EstimateInto estimates every item into dst[:len(items)], encoding a
-// chunk of items and classifying the whole chunk through the flat
-// forest's batch path — item-for-item identical to Estimate, but the
+// chunk of items and classifying the whole chunk through the forest
+// engine's batch path — item-for-item identical to Estimate, but the
 // forest is walked tree-major across the chunk instead of being
 // re-fetched per item. dst must have length >= len(items).
 func (s *EstimateSession) EstimateInto(dst []float64, items []EstimateItem) {
 	m := s.snap.Model
-	ff := m.FlatForest()
+	eng := s.engine()
 	if s.rows == nil {
 		dim := m.Features.Dim()
 		backing := make([]float64, estimateBatchChunk*dim)
@@ -157,7 +243,7 @@ func (s *EstimateSession) EstimateInto(dst []float64, items []EstimateItem) {
 			s.rows[i] = backing[i*dim : (i+1)*dim]
 		}
 		s.cls = make([]int, estimateBatchChunk)
-		s.reps = make([]float64, ff.Classes)
+		s.reps = make([]float64, eng.NumClasses())
 		for c := range s.reps {
 			s.reps[c] = m.Binner.Representative(c)
 		}
@@ -173,9 +259,27 @@ func (s *EstimateSession) EstimateInto(dst []float64, items []EstimateItem) {
 				Hour: hour, Weekday: weekday,
 			})
 		}
-		ff.PredictInto(s.cls[:k], s.rows[:k])
+		eng.PredictInto(s.cls[:k], s.rows[:k])
 		for i := 0; i < k; i++ {
 			dst[base+i] = s.reps[s.cls[i]]
 		}
 	}
+}
+
+// EstimateChunk estimates every item into dst[:len(items)] through the
+// core's cross-request batcher when one is attached — the rows
+// coalesce with concurrent callers' into shared walks against this
+// session's pinned snapshot — and falls back to the session-local
+// EstimateInto when there is no batcher or it has shut down. Results
+// are bit-identical on every path; the only error is ctx expiring
+// while queued.
+func (s *EstimateSession) EstimateChunk(ctx context.Context, dst []float64, items []EstimateItem) error {
+	if s.b != nil {
+		err := s.b.estimate(ctx, s.snap, dst, items)
+		if err == nil || !errors.Is(err, ErrBatcherClosed) {
+			return err
+		}
+	}
+	s.EstimateInto(dst, items)
+	return nil
 }

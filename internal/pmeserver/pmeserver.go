@@ -45,6 +45,7 @@ type Server struct {
 	svc      pme.Service
 	registry *pme.Registry   // nil when a custom Service is injected
 	pool     pme.PoolBackend // nil when a custom Service is injected
+	coreOpts []pme.CoreOption
 	ready    func(ctx context.Context) error
 	metrics  *Metrics
 	obs      *obs.Registry
@@ -161,6 +162,13 @@ func WithReadiness(fn func(ctx context.Context) error) Option {
 	}
 }
 
+// WithCoreOptions forwards options (pme.WithBatcher, pme.
+// WithQuantizedInference, ...) to the pme.Core the server constructs.
+// Ignored when WithService injects a custom service.
+func WithCoreOptions(opts ...pme.CoreOption) Option {
+	return func(s *Server) { s.coreOpts = append(s.coreOpts, opts...) }
+}
+
 // WithService replaces the whole service core. The compat accessors
 // (SetModel, Model, Contributions, SetMaxPool) need registry/pool
 // handles and return zero values or errors under a custom service
@@ -183,7 +191,7 @@ func New(model *core.Model, opts ...Option) (*Server, error) {
 		if s.pool == nil {
 			s.pool = pme.NewPool(0)
 		}
-		s.svc = pme.NewCore(s.registry, s.pool)
+		s.svc = pme.NewCore(s.registry, s.pool, s.coreOpts...)
 	}
 	if s.obs == nil {
 		s.obs = obs.NewRegistry()
@@ -193,6 +201,9 @@ func New(model *core.Model, opts ...Option) (*Server, error) {
 	obs.RegisterRuntime(s.obs)
 	s.metrics.bind(s.obs)
 	pme.Instrument(s.obs, s.registry, s.pool)
+	if c, ok := s.svc.(*pme.Core); ok {
+		pme.InstrumentBatcher(s.obs, c.Batcher())
+	}
 	if s.tracer != nil {
 		tr := s.tracer
 		s.obs.CounterFunc("pme_trace_dropped_spans_total",
@@ -209,6 +220,16 @@ func New(model *core.Model, opts ...Option) (*Server, error) {
 
 // Service returns the underlying service core.
 func (s *Server) Service() pme.Service { return s.svc }
+
+// Close drains the service's inference batcher, if any: in-flight
+// estimates complete and later ones fall back to the direct walk. Call
+// it after the HTTP listener stops accepting traffic.
+func (s *Server) Close() error {
+	if c, ok := s.svc.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 // Registry returns the model registry behind the server (nil when a
 // custom Service was injected without one).

@@ -32,6 +32,13 @@ const (
 	// streamFlushEvery flushes the response writer after this many
 	// items so long streams deliver results incrementally.
 	streamFlushEvery = 512
+	// streamChunkSize bounds how many parsed items are estimated per
+	// call: a full chunk matches the session walk's encode-matrix size,
+	// and when the service runs a cross-request batcher each chunk is
+	// one submission — a lone fat stream still flushes full batches
+	// immediately (size trigger) while only its sub-chunk tail can wait
+	// out the batch window.
+	streamChunkSize = 256
 )
 
 // streamLine is one NDJSON response line: exactly one of CPM, Error, or
@@ -76,40 +83,60 @@ func (s *Server) handleEstimateStreamV2(w http.ResponseWriter, r *http.Request) 
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 4096), maxStreamLine)
 	var (
-		it    pme.EstimateItem
+		chunk = make([]pme.EstimateItem, 0, streamChunkSize)
+		cpms  = make([]float64, streamChunkSize)
 		out   []byte // reused {"cpm":N}\n scratch
 		items int
 	)
 	ctx := r.Context()
+	// emit estimates the buffered chunk — one tree-major walk, one
+	// batcher submission when the service batches — and writes its
+	// result lines. Reports whether the stream should continue.
+	emit := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		if err := sess.EstimateChunk(ctx, cpms[:len(chunk)], chunk); err != nil {
+			fail("cancelled", "request context cancelled mid-stream")
+			return false
+		}
+		for _, cpm := range cpms[:len(chunk)] {
+			out = append(out[:0], `{"cpm":`...)
+			out = strconv.AppendFloat(out, cpm, 'g', -1, 64)
+			out = append(out, '}', '\n')
+			if _, err := bw.Write(out); err != nil {
+				return false // client went away
+			}
+			items++
+			if items%streamFlushEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					fail("cancelled", "request context cancelled mid-stream")
+					return false
+				}
+				if err := bw.Flush(); err != nil {
+					return false
+				}
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+			}
+		}
+		chunk = chunk[:0]
+		return true
+	}
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
-		it = pme.EstimateItem{}
+		var it pme.EstimateItem
 		if err := json.Unmarshal(line, &it); err != nil {
-			fail("bad_line", fmt.Sprintf("item %d is not a valid JSON object", items))
+			fail("bad_line", fmt.Sprintf("item %d is not a valid JSON object", items+len(chunk)))
 			return
 		}
-		cpm := sess.Estimate(&it)
-		out = append(out[:0], `{"cpm":`...)
-		out = strconv.AppendFloat(out, cpm, 'g', -1, 64)
-		out = append(out, '}', '\n')
-		if _, err := bw.Write(out); err != nil {
-			return // client went away
-		}
-		items++
-		if items%streamFlushEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				fail("cancelled", "request context cancelled mid-stream")
-				return
-			}
-			if err := bw.Flush(); err != nil {
-				return
-			}
-			if f, ok := w.(http.Flusher); ok {
-				f.Flush()
-			}
+		chunk = append(chunk, it)
+		if len(chunk) == streamChunkSize && !emit() {
+			return
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -118,6 +145,9 @@ func (s *Server) handleEstimateStreamV2(w http.ResponseWriter, r *http.Request) 
 			code = "line_too_long"
 		}
 		fail(code, err.Error())
+		return
+	}
+	if !emit() {
 		return
 	}
 	_ = json.NewEncoder(bw).Encode(streamLine{Done: true, Items: items, ModelVersion: snap.Version})

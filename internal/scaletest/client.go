@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -196,31 +197,90 @@ func (e *clientEnv) runClient(ctx context.Context, idx int, id string, st *clien
 			}
 			sp.End()
 		} else if due(prof.EstimateEvery, cycle) && len(items) > 0 {
-			st.requests++
-			sp := e.tracer.Child("estimate", root.Context()).
-				SetAttr("items", strconv.Itoa(len(items)))
-			t0 := time.Now()
-			out, err := pc.EstimateV2(trace.ContextWith(ctx, sp.Context()), items)
-			st.estimate.Record(time.Since(t0))
-			if err != nil {
-				if ctx.Err() != nil {
-					sp.End()
+			if prof.EstimateBurst > 1 {
+				if !e.estimateBurst(ctx, pc, root, st, items, prof.EstimateBurst) {
 					root.End()
 					return
 				}
-				st.errs++
-				sp.SetAttr("status", "error").SetAttr("error", err.Error())
 			} else {
-				st.est += int64(len(out.EstimatesCPM))
-				sp.SetAttr("status", "ok")
+				st.requests++
+				sp := e.tracer.Child("estimate", root.Context()).
+					SetAttr("items", strconv.Itoa(len(items)))
+				t0 := time.Now()
+				out, err := pc.EstimateV2(trace.ContextWith(ctx, sp.Context()), items)
+				st.estimate.Record(time.Since(t0))
+				if err != nil {
+					if ctx.Err() != nil {
+						sp.End()
+						root.End()
+						return
+					}
+					st.errs++
+					sp.SetAttr("status", "error").SetAttr("error", err.Error())
+				} else {
+					st.est += int64(len(out.EstimatesCPM))
+					sp.SetAttr("status", "ok")
+				}
+				sp.End()
 			}
-			sp.End()
 		}
 
 		root.End()
 		st.ops++
 		cyclesInGen++
 	}
+}
+
+// estimateBurst issues the cycle's items as burst concurrent
+// POST /v2/estimate sub-batches — the concurrent-arrival shape the
+// server-side micro-batcher coalesces. Per-goroutine outcomes are
+// buffered and merged after the join because clientStats histograms
+// are not safe for concurrent writes. Returns false when the client
+// should stop (context cancelled mid-burst).
+func (e *clientEnv) estimateBurst(ctx context.Context, pc *pmeserver.Client, root *trace.ActiveSpan, st *clientStats, items []pmeserver.EstimateItem, burst int) bool {
+	n := min(burst, len(items))
+	type outcome struct {
+		dur time.Duration
+		est int64
+		err error
+	}
+	outs := make([]outcome, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		lo, hi := g*len(items)/n, (g+1)*len(items)/n
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			sp := e.tracer.Child("estimate", root.Context()).
+				SetAttr("items", strconv.Itoa(hi-lo)).
+				SetAttr("burst", strconv.Itoa(g))
+			t0 := time.Now()
+			out, err := pc.EstimateV2(trace.ContextWith(ctx, sp.Context()), items[lo:hi])
+			outs[g].dur = time.Since(t0)
+			if err != nil {
+				outs[g].err = err
+				sp.SetAttr("status", "error").SetAttr("error", err.Error())
+			} else {
+				outs[g].est = int64(len(out.EstimatesCPM))
+				sp.SetAttr("status", "ok")
+			}
+			sp.End()
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		st.requests++
+		st.estimate.Record(o.dur)
+		if o.err != nil {
+			if ctx.Err() != nil {
+				return false
+			}
+			st.errs++
+		} else {
+			st.est += o.est
+		}
+	}
+	return true
 }
 
 // due reports whether a cadence fires on this cycle (cadence 0 never

@@ -106,7 +106,7 @@ func TestGeometricSteps(t *testing.T) {
 // fail with the available list, and cadence math fires on cycle 0.
 func TestWorkloadRegistry(t *testing.T) {
 	names := Strategies()
-	want := []string{"contribute-heavy", "estimate-heavy", "mixed", "model-poll", "stream-heavy"}
+	want := []string{"contribute-heavy", "estimate-burst", "estimate-heavy", "mixed", "model-poll", "stream-heavy"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("Strategies() = %v, want %v", names, want)
 	}

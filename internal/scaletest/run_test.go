@@ -71,6 +71,35 @@ func TestRunEstimateHeavy(t *testing.T) {
 	}
 }
 
+// TestRunEstimateBurst: the burst strategy must fan each cycle's items
+// across several concurrent estimate sub-requests (so the estimate
+// histogram records a multiple of the cycle count) with zero errors —
+// the arrival shape the server-side micro-batcher coalesces.
+func TestRunEstimateBurst(t *testing.T) {
+	cfg := testCfg(t, "estimate-burst", 2, 32)
+	// Big event batches so every cycle carries enough estimate items to
+	// actually split four ways.
+	cfg.BatchSize = 128
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Estimated == 0 {
+		t.Fatalf("no work done: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+	// A non-burst profile issues at most one estimate request per cycle;
+	// strictly more proves the concurrent fan-out ran.
+	if got := int64(res.Endpoints["estimate"].Count()); got <= res.Ops {
+		t.Errorf("estimate requests = %d for %d cycles; want > cycles (burst fan-out)", got, res.Ops)
+	}
+	if !res.SLO.OK() {
+		t.Errorf("default SLO failed: %s", res.SLO)
+	}
+}
+
 // TestRunModelPollETags: a pure poller fleet needs no event stream and
 // must see 304s once its ETag cache warms up.
 func TestRunModelPollETags(t *testing.T) {

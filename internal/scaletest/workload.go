@@ -29,6 +29,11 @@ type Profile struct {
 	// StreamEvery drives the cycle's encrypted items through the NDJSON
 	// POST /v2/estimate/stream every n cycles (0 = never).
 	StreamEvery int
+	// EstimateBurst > 1 splits each estimate cycle's items across this
+	// many concurrent POST /v2/estimate calls instead of one — the
+	// arrival pattern the server's cross-request inference batcher
+	// coalesces back into shared forest walks.
+	EstimateBurst int
 	// Churn bounds client lifetimes: a client "leaves" after a
 	// per-generation random number of cycles (uniform in
 	// [0, ChurnMaxLifetime]) and a fresh client joins in its place —
@@ -72,6 +77,14 @@ var profiles = map[string]Profile{
 		ContributeEvery: 4,
 		StreamEvery:     1,
 		DefaultSLO:      SLO{MaxErrorRate: 0},
+	},
+	"estimate-burst": {
+		Name:          "estimate-burst",
+		Description:   "4 concurrent POST /v2/estimate sub-batches every cycle — micro-batcher coalescing pressure",
+		PollEvery:     64,
+		EstimateEvery: 1,
+		EstimateBurst: 4,
+		DefaultSLO:    SLO{MaxErrorRate: 0},
 	},
 	"model-poll": {
 		Name:        "model-poll",

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -350,6 +351,100 @@ func TestConformanceContextCancellation(t *testing.T) {
 		}
 		if store.IsTransient(context.Canceled) {
 			t.Fatal("context.Canceled must not be transient")
+		}
+	})
+}
+
+// TestConformanceDeposedPublisherLoses pins the publish fence: a
+// publisher that lost its lease mid-retrain must not be able to land
+// its (now stale) model, no matter which check it reaches first.
+func TestConformanceDeposedPublisherLoses(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, st store.Store) {
+		ctx := context.Background()
+		if ok, err := st.AcquireLease(ctx, "retrain", "A", time.Minute); err != nil || !ok {
+			t.Fatalf("A AcquireLease = %v, %v", ok, err)
+		}
+		vA, err := st.NextVersion(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A stalls; B deposes it and publishes a newer model.
+		if err := st.ReleaseLease(ctx, "retrain", "A"); err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := st.AcquireLease(ctx, "retrain", "B", time.Minute); err != nil || !ok {
+			t.Fatalf("B AcquireLease = %v, %v", ok, err)
+		}
+		vB, err := st.NextVersion(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.PublishModel(ctx, rec(vB), &store.Fence{Lease: "retrain", Owner: "B"}); err != nil {
+			t.Fatalf("B publish: %v", err)
+		}
+
+		// A wakes up and tries to publish its stale version.
+		err = st.PublishModel(ctx, rec(vA), &store.Fence{Lease: "retrain", Owner: "A"})
+		if !errors.Is(err, store.ErrLeaseLost) {
+			t.Fatalf("deposed fenced publish: err = %v, want ErrLeaseLost", err)
+		}
+		// Even without the fence the version check must reject it.
+		if err := st.PublishModel(ctx, rec(vA), nil); !errors.Is(err, store.ErrStalePublish) {
+			t.Fatalf("deposed unfenced publish: err = %v, want ErrStalePublish", err)
+		}
+		if v, _, _ := st.LatestVersion(ctx); v != vB {
+			t.Fatalf("latest = %d, want B's %d", v, vB)
+		}
+	})
+}
+
+// TestConformanceConcurrentPublish hammers PublishModel from many
+// goroutines with interleaved versions: whatever the interleaving, the
+// pointer must end at the maximum version and losers must see
+// ErrStalePublish — never a silent overwrite by a lower version.
+func TestConformanceConcurrentPublish(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, st store.Store) {
+		ctx := context.Background()
+		const K = 8
+		versions := make([]int, K)
+		for i := range versions {
+			v, err := st.NextVersion(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			versions[i] = v
+		}
+		maxV := versions[K-1]
+
+		var wg sync.WaitGroup
+		errCh := make(chan error, K*2)
+		for _, v := range versions {
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				// Each publisher tries twice, so lower versions keep arriving
+				// after higher ones have landed.
+				for range 2 {
+					if err := st.PublishModel(ctx, rec(v), nil); err != nil && !errors.Is(err, store.ErrStalePublish) {
+						errCh <- fmt.Errorf("publish v%d: %v", v, err)
+						return
+					}
+				}
+			}(v)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+		v, _, err := st.LatestVersion(ctx)
+		if err != nil || v != maxV {
+			t.Fatalf("latest after race = %d, %v; want %d", v, err, maxV)
+		}
+		got, err := st.LoadModel(ctx)
+		if err != nil || got.Version != maxV {
+			t.Fatalf("current record = %+v, %v; want version %d", got, err, maxV)
 		}
 	})
 }

@@ -5,15 +5,19 @@
 // keys, the contribution pool in a list, hot-swap fan-out over
 // PUBLISH/SUBSCRIBE, and the retrainer singleton as a SET NX PX lease.
 //
-// Commands are pipelined per logical operation (a publish is one
-// round trip of writes after one round trip of checks), and
-// connections are pooled and re-dialed transparently.
+// Commands are pipelined per logical operation, and connections are
+// pooled and re-dialed transparently.
 //
-// The fenced publish is check-then-write rather than atomic (no Lua,
-// no WATCH): the lease serializes legitimate publishers, the version
-// check rejects late writers that lost an allocation race, and every
-// replica enforces local version monotonicity as a backstop — see the
-// consistency contract in package store.
+// The fenced publish is a WATCH/MULTI/EXEC compare-and-set pinned to
+// one connection: round trip 1 watches the version and lease keys and
+// reads them, round trip 2 queues the writes and EXECs. Any competing
+// write to a watched key between the check and the commit aborts the
+// EXEC, so a deposed lease holder's late publish can never clobber a
+// newer model no matter how the two publishers interleave; aborts are
+// retried a few times with the checks re-run, converging to either a
+// clean commit or ErrStalePublish/ErrLeaseLost. Replica-local version
+// monotonicity remains the last-line backstop — see the consistency
+// contract in package store.
 package redisstore
 
 import (
@@ -222,46 +226,139 @@ func parseSwapPayload(p string) (store.SwapNotice, bool) {
 	return store.SwapNotice{Version: v, ETag: parts[1], PublishedAt: time.Unix(0, nano).UTC()}, true
 }
 
-// PublishModel implements store.Store. Round trip 1 checks the fence
-// and the version; round trip 2 pipelines the writes and the fan-out.
+// publishRetries bounds EXEC-abort retries in PublishModel. Each abort
+// means a competitor wrote a watched key mid-publish; re-running the
+// checks converges fast (the competitor either bumped the version past
+// ours — ErrStalePublish — or took the lease — ErrLeaseLost).
+const publishRetries = 4
+
+// doOn pipelines cmds on an already-held connection. Server -ERR
+// replies surface as the returned *respError with the connection still
+// healthy; on any other error the caller must discard the connection.
+func (s *Store) doOn(c *poolConn, deadline time.Time, cmds ...[]string) ([]reply, error) {
+	_ = c.nc.SetDeadline(deadline)
+	for _, cmd := range cmds {
+		if err := writeCommand(c.w, cmd...); err != nil {
+			return nil, fmt.Errorf("redisstore: write: %w", err)
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("redisstore: flush: %w", err)
+	}
+	replies := make([]reply, 0, len(cmds))
+	var srvErr error
+	for range cmds {
+		rep, err := readReply(c.r)
+		if err != nil {
+			var re *respError
+			if errors.As(err, &re) {
+				if srvErr == nil {
+					srvErr = err
+				}
+				replies = append(replies, rep)
+				continue
+			}
+			return nil, fmt.Errorf("redisstore: read: %w", err)
+		}
+		replies = append(replies, rep)
+	}
+	return replies, srvErr
+}
+
+// PublishModel implements store.Store as a WATCH-fenced compare-and-set
+// pinned to one connection. Round trip 1 watches the version key (and
+// the fence's lease key) and reads the state the publish is predicated
+// on; round trip 2 commits the writes and the fan-out inside
+// MULTI/EXEC. If anyone else touches a watched key in between — a
+// competing publisher, a lease takeover, even lease expiry — the EXEC
+// aborts and the checks re-run, so a deposed holder's late publish can
+// never overwrite a newer model.
 func (s *Store) PublishModel(ctx context.Context, rec store.ModelRecord, fence *store.Fence) error {
-	checks := [][]string{
-		{"GET", s.key("version")},
-		{"GET", s.key("seq")},
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	if fence != nil {
-		checks = append(checks, []string{"GET", s.key("lease", fence.Lease)})
-	}
-	reps, err := s.do(ctx, checks...)
+	c, err := s.getConn()
 	if err != nil {
 		return err
 	}
-	if fence != nil {
-		if reps[2].nil_ || reps[2].str != fence.Owner {
-			return store.ErrLeaseLost
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(defaultOpTime)
+	}
+	// fail discards the conn (unknown WATCH state / broken protocol);
+	// done unwatches and returns it to the pool healthy.
+	fail := func(err error) error {
+		_ = c.nc.Close()
+		return err
+	}
+	done := func(err error) error {
+		if _, uerr := s.doOn(c, deadline, []string{"UNWATCH"}); uerr != nil {
+			_ = c.nc.Close()
+			return err
+		}
+		_ = c.nc.SetDeadline(time.Time{})
+		s.putConn(c)
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		watch := []string{"WATCH", s.key("version")}
+		checks := [][]string{
+			{"GET", s.key("version")},
+			{"GET", s.key("seq")},
+		}
+		if fence != nil {
+			watch = append(watch, s.key("lease", fence.Lease))
+			checks = append(checks, []string{"GET", s.key("lease", fence.Lease)})
+		}
+		reps, err := s.doOn(c, deadline, append([][]string{watch}, checks...)...)
+		if err != nil {
+			return fail(err)
+		}
+		reps = reps[1:] // drop the WATCH +OK
+		if fence != nil {
+			if reps[2].nil_ || reps[2].str != fence.Owner {
+				return done(store.ErrLeaseLost)
+			}
+		}
+		if !reps[0].nil_ {
+			cur, _, perr := parseVersionValue(reps[0].str)
+			if perr != nil {
+				return done(perr)
+			}
+			if rec.Version <= cur {
+				return done(store.ErrStalePublish)
+			}
+		}
+		tx := [][]string{
+			{"MULTI"},
+			{"SET", s.key("current"), string(store.MarshalRecord(&rec))},
+			{"SET", s.key("version"), strconv.Itoa(rec.Version) + " " + rec.ETag},
+		}
+		// Seed the allocator past explicitly versioned publishes so later
+		// INCR allocations cannot collide.
+		if seq, _ := strconv.Atoi(strings.TrimSpace(reps[1].str)); reps[1].nil_ || seq < rec.Version {
+			tx = append(tx, []string{"SET", s.key("seq"), strconv.Itoa(rec.Version)})
+		}
+		tx = append(tx,
+			[]string{"PUBLISH", s.key("swaps"), swapPayload(rec.Version, rec.ETag, rec.PublishedAt)},
+			[]string{"EXEC"},
+		)
+		txReps, err := s.doOn(c, deadline, tx...)
+		if err != nil {
+			return fail(err)
+		}
+		exec := txReps[len(txReps)-1]
+		if !exec.nil_ {
+			// Committed. EXEC consumed the WATCH, so no UNWATCH needed.
+			_ = c.nc.SetDeadline(time.Time{})
+			s.putConn(c)
+			return nil
+		}
+		if attempt >= publishRetries {
+			return done(fmt.Errorf("redisstore: publish of version %d aborted %d times under contention: %w",
+				rec.Version, attempt+1, store.ErrStalePublish))
 		}
 	}
-	if !reps[0].nil_ {
-		cur, _, perr := parseVersionValue(reps[0].str)
-		if perr != nil {
-			return perr
-		}
-		if rec.Version <= cur {
-			return store.ErrStalePublish
-		}
-	}
-	writes := [][]string{
-		{"SET", s.key("current"), string(store.MarshalRecord(&rec))},
-		{"SET", s.key("version"), strconv.Itoa(rec.Version) + " " + rec.ETag},
-	}
-	// Seed the allocator past explicitly versioned publishes so later
-	// INCR allocations cannot collide.
-	if seq, _ := strconv.Atoi(strings.TrimSpace(reps[1].str)); reps[1].nil_ || seq < rec.Version {
-		writes = append(writes, []string{"SET", s.key("seq"), strconv.Itoa(rec.Version)})
-	}
-	writes = append(writes, []string{"PUBLISH", s.key("swaps"), swapPayload(rec.Version, rec.ETag, rec.PublishedAt)})
-	_, err = s.do(ctx, writes...)
-	return err
 }
 
 func parseVersionValue(v string) (int, string, error) {

@@ -1,8 +1,11 @@
 // Package redistest is a miniature in-process RESP2 server implementing
 // just enough of the Redis command surface for the redisstore backend:
 // string keys with millisecond expiry (GET/SET NX|PX/DEL/INCR/INCRBY/
-// DECRBY/PEXPIRE/PTTL), lists (LPUSH/RPUSH/LRANGE/LLEN/LPOP count), and
-// pub/sub (SUBSCRIBE/UNSUBSCRIBE/PUBLISH). Unit tests and CI run the
+// DECRBY/PEXPIRE/PTTL), lists (LPUSH/RPUSH/LRANGE/LLEN/LPOP count),
+// pub/sub (SUBSCRIBE/UNSUBSCRIBE/PUBLISH), and optimistic transactions
+// (WATCH/UNWATCH/MULTI/EXEC/DISCARD with real per-key modification
+// tracking, so a write to a watched key between WATCH and EXEC aborts
+// the transaction exactly as on Redis). Unit tests and CI run the
 // whole fleet stack against it hermetically — no Redis installation,
 // no network beyond loopback.
 //
@@ -32,10 +35,16 @@ type Server struct {
 	strings map[string]string
 	expiry  map[string]time.Time
 	lists   map[string][]string
+	revs    map[string]uint64 // per-key modification counter, for WATCH
 	subs    map[string]map[*conn]struct{}
 	conns   map[*conn]struct{}
 	closed  bool
 }
+
+// touchLocked bumps a key's modification counter; every state change —
+// SET, DEL, INCR, PEXPIRE, list writes, and lazy expiry — goes through
+// it so WATCH observes exactly what Redis would.
+func (s *Server) touchLocked(key string) { s.revs[key]++ }
 
 // Serve starts a server on addr ("127.0.0.1:0" picks a free port).
 func Serve(addr string) (*Server, error) {
@@ -48,6 +57,7 @@ func Serve(addr string) (*Server, error) {
 		strings: make(map[string]string),
 		expiry:  make(map[string]time.Time),
 		lists:   make(map[string][]string),
+		revs:    make(map[string]uint64),
 		subs:    make(map[string]map[*conn]struct{}),
 		conns:   make(map[*conn]struct{}),
 	}
@@ -107,16 +117,41 @@ type conn struct {
 	r   *bufio.Reader
 	wmu sync.Mutex
 	w   *bufio.Writer
+
+	// Transaction state. Touched only by this connection's serve
+	// goroutine, never concurrently.
+	inMulti   bool
+	txErr     bool              // a command failed to queue; EXEC aborts
+	queued    [][]string        // commands buffered since MULTI
+	watched   map[string]uint64 // key -> revision at WATCH time
+	holdsLock bool              // EXEC body runs with srv.mu already held
+	out       func(string)      // non-nil during EXEC: capture replies
+	deferred  []func()          // sends postponed past srv.mu release
+}
+
+// lock/unlock guard server state for command handlers; inside an EXEC
+// body the mutex is already held for the whole transaction, so they
+// become no-ops and the queued commands execute atomically.
+func (c *conn) lock() {
+	if !c.holdsLock {
+		c.srv.mu.Lock()
+	}
+}
+
+func (c *conn) unlock() {
+	if !c.holdsLock {
+		c.srv.mu.Unlock()
+	}
 }
 
 func (c *conn) serve() {
 	defer func() {
-		c.srv.mu.Lock()
+		c.lock()
 		delete(c.srv.conns, c)
 		for _, subs := range c.srv.subs {
 			delete(subs, c)
 		}
-		c.srv.mu.Unlock()
+		c.unlock()
 		_ = c.nc.Close()
 	}()
 	for {
@@ -133,9 +168,62 @@ func (c *conn) serve() {
 	}
 }
 
+// queueable reports whether a command may be buffered inside MULTI.
+func queueable(cmd string) bool {
+	switch cmd {
+	case "PING", "ECHO", "GET", "SET", "DEL", "INCR", "INCRBY", "DECRBY",
+		"PEXPIRE", "PTTL", "LPUSH", "RPUSH", "LRANGE", "LLEN", "LPOP", "PUBLISH":
+		return true
+	}
+	return false
+}
+
 // dispatch runs one command; true means the connection should close.
 func (c *conn) dispatch(args []string) bool {
 	cmd := strings.ToUpper(args[0])
+	switch cmd {
+	case "MULTI":
+		if c.inMulti {
+			c.errf("MULTI calls can not be nested")
+			return false
+		}
+		c.inMulti, c.txErr, c.queued = true, false, nil
+		c.reply("+OK\r\n")
+		return false
+	case "EXEC":
+		c.cmdExec()
+		return false
+	case "DISCARD":
+		if !c.inMulti {
+			c.errf("DISCARD without MULTI")
+			return false
+		}
+		c.inMulti, c.txErr, c.queued, c.watched = false, false, nil, nil
+		c.reply("+OK\r\n")
+		return false
+	case "WATCH":
+		c.cmdWatch(args)
+		return false
+	case "UNWATCH":
+		c.watched = nil
+		c.reply("+OK\r\n")
+		return false
+	}
+	if c.inMulti {
+		if !queueable(cmd) {
+			c.txErr = true
+			c.errf("%s is not allowed in transactions", cmd)
+			return false
+		}
+		c.queued = append(c.queued, args)
+		c.reply("+QUEUED\r\n")
+		return false
+	}
+	return c.dispatchCmd(cmd, args)
+}
+
+// dispatchCmd runs one immediate (non-transaction-control) command.
+func (c *conn) dispatchCmd(cmd string, args []string) bool {
 	switch cmd {
 	case "QUIT":
 		c.reply("+OK\r\n")
@@ -186,13 +274,83 @@ func (c *conn) dispatch(args []string) bool {
 	return false
 }
 
+// --- transactions ---
+
+// cmdWatch records the current revision of each named key. Lazy expiry
+// is settled first so a key that has already timed out does not abort
+// the transaction when a later read collects it.
+func (c *conn) cmdWatch(args []string) {
+	if c.inMulti {
+		c.errf("WATCH inside MULTI is not allowed")
+		return
+	}
+	if len(args) < 2 {
+		c.errf("wrong number of arguments for 'watch'")
+		return
+	}
+	c.lock()
+	if c.watched == nil {
+		c.watched = make(map[string]uint64)
+	}
+	for _, k := range args[1:] {
+		c.srv.getLocked(k)
+		c.watched[k] = c.srv.revs[k]
+	}
+	c.unlock()
+	c.reply("+OK\r\n")
+}
+
+// cmdExec runs the queued commands atomically under the server mutex.
+// If any watched key's revision moved since WATCH the whole transaction
+// aborts with a nil array, exactly like Redis. PUBLISH fan-out inside
+// the transaction is deferred until the mutex is released so a slow
+// subscriber can never wedge the server.
+func (c *conn) cmdExec() {
+	if !c.inMulti {
+		c.errf("EXEC without MULTI")
+		return
+	}
+	queued, watched, aborted := c.queued, c.watched, c.txErr
+	c.inMulti, c.txErr, c.queued, c.watched = false, false, nil, nil
+	if aborted {
+		c.reply("-EXECABORT Transaction discarded because of previous errors.\r\n")
+		return
+	}
+	c.lock()
+	for key, rev := range watched {
+		c.srv.getLocked(key) // settle lazy expiry, which bumps the rev
+		if c.srv.revs[key] != rev {
+			c.unlock()
+			c.reply("*-1\r\n")
+			return
+		}
+	}
+	var body strings.Builder
+	c.holdsLock = true
+	c.out = func(s string) { body.WriteString(s) }
+	for _, q := range queued {
+		c.dispatchCmd(strings.ToUpper(q[0]), q)
+	}
+	c.out = nil
+	c.holdsLock = false
+	c.unlock()
+	deferred := c.deferred
+	c.deferred = nil
+	c.reply("*" + strconv.Itoa(len(queued)) + "\r\n" + body.String())
+	for _, send := range deferred {
+		send()
+	}
+}
+
 // --- string commands ---
 
-// getLocked resolves a live string value, expiring lazily.
+// getLocked resolves a live string value, expiring lazily. The expiry
+// deletion counts as a modification for WATCH purposes.
 func (s *Server) getLocked(key string) (string, bool) {
 	if exp, ok := s.expiry[key]; ok && !time.Now().Before(exp) {
 		delete(s.strings, key)
 		delete(s.expiry, key)
+		s.touchLocked(key)
 		return "", false
 	}
 	v, ok := s.strings[key]
@@ -204,9 +362,9 @@ func (c *conn) cmdGet(args []string) {
 		c.errf("wrong number of arguments for 'get'")
 		return
 	}
-	c.srv.mu.Lock()
+	c.lock()
 	v, ok := c.srv.getLocked(args[1])
-	c.srv.mu.Unlock()
+	c.unlock()
 	if !ok {
 		c.reply("$-1\r\n")
 		return
@@ -245,10 +403,10 @@ func (c *conn) cmdSet(args []string) {
 			return
 		}
 	}
-	c.srv.mu.Lock()
+	c.lock()
 	_, exists := c.srv.getLocked(key)
 	if (nx && exists) || (xx && !exists) {
-		c.srv.mu.Unlock()
+		c.unlock()
 		c.reply("$-1\r\n")
 		return
 	}
@@ -258,7 +416,8 @@ func (c *conn) cmdSet(args []string) {
 	} else {
 		delete(c.srv.expiry, key)
 	}
-	c.srv.mu.Unlock()
+	c.srv.touchLocked(key)
+	c.unlock()
 	c.reply("+OK\r\n")
 }
 
@@ -268,19 +427,25 @@ func (c *conn) cmdDel(args []string) {
 		return
 	}
 	n := 0
-	c.srv.mu.Lock()
+	c.lock()
 	for _, key := range args[1:] {
+		deleted := false
 		if _, ok := c.srv.getLocked(key); ok {
 			delete(c.srv.strings, key)
 			delete(c.srv.expiry, key)
 			n++
+			deleted = true
 		}
 		if _, ok := c.srv.lists[key]; ok {
 			delete(c.srv.lists, key)
 			n++
+			deleted = true
+		}
+		if deleted {
+			c.srv.touchLocked(key)
 		}
 	}
-	c.srv.mu.Unlock()
+	c.unlock()
 	c.replyInt(n)
 }
 
@@ -304,12 +469,12 @@ func (c *conn) cmdIncrBy(keyArgs []string, delta int64, orig []string) {
 		return
 	}
 	key := keyArgs[0]
-	c.srv.mu.Lock()
+	c.lock()
 	cur := int64(0)
 	if v, ok := c.srv.getLocked(key); ok {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			c.srv.mu.Unlock()
+			c.unlock()
 			c.errf("value is not an integer or out of range")
 			return
 		}
@@ -317,7 +482,8 @@ func (c *conn) cmdIncrBy(keyArgs []string, delta int64, orig []string) {
 	}
 	cur += delta
 	c.srv.strings[key] = strconv.FormatInt(cur, 10)
-	c.srv.mu.Unlock()
+	c.srv.touchLocked(key)
+	c.unlock()
 	c.replyInt(int(cur))
 }
 
@@ -331,12 +497,13 @@ func (c *conn) cmdPexpire(args []string) {
 		c.errf("value is not an integer or out of range")
 		return
 	}
-	c.srv.mu.Lock()
+	c.lock()
 	_, ok := c.srv.getLocked(args[1])
 	if ok {
 		c.srv.expiry[args[1]] = time.Now().Add(time.Duration(ms) * time.Millisecond)
+		c.srv.touchLocked(args[1])
 	}
-	c.srv.mu.Unlock()
+	c.unlock()
 	if ok {
 		c.replyInt(1)
 	} else {
@@ -349,8 +516,8 @@ func (c *conn) cmdPttl(args []string) {
 		c.errf("wrong number of arguments for 'pttl'")
 		return
 	}
-	c.srv.mu.Lock()
-	defer c.srv.mu.Unlock()
+	c.lock()
+	defer c.unlock()
 	if _, ok := c.srv.getLocked(args[1]); !ok {
 		c.replyInt(-2)
 		return
@@ -371,7 +538,7 @@ func (c *conn) cmdPush(args []string, left bool) {
 		return
 	}
 	key := args[1]
-	c.srv.mu.Lock()
+	c.lock()
 	l := c.srv.lists[key]
 	for _, v := range args[2:] {
 		if left {
@@ -381,8 +548,9 @@ func (c *conn) cmdPush(args []string, left bool) {
 		}
 	}
 	c.srv.lists[key] = l
+	c.srv.touchLocked(key)
 	n := len(l)
-	c.srv.mu.Unlock()
+	c.unlock()
 	c.replyInt(n)
 }
 
@@ -397,7 +565,7 @@ func (c *conn) cmdLrange(args []string) {
 		c.errf("value is not an integer or out of range")
 		return
 	}
-	c.srv.mu.Lock()
+	c.lock()
 	l := c.srv.lists[args[1]]
 	n := len(l)
 	if start < 0 {
@@ -411,7 +579,7 @@ func (c *conn) cmdLrange(args []string) {
 	if start <= stop && start < n {
 		out = append(out, l[start:stop+1]...)
 	}
-	c.srv.mu.Unlock()
+	c.unlock()
 	c.replyArray(out)
 }
 
@@ -420,9 +588,9 @@ func (c *conn) cmdLlen(args []string) {
 		c.errf("wrong number of arguments for 'llen'")
 		return
 	}
-	c.srv.mu.Lock()
+	c.lock()
 	n := len(c.srv.lists[args[1]])
-	c.srv.mu.Unlock()
+	c.unlock()
 	c.replyInt(n)
 }
 
@@ -440,7 +608,7 @@ func (c *conn) cmdLpop(args []string) {
 		}
 		count, hasCount = n, true
 	}
-	c.srv.mu.Lock()
+	c.lock()
 	l := c.srv.lists[args[1]]
 	k := min(count, len(l))
 	popped := append([]string{}, l[:k]...)
@@ -450,7 +618,10 @@ func (c *conn) cmdLpop(args []string) {
 	} else {
 		c.srv.lists[args[1]] = rest
 	}
-	c.srv.mu.Unlock()
+	if k > 0 {
+		c.srv.touchLocked(args[1])
+	}
+	c.unlock()
 	if hasCount {
 		if len(popped) == 0 {
 			c.reply("*-1\r\n")
@@ -473,7 +644,7 @@ func (c *conn) cmdSubscribe(args []string) {
 		c.errf("wrong number of arguments for 'subscribe'")
 		return
 	}
-	c.srv.mu.Lock()
+	c.lock()
 	count := 0
 	for _, subs := range c.srv.subs {
 		if _, ok := subs[c]; ok {
@@ -493,12 +664,12 @@ func (c *conn) cmdSubscribe(args []string) {
 		}
 		replies = append(replies, fmt.Sprintf("*3\r\n%s%s:%d\r\n", bulk("subscribe"), bulk(ch), count))
 	}
-	c.srv.mu.Unlock()
+	c.unlock()
 	c.reply(strings.Join(replies, ""))
 }
 
 func (c *conn) cmdUnsubscribe(args []string) {
-	c.srv.mu.Lock()
+	c.lock()
 	channels := args[1:]
 	if len(channels) == 0 {
 		for ch, subs := range c.srv.subs {
@@ -526,7 +697,7 @@ func (c *conn) cmdUnsubscribe(args []string) {
 	if len(replies) == 0 {
 		replies = append(replies, fmt.Sprintf("*3\r\n%s$-1\r\n:0\r\n", bulk("unsubscribe")))
 	}
-	c.srv.mu.Unlock()
+	c.unlock()
 	c.reply(strings.Join(replies, ""))
 }
 
@@ -536,22 +707,45 @@ func (c *conn) cmdPublish(args []string) {
 		return
 	}
 	ch, payload := args[1], args[2]
-	c.srv.mu.Lock()
+	c.lock()
 	targets := make([]*conn, 0, len(c.srv.subs[ch]))
 	for sub := range c.srv.subs[ch] {
 		targets = append(targets, sub)
 	}
-	c.srv.mu.Unlock()
+	c.unlock()
 	msg := fmt.Sprintf("*3\r\n%s%s%s", bulk("message"), bulk(ch), bulk(payload))
-	for _, t := range targets {
-		t.reply(msg)
+	send := func() {
+		for _, t := range targets {
+			t.push(msg)
+		}
+	}
+	if c.holdsLock {
+		// Inside EXEC the server mutex is held: postpone the fan-out so a
+		// subscriber with a full write buffer cannot stall every client.
+		c.deferred = append(c.deferred, send)
+	} else {
+		send()
 	}
 	c.replyInt(len(targets))
 }
 
 // --- protocol helpers ---
 
+// reply emits a command reply: straight to the wire normally, into the
+// EXEC capture buffer while a transaction body is executing. Only the
+// connection's own serve goroutine calls it, so reading c.out is safe.
 func (c *conn) reply(s string) {
+	if c.out != nil {
+		c.out(s)
+		return
+	}
+	c.push(s)
+}
+
+// push writes a frame directly to the wire; pub/sub deliveries from
+// other connections' goroutines use it so they can never be captured
+// into a concurrently-executing transaction's reply array.
+func (c *conn) push(s string) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	_, _ = c.w.WriteString(s)

@@ -1,0 +1,234 @@
+package redistest_test
+
+import (
+	"bufio"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"yourandvalue/internal/store/redistest"
+)
+
+// cli is a minimal raw RESP2 client for driving transaction
+// interleavings the pooled store client cannot express.
+type cli struct {
+	t  *testing.T
+	nc net.Conn
+	r  *bufio.Reader
+}
+
+func dial(t *testing.T, srv *redistest.Server) *cli {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = nc.Close() })
+	_ = nc.SetDeadline(time.Now().Add(10 * time.Second))
+	return &cli{t: t, nc: nc, r: bufio.NewReader(nc)}
+}
+
+// do sends one inline command and returns the reply rendered flat:
+// "+OK", ":1", "$-1", "*-1", bulk payloads as their contents, arrays as
+// space-joined elements prefixed with "*N".
+func (c *cli) do(cmd string) string {
+	c.t.Helper()
+	if _, err := c.nc.Write([]byte(cmd + "\r\n")); err != nil {
+		c.t.Fatalf("%s: write: %v", cmd, err)
+	}
+	return c.read(cmd)
+}
+
+func (c *cli) read(cmd string) string {
+	c.t.Helper()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("%s: read: %v", cmd, err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	switch line[0] {
+	case '+', '-', ':':
+		return line
+	case '$':
+		n, _ := strconv.Atoi(line[1:])
+		if n < 0 {
+			return "$-1"
+		}
+		buf := make([]byte, n+2)
+		if _, err := io_ReadFull(c.r, buf); err != nil {
+			c.t.Fatalf("%s: bulk read: %v", cmd, err)
+		}
+		return string(buf[:n])
+	case '*':
+		n, _ := strconv.Atoi(line[1:])
+		if n < 0 {
+			return "*-1"
+		}
+		parts := []string{"*" + strconv.Itoa(n)}
+		for i := 0; i < n; i++ {
+			parts = append(parts, c.read(cmd))
+		}
+		return strings.Join(parts, " ")
+	}
+	c.t.Fatalf("%s: unexpected reply %q", cmd, line)
+	return ""
+}
+
+// io_ReadFull avoids importing io just for one call site.
+func io_ReadFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func newServer(t *testing.T) *redistest.Server {
+	t.Helper()
+	srv, err := redistest.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestWatchAbortsOnCompetingWrite is the CAS mechanism test: a write to
+// a watched key between WATCH and EXEC must abort the transaction with
+// a nil array and leave the competitor's value in place.
+func TestWatchAbortsOnCompetingWrite(t *testing.T) {
+	srv := newServer(t)
+	a, b := dial(t, srv), dial(t, srv)
+
+	if got := a.do("WATCH k"); got != "+OK" {
+		t.Fatalf("WATCH = %q", got)
+	}
+	if got := a.do("GET k"); got != "$-1" {
+		t.Fatalf("GET = %q", got)
+	}
+	// B sneaks in between A's check and A's commit.
+	if got := b.do("SET k from-b"); got != "+OK" {
+		t.Fatalf("B SET = %q", got)
+	}
+	if got := a.do("MULTI"); got != "+OK" {
+		t.Fatalf("MULTI = %q", got)
+	}
+	if got := a.do("SET k from-a"); got != "+QUEUED" {
+		t.Fatalf("queued SET = %q", got)
+	}
+	if got := a.do("EXEC"); got != "*-1" {
+		t.Fatalf("EXEC after competing write = %q, want *-1 abort", got)
+	}
+	if got := b.do("GET k"); got != "from-b" {
+		t.Fatalf("k = %q after aborted EXEC, want %q", got, "from-b")
+	}
+
+	// Control: with no interference the same transaction commits.
+	if got := a.do("WATCH k"); got != "+OK" {
+		t.Fatalf("re-WATCH = %q", got)
+	}
+	a.do("MULTI")
+	a.do("SET k from-a")
+	if got := a.do("EXEC"); got != "*1 +OK" {
+		t.Fatalf("clean EXEC = %q, want %q", got, "*1 +OK")
+	}
+	if got := b.do("GET k"); got != "from-a" {
+		t.Fatalf("k = %q after committed EXEC, want %q", got, "from-a")
+	}
+}
+
+// TestWatchSeesDeleteExpireAndListWrites verifies every mutation class
+// bumps the revision WATCH observes.
+func TestWatchSeesDeleteExpireAndListWrites(t *testing.T) {
+	srv := newServer(t)
+	a, b := dial(t, srv), dial(t, srv)
+
+	cases := []struct {
+		name string
+		prep string // B's setup before A watches
+		mut  string // B's competing mutation
+	}{
+		{"del", "SET k v", "DEL k"},
+		{"incr", "SET k 1", "INCR k"},
+		{"pexpire", "SET k v", "PEXPIRE k 60000"},
+		{"rpush", "", "RPUSH k v"},
+		{"lpop", "RPUSH k v1 v2", "LPOP k"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b.do("DEL k")
+			if tc.prep != "" {
+				b.do(tc.prep)
+			}
+			if got := a.do("WATCH k"); got != "+OK" {
+				t.Fatalf("WATCH = %q", got)
+			}
+			b.do(tc.mut)
+			a.do("MULTI")
+			a.do("SET sentinel hit")
+			if got := a.do("EXEC"); got != "*-1" {
+				t.Fatalf("EXEC after %q = %q, want *-1 abort", tc.mut, got)
+			}
+		})
+	}
+}
+
+// TestUnwatchAndDiscard verifies the two transaction escape hatches:
+// UNWATCH forgets the keys, DISCARD drops both queue and watches.
+func TestUnwatchAndDiscard(t *testing.T) {
+	srv := newServer(t)
+	a, b := dial(t, srv), dial(t, srv)
+
+	a.do("WATCH k")
+	b.do("SET k dirty")
+	a.do("UNWATCH")
+	a.do("MULTI")
+	a.do("SET k from-a")
+	if got := a.do("EXEC"); got != "*1 +OK" {
+		t.Fatalf("EXEC after UNWATCH = %q, want commit", got)
+	}
+
+	a.do("WATCH k")
+	a.do("MULTI")
+	a.do("SET k never")
+	if got := a.do("DISCARD"); got != "+OK" {
+		t.Fatalf("DISCARD = %q", got)
+	}
+	b.do("SET k dirty2") // would abort if still watched
+	a.do("MULTI")
+	a.do("SET k after-discard")
+	if got := a.do("EXEC"); got != "*1 +OK" {
+		t.Fatalf("EXEC after DISCARD = %q, want commit (watches dropped)", got)
+	}
+	if got := b.do("GET k"); got != "after-discard" {
+		t.Fatalf("k = %q", got)
+	}
+}
+
+// TestExecPublishDelivers verifies PUBLISH inside MULTI/EXEC reaches
+// subscribers after the transaction commits.
+func TestExecPublishDelivers(t *testing.T) {
+	srv := newServer(t)
+	a, sub := dial(t, srv), dial(t, srv)
+
+	if got := sub.do("SUBSCRIBE ch"); !strings.Contains(got, "subscribe") {
+		t.Fatalf("SUBSCRIBE = %q", got)
+	}
+	a.do("MULTI")
+	a.do("SET k v")
+	if got := a.do("PUBLISH ch hello"); got != "+QUEUED" {
+		t.Fatalf("queued PUBLISH = %q", got)
+	}
+	if got := a.do("EXEC"); got != "*2 +OK :1" {
+		t.Fatalf("EXEC = %q, want %q", got, "*2 +OK :1")
+	}
+	if got := sub.read("message"); got != "*3 message ch hello" {
+		t.Fatalf("push = %q, want %q", got, "*3 message ch hello")
+	}
+}
